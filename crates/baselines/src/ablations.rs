@@ -1,0 +1,69 @@
+//! The Fig. 7 ablation registry: every performance-factor variant of the
+//! paper's breakdown, by its figure label.
+
+use bumblebee_core::{BumblebeeConfig, BumblebeeController};
+use memsim_types::Geometry;
+
+/// The Fig. 7 bar labels, left to right.
+pub const FIG7_LABELS: [&str; 10] = [
+    "C-Only", "M-Only", "25%-C", "50%-C", "No-Multi", "Meta-H", "Alloc-D", "Alloc-H", "No-HMF",
+    "Bumblebee",
+];
+
+/// Builds the Bumblebee configuration for a Fig. 7 label.
+///
+/// # Panics
+///
+/// Panics if `label` is not one of [`FIG7_LABELS`].
+pub fn config_for(label: &str) -> BumblebeeConfig {
+    match label {
+        "C-Only" => BumblebeeConfig::c_only(),
+        "M-Only" => BumblebeeConfig::m_only(),
+        "25%-C" => BumblebeeConfig::fixed_25c(),
+        "50%-C" => BumblebeeConfig::fixed_50c(),
+        "No-Multi" => BumblebeeConfig::no_multi(),
+        "Meta-H" => BumblebeeConfig::meta_h(),
+        "Alloc-D" => BumblebeeConfig::alloc_d(),
+        "Alloc-H" => BumblebeeConfig::alloc_h(),
+        "No-HMF" => BumblebeeConfig::no_hmf(),
+        "Bumblebee" => BumblebeeConfig::paper(),
+        other => panic!("unknown Fig. 7 label `{other}`"),
+    }
+}
+
+/// Builds the controller for a Fig. 7 label with a given SRAM budget.
+pub fn controller_for(label: &str, geometry: Geometry, sram_budget: u64) -> BumblebeeController {
+    let cfg = BumblebeeConfig { sram_budget, ..config_for(label) };
+    BumblebeeController::new(geometry, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_types::HybridMemoryController;
+
+    #[test]
+    fn every_label_builds() {
+        let g = Geometry::paper(256);
+        for label in FIG7_LABELS {
+            let c = controller_for(label, g, 512 << 10);
+            assert!(c.metadata_bytes() > 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn labels_map_to_expected_knobs() {
+        assert_eq!(config_for("C-Only").fixed_chbm_ratio, Some(1.0));
+        assert_eq!(config_for("M-Only").fixed_chbm_ratio, Some(0.0));
+        assert!(!config_for("No-Multi").multiplexed);
+        assert!(config_for("Meta-H").metadata_in_hbm);
+        assert!(!config_for("No-HMF").hmf_enabled);
+        assert_eq!(config_for("Bumblebee"), BumblebeeConfig::paper());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Fig. 7 label")]
+    fn unknown_label_panics() {
+        config_for("Chimera");
+    }
+}

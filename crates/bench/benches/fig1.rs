@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig. 1 at a reduced volume.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim_sim::figures::fig1;
+use memsim_sim::RunConfig;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut cfg = RunConfig::at_scale(64, 30_000);
+    cfg.warmup = 0;
+    c.bench_function("fig1_three_archetypes", |b| {
+        b.iter(|| fig1::run(&cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the paper's Fig. 7: performance-factor breakdown
+//! (ablation geomean speedups over the no-HBM baseline).
+
+use memsim_sim::figures::fig7;
+
+fn main() {
+    let opts = bumblebee_bench::parse_env();
+    println!(
+        "Fig. 7 — performance factors over {} workloads (scale 1/{})",
+        opts.profiles.len(),
+        opts.cfg.scale
+    );
+    let bars = fig7::run(&opts.cfg, &opts.profiles).expect("runs complete");
+    println!("{}", fig7::render(&bars));
+}

@@ -1,0 +1,10 @@
+//! Prints the §IV-B metadata budget per design (Bumblebee breakdown:
+//! paper reports 334 KB = 110 KB PRT + 136 KB BLE + 88 KB tracker at full
+//! scale).
+
+use memsim_sim::figures::tables;
+
+fn main() {
+    let opts = bumblebee_bench::parse_env();
+    println!("{}", tables::metadata_table(&opts.cfg));
+}

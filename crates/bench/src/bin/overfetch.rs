@@ -1,0 +1,13 @@
+//! Prints the §IV-B over-fetching analysis (paper: 13.7% Hybrid2 vs
+//! 13.3% Bumblebee).
+
+use memsim_sim::figures::tables;
+
+fn main() {
+    let opts = bumblebee_bench::parse_env();
+    let rows = tables::overfetch(&opts.cfg, &opts.profiles).expect("runs complete");
+    println!("data brought into HBM but never used before eviction:");
+    for (design, ratio) in rows {
+        println!("  {design:10} {:5.1}%", ratio * 100.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Sensitivity sweeps over Bumblebee's design choices (§IV-A parameters).
+//!
+//! Positional argument selects the sweep: `hot-queue`, `switch-fraction`,
+//! `ways`, `zombie`, or `all` (default).
+
+use memsim_sim::figures::sensitivity;
+
+fn main() {
+    let opts = bumblebee_bench::parse_env();
+    let which = opts.rest.first().map(String::as_str).unwrap_or("all");
+    println!(
+        "Sensitivity sweeps over {} workloads (scale 1/{})",
+        opts.profiles.len(),
+        opts.cfg.scale
+    );
+    let mut points = Vec::new();
+    if which == "hot-queue" || which == "all" {
+        points.extend(sensitivity::sweep_hot_queue(&opts.cfg, &opts.profiles).expect("sweep"));
+    }
+    if which == "switch-fraction" || which == "all" {
+        points
+            .extend(sensitivity::sweep_switch_fraction(&opts.cfg, &opts.profiles).expect("sweep"));
+    }
+    if which == "ways" || which == "all" {
+        points.extend(sensitivity::sweep_ways(&opts.cfg, &opts.profiles).expect("sweep"));
+    }
+    if which == "zombie" || which == "all" {
+        points.extend(sensitivity::sweep_zombie_window(&opts.cfg, &opts.profiles).expect("sweep"));
+    }
+    println!("{}", sensitivity::render(&points));
+}

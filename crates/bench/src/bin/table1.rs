@@ -1,0 +1,8 @@
+//! Prints Table I (system configuration) from the actual device presets.
+
+use memsim_sim::figures::tables;
+
+fn main() {
+    let opts = bumblebee_bench::parse_env();
+    println!("{}", tables::table1(&opts.cfg));
+}

@@ -1,0 +1,68 @@
+//! Record and replay LLC-miss traces.
+//!
+//! ```text
+//! trace_tool record <file> [--workloads mcf] [--accesses N] [--scale N]
+//! trace_tool replay <file> [--scale N]        # runs Bumblebee vs no-HBM
+//! trace_tool info   <file>
+//! ```
+
+use memsim_sim::{Design, SimParams, System};
+use memsim_trace::io::{read_trace, write_trace};
+use memsim_types::HybridMemoryController;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() -> std::io::Result<()> {
+    let opts = bumblebee_bench::parse_env();
+    let mut rest = opts.rest.iter();
+    let cmd = rest.next().map(String::as_str).unwrap_or("help");
+    let path = rest.next().cloned();
+
+    match (cmd, path) {
+        ("record", Some(path)) => {
+            let profile = opts.profiles.first().expect("at least one workload");
+            let stream = opts.cfg.workload(profile);
+            let writer = BufWriter::new(File::create(&path)?);
+            let n = write_trace(writer, stream.take(opts.cfg.accesses as usize))?;
+            println!("recorded {n} accesses of {} to {path}", profile.name);
+        }
+        ("replay", Some(path)) => {
+            for design in [Design::NoHbm, Design::Bumblebee] {
+                let reader = BufReader::new(File::open(&path)?);
+                let controller = design.build(opts.cfg.geometry, opts.cfg.sram_budget);
+                let mut system =
+                    System::new(controller, opts.cfg.geometry(), SimParams::default(), design.uses_hbm());
+                let mut n = 0u64;
+                for rec in read_trace(reader)? {
+                    system.step(rec?);
+                    n += 1;
+                }
+                println!(
+                    "{:10}  {} accesses  {} cycles  IPC {:.3}  HBM hit {:.1}%",
+                    design.label(),
+                    n,
+                    system.now(),
+                    system.counters().instructions as f64 / system.now().max(1) as f64,
+                    system.controller().stats().hbm_hit_rate() * 100.0,
+                );
+            }
+        }
+        ("info", Some(path)) => {
+            let reader = BufReader::new(File::open(&path)?);
+            let mut n = 0u64;
+            let mut writes = 0u64;
+            let mut max_addr = 0u64;
+            for rec in read_trace(reader)? {
+                let a = rec?;
+                n += 1;
+                writes += u64::from(a.kind.is_write());
+                max_addr = max_addr.max(a.addr.0);
+            }
+            println!("{n} accesses, {:.1}% writes, max addr {:#x}", writes as f64 * 100.0 / n.max(1) as f64, max_addr);
+        }
+        _ => {
+            eprintln!("usage: trace_tool record|replay|info <file> [--workloads w] [--accesses N] [--scale N]");
+        }
+    }
+    Ok(())
+}

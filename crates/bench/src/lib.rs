@@ -1,0 +1,112 @@
+//! Shared harness plumbing for the figure/table binaries and Criterion
+//! benches.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--full` — paper-scale geometry (1 GB HBM / 10 GB DRAM; slow);
+//! * `--scale N` — capacity divisor (default 16);
+//! * `--accesses N` — LLC-miss requests per run;
+//! * `--workloads a,b,c` — subset of Table II benchmarks (default: all 14).
+
+use memsim_sim::RunConfig;
+use memsim_trace::SpecProfile;
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// The run configuration (scale, geometry, volume).
+    pub cfg: RunConfig,
+    /// Workloads to evaluate.
+    pub profiles: Vec<SpecProfile>,
+    /// Positional (non-flag) arguments left over.
+    pub rest: Vec<String>,
+}
+
+/// Parses command-line style arguments.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed flags — appropriate for the
+/// experiment binaries these options drive.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
+    let mut scale = 16u64;
+    let mut accesses: Option<u64> = None;
+    let mut names: Option<Vec<String>> = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => scale = 1,
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale needs a number"));
+            }
+            "--accesses" => {
+                accesses = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--accesses needs a number")),
+                );
+            }
+            "--workloads" => {
+                let list = it.next().unwrap_or_else(|| panic!("--workloads needs a list"));
+                names = Some(list.split(',').map(str::to_string).collect());
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let default_accesses = if scale == 1 { 2_000_000 } else { 400_000 };
+    let cfg = RunConfig::at_scale(scale, accesses.unwrap_or(default_accesses));
+    let profiles = match names {
+        Some(ns) => ns.iter().map(|n| SpecProfile::named(n)).collect(),
+        None => SpecProfile::table2(),
+    };
+    HarnessOpts { cfg, profiles, rest }
+}
+
+/// Parses `std::env::args()` (skipping the binary name).
+pub fn parse_env() -> HarnessOpts {
+    parse_args(std::env::args().skip(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> HarnessOpts {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = opts(&[]);
+        assert_eq!(o.cfg.scale, 16);
+        assert_eq!(o.cfg.accesses, 400_000);
+        assert_eq!(o.profiles.len(), 14);
+        assert!(o.rest.is_empty());
+    }
+
+    #[test]
+    fn full_flag_switches_to_paper_scale() {
+        let o = opts(&["--full"]);
+        assert_eq!(o.cfg.scale, 1);
+        assert_eq!(o.cfg.accesses, 2_000_000);
+    }
+
+    #[test]
+    fn explicit_scale_accesses_workloads() {
+        let o = opts(&["--scale", "64", "--accesses", "1234", "--workloads", "mcf,xz", "ipc"]);
+        assert_eq!(o.cfg.scale, 64);
+        assert_eq!(o.cfg.accesses, 1234);
+        assert_eq!(o.profiles.len(), 2);
+        assert_eq!(o.rest, vec!["ipc".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale needs a number")]
+    fn bad_scale_panics() {
+        opts(&["--scale", "abc"]);
+    }
+}

@@ -1,0 +1,327 @@
+//! A set-associative, write-back, write-allocate SRAM cache.
+
+use crate::replacement::{Duel, Policy, RRPV_LONG, RRPV_MAX};
+use memsim_types::Addr;
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (a power of two).
+    pub line_bytes: u64,
+    /// Replacement policy.
+    pub policy: Policy,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes are zero, the line size is not a power of two, or
+    /// the capacity is not an exact multiple of `ways × line_bytes`.
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u64, policy: Policy) -> CacheConfig {
+        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "sizes must be non-zero");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert_eq!(
+            size_bytes % (u64::from(ways) * line_bytes),
+            0,
+            "capacity must divide into ways × line size"
+        );
+        CacheConfig { size_bytes, ways, line_bytes, policy }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        (self.size_bytes / (u64::from(self.ways) * self.line_bytes)) as u32
+    }
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Dirty line evicted to make room (address of its first byte).
+    pub writeback: Option<Addr>,
+    /// Line address filled on a miss (aligned to the line size).
+    pub filled: Option<Addr>,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio (0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    meta: u8,
+}
+
+/// One set-associative cache level; see the [crate documentation](crate).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    duel: Duel,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let total = cfg.num_sets() as usize * cfg.ways as usize;
+        Cache { lines: vec![Line::default(); total], duel: Duel::new(cfg.num_sets()), cfg, stats: CacheStats::default() }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_and_tag(&self, addr: Addr) -> (u32, u64) {
+        let line = addr.0 / self.cfg.line_bytes;
+        let set = (line % u64::from(self.cfg.num_sets())) as u32;
+        let tag = line / u64::from(self.cfg.num_sets());
+        (set, tag)
+    }
+
+    #[inline]
+    fn line_addr(&self, set: u32, tag: u64) -> Addr {
+        Addr((tag * u64::from(self.cfg.num_sets()) + u64::from(set)) * self.cfg.line_bytes)
+    }
+
+    /// Accesses `addr`; on a miss the line is allocated (write-allocate) and
+    /// a dirty victim, if any, is reported for writeback.
+    pub fn access(&mut self, addr: Addr, is_write: bool) -> AccessResult {
+        self.stats.accesses += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = self.cfg.ways as usize;
+        let base = set as usize * ways;
+        // Hit path.
+        for i in 0..ways {
+            let line = &mut self.lines[base + i];
+            if line.valid && line.tag == tag {
+                line.dirty |= is_write;
+                match self.cfg.policy {
+                    Policy::Lru => {
+                        let old = line.meta;
+                        for j in 0..ways {
+                            let l = &mut self.lines[base + j];
+                            if l.valid && l.meta < old {
+                                l.meta += 1;
+                            }
+                        }
+                        self.lines[base + i].meta = 0;
+                    }
+                    Policy::Srrip | Policy::Drrip => line.meta = 0,
+                }
+                return AccessResult { hit: true, writeback: None, filled: None };
+            }
+        }
+        // Miss path.
+        self.stats.misses += 1;
+        if self.cfg.policy == Policy::Drrip {
+            self.duel.on_miss(set);
+        }
+        let victim = self.pick_victim(set);
+        let v = self.lines[base + victim];
+        let writeback =
+            if v.valid && v.dirty { Some(self.line_addr(set, v.tag)) } else { None };
+        if writeback.is_some() {
+            self.stats.writebacks += 1;
+        }
+        let insert_meta = match self.cfg.policy {
+            Policy::Lru => 0,
+            Policy::Srrip => RRPV_LONG,
+            Policy::Drrip => self.duel.insertion_rrpv(set),
+        };
+        if self.cfg.policy == Policy::Lru {
+            let old = if self.lines[base + victim].valid {
+                self.lines[base + victim].meta
+            } else {
+                (ways - 1) as u8
+            };
+            for j in 0..ways {
+                let l = &mut self.lines[base + j];
+                if l.valid && l.meta < old {
+                    l.meta += 1;
+                }
+            }
+        }
+        let v = &mut self.lines[base + victim];
+        v.tag = tag;
+        v.valid = true;
+        v.dirty = is_write;
+        v.meta = insert_meta;
+        AccessResult {
+            hit: false,
+            writeback,
+            filled: Some(self.line_addr(set, tag)),
+        }
+    }
+
+    fn pick_victim(&mut self, set: u32) -> usize {
+        let ways = self.cfg.ways as usize;
+        let base = set as usize * ways;
+        // Invalid line first.
+        if let Some(i) = (0..ways).find(|&i| !self.lines[base + i].valid) {
+            return i;
+        }
+        match self.cfg.policy {
+            Policy::Lru => (0..ways)
+                .max_by_key(|&i| self.lines[base + i].meta)
+                .expect("non-empty set"),
+            Policy::Srrip | Policy::Drrip => loop {
+                if let Some(i) = (0..ways).find(|&i| self.lines[base + i].meta >= RRPV_MAX) {
+                    break i;
+                }
+                for i in 0..ways {
+                    self.lines[base + i].meta += 1;
+                }
+            },
+        }
+    }
+
+    /// Invalidates every line, returning the number of dirty lines dropped.
+    pub fn flush(&mut self) -> u64 {
+        let dirty = self.lines.iter().filter(|l| l.valid && l.dirty).count() as u64;
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+        dirty
+    }
+
+    /// Whether `addr`'s line is currently present (no state change).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set as usize * self.cfg.ways as usize;
+        (0..self.cfg.ways as usize)
+            .any(|i| self.lines[base + i].valid && self.lines[base + i].tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(policy: Policy) -> Cache {
+        // 4 sets × 2 ways × 64 B lines.
+        Cache::new(CacheConfig::new(512, 2, 64, policy))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(Policy::Lru);
+        let r = c.access(Addr(0), false);
+        assert!(!r.hit);
+        assert_eq!(r.filled, Some(Addr(0)));
+        assert!(c.access(Addr(0), false).hit);
+        assert!(c.access(Addr(63), false).hit, "same line");
+        assert!(!c.access(Addr(64), false).hit, "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(Policy::Lru);
+        // Set 0 holds lines with line-number ≡ 0 (mod 4): 0, 1024, 2048.
+        c.access(Addr(0), false);
+        c.access(Addr(1024), false);
+        c.access(Addr(0), false); // 0 is now MRU
+        let r = c.access(Addr(2048), false); // evicts 1024
+        assert!(!r.hit);
+        assert!(c.probe(Addr(0)));
+        assert!(!c.probe(Addr(1024)));
+    }
+
+    #[test]
+    fn writeback_only_for_dirty_victims() {
+        let mut c = tiny(Policy::Lru);
+        c.access(Addr(0), true); // dirty
+        c.access(Addr(1024), false); // clean
+        // Evict dirty line 0.
+        c.access(Addr(2048), false);
+        let r = c.access(Addr(3072), false);
+        // One of the two evictions was the dirty line.
+        let total_wb = c.stats().writebacks;
+        assert_eq!(total_wb, 1);
+        assert!(r.hit || r.filled.is_some());
+    }
+
+    #[test]
+    fn srrip_inserts_distant_and_promotes_on_hit() {
+        let mut c = tiny(Policy::Srrip);
+        c.access(Addr(0), false);
+        c.access(Addr(0), false); // promote to RRPV 0
+        c.access(Addr(1024), false);
+        // A scan of never-reused lines should not displace the reused one.
+        c.access(Addr(2048), false);
+        c.access(Addr(3072), false);
+        assert!(c.probe(Addr(0)), "hot line survived the scan");
+    }
+
+    #[test]
+    fn stats_track_miss_ratio() {
+        let mut c = tiny(Policy::Drrip);
+        for i in 0..8u64 {
+            c.access(Addr(i * 64), false);
+        }
+        for i in 0..8u64 {
+            c.access(Addr(i * 64), false);
+        }
+        assert_eq!(c.stats().accesses, 16);
+        assert_eq!(c.stats().misses, 8);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny(Policy::Lru);
+        c.access(Addr(0), true);
+        c.access(Addr(64), false);
+        assert_eq!(c.flush(), 1);
+        assert!(!c.probe(Addr(0)));
+        assert!(!c.probe(Addr(64)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        CacheConfig::new(512, 2, 48, Policy::Lru);
+    }
+
+    #[test]
+    fn table1_llc_geometry() {
+        let llc = Cache::new(CacheConfig::new(8 << 20, 16, 64, Policy::Drrip));
+        assert_eq!(llc.config().num_sets(), 8192);
+    }
+}

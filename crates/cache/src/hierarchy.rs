@@ -1,0 +1,224 @@
+//! The three-level cache hierarchy of Table I.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::replacement::Policy;
+use memsim_types::Addr;
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// Private L1.
+    L1,
+    /// Private L2.
+    L2,
+    /// Shared LLC.
+    L3,
+    /// Missed everywhere — goes to the memory system.
+    Memory,
+}
+
+/// What one access did to the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyOutcome {
+    /// Deepest level that had the line.
+    pub level: HitLevel,
+    /// LLC line to fetch from memory (on an LLC miss).
+    pub fill: Option<Addr>,
+    /// Dirty LLC line pushed out to memory.
+    pub writeback: Option<Addr>,
+}
+
+impl HierarchyOutcome {
+    /// Whether this access missed the whole hierarchy.
+    pub fn is_llc_miss(&self) -> bool {
+        self.level == HitLevel::Memory
+    }
+}
+
+/// L1 → L2 → L3 chain; misses allocate at every level (non-inclusive,
+/// write-back, write-allocate), dirty victims propagate downward and dirty
+/// LLC victims become memory writebacks.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    instructions: u64,
+}
+
+impl Hierarchy {
+    /// The paper's Table I hierarchy: 64 KB 4-way LRU L1 (data), 256 KB
+    /// 8-way SRRIP L2, 8 MB 16-way DRRIP shared L3, 64 B lines everywhere.
+    pub fn table1() -> Hierarchy {
+        Hierarchy::new(
+            CacheConfig::new(64 << 10, 4, 64, Policy::Lru),
+            CacheConfig::new(256 << 10, 8, 64, Policy::Srrip),
+            CacheConfig::new(8 << 20, 16, 64, Policy::Drrip),
+        )
+    }
+
+    /// A hierarchy scaled down by `scale` in every capacity (for fast
+    /// experiments with scaled memory footprints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` does not keep every level's geometry valid
+    /// (powers of two up to 64 are always fine).
+    pub fn table1_scaled(scale: u64) -> Hierarchy {
+        assert!(scale > 0);
+        Hierarchy::new(
+            CacheConfig::new((64 << 10) / scale, 4, 64, Policy::Lru),
+            CacheConfig::new((256 << 10) / scale, 8, 64, Policy::Srrip),
+            CacheConfig::new((8 << 20) / scale, 16, 64, Policy::Drrip),
+        )
+    }
+
+    /// Builds a hierarchy from explicit configurations.
+    pub fn new(l1: CacheConfig, l2: CacheConfig, l3: CacheConfig) -> Hierarchy {
+        Hierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            l3: Cache::new(l3),
+            instructions: 0,
+        }
+    }
+
+    /// Runs one memory instruction through the hierarchy.
+    ///
+    /// `insts` is the number of instructions this access represents for
+    /// MPKI accounting (the access itself plus preceding non-memory
+    /// instructions).
+    pub fn access(&mut self, addr: Addr, is_write: bool, insts: u64) -> HierarchyOutcome {
+        self.instructions += insts;
+        let r1 = self.l1.access(addr, is_write);
+        // Dirty L1 victims are written into L2 (write-back).
+        if let Some(wb) = r1.writeback {
+            let r2 = self.l2.access(wb, true);
+            if let Some(wb2) = r2.writeback {
+                self.l3.access(wb2, true);
+            }
+        }
+        if r1.hit {
+            return HierarchyOutcome { level: HitLevel::L1, fill: None, writeback: None };
+        }
+        let r2 = self.l2.access(addr, false);
+        if let Some(wb2) = r2.writeback {
+            let r3 = self.l3.access(wb2, true);
+            if let Some(wb3) = r3.writeback {
+                return self.finish_l2_path(addr, r2.hit, Some(wb3));
+            }
+        }
+        self.finish_l2_path(addr, r2.hit, None)
+    }
+
+    fn finish_l2_path(
+        &mut self,
+        addr: Addr,
+        l2_hit: bool,
+        pending_wb: Option<Addr>,
+    ) -> HierarchyOutcome {
+        if l2_hit {
+            return HierarchyOutcome { level: HitLevel::L2, fill: None, writeback: pending_wb };
+        }
+        let r3 = self.l3.access(addr, false);
+        let writeback = r3.writeback.or(pending_wb);
+        if r3.hit {
+            HierarchyOutcome { level: HitLevel::L3, fill: None, writeback }
+        } else {
+            HierarchyOutcome { level: HitLevel::Memory, fill: r3.filled, writeback }
+        }
+    }
+
+    /// Instructions accounted so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// LLC misses per kilo-instruction so far.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l3.stats().misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Per-level statistics `(l1, l2, l3)`.
+    pub fn stats(&self) -> (&CacheStats, &CacheStats, &CacheStats) {
+        (self.l1.stats(), self.l2.stats(), self.l3.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        Hierarchy::new(
+            CacheConfig::new(512, 2, 64, Policy::Lru),
+            CacheConfig::new(1024, 2, 64, Policy::Srrip),
+            CacheConfig::new(2048, 4, 64, Policy::Drrip),
+        )
+    }
+
+    #[test]
+    fn first_touch_misses_to_memory() {
+        let mut h = tiny();
+        let o = h.access(Addr(0), false, 1);
+        assert_eq!(o.level, HitLevel::Memory);
+        assert_eq!(o.fill, Some(Addr(0)));
+    }
+
+    #[test]
+    fn second_touch_hits_l1() {
+        let mut h = tiny();
+        h.access(Addr(0), false, 1);
+        let o = h.access(Addr(0), false, 1);
+        assert_eq!(o.level, HitLevel::L1);
+        assert!(!o.is_llc_miss());
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = tiny();
+        // L1: 4 sets × 2 ways; these three lines share L1 set 0.
+        h.access(Addr(0), false, 1);
+        h.access(Addr(256), false, 1);
+        h.access(Addr(512), false, 1); // evicts 0 from L1
+        let o = h.access(Addr(0), false, 1);
+        assert_eq!(o.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn mpki_counts_llc_misses_per_kiloinstruction() {
+        let mut h = tiny();
+        for i in 0..10u64 {
+            h.access(Addr(i * 4096), false, 100);
+        }
+        assert_eq!(h.instructions(), 1000);
+        assert!((h.mpki() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dirty_data_eventually_writes_back_to_memory() {
+        let mut h = tiny();
+        // Write lots of distinct lines so dirty victims cascade off the LLC.
+        let mut wbs = 0;
+        for i in 0..512u64 {
+            let o = h.access(Addr(i * 64), true, 1);
+            if o.writeback.is_some() {
+                wbs += 1;
+            }
+        }
+        assert!(wbs > 0, "dirty lines must reach memory");
+    }
+
+    #[test]
+    fn table1_shapes() {
+        let h = Hierarchy::table1();
+        let (l1, l2, l3) = h.stats();
+        assert_eq!((l1.accesses, l2.accesses, l3.accesses), (0, 0, 0));
+        let hs = Hierarchy::table1_scaled(16);
+        assert_eq!(hs.instructions(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! SRAM cache models for the core-side hierarchy.
+//!
+//! Replaces the gem5 cache substrate of the paper's evaluation: private
+//! L1/L2 caches and a shared LLC with the Table I organizations —
+//! 64 KB 4-way LRU L1, 256 KB 8-way SRRIP L2, 8 MB 16-way DRRIP L3 — feeding
+//! LLC misses to a hybrid-memory controller.
+//!
+//! * [`Cache`] — one set-associative write-back, write-allocate cache with a
+//!   pluggable replacement policy ([`Policy`]).
+//! * [`Hierarchy`] — the three-level chain producing [`HierarchyOutcome`]s
+//!   (which level hit, what the LLC must fetch and write back).
+//!
+//! # Example
+//!
+//! ```
+//! use memsim_cache::{Cache, CacheConfig, Policy};
+//! use memsim_types::Addr;
+//!
+//! let mut l1 = Cache::new(CacheConfig::new(64 << 10, 4, 64, Policy::Lru));
+//! assert!(!l1.access(Addr(0x1000), false).hit);
+//! assert!(l1.access(Addr(0x1000), false).hit);
+//! ```
+
+pub mod cache;
+pub mod hierarchy;
+pub mod replacement;
+
+pub use cache::{AccessResult, Cache, CacheConfig, CacheStats};
+pub use hierarchy::{Hierarchy, HierarchyOutcome, HitLevel};
+pub use replacement::Policy;

@@ -1,0 +1,89 @@
+//! Property-based tests for the SRAM cache models.
+
+use memsim_cache::{Cache, CacheConfig, Hierarchy, Policy};
+use memsim_types::Addr;
+use proptest::prelude::*;
+
+fn policies() -> impl Strategy<Value = Policy> {
+    prop_oneof![Just(Policy::Lru), Just(Policy::Srrip), Just(Policy::Drrip)]
+}
+
+fn accesses() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..(1 << 20), prop::bool::ANY), 1..500)
+}
+
+proptest! {
+    #[test]
+    fn access_after_fill_always_hits(policy in policies(), addr in 0u64..(1 << 20)) {
+        let mut c = Cache::new(CacheConfig::new(4096, 4, 64, policy));
+        c.access(Addr(addr), false);
+        prop_assert!(c.access(Addr(addr), false).hit, "immediate re-access must hit");
+    }
+
+    #[test]
+    fn stats_are_consistent(policy in policies(), accs in accesses()) {
+        let mut c = Cache::new(CacheConfig::new(4096, 4, 64, policy));
+        let mut fills = 0u64;
+        for (a, w) in &accs {
+            let r = c.access(Addr(*a), *w);
+            if r.filled.is_some() {
+                fills += 1;
+                // Fill addresses are line-aligned and cover the request.
+                let f = r.filled.expect("just checked");
+                prop_assert_eq!(f.0 % 64, 0);
+                prop_assert_eq!(f.0 / 64, *a / 64);
+            }
+            // Writebacks only on misses.
+            if r.hit {
+                prop_assert!(r.writeback.is_none());
+            }
+        }
+        prop_assert_eq!(c.stats().accesses, accs.len() as u64);
+        prop_assert_eq!(c.stats().misses, fills);
+        prop_assert!(c.stats().writebacks <= c.stats().misses);
+    }
+
+    #[test]
+    fn probe_agrees_with_access(policy in policies(), accs in accesses()) {
+        let mut c = Cache::new(CacheConfig::new(8192, 8, 64, policy));
+        for (a, w) in &accs {
+            c.access(Addr(*a), *w);
+            prop_assert!(c.probe(Addr(*a)), "line just accessed must be present");
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_converges_to_all_hits(policy in policies()) {
+        // 16 lines in a 64-line cache: after one warm pass, everything hits.
+        let mut c = Cache::new(CacheConfig::new(4096, 4, 64, policy));
+        for i in 0..16u64 {
+            c.access(Addr(i * 64), false);
+        }
+        for round in 0..3 {
+            for i in 0..16u64 {
+                let r = c.access(Addr(i * 64), false);
+                if round > 0 {
+                    prop_assert!(r.hit, "round {round} line {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_outcome_is_consistent(accs in accesses()) {
+        let mut h = Hierarchy::table1_scaled(64);
+        for (a, w) in &accs {
+            let out = h.access(Addr(*a), *w, 1);
+            // Fill only on LLC miss; level/fill agreement.
+            prop_assert_eq!(out.fill.is_some(), out.is_llc_miss());
+            if let Some(f) = out.fill {
+                prop_assert_eq!(f.0 / 64, *a / 64, "fill covers the access");
+            }
+        }
+        prop_assert_eq!(h.instructions(), accs.len() as u64);
+        let (l1, l2, l3) = h.stats();
+        // Every L2 access stems from an L1 event, every L3 from L2.
+        prop_assert!(l2.accesses <= l1.misses + l1.writebacks + l2.writebacks + l3.accesses);
+        prop_assert!(l3.misses <= l3.accesses);
+    }
+}

@@ -1,0 +1,365 @@
+//! The full Bumblebee HMMC.
+
+use crate::config::BumblebeeConfig;
+use crate::metadata::MetadataBreakdown;
+use crate::set::{RemapSet, ServedFrom, SetCtx};
+use memsim_types::{
+    Access, AccessPlan, Addr, CtrlStats, Geometry, HybridMemoryController, Mem, MetadataModel,
+    OverfetchTracker, PageSlot,
+};
+
+/// Accesses between two global pressure-flush rounds (rule 5 batching).
+const PRESSURE_COOLDOWN: u64 = 8192;
+
+/// Bandwidth credit in bytes granted to the asynchronous data-movement
+/// module per demand access (a finite mover, not an infinite DMA engine).
+const MOVEMENT_CREDIT_PER_ACCESS: i64 = 512;
+
+/// Credit accumulation cap (idle phases cannot bank unlimited bandwidth).
+const MOVEMENT_CREDIT_CAP: i64 = 8 << 20;
+
+/// The Bumblebee hybrid memory management controller (paper §III).
+///
+/// See the [crate documentation](crate) for an example and the
+/// [`RemapSet`] documentation for the per-set mechanics.
+#[derive(Debug)]
+pub struct BumblebeeController {
+    geometry: Geometry,
+    cfg: BumblebeeConfig,
+    sets: Vec<RemapSet>,
+    metadata: MetadataModel,
+    metadata_breakdown: MetadataBreakdown,
+    stats: CtrlStats,
+    overfetch: Option<OverfetchTracker>,
+    mode_switch_bytes: u64,
+    metadata_spill_bytes: u64,
+    flush_cursor: u64,
+    next_flush_ok: u64,
+    movement_credit: i64,
+    accesses: u64,
+}
+
+impl BumblebeeController {
+    /// Creates a controller for `geometry` with configuration `cfg`.
+    pub fn new(geometry: Geometry, cfg: BumblebeeConfig) -> BumblebeeController {
+        let breakdown = MetadataBreakdown::compute(&geometry, &cfg);
+        let metadata = if cfg.metadata_in_hbm {
+            MetadataModel::all_in_memory(breakdown.total(), Mem::Hbm, 64)
+        } else {
+            MetadataModel::new(breakdown.total(), cfg.sram_budget, Mem::Hbm, 64)
+        };
+        let sets = (0..geometry.num_sets())
+            .map(|s| {
+                RemapSet::new(geometry.dram_slots_in_set(s) as u16, geometry.hbm_ways() as u16, &cfg)
+            })
+            .collect();
+        BumblebeeController {
+            geometry,
+            sets,
+            metadata,
+            metadata_breakdown: breakdown,
+            stats: CtrlStats::new(),
+            overfetch: cfg.track_overfetch.then(OverfetchTracker::new),
+            mode_switch_bytes: 0,
+            metadata_spill_bytes: 0,
+            flush_cursor: 0,
+            next_flush_ok: 0,
+            movement_credit: MOVEMENT_CREDIT_CAP,
+            accesses: 0,
+            cfg,
+        }
+    }
+
+    /// The geometry this controller manages.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BumblebeeConfig {
+        &self.cfg
+    }
+
+    /// Metadata breakdown (PRT / BLE array / hotness tracker bytes).
+    pub fn metadata_breakdown(&self) -> MetadataBreakdown {
+        self.metadata_breakdown
+    }
+
+    /// Bytes moved by cHBM↔mHBM mode switches so far (§IV-D accounting).
+    pub fn mode_switch_bytes(&self) -> u64 {
+        self.mode_switch_bytes
+    }
+
+    /// Total page faults absorbed (footprint exceeded a set's capacity).
+    pub fn page_faults(&self) -> u64 {
+        self.sets.iter().map(RemapSet::page_faults).sum()
+    }
+
+    /// Current fraction of HBM frames operating as cHBM.
+    pub fn chbm_fraction(&self) -> f64 {
+        let chbm: u32 = self.sets.iter().map(RemapSet::chbm_frames).sum();
+        let total = self.geometry.hbm_pages();
+        if total == 0 {
+            0.0
+        } else {
+            f64::from(chbm) / total as f64
+        }
+    }
+
+    /// Current fraction of HBM frames operating as mHBM.
+    pub fn mhbm_fraction(&self) -> f64 {
+        let mhbm: u32 = self.sets.iter().map(RemapSet::mhbm_frames).sum();
+        let total = self.geometry.hbm_pages();
+        if total == 0 {
+            0.0
+        } else {
+            f64::from(mhbm) / total as f64
+        }
+    }
+
+    /// Access to a specific remapping set (testing/inspection).
+    pub fn set(&self, idx: u64) -> &RemapSet {
+        &self.sets[idx as usize]
+    }
+
+    fn resolve(&self, addr: Addr) -> (u64, u16, u32, u32) {
+        let wrapped = Addr(addr.0 % self.geometry.flat_bytes());
+        let page = self.geometry.page_of(wrapped);
+        let set = self.geometry.set_of_page(page);
+        let o = match self.geometry.slot_of_page(page) {
+            PageSlot::OffChip(i) => i as u16,
+            PageSlot::Hbm(i) => self.geometry.dram_slots_in_set(set) as u16 + i as u16,
+        };
+        let line = ((wrapped.0 % self.geometry.block_bytes()) / 64) as u32;
+        (set, o, self.geometry.block_of(wrapped).0, line)
+    }
+
+    fn maybe_pressure_flush(&mut self, addr: Addr, plan: &mut AccessPlan) {
+        if !self.cfg.hmf_enabled {
+            return;
+        }
+        // Rule 5 trigger: the OS is handing out addresses beyond off-chip
+        // capacity — the global footprint is high.
+        let wrapped = addr.0 % self.geometry.flat_bytes();
+        if wrapped < self.geometry.dram_bytes() || self.accesses < self.next_flush_ok {
+            return;
+        }
+        self.next_flush_ok = self.accesses + PRESSURE_COOLDOWN;
+        let batch = u64::from(self.cfg.flush_batch_sets).min(self.geometry.num_sets());
+        for i in 0..batch {
+            let s = (self.flush_cursor + i) % self.geometry.num_sets();
+            let set = &mut self.sets[s as usize];
+            let mut ctx = SetCtx {
+                geometry: &self.geometry,
+                cfg: &self.cfg,
+                set_id: s,
+                plan,
+                stats: &mut self.stats,
+                overfetch: self.overfetch.as_mut(),
+                mode_switch_bytes: &mut self.mode_switch_bytes,
+                movement_credit: &mut self.movement_credit,
+            };
+            set.pressure_flush(&mut ctx);
+        }
+        self.flush_cursor = (self.flush_cursor + batch) % self.geometry.num_sets();
+    }
+}
+
+impl HybridMemoryController for BumblebeeController {
+    fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
+        self.accesses += 1;
+        self.movement_credit =
+            (self.movement_credit + MOVEMENT_CREDIT_PER_ACCESS).min(MOVEMENT_CREDIT_CAP);
+        let spills_before = plan.background.len();
+        plan.metadata_cycles += self.metadata.lookup(plan, req.addr);
+        self.metadata_spill_bytes +=
+            plan.background[spills_before..].iter().map(|op| u64::from(op.bytes)).sum::<u64>();
+        self.maybe_pressure_flush(req.addr, plan);
+        let (set_id, o, block, line) = self.resolve(req.addr);
+        let set = &mut self.sets[set_id as usize];
+        let mut ctx = SetCtx {
+            geometry: &self.geometry,
+            cfg: &self.cfg,
+            set_id,
+            plan,
+            stats: &mut self.stats,
+            overfetch: self.overfetch.as_mut(),
+            mode_switch_bytes: &mut self.mode_switch_bytes,
+            movement_credit: &mut self.movement_credit,
+        };
+        let _served: ServedFrom = set.access(o, block, line, req.kind, &mut ctx);
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg == BumblebeeConfig::default() {
+            "bumblebee"
+        } else {
+            "bumblebee-variant"
+        }
+    }
+
+    fn metadata_bytes(&self) -> u64 {
+        self.metadata_breakdown.total()
+    }
+
+    fn os_visible_bytes(&self) -> u64 {
+        let mhbm: u64 = self.sets.iter().map(|s| u64::from(s.mhbm_frames())).sum();
+        self.geometry.dram_bytes() + mhbm * self.geometry.page_bytes()
+    }
+
+    fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    fn overfetch_ratio(&self) -> Option<f64> {
+        self.overfetch.as_ref().map(OverfetchTracker::overfetch_ratio)
+    }
+
+    fn finish(&mut self, plan: &mut AccessPlan) {
+        for s in 0..self.sets.len() {
+            let set = &mut self.sets[s];
+            let mut ctx = SetCtx {
+                geometry: &self.geometry,
+                cfg: &self.cfg,
+                set_id: s as u64,
+                plan,
+                stats: &mut self.stats,
+                overfetch: self.overfetch.as_mut(),
+                mode_switch_bytes: &mut self.mode_switch_bytes,
+                movement_credit: &mut self.movement_credit,
+            };
+            set.finish(&mut ctx);
+        }
+        if let Some(t) = self.overfetch.as_mut() {
+            t.evict_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_types::AccessKind;
+
+    fn tiny_geometry() -> Geometry {
+        Geometry::builder()
+            .block_bytes(2 << 10)
+            .page_bytes(64 << 10)
+            .hbm_bytes(2 << 20) // 32 frames → 4 sets
+            .dram_bytes(20 << 20)
+            .hbm_ways(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn accesses_route_to_correct_sets() {
+        let g = tiny_geometry();
+        let mut c = BumblebeeController::new(g, BumblebeeConfig::default());
+        let mut plan = AccessPlan::new();
+        // Touch one page per set.
+        for s in 0..4u64 {
+            plan.clear();
+            c.access(&Access::read(Addr(s * g.page_bytes())), &mut plan);
+        }
+        assert_eq!(c.stats().allocations, 4);
+        for s in 0..4 {
+            assert!(c.set(s).prt().is_allocated(0), "set {s}");
+        }
+    }
+
+    #[test]
+    fn repeated_access_becomes_hbm_hit() {
+        let mut c = BumblebeeController::new(tiny_geometry(), BumblebeeConfig::default());
+        let mut plan = AccessPlan::new();
+        c.access(&Access::read(Addr(0)), &mut plan);
+        plan.clear();
+        c.access(&Access::read(Addr(0)), &mut plan);
+        assert_eq!(c.stats().hbm_hits, 1);
+        assert!(plan.critical.iter().any(|op| op.mem == Mem::Hbm));
+    }
+
+    #[test]
+    fn metadata_fits_in_sram_for_paper_scale() {
+        let c = BumblebeeController::new(Geometry::paper(1), BumblebeeConfig::default());
+        assert!(c.metadata_bytes() < 512 << 10);
+        let b = c.metadata_breakdown();
+        assert!(b.prt_bytes > 0 && b.ble_bytes > 0 && b.tracker_bytes > 0);
+    }
+
+    #[test]
+    fn meta_h_spills_every_lookup() {
+        let mut c = BumblebeeController::new(tiny_geometry(), BumblebeeConfig::meta_h());
+        let mut plan = AccessPlan::new();
+        c.access(&Access::read(Addr(0)), &mut plan);
+        assert!(
+            plan.background
+                .iter()
+                .any(|op| op.cause == memsim_types::Cause::Metadata && op.mem == Mem::Hbm),
+            "Meta-H must read metadata from HBM"
+        );
+        assert!(
+            plan.metadata_cycles >= memsim_types::MetadataModel::IN_MEMORY_LOOKUP_CYCLES,
+            "and pay the in-memory lookup latency"
+        );
+    }
+
+    #[test]
+    fn os_visible_grows_with_mhbm() {
+        let g = tiny_geometry();
+        let mut c = BumblebeeController::new(g, BumblebeeConfig::m_only());
+        let base = c.os_visible_bytes();
+        assert_eq!(base, g.dram_bytes());
+        let mut plan = AccessPlan::new();
+        c.access(&Access::read(Addr(0)), &mut plan);
+        assert_eq!(c.os_visible_bytes(), g.dram_bytes() + g.page_bytes());
+        assert!(c.mhbm_fraction() > 0.0);
+        assert_eq!(c.chbm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pressure_flush_triggers_on_hbm_region_addresses() {
+        let g = tiny_geometry();
+        let mut c = BumblebeeController::new(g, BumblebeeConfig::default());
+        let mut plan = AccessPlan::new();
+        // Build some cHBM state first.
+        for i in 0..16u64 {
+            plan.clear();
+            c.access(&Access::read(Addr(i * g.page_bytes())), &mut plan);
+        }
+        // Now touch the HBM address region (OS footprint beyond off-chip).
+        plan.clear();
+        c.access(&Access::read(Addr(g.dram_bytes())), &mut plan);
+        assert!(c.stats().pressure_flushes > 0);
+    }
+
+    #[test]
+    fn finish_drains_overfetch() {
+        let mut c = BumblebeeController::new(tiny_geometry(), BumblebeeConfig::m_only());
+        let mut plan = AccessPlan::new();
+        c.access(&Access::read(Addr(0)), &mut plan);
+        plan.clear();
+        c.finish(&mut plan);
+        let r = c.overfetch_ratio().unwrap();
+        assert!(r > 0.9, "one block of 32 used → ratio {r}");
+    }
+
+    #[test]
+    fn write_request_is_posted() {
+        let mut c = BumblebeeController::new(tiny_geometry(), BumblebeeConfig::default());
+        let mut plan = AccessPlan::new();
+        c.access(&Access { addr: Addr(0), kind: AccessKind::Write, insts: 0 }, &mut plan);
+        assert!(plan.critical.is_empty());
+        assert!(!plan.background.is_empty());
+    }
+
+    #[test]
+    fn name_distinguishes_variants() {
+        let g = tiny_geometry();
+        assert_eq!(BumblebeeController::new(g, BumblebeeConfig::default()).name(), "bumblebee");
+        assert_eq!(
+            BumblebeeController::new(g, BumblebeeConfig::c_only()).name(),
+            "bumblebee-variant"
+        );
+    }
+}

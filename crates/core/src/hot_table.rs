@@ -1,0 +1,330 @@
+//! The hot table of Fig. 4: two LRU counter queues per remapping set.
+//!
+//! One queue tracks pages resident in HBM (cHBM and mHBM alike, at most one
+//! entry per HBM frame), the other the most recently accessed off-chip DRAM
+//! pages (the paper evaluates a depth of eight). Each entry carries an
+//! access counter; the smallest counter among HBM entries is the paper's
+//! hotness threshold `T`.
+
+/// One queue entry: an original PLE (slot id) and its hotness counter.
+///
+/// The counter records **re-references**: a touch increments it only when
+/// the page was not already at the MRU position. A page streamed through
+/// once — even for thousands of consecutive lines — therefore stays at
+/// hotness 1, while genuinely re-visited pages accumulate hotness. This is
+/// the temporal-locality signal the paper's threshold `T` needs: "data
+/// with a low access frequency is not brought into HBM" (§III-E), and raw
+/// access counts cannot distinguish one long sequential sweep from real
+/// reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotEntry {
+    /// Original slot id of the page in its remapping set.
+    pub ple: u16,
+    /// Re-references observed while the entry has been tracked.
+    pub counter: u32,
+}
+
+/// The per-set hot table; see the [module documentation](self).
+///
+/// Entries are kept in recency order, index 0 = most recently used.
+#[derive(Debug, Clone)]
+pub struct HotTable {
+    hbm: Vec<HotEntry>,
+    dram: Vec<HotEntry>,
+    hbm_cap: usize,
+    dram_cap: usize,
+}
+
+impl HotTable {
+    /// Creates a table tracking up to `hbm_cap` HBM pages (= the set's
+    /// HBM frames) and `dram_cap` recent off-chip pages.
+    pub fn new(hbm_cap: usize, dram_cap: usize) -> HotTable {
+        HotTable {
+            hbm: Vec::with_capacity(hbm_cap),
+            dram: Vec::with_capacity(dram_cap),
+            hbm_cap,
+            dram_cap,
+        }
+    }
+
+    /// Records an access to off-chip page `ple`, inserting it at the MRU
+    /// position; returns its updated counter. Re-reference counting: a
+    /// touch while already at MRU does not increment (see [`HotEntry`]).
+    /// A pre-existing entry keeps its counter; the LRU entry is silently
+    /// dropped when the queue overflows.
+    pub fn touch_dram(&mut self, ple: u16) -> u32 {
+        if let Some(pos) = self.dram.iter().position(|e| e.ple == ple) {
+            let mut e = self.dram.remove(pos);
+            if pos != 0 {
+                e.counter = e.counter.saturating_add(1);
+            }
+            let c = e.counter;
+            self.dram.insert(0, e);
+            c
+        } else {
+            if self.dram.len() == self.dram_cap {
+                self.dram.pop();
+            }
+            self.dram.insert(0, HotEntry { ple, counter: 1 });
+            1
+        }
+    }
+
+    /// Records an access to HBM-resident page `ple`; returns its updated
+    /// counter (re-reference counting, as for
+    /// [`touch_dram`](Self::touch_dram)). Inserts the page if it is
+    /// somehow untracked.
+    pub fn touch_hbm(&mut self, ple: u16) -> u32 {
+        if let Some(pos) = self.hbm.iter().position(|e| e.ple == ple) {
+            let mut e = self.hbm.remove(pos);
+            if pos != 0 {
+                e.counter = e.counter.saturating_add(1);
+            }
+            let c = e.counter;
+            self.hbm.insert(0, e);
+            c
+        } else {
+            self.hbm.insert(0, HotEntry { ple, counter: 1 });
+            1
+        }
+    }
+
+    /// Moves `ple` from the DRAM queue (if present) into the HBM queue,
+    /// carrying its counter — used when a page is cached or migrated into
+    /// HBM. Returns the LRU HBM entry popped out if the HBM queue was full;
+    /// per the paper that popped page must be evicted from HBM.
+    pub fn promote(&mut self, ple: u16) -> Option<HotEntry> {
+        let carried = self
+            .dram
+            .iter()
+            .position(|e| e.ple == ple)
+            .map(|pos| self.dram.remove(pos))
+            .unwrap_or(HotEntry { ple, counter: 1 });
+        let popped = if self.hbm.len() == self.hbm_cap { self.hbm.pop() } else { None };
+        self.hbm.insert(0, HotEntry { ple, counter: carried.counter });
+        popped
+    }
+
+    /// Removes `ple` from the HBM queue and pushes it onto the DRAM queue
+    /// front (the paper's "popped-out HBM page entries are pushed back into
+    /// the off-chip DRAM queue"). No-op if absent.
+    pub fn demote(&mut self, ple: u16) {
+        if let Some(pos) = self.hbm.iter().position(|e| e.ple == ple) {
+            let e = self.hbm.remove(pos);
+            if self.dram.len() == self.dram_cap {
+                self.dram.pop();
+            }
+            self.dram.insert(0, e);
+        }
+    }
+
+    /// Re-inserts an entry at the MRU position of the HBM queue (used when
+    /// a popped mHBM page takes the buffered cHBM second chance and thus
+    /// stays resident in HBM).
+    pub fn push_hbm_front(&mut self, entry: HotEntry) {
+        self.hbm.retain(|e| e.ple != entry.ple);
+        if self.hbm.len() == self.hbm_cap {
+            self.hbm.pop();
+        }
+        self.hbm.insert(0, entry);
+    }
+
+    /// Re-inserts an entry at the LRU end of the HBM queue (restoring an
+    /// entry that was popped but could not be processed).
+    pub fn push_lru_hbm(&mut self, entry: HotEntry) {
+        self.hbm.retain(|e| e.ple != entry.ple);
+        if self.hbm.len() < self.hbm_cap {
+            self.hbm.push(entry);
+        }
+    }
+
+    /// Pushes an entry (typically one popped from the HBM queue) onto the
+    /// DRAM queue front, dropping the DRAM LRU entry if full.
+    pub fn push_dram_front(&mut self, entry: HotEntry) {
+        self.dram.retain(|e| e.ple != entry.ple);
+        if self.dram.len() == self.dram_cap {
+            self.dram.pop();
+        }
+        self.dram.insert(0, entry);
+    }
+
+    /// Removes `ple` from both queues (page freed / swapped out).
+    pub fn remove(&mut self, ple: u16) {
+        self.hbm.retain(|e| e.ple != ple);
+        self.dram.retain(|e| e.ple != ple);
+    }
+
+    /// The hotness counter of `ple` in the DRAM queue (0 if untracked).
+    pub fn dram_hotness(&self, ple: u16) -> u32 {
+        self.dram.iter().find(|e| e.ple == ple).map_or(0, |e| e.counter)
+    }
+
+    /// The hotness counter of `ple` in the HBM queue (0 if untracked).
+    pub fn hbm_hotness(&self, ple: u16) -> u32 {
+        self.hbm.iter().find(|e| e.ple == ple).map_or(0, |e| e.counter)
+    }
+
+    /// Whether `ple` is tracked in the HBM queue.
+    pub fn in_hbm(&self, ple: u16) -> bool {
+        self.hbm.iter().any(|e| e.ple == ple)
+    }
+
+    /// The paper's threshold `T`: the smallest counter among HBM entries
+    /// (0 when the queue is empty).
+    pub fn threshold(&self) -> u32 {
+        self.hbm.iter().map(|e| e.counter).min().unwrap_or(0)
+    }
+
+    /// The LRU HBM entry (the next pop-out candidate), if any.
+    pub fn lru_hbm(&self) -> Option<HotEntry> {
+        self.hbm.last().copied()
+    }
+
+    /// Pops the LRU HBM entry.
+    pub fn pop_lru_hbm(&mut self) -> Option<HotEntry> {
+        self.hbm.pop()
+    }
+
+    /// Number of HBM entries.
+    pub fn hbm_len(&self) -> usize {
+        self.hbm.len()
+    }
+
+    /// Number of DRAM entries.
+    pub fn dram_len(&self) -> usize {
+        self.dram.len()
+    }
+
+    /// Iterates the HBM-queue entries, MRU first.
+    pub fn iter_hbm(&self) -> impl Iterator<Item = &HotEntry> {
+        self.hbm.iter()
+    }
+
+    /// The hottest (highest-counter) DRAM entry, if any — used by the
+    /// all-memory-used swap rule.
+    pub fn hottest_dram(&self) -> Option<HotEntry> {
+        self.dram.iter().copied().max_by_key(|e| e.counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_dram_counts_rereferences_and_orders() {
+        let mut t = HotTable::new(4, 2);
+        assert_eq!(t.touch_dram(1), 1);
+        // Consecutive touches while at MRU do not count (streaming).
+        assert_eq!(t.touch_dram(1), 1);
+        assert_eq!(t.touch_dram(2), 1);
+        // Page 1 is re-referenced after an intervening page: counts.
+        assert_eq!(t.touch_dram(1), 2);
+        assert_eq!(t.dram_hotness(1), 2);
+        // Queue depth 2: touching a third page drops the LRU (page 2).
+        t.touch_dram(3);
+        assert_eq!(t.dram_hotness(2), 0, "LRU page dropped");
+        assert_eq!(t.dram_hotness(1), 2);
+    }
+
+    #[test]
+    fn promote_carries_counter() {
+        let mut t = HotTable::new(2, 4);
+        // Three re-references interleaved with another page.
+        t.touch_dram(5);
+        t.touch_dram(9);
+        t.touch_dram(5);
+        t.touch_dram(9);
+        t.touch_dram(5);
+        assert!(t.promote(5).is_none());
+        assert!(t.in_hbm(5));
+        assert_eq!(t.dram_hotness(5), 0);
+        assert_eq!(t.threshold(), 3);
+    }
+
+    #[test]
+    fn promote_pops_lru_when_full() {
+        let mut t = HotTable::new(2, 4);
+        t.promote(1);
+        t.promote(2);
+        let popped = t.promote(3).expect("queue was full");
+        assert_eq!(popped.ple, 1);
+        assert!(!t.in_hbm(1));
+        assert!(t.in_hbm(2) && t.in_hbm(3));
+    }
+
+    #[test]
+    fn demote_moves_to_dram_front() {
+        let mut t = HotTable::new(2, 2);
+        t.promote(1);
+        t.promote(2);
+        t.touch_hbm(1);
+        t.touch_hbm(2);
+        t.touch_hbm(1);
+        t.demote(1);
+        assert!(!t.in_hbm(1));
+        assert_eq!(t.dram_hotness(1), 3);
+    }
+
+    #[test]
+    fn threshold_is_min_hbm_counter() {
+        let mut t = HotTable::new(4, 4);
+        assert_eq!(t.threshold(), 0);
+        t.promote(1); // counter 1
+        t.promote(2); // counter 1
+        assert_eq!(t.threshold(), 1);
+        // Re-reference both pages alternately to raise the minimum.
+        t.touch_hbm(1);
+        t.touch_hbm(2);
+        assert_eq!(t.threshold(), 2);
+    }
+
+    #[test]
+    fn lru_order_follows_recency_not_counter() {
+        let mut t = HotTable::new(3, 4);
+        t.promote(1);
+        for _ in 0..10 {
+            t.touch_hbm(1);
+        }
+        t.promote(2);
+        t.touch_hbm(1); // page 1 most recent again
+        assert_eq!(t.lru_hbm().unwrap().ple, 2, "page 2 is least recent despite page 1's history");
+    }
+
+    #[test]
+    fn remove_clears_both_queues() {
+        let mut t = HotTable::new(2, 2);
+        t.touch_dram(7);
+        t.promote(8);
+        t.remove(7);
+        t.remove(8);
+        assert_eq!(t.dram_hotness(7), 0);
+        assert!(!t.in_hbm(8));
+    }
+
+    #[test]
+    fn hottest_dram_picks_max_counter() {
+        let mut t = HotTable::new(2, 4);
+        t.touch_dram(2);
+        t.touch_dram(1);
+        t.touch_dram(2);
+        t.touch_dram(1);
+        t.touch_dram(2); // page 2 re-referenced twice: counter 3
+        t.touch_dram(3);
+        assert_eq!(t.hottest_dram().unwrap().ple, 2);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut t = HotTable::new(2, 2);
+        t.touch_dram(1);
+        for _ in 0..u32::MAX as u64 + 5 {
+            // Saturating: cannot overflow. (Loop kept tiny via direct set.)
+            break;
+        }
+        // Direct saturation check via many touches is too slow; emulate:
+        let mut e = HotEntry { ple: 0, counter: u32::MAX };
+        e.counter = e.counter.saturating_add(1);
+        assert_eq!(e.counter, u32::MAX);
+    }
+}

@@ -1,0 +1,247 @@
+//! The PLE remapping table (PRT) of one remapping set (paper Fig. 3a).
+//!
+//! Slot numbering follows the paper: slots `0..m` are the set's off-chip
+//! DRAM page frames, slots `m..m+n` its HBM frames. For every *original*
+//! slot id (the page identity the OS sees) the table stores the **new PLE**
+//! — the physical slot where the page currently lives, or "unallocated" —
+//! and per *physical* slot an **Occup** bit consulted by page allocation.
+
+/// Sentinel for "page not allocated" (the paper's `-1`).
+const UNALLOCATED: u16 = u16::MAX;
+
+/// The per-set PLE remapping table.
+///
+/// Invariant: `new_ple` restricted to allocated pages is injective, and
+/// `occup[p]` is set exactly when some page maps to physical slot `p`.
+#[derive(Debug, Clone)]
+pub struct Prt {
+    new_ple: Vec<u16>,
+    occup: Vec<bool>,
+    m: u16,
+}
+
+impl Prt {
+    /// Creates a PRT for a set with `m` off-chip slots and `n` HBM frames,
+    /// with every page unallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m + n` overflows the 16-bit slot space (never happens for
+    /// realistic geometries; the paper's is 88 slots).
+    pub fn new(m: u16, n: u16) -> Prt {
+        let total = usize::from(m) + usize::from(n);
+        assert!(total < usize::from(UNALLOCATED), "slot space overflow");
+        Prt { new_ple: vec![UNALLOCATED; total], occup: vec![false; total], m }
+    }
+
+    /// Total slots `m + n`.
+    pub fn slots(&self) -> u16 {
+        self.new_ple.len() as u16
+    }
+
+    /// The set's off-chip slot count `m`.
+    pub fn m(&self) -> u16 {
+        self.m
+    }
+
+    /// Whether original page `o` has been allocated.
+    pub fn is_allocated(&self, o: u16) -> bool {
+        self.new_ple[usize::from(o)] != UNALLOCATED
+    }
+
+    /// Physical slot where original page `o` lives (`None` if unallocated).
+    pub fn location(&self, o: u16) -> Option<u16> {
+        let p = self.new_ple[usize::from(o)];
+        (p != UNALLOCATED).then_some(p)
+    }
+
+    /// Whether physical slot `p` is occupied.
+    pub fn occupied(&self, p: u16) -> bool {
+        self.occup[usize::from(p)]
+    }
+
+    /// Whether physical slot `p` is an HBM frame.
+    pub fn is_hbm_slot(&self, p: u16) -> bool {
+        p >= self.m
+    }
+
+    /// Allocates original page `o` at physical slot `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is already allocated or `p` already occupied.
+    pub fn allocate(&mut self, o: u16, p: u16) {
+        assert!(!self.is_allocated(o), "page {o} already allocated");
+        assert!(!self.occupied(p), "slot {p} already occupied");
+        self.new_ple[usize::from(o)] = p;
+        self.occup[usize::from(p)] = true;
+    }
+
+    /// Moves original page `o` from its current slot to free slot `p`
+    /// (migration / eviction / mode switch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is unallocated or `p` occupied.
+    pub fn relocate(&mut self, o: u16, p: u16) {
+        let old = self.location(o).expect("relocating unallocated page");
+        assert!(!self.occupied(p), "slot {p} already occupied");
+        self.occup[usize::from(old)] = false;
+        self.occup[usize::from(p)] = true;
+        self.new_ple[usize::from(o)] = p;
+    }
+
+    /// Swaps the physical locations of pages `a` and `b` (the blue-arrow
+    /// example of Fig. 3b and the all-memory-used swap rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either page is unallocated.
+    pub fn swap(&mut self, a: u16, b: u16) {
+        let pa = self.location(a).expect("swap of unallocated page");
+        let pb = self.location(b).expect("swap of unallocated page");
+        self.new_ple[usize::from(a)] = pb;
+        self.new_ple[usize::from(b)] = pa;
+    }
+
+    /// Frees original page `o` entirely (page-fault victim / deallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is unallocated.
+    pub fn free(&mut self, o: u16) {
+        let p = self.location(o).expect("freeing unallocated page");
+        self.occup[usize::from(p)] = false;
+        self.new_ple[usize::from(o)] = UNALLOCATED;
+    }
+
+    /// First free off-chip physical slot, preferring `prefer` when free.
+    pub fn find_free_dram(&self, prefer: u16) -> Option<u16> {
+        if prefer < self.m && !self.occupied(prefer) {
+            return Some(prefer);
+        }
+        (0..self.m).find(|&p| !self.occupied(p))
+    }
+
+    /// First free HBM physical slot.
+    pub fn find_free_hbm(&self) -> Option<u16> {
+        (self.m..self.slots()).find(|&p| !self.occupied(p))
+    }
+
+    /// Number of occupied HBM slots.
+    pub fn occupied_hbm(&self) -> u16 {
+        (self.m..self.slots()).filter(|&p| self.occupied(p)).count() as u16
+    }
+
+    /// Whether every physical slot is occupied (all memory in the set used
+    /// by the OS — the paper's swap-mode condition).
+    pub fn all_occupied(&self) -> bool {
+        self.occup.iter().all(|&b| b)
+    }
+
+    /// The original page currently living at physical slot `p`, if any.
+    ///
+    /// Linear scan — used only on slow paths (eviction candidate lookup).
+    pub fn resident_of(&self, p: u16) -> Option<u16> {
+        (0..self.slots()).find(|&o| self.new_ple[usize::from(o)] == p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_is_empty() {
+        let prt = Prt::new(4, 2);
+        assert_eq!(prt.slots(), 6);
+        for o in 0..6 {
+            assert!(!prt.is_allocated(o));
+        }
+        for p in 0..6 {
+            assert!(!prt.occupied(p));
+        }
+        assert_eq!(prt.occupied_hbm(), 0);
+        assert!(!prt.all_occupied());
+    }
+
+    #[test]
+    fn allocate_then_locate() {
+        let mut prt = Prt::new(4, 2);
+        prt.allocate(1, 1);
+        prt.allocate(0, 4); // page 0 straight into HBM slot
+        assert_eq!(prt.location(1), Some(1));
+        assert_eq!(prt.location(0), Some(4));
+        assert!(prt.is_hbm_slot(4));
+        assert_eq!(prt.occupied_hbm(), 1);
+        assert_eq!(prt.resident_of(4), Some(0));
+    }
+
+    #[test]
+    fn relocate_moves_occupancy() {
+        let mut prt = Prt::new(4, 2);
+        prt.allocate(2, 2);
+        prt.relocate(2, 5);
+        assert!(!prt.occupied(2));
+        assert!(prt.occupied(5));
+        assert_eq!(prt.location(2), Some(5));
+    }
+
+    #[test]
+    fn swap_matches_fig3_example() {
+        let mut prt = Prt::new(4, 2);
+        prt.allocate(1, 1);
+        prt.allocate(3, 4);
+        prt.swap(1, 3);
+        assert_eq!(prt.location(1), Some(4));
+        assert_eq!(prt.location(3), Some(1));
+        // Occupancy unchanged by a swap.
+        assert!(prt.occupied(1) && prt.occupied(4));
+    }
+
+    #[test]
+    fn free_releases_slot() {
+        let mut prt = Prt::new(2, 1);
+        prt.allocate(0, 0);
+        prt.free(0);
+        assert!(!prt.is_allocated(0));
+        assert!(!prt.occupied(0));
+    }
+
+    #[test]
+    fn find_free_prefers_own_slot() {
+        let mut prt = Prt::new(4, 2);
+        assert_eq!(prt.find_free_dram(2), Some(2));
+        prt.allocate(3, 2);
+        assert_eq!(prt.find_free_dram(2), Some(0));
+        assert_eq!(prt.find_free_hbm(), Some(4));
+        prt.allocate(0, 4);
+        prt.allocate(1, 5);
+        assert_eq!(prt.find_free_hbm(), None);
+    }
+
+    #[test]
+    fn all_occupied_detects_full_set() {
+        let mut prt = Prt::new(2, 1);
+        prt.allocate(0, 0);
+        prt.allocate(1, 1);
+        prt.allocate(2, 2);
+        assert!(prt.all_occupied());
+    }
+
+    #[test]
+    #[should_panic(expected = "already allocated")]
+    fn double_allocate_panics() {
+        let mut prt = Prt::new(2, 1);
+        prt.allocate(0, 0);
+        prt.allocate(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn allocate_into_occupied_panics() {
+        let mut prt = Prt::new(2, 1);
+        prt.allocate(0, 0);
+        prt.allocate(1, 0);
+    }
+}

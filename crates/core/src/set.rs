@@ -1,0 +1,1393 @@
+//! One remapping set: the access flow of Fig. 5 and the data-movement
+//! rules of §III-E.
+//!
+//! A [`RemapSet`] owns the set's PRT, its BLE array (one [`Ble`] per HBM
+//! frame), its hot table and the zombie/pressure bookkeeping. The
+//! controller resolves addresses to `(set, original slot, block)` and calls
+//! [`RemapSet::access`]; all resulting device traffic is pushed into the
+//! [`AccessPlan`] through a [`SetCtx`].
+
+use crate::ble::{Ble, FrameMode};
+use crate::config::{AllocPolicy, BumblebeeConfig};
+use crate::hot_table::HotTable;
+use crate::prt::Prt;
+use memsim_types::{
+    AccessKind, AccessPlan, Addr, BlockIndex, Cause, CtrlStats, DeviceOp, Geometry, Mem, OpKind,
+    OverfetchTracker, PageSlot,
+};
+
+/// Where a demand request was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// Die-stacked HBM (cHBM or mHBM).
+    Hbm,
+    /// Off-chip DRAM.
+    OffChip,
+}
+
+/// Per-call context handed to [`RemapSet::access`] by the controller.
+#[derive(Debug)]
+pub struct SetCtx<'a> {
+    /// Memory geometry (page/block math, device addresses).
+    pub geometry: &'a Geometry,
+    /// Controller configuration.
+    pub cfg: &'a BumblebeeConfig,
+    /// This set's index.
+    pub set_id: u64,
+    /// Plan receiving all device operations.
+    pub plan: &'a mut AccessPlan,
+    /// Shared statistics.
+    pub stats: &'a mut CtrlStats,
+    /// Optional over-fetch tracking.
+    pub overfetch: Option<&'a mut OverfetchTracker>,
+    /// Accumulator for §IV-D mode-switch traffic accounting.
+    pub mode_switch_bytes: &'a mut u64,
+    /// Remaining bandwidth credit of the asynchronous data-movement module
+    /// in bytes (replenished per access by the controller). Page-scale
+    /// movement (migrations, rule-4 swaps) is deferred when exhausted —
+    /// the mover is a finite resource, not an infinite DMA engine.
+    pub movement_credit: &'a mut i64,
+}
+
+impl SetCtx<'_> {
+    fn hbm_addr(&self, frame: u32, block: u32) -> Addr {
+        self.geometry.hbm_device_addr(self.set_id, frame, BlockIndex(block))
+    }
+
+    fn dram_addr(&self, dram_slot: u16, block: u32) -> Addr {
+        let page = self.geometry.page_of_slot(self.set_id, PageSlot::OffChip(u32::from(dram_slot)));
+        self.geometry.dram_device_addr(page, BlockIndex(block))
+    }
+
+    fn push(&mut self, critical: bool, op: DeviceOp) {
+        if critical {
+            self.plan.critical.push(op);
+        } else {
+            self.plan.background.push(op);
+        }
+    }
+
+    /// Globally unique over-fetch key for one 64 B line of (set, original
+    /// slot, block). Over-fetching is measured at 64 B granularity, like
+    /// the paper's "percentage of data brought in HBM but unused".
+    fn of_key(&self, o: u16, block: u32, line: u32) -> u64 {
+        (((self.set_id << 16) | u64::from(o)) << 14) | (u64::from(block) << 6) | u64::from(line)
+    }
+
+    /// Records that every 64 B line of `block` was brought into HBM.
+    fn of_fetched_block(&mut self, o: u16, block: u32) {
+        let lines = (self.geometry.block_bytes() / 64) as u32;
+        if let Some(t) = self.overfetch.as_deref_mut() {
+            for l in 0..lines {
+                let key = (((self.set_id << 16) | u64::from(o)) << 14)
+                    | (u64::from(block) << 6)
+                    | u64::from(l);
+                t.fetched(key, 64);
+            }
+        }
+    }
+
+    fn of_used(&mut self, o: u16, block: u32, line: u32) {
+        let key = self.of_key(o, block, line);
+        if let Some(t) = self.overfetch.as_deref_mut() {
+            t.used(key);
+        }
+    }
+
+    /// Drains every 64 B line of `block` from the tracker.
+    fn of_evicted_block(&mut self, o: u16, block: u32) {
+        let lines = (self.geometry.block_bytes() / 64) as u32;
+        if let Some(t) = self.overfetch.as_deref_mut() {
+            for l in 0..lines {
+                let key = (((self.set_id << 16) | u64::from(o)) << 14)
+                    | (u64::from(block) << 6)
+                    | u64::from(l);
+                t.evicted(key);
+            }
+        }
+    }
+}
+
+/// One remapping set; see the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct RemapSet {
+    prt: Prt,
+    bles: Vec<Ble>,
+    hot: HotTable,
+    /// For DRAM-resident original pages: the cHBM frame caching them.
+    cached_in: Vec<Option<u8>>,
+    last_allocs: [Option<u16>; 2],
+    accesses: u64,
+    zombie_head: Option<(u16, u32)>,
+    zombie_stale: u32,
+    /// cHBM creation disabled until this set-access count (pressure rule 5).
+    chbm_disabled_until: u64,
+    /// Set-access count of the last rule-4 swap (rate limiting).
+    last_swap_at: u64,
+    page_faults: u64,
+}
+
+impl RemapSet {
+    /// Creates a set with `m` off-chip slots and `n` HBM frames.
+    pub fn new(m: u16, n: u16, cfg: &BumblebeeConfig) -> RemapSet {
+        RemapSet {
+            prt: Prt::new(m, n),
+            bles: vec![Ble::default(); usize::from(n)],
+            hot: HotTable::new(usize::from(n), cfg.hot_queue_len),
+            cached_in: vec![None; usize::from(m) + usize::from(n)],
+            last_allocs: [None, None],
+            accesses: 0,
+            zombie_head: None,
+            zombie_stale: 0,
+            chbm_disabled_until: 0,
+            last_swap_at: 0,
+            page_faults: 0,
+        }
+    }
+
+    /// The set's PRT (inspection/testing).
+    pub fn prt(&self) -> &Prt {
+        &self.prt
+    }
+
+    /// The set's BLE array (inspection/testing).
+    pub fn bles(&self) -> &[Ble] {
+        &self.bles
+    }
+
+    /// The set's hot table (inspection/testing).
+    pub fn hot(&self) -> &HotTable {
+        &self.hot
+    }
+
+    /// Page faults this set has absorbed (footprint exceeded capacity).
+    pub fn page_faults(&self) -> u64 {
+        self.page_faults
+    }
+
+    /// The cHBM frame caching original page `o`, if any (inspection).
+    pub fn cached_frame(&self, o: u16) -> Option<u8> {
+        self.cached_in[usize::from(o)]
+    }
+
+    fn n(&self) -> u16 {
+        self.bles.len() as u16
+    }
+
+    fn m(&self) -> u16 {
+        self.prt.m()
+    }
+
+    /// HBM occupancy ratio Rh: frames in use (cHBM or mHBM) over `n`.
+    pub fn rh(&self) -> f64 {
+        let used = self.bles.iter().filter(|b| b.mode != FrameMode::Free).count();
+        used as f64 / f64::from(self.n())
+    }
+
+    /// Rh as seen by a movement decision. Adaptive designs use the whole
+    /// set; fixed-ratio designs use the occupancy of the partition the
+    /// decision would consume, so a small cHBM slice saturates (and starts
+    /// threshold-gating) independently of the mHBM side.
+    fn rh_for(&self, for_chbm: bool, quota: Option<u32>) -> f64 {
+        let Some(q) = quota else { return self.rh() };
+        let (used, cap) = if for_chbm {
+            (self.chbm_frames(), q)
+        } else {
+            (self.mhbm_frames(), u32::from(self.n()) - q)
+        };
+        if cap == 0 {
+            1.0
+        } else {
+            f64::from(used) / f64::from(cap)
+        }
+    }
+
+    /// The spatial-locality degree `SL = Na − Nn − Nc` (paper Eq. 1).
+    pub fn spatial_locality(&self, blocks_per_page: u32, fraction: f64) -> i32 {
+        let mut na = 0i32;
+        let mut nn = 0i32;
+        let mut nc = 0i32;
+        for b in &self.bles {
+            match b.mode {
+                FrameMode::Mhbm => {
+                    if b.mostly_valid(blocks_per_page, fraction) {
+                        na += 1;
+                    } else {
+                        nn += 1;
+                    }
+                }
+                FrameMode::Chbm => nc += 1,
+                FrameMode::Free => {}
+            }
+        }
+        na - nn - nc
+    }
+
+    /// Number of frames currently in cHBM mode.
+    pub fn chbm_frames(&self) -> u32 {
+        self.bles.iter().filter(|b| b.mode == FrameMode::Chbm).count() as u32
+    }
+
+    /// Number of frames currently in mHBM mode.
+    pub fn mhbm_frames(&self) -> u32 {
+        self.bles.iter().filter(|b| b.mode == FrameMode::Mhbm).count() as u32
+    }
+
+    /// Handles one demand access to original slot `o`, block `block`,
+    /// 64 B line `line` within the block.
+    pub fn access(
+        &mut self,
+        o: u16,
+        block: u32,
+        line: u32,
+        kind: AccessKind,
+        ctx: &mut SetCtx<'_>,
+    ) -> ServedFrom {
+        self.accesses += 1;
+        if !self.prt.is_allocated(o) {
+            self.allocate(o, ctx);
+        }
+        let p = self.prt.location(o).expect("just allocated");
+        let served = if self.prt.is_hbm_slot(p) {
+            self.access_mhbm(o, p - self.m(), block, line, kind, ctx)
+        } else {
+            self.access_offchip_home(o, p, block, line, kind, ctx)
+        };
+        if ctx.cfg.hmf_enabled {
+            self.zombie_tick(ctx);
+        }
+        served
+    }
+
+    // ---- Fig. 5 paths -------------------------------------------------
+
+    fn access_mhbm(
+        &mut self,
+        o: u16,
+        frame: u16,
+        block: u32,
+        line: u32,
+        kind: AccessKind,
+        ctx: &mut SetCtx<'_>,
+    ) -> ServedFrom {
+        let f = usize::from(frame);
+        debug_assert_eq!(self.bles[f].mode, FrameMode::Mhbm);
+        debug_assert_eq!(self.bles[f].ple, o);
+        self.bles[f].valid.set(block); // accessed-block tracking
+        let addr = ctx.hbm_addr(u32::from(frame), block);
+        let op = match kind {
+            AccessKind::Read => DeviceOp::demand_read(Mem::Hbm, addr, 64),
+            AccessKind::Write => DeviceOp::demand_write(Mem::Hbm, addr, 64),
+        };
+        ctx.push(kind == AccessKind::Read, op);
+        self.hot.touch_hbm(o);
+        ctx.stats.hbm_hits += 1;
+        ctx.of_used(o, block, line);
+        ServedFrom::Hbm
+    }
+
+    fn access_offchip_home(
+        &mut self,
+        o: u16,
+        home: u16,
+        block: u32,
+        line: u32,
+        kind: AccessKind,
+        ctx: &mut SetCtx<'_>,
+    ) -> ServedFrom {
+        if let Some(fi) = self.cached_in[usize::from(o)] {
+            let f = usize::from(fi);
+            debug_assert_eq!(self.bles[f].mode, FrameMode::Chbm);
+            debug_assert_eq!(self.bles[f].ple, o);
+            if self.bles[f].valid.get(block) {
+                // ⑦ block cached: serve from cHBM.
+                let addr = ctx.hbm_addr(u32::from(fi), block);
+                let op = match kind {
+                    AccessKind::Read => DeviceOp::demand_read(Mem::Hbm, addr, 64),
+                    AccessKind::Write => DeviceOp::demand_write(Mem::Hbm, addr, 64),
+                };
+                ctx.push(kind == AccessKind::Read, op);
+                if kind == AccessKind::Write {
+                    self.bles[f].dirty.set(block);
+                }
+                self.hot.touch_hbm(o);
+                ctx.stats.hbm_hits += 1;
+                ctx.of_used(o, block, line);
+                return ServedFrom::Hbm;
+            }
+            // ⑧ block not cached: serve off-chip, then cache the block.
+            // The posted demand write already updated DRAM, so the fetched
+            // copy is clean either way. Under high occupancy the paper
+            // T-gates block fills too: "only blocks in a page whose hotness
+            // value is larger than T are permitted to be cached in cHBM".
+            self.serve_offchip(home, block, kind, ctx);
+            let hotness = self.hot.touch_hbm(o);
+            let quota = ctx.cfg.chbm_quota(u32::from(self.n()));
+            let high_rh = self.rh_for(true, quota) >= ctx.cfg.high_rh
+                || self.hot.hbm_len() >= usize::from(self.n());
+            if high_rh && hotness <= self.threshold_for(true, quota) {
+                ctx.stats.threshold_rejections += 1;
+                return ServedFrom::OffChip;
+            }
+            self.fill_block(o, fi, home, block, ctx);
+            ctx.of_used(o, block, line);
+            self.maybe_switch_to_mhbm(o, fi, home, ctx);
+            return ServedFrom::OffChip;
+        }
+        // ⑤ page not cached: serve off-chip, then run the movement decision.
+        self.serve_offchip(home, block, kind, ctx);
+        let hotness = self.hot.touch_dram(o);
+        self.movement_decision(o, home, block, line, hotness, ctx);
+        ServedFrom::OffChip
+    }
+
+    fn serve_offchip(&mut self, home: u16, block: u32, kind: AccessKind, ctx: &mut SetCtx<'_>) {
+        let addr = ctx.dram_addr(home, block);
+        let op = match kind {
+            AccessKind::Read => DeviceOp::demand_read(Mem::OffChip, addr, 64),
+            AccessKind::Write => DeviceOp::demand_write(Mem::OffChip, addr, 64),
+        };
+        ctx.push(kind == AccessKind::Read, op);
+        ctx.stats.offchip_serves += 1;
+    }
+
+    // ---- §III-E data movement triggered by access ----------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn movement_decision(
+        &mut self,
+        o: u16,
+        home: u16,
+        block: u32,
+        line: u32,
+        hotness: u32,
+        ctx: &mut SetCtx<'_>,
+    ) {
+        let bpp = ctx.geometry.blocks_per_page();
+        let quota = ctx.cfg.chbm_quota(u32::from(self.n()));
+        // Swap mode: all memory in the set is OS-occupied (rule 4).
+        if self.prt.all_occupied() {
+            if ctx.cfg.hmf_enabled {
+                self.try_swap(o, block, hotness, ctx);
+            }
+            return;
+        }
+        let sl = self.spatial_locality(bpp, ctx.cfg.mode_switch_fraction);
+        // Pressure rule 5: while cHBM creation is disabled, all HBM serves
+        // as mHBM — movement goes through migration instead of caching.
+        let chbm_disabled = self.accesses < self.chbm_disabled_until;
+        let prefer_mhbm = match quota {
+            Some(0) => true,                                 // M-Only
+            Some(q) if q >= u32::from(self.n()) => false,    // C-Only
+            _ => sl > 0 || chbm_disabled,
+        };
+        // High occupancy: the partition is full *or* the hot table's HBM
+        // queue is — bringing anything new in would displace a tracked
+        // resident, which is exactly when the paper's threshold T applies.
+        // When the async mover cannot afford a page migration, degrade to
+        // block caching (16× cheaper per entry) instead of doing nothing —
+        // unless a fixed partition or the pressure rule forbids cHBM.
+        let can_cache = !chbm_disabled && quota.map_or(true, |q| q > 0);
+        let prefer_mhbm = if prefer_mhbm
+            && *ctx.movement_credit < 2 * ctx.geometry.page_bytes() as i64
+            && can_cache
+        {
+            false
+        } else {
+            prefer_mhbm
+        };
+        let high_rh = self.rh_for(!prefer_mhbm, quota) >= ctx.cfg.high_rh
+            || self.hot.hbm_len() >= usize::from(self.n());
+        let threshold = self.threshold_for(!prefer_mhbm, quota);
+        if prefer_mhbm {
+            if high_rh && hotness <= threshold {
+                ctx.stats.threshold_rejections += 1;
+                return;
+            }
+            self.try_migrate_to_mhbm(o, block, line, quota, ctx);
+        } else {
+            if chbm_disabled {
+                return; // pressure rule 5: no new cHBM for a while
+            }
+            if high_rh && hotness <= threshold {
+                ctx.stats.threshold_rejections += 1;
+                return;
+            }
+            self.try_cache_block(o, home, block, line, quota, ctx);
+        }
+    }
+
+    /// The hotness threshold `T` as seen by a movement decision: the
+    /// smallest counter among resident HBM pages (paper §IV-A), restricted
+    /// to the partition the decision would displace under a fixed ratio.
+    fn threshold_for(&self, for_chbm: bool, quota: Option<u32>) -> u32 {
+        if quota.is_none() {
+            return self.hot.threshold();
+        }
+        self.hot
+            .iter_hbm()
+            .filter(|e| {
+                self.frame_of_entry(e.ple)
+                    .is_some_and(|f| self.frame_eligible(f, for_chbm, quota))
+            })
+            .map(|e| e.counter)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Frames eligible for cHBM under a fixed ratio are `[0, q)`; for mHBM
+    /// `[q, n)`. Adaptive mode uses any frame.
+    fn frame_eligible(&self, f: u16, for_chbm: bool, quota: Option<u32>) -> bool {
+        match quota {
+            None => true,
+            Some(q) => {
+                if for_chbm {
+                    u32::from(f) < q
+                } else {
+                    u32::from(f) >= q
+                }
+            }
+        }
+    }
+
+    fn find_free_frame(&self, for_chbm: bool, quota: Option<u32>) -> Option<u16> {
+        (0..self.n()).find(|&f| {
+            self.bles[usize::from(f)].mode == FrameMode::Free
+                && !self.prt.occupied(self.m() + f)
+                && self.frame_eligible(f, for_chbm, quota)
+        })
+    }
+
+    fn try_migrate_to_mhbm(
+        &mut self,
+        o: u16,
+        block: u32,
+        line: u32,
+        quota: Option<u32>,
+        ctx: &mut SetCtx<'_>,
+    ) {
+        // The async mover must have bandwidth for a 2-page move (read +
+        // write, possibly plus the displaced page's writeback).
+        let move_cost = 2 * ctx.geometry.page_bytes() as i64;
+        if *ctx.movement_credit < move_cost {
+            return;
+        }
+        let frame = match self.find_free_frame(false, quota) {
+            Some(f) => Some(f),
+            None => self.make_room(false, quota, ctx),
+        };
+        let Some(f) = frame else { return };
+        *ctx.movement_credit -= move_cost;
+        let bpp = ctx.geometry.blocks_per_page();
+        let page_bytes = ctx.geometry.page_bytes() as u32;
+        // Move the page: read the whole page from DRAM, write it to HBM.
+        let home = self.prt.location(o).expect("allocated");
+        debug_assert!(!self.prt.is_hbm_slot(home));
+        ctx.push(false, DeviceOp {
+            mem: Mem::OffChip,
+            addr: ctx.dram_addr(home, 0),
+            bytes: page_bytes,
+            kind: OpKind::Read,
+            cause: Cause::Migration,
+        });
+        ctx.push(false, DeviceOp {
+            mem: Mem::Hbm,
+            addr: ctx.hbm_addr(u32::from(f), 0),
+            bytes: page_bytes,
+            kind: OpKind::Write,
+            cause: Cause::Migration,
+        });
+        for b in 0..bpp {
+            ctx.of_fetched_block(o, b);
+        }
+        ctx.of_used(o, block, line);
+        self.prt.relocate(o, self.m() + f);
+        self.bles[usize::from(f)].begin_mhbm(o, Some(block));
+        if let Some(popped) = self.hot.promote(o) {
+            // Promotion displaced the LRU page: the paper evicts it.
+            self.handle_popped_entry(popped, ctx);
+        }
+        ctx.stats.page_migrations += 1;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_cache_block(
+        &mut self,
+        o: u16,
+        home: u16,
+        block: u32,
+        line: u32,
+        quota: Option<u32>,
+        ctx: &mut SetCtx<'_>,
+    ) {
+        let frame = match self.find_free_frame(true, quota) {
+            Some(f) => Some(f),
+            None => self.make_room(true, quota, ctx),
+        };
+        let Some(f) = frame else { return };
+        self.bles[usize::from(f)].begin_chbm(o);
+        self.cached_in[usize::from(o)] = Some(f as u8);
+        if let Some(popped) = self.hot.promote(o) {
+            self.handle_popped_entry(popped, ctx);
+        }
+        self.fill_block(o, f as u8, home, block, ctx);
+        ctx.of_used(o, block, line);
+    }
+
+    /// Fetches one block of off-chip page `o` into cHBM frame `fi` (the
+    /// copy arrives clean; only cHBM write hits dirty it).
+    fn fill_block(&mut self, o: u16, fi: u8, home: u16, block: u32, ctx: &mut SetCtx<'_>) {
+        let f = usize::from(fi);
+        let block_bytes = ctx.geometry.block_bytes() as u32;
+        ctx.push(false, DeviceOp {
+            mem: Mem::OffChip,
+            addr: ctx.dram_addr(home, block),
+            bytes: block_bytes,
+            kind: OpKind::Read,
+            cause: Cause::Fill,
+        });
+        ctx.push(false, DeviceOp {
+            mem: Mem::Hbm,
+            addr: ctx.hbm_addr(u32::from(fi), block),
+            bytes: block_bytes,
+            kind: OpKind::Write,
+            cause: Cause::Fill,
+        });
+        let _ = block_bytes;
+        self.bles[f].valid.set(block);
+        ctx.stats.block_fills += 1;
+        ctx.of_fetched_block(o, block);
+    }
+
+    /// §III-E access rule 2: a cHBM page whose blocks are mostly cached
+    /// switches to mHBM, fetching only the missing blocks.
+    fn maybe_switch_to_mhbm(&mut self, o: u16, fi: u8, home: u16, ctx: &mut SetCtx<'_>) {
+        let f = usize::from(fi);
+        let bpp = ctx.geometry.blocks_per_page();
+        if !self.bles[f].mostly_valid(bpp, ctx.cfg.mode_switch_fraction) {
+            return;
+        }
+        // Under a fixed partition a cache frame cannot become memory.
+        if let Some(q) = ctx.cfg.chbm_quota(u32::from(self.n())) {
+            let _ = q;
+            return;
+        }
+        let block_bytes = ctx.geometry.block_bytes() as u32;
+        // Fetch only blocks not yet cached.
+        let missing: Vec<u32> = self.bles[f].valid.iter_clear(bpp).collect();
+        for b in &missing {
+            ctx.push(false, DeviceOp {
+                mem: Mem::OffChip,
+                addr: ctx.dram_addr(home, *b),
+                bytes: block_bytes,
+                kind: OpKind::Read,
+                cause: Cause::ModeSwitch,
+            });
+            ctx.push(false, DeviceOp {
+                mem: Mem::Hbm,
+                addr: ctx.hbm_addr(u32::from(fi), *b),
+                bytes: block_bytes,
+                kind: OpKind::Write,
+                cause: Cause::ModeSwitch,
+            });
+            *ctx.mode_switch_bytes += 2 * u64::from(block_bytes);
+            ctx.of_fetched_block(o, *b);
+        }
+        if !ctx.cfg.multiplexed {
+            // No-Multi: separate cHBM/mHBM spaces force the page through
+            // off-chip DRAM and back (eviction + re-migration).
+            let page_bytes = ctx.geometry.page_bytes() as u32;
+            for (mem, kind) in [
+                (Mem::Hbm, OpKind::Read),
+                (Mem::OffChip, OpKind::Write),
+                (Mem::OffChip, OpKind::Read),
+                (Mem::Hbm, OpKind::Write),
+            ] {
+                ctx.push(false, DeviceOp {
+                    mem,
+                    addr: if mem == Mem::Hbm {
+                        ctx.hbm_addr(u32::from(fi), 0)
+                    } else {
+                        ctx.dram_addr(home, 0)
+                    },
+                    bytes: page_bytes,
+                    kind,
+                    cause: Cause::ModeSwitch,
+                });
+                *ctx.mode_switch_bytes += u64::from(page_bytes);
+            }
+        }
+        self.prt.relocate(o, self.m() + u16::from(fi));
+        self.bles[f].switch_to_mhbm();
+        self.cached_in[usize::from(o)] = None;
+        ctx.stats.switch_to_mhbm += 1;
+    }
+
+    // ---- §III-E data movement triggered by footprint --------------------
+
+    /// Pops hot-table LRU pages until a free frame appears (or gives up).
+    /// `for_chbm`/`quota` constrain which frames qualify. Buffered
+    /// mHBM→cHBM switches (rule 2) do not free a frame by themselves — the
+    /// converted page is re-inserted at the MRU position and only a later
+    /// pop truly evicts it — so the loop runs up to `2n + 1` pops.
+    fn make_room(&mut self, for_chbm: bool, quota: Option<u32>, ctx: &mut SetCtx<'_>) -> Option<u16> {
+        // Entries whose frame cannot satisfy this request (wrong side of a
+        // fixed partition) are skipped and re-inserted afterwards — evicting
+        // an mHBM page to make room for one cache block would be pure waste.
+        let mut skipped = Vec::new();
+        let mut freed = None;
+        for _ in 0..(2 * self.n() + 1) {
+            let Some(popped) = self.hot.pop_lru_hbm() else { break };
+            if quota.is_some() {
+                if let Some(frame) = self.frame_of_entry(popped.ple) {
+                    if !self.frame_eligible(frame, for_chbm, quota) {
+                        skipped.push(popped);
+                        continue;
+                    }
+                }
+            }
+            self.handle_popped_entry(popped, ctx);
+            if let Some(f) = self.find_free_frame(for_chbm, quota) {
+                freed = Some(f);
+                break;
+            }
+        }
+        // Restore skipped entries in their original recency order (they
+        // were popped LRU-first, so push back LRU-last).
+        for e in skipped.into_iter().rev() {
+            self.hot.push_lru_hbm(e);
+        }
+        freed
+    }
+
+    /// The HBM frame currently holding page `ple` (resident or cached).
+    fn frame_of_entry(&self, ple: u16) -> Option<u16> {
+        if let Some(f) = self.cached_in[usize::from(ple)] {
+            return Some(u16::from(f));
+        }
+        match self.prt.location(ple) {
+            Some(p) if self.prt.is_hbm_slot(p) => Some(p - self.m()),
+            _ => None,
+        }
+    }
+
+    /// Processes an entry popped out of the hot table's HBM queue (paper
+    /// §III-E footprint rules 1 and 2): cHBM pages are evicted (dirty
+    /// blocks written back, frame freed); mHBM pages take the buffered
+    /// cHBM second chance when the HMF rules are on, otherwise a full page
+    /// writeback. Returns `true` when a frame was freed.
+    fn handle_popped_entry(
+        &mut self,
+        entry: crate::hot_table::HotEntry,
+        ctx: &mut SetCtx<'_>,
+    ) -> bool {
+        let ple = entry.ple;
+        if let Some(fi) = self.cached_in[usize::from(ple)] {
+            // Rule 1: a popped cHBM page is evicted to off-chip DRAM.
+            self.evict_chbm_frame(fi, ctx);
+            self.hot.push_dram_front(entry);
+            return true;
+        }
+        let Some(p) = self.prt.location(ple) else {
+            return false; // freed page; drop the stale entry
+        };
+        if !self.prt.is_hbm_slot(p) {
+            // Stale entry for an off-chip page; return it to the DRAM queue.
+            self.hot.push_dram_front(entry);
+            return false;
+        }
+        let frame = p - self.m();
+        // Rule 2 applies only to the adaptive design: statically partitioned
+        // variants (C-Only/M-Only/25%-C/50%-C) cannot repurpose an mHBM
+        // frame as cache, which is exactly the separate-space cost the
+        // paper's motivation describes.
+        if ctx.cfg.hmf_enabled && ctx.cfg.fixed_chbm_ratio.is_none() {
+            if let Some(dram_slot) = self.prt.find_free_dram(if ple < self.m() { ple } else { 0 }) {
+                // Rule 2: buffered eviction — the page stays in HBM as a
+                // fully dirty cHBM page; no data moves (multiplexed space).
+                self.prt.relocate(ple, dram_slot);
+                self.bles[usize::from(frame)].switch_to_chbm(ctx.geometry.blocks_per_page());
+                self.cached_in[usize::from(ple)] = Some(frame as u8);
+                ctx.stats.switch_to_chbm += 1;
+                if !ctx.cfg.multiplexed {
+                    // Separate spaces: the page must actually be copied out.
+                    let page_bytes = ctx.geometry.page_bytes() as u32;
+                    self.page_copy(frame, dram_slot, page_bytes, Cause::ModeSwitch, ctx);
+                    *ctx.mode_switch_bytes += 2 * u64::from(page_bytes);
+                    // And the cHBM copy is now clean.
+                    self.bles[usize::from(frame)].dirty.clear_all();
+                }
+                // Still resident in HBM: back into the HBM queue at MRU.
+                self.hot.push_hbm_front(entry);
+                return false;
+            }
+        }
+        // Full eviction to off-chip DRAM.
+        let Some(dram_slot) = self.prt.find_free_dram(if ple < self.m() { ple } else { 0 }) else {
+            // Nowhere to evict to; leave the page and its entry in place.
+            self.hot.push_hbm_front(entry);
+            return false;
+        };
+        let page_bytes = ctx.geometry.page_bytes() as u32;
+        self.page_copy(frame, dram_slot, page_bytes, Cause::Writeback, ctx);
+        self.prt.relocate(ple, dram_slot);
+        for b in 0..ctx.geometry.blocks_per_page() {
+            ctx.of_evicted_block(ple, b);
+        }
+        self.bles[usize::from(frame)].reset();
+        self.hot.push_dram_front(entry);
+        ctx.stats.evictions += 1;
+        true
+    }
+
+    /// HBM→DRAM page copy helper.
+    fn page_copy(&self, frame: u16, dram_slot: u16, bytes: u32, cause: Cause, ctx: &mut SetCtx<'_>) {
+        ctx.push(false, DeviceOp {
+            mem: Mem::Hbm,
+            addr: ctx.hbm_addr(u32::from(frame), 0),
+            bytes,
+            kind: OpKind::Read,
+            cause,
+        });
+        ctx.push(false, DeviceOp {
+            mem: Mem::OffChip,
+            addr: ctx.dram_addr(dram_slot, 0),
+            bytes,
+            kind: OpKind::Write,
+            cause,
+        });
+    }
+
+    /// Writes back a cHBM frame's dirty blocks and frees the frame.
+    fn evict_chbm_frame(&mut self, fi: u8, ctx: &mut SetCtx<'_>) {
+        let f = usize::from(fi);
+        debug_assert_eq!(self.bles[f].mode, FrameMode::Chbm);
+        let o = self.bles[f].ple;
+        let home = self.prt.location(o).expect("cached page is allocated");
+        debug_assert!(!self.prt.is_hbm_slot(home));
+        let bpp = ctx.geometry.blocks_per_page();
+        let block_bytes = ctx.geometry.block_bytes() as u32;
+        let dirty: Vec<u32> = self.bles[f].dirty.iter_set(bpp).collect();
+        for b in dirty {
+            ctx.push(false, DeviceOp {
+                mem: Mem::Hbm,
+                addr: ctx.hbm_addr(u32::from(fi), b),
+                bytes: block_bytes,
+                kind: OpKind::Read,
+                cause: Cause::Writeback,
+            });
+            ctx.push(false, DeviceOp {
+                mem: Mem::OffChip,
+                addr: ctx.dram_addr(home, b),
+                bytes: block_bytes,
+                kind: OpKind::Write,
+                cause: Cause::Writeback,
+            });
+        }
+        for b in 0..bpp {
+            ctx.of_evicted_block(o, b);
+        }
+        self.bles[f].reset();
+        self.cached_in[usize::from(o)] = None;
+        ctx.stats.evictions += 1;
+    }
+
+    /// Rule 3: evict the zombie page when the LRU HBM entry and its counter
+    /// sit unchanged for `zombie_window` set accesses under high Rh.
+    fn zombie_tick(&mut self, ctx: &mut SetCtx<'_>) {
+        let head = self.hot.lru_hbm().map(|e| (e.ple, e.counter));
+        if let Some((ple, _)) = head.filter(|_| head == self.zombie_head && self.rh() >= ctx.cfg.high_rh) {
+            self.zombie_stale += 1;
+            if self.zombie_stale >= ctx.cfg.zombie_window {
+                self.hot.demote(ple);
+                // Zombies get no buffered second chance: force a real
+                // eviction by taking the non-HMF path explicitly.
+                if let Some(fi) = self.cached_in[usize::from(ple)] {
+                    self.evict_chbm_frame(fi, ctx);
+                } else if let Some(p) = self.prt.location(ple) {
+                    if self.prt.is_hbm_slot(p) {
+                        if let Some(slot) =
+                            self.prt.find_free_dram(if ple < self.m() { ple } else { 0 })
+                        {
+                            let frame = p - self.m();
+                            let page_bytes = ctx.geometry.page_bytes() as u32;
+                            self.page_copy(frame, slot, page_bytes, Cause::Writeback, ctx);
+                            self.prt.relocate(ple, slot);
+                            self.bles[usize::from(frame)].reset();
+                            ctx.stats.evictions += 1;
+                        }
+                    }
+                }
+                ctx.stats.zombie_evictions += 1;
+                self.zombie_stale = 0;
+                self.zombie_head = None;
+            }
+        } else {
+            self.zombie_head = head;
+            self.zombie_stale = 0;
+        }
+    }
+
+    /// Minimum set accesses between two rule-4 swaps. A full-page swap
+    /// moves 4 pages' worth of data; issuing one per qualifying access
+    /// would saturate both memories on streaming phases, so swaps are
+    /// epoch-batched the way real swap-based POM controllers operate.
+    const SWAP_COOLDOWN: u64 = 64;
+
+    /// Rule 4: every slot OS-occupied — swap a hot off-chip page with the
+    /// coldest mHBM page.
+    fn try_swap(&mut self, o: u16, block: u32, hotness: u32, ctx: &mut SetCtx<'_>) {
+        if hotness <= self.hot.threshold() {
+            ctx.stats.threshold_rejections += 1;
+            return;
+        }
+        if self.accesses.saturating_sub(self.last_swap_at) < Self::SWAP_COOLDOWN {
+            return;
+        }
+        let move_cost = 4 * ctx.geometry.page_bytes() as i64;
+        if *ctx.movement_credit < move_cost {
+            return;
+        }
+        *ctx.movement_credit -= move_cost;
+        let Some(victim) = self.hot.pop_lru_hbm() else { return };
+        let Some(vp) = self.prt.location(victim.ple) else {
+            return;
+        };
+        if !self.prt.is_hbm_slot(vp) {
+            // Stale entry; put it back in the DRAM queue and bail.
+            self.hot.push_dram_front(victim);
+            return;
+        }
+        let frame = vp - self.m();
+        let home = self.prt.location(o).expect("allocated");
+        let page_bytes = ctx.geometry.page_bytes() as u32;
+        // Full 2-page swap: read both, write both crosswise.
+        ctx.push(false, DeviceOp {
+            mem: Mem::OffChip,
+            addr: ctx.dram_addr(home, 0),
+            bytes: page_bytes,
+            kind: OpKind::Read,
+            cause: Cause::Migration,
+        });
+        ctx.push(false, DeviceOp {
+            mem: Mem::Hbm,
+            addr: ctx.hbm_addr(u32::from(frame), 0),
+            bytes: page_bytes,
+            kind: OpKind::Read,
+            cause: Cause::Migration,
+        });
+        ctx.push(false, DeviceOp {
+            mem: Mem::Hbm,
+            addr: ctx.hbm_addr(u32::from(frame), 0),
+            bytes: page_bytes,
+            kind: OpKind::Write,
+            cause: Cause::Migration,
+        });
+        ctx.push(false, DeviceOp {
+            mem: Mem::OffChip,
+            addr: ctx.dram_addr(home, 0),
+            bytes: page_bytes,
+            kind: OpKind::Write,
+            cause: Cause::Migration,
+        });
+        self.prt.swap(o, victim.ple);
+        self.bles[usize::from(frame)].begin_mhbm(o, Some(block));
+        self.hot.push_dram_front(victim);
+        self.hot.promote(o);
+        self.last_swap_at = self.accesses;
+        ctx.stats.page_migrations += 1;
+    }
+
+    /// Rule 5: flush every cHBM frame of this set to off-chip DRAM and
+    /// refrain from creating new cHBM pages for a window.
+    pub fn pressure_flush(&mut self, ctx: &mut SetCtx<'_>) {
+        for fi in 0..self.bles.len() {
+            if self.bles[fi].mode == FrameMode::Chbm {
+                let o = self.bles[fi].ple;
+                self.evict_chbm_frame(fi as u8, ctx);
+                self.hot.demote(o);
+            }
+        }
+        self.chbm_disabled_until = self.accesses + u64::from(ctx.cfg.chbm_disable_window);
+        ctx.stats.pressure_flushes += 1;
+    }
+
+    /// End-of-run: drain over-fetch state for every HBM-resident chunk.
+    pub fn finish(&mut self, ctx: &mut SetCtx<'_>) {
+        let bpp = ctx.geometry.blocks_per_page();
+        for fi in 0..self.bles.len() {
+            if self.bles[fi].mode != FrameMode::Free {
+                let o = self.bles[fi].ple;
+                for b in 0..bpp {
+                    ctx.of_evicted_block(o, b);
+                }
+            }
+        }
+    }
+
+    // ---- §III-D page allocation -----------------------------------------
+
+    fn allocate(&mut self, o: u16, ctx: &mut SetCtx<'_>) {
+        ctx.stats.allocations += 1;
+        let want_hbm = match ctx.cfg.alloc_policy {
+            AllocPolicy::AllDram => false,
+            AllocPolicy::AllHbm => true,
+            AllocPolicy::Hotness => {
+                // "Recently allocated pages still reside in the hot table
+                // queue for HBM pages" — both recent allocations, and
+                // genuinely hot (above the set's threshold T). A streaming
+                // phase keeps only its single in-flight page hot, so the
+                // two-deep check keeps transients out of HBM; a truly hot
+                // allocation phase keeps several recent pages resident.
+                self.hot.hbm_len() < usize::from(self.n())
+                    && self.last_allocs.iter().all(|la| {
+                        la.is_some_and(|pl| {
+                            self.hot.in_hbm(pl)
+                                && self.hot.hbm_hotness(pl) > self.hot.threshold()
+                        })
+                    })
+            }
+        };
+        let quota = ctx.cfg.chbm_quota(u32::from(self.n()));
+        if want_hbm {
+            if let Some(f) = self.find_free_frame(false, quota) {
+                self.prt.allocate(o, self.m() + f);
+                self.bles[usize::from(f)].begin_mhbm(o, None);
+                if let Some(popped) = self.hot.promote(o) {
+                    self.handle_popped_entry(popped, ctx);
+                }
+                ctx.stats.alloc_in_hbm += 1;
+                self.last_allocs = [Some(o), self.last_allocs[0]];
+                return;
+            }
+        }
+        // Alloc-H allocates in HBM even when that means evicting: the
+        // paper charges this ablation the resulting eviction bandwidth for
+        // high-footprint workloads.
+        if ctx.cfg.alloc_policy == AllocPolicy::AllHbm {
+            if let Some(f) = self.make_room(false, quota, ctx) {
+                self.prt.allocate(o, self.m() + f);
+                self.bles[usize::from(f)].begin_mhbm(o, None);
+                if let Some(popped) = self.hot.promote(o) {
+                    self.handle_popped_entry(popped, ctx);
+                }
+                ctx.stats.alloc_in_hbm += 1;
+                self.last_allocs = [Some(o), self.last_allocs[0]];
+                return;
+            }
+        }
+        let prefer = if o < self.m() { o } else { 0 };
+        if let Some(p) = self.prt.find_free_dram(prefer) {
+            self.prt.allocate(o, p);
+            self.last_allocs = [Some(o), self.last_allocs[0]];
+            return;
+        }
+        // DRAM full: fall back to a free HBM frame even for Alloc-D.
+        if let Some(f) = self.find_free_frame(false, quota) {
+            self.prt.allocate(o, self.m() + f);
+            self.bles[usize::from(f)].begin_mhbm(o, None);
+            if let Some(popped) = self.hot.promote(o) {
+                self.handle_popped_entry(popped, ctx);
+            }
+            ctx.stats.alloc_in_hbm += 1;
+            self.last_allocs = [Some(o), self.last_allocs[0]];
+            return;
+        }
+        // No Free frame and DRAM full: frames may be tied up as cHBM
+        // caches — reclaim one before declaring a fault.
+        if let Some(f) = self.make_room(false, quota, ctx) {
+            // Eviction may also have freed a DRAM slot (cache writeback
+            // does not, but a full mHBM eviction relocates into DRAM);
+            // prefer DRAM if so, otherwise take the freed frame.
+            if let Some(p) = self.prt.find_free_dram(prefer) {
+                self.prt.allocate(o, p);
+            } else {
+                self.prt.allocate(o, self.m() + f);
+                self.bles[usize::from(f)].begin_mhbm(o, None);
+                if let Some(popped) = self.hot.promote(o) {
+                    self.handle_popped_entry(popped, ctx);
+                }
+                ctx.stats.alloc_in_hbm += 1;
+            }
+            self.last_allocs = [Some(o), self.last_allocs[0]];
+            return;
+        }
+        // Nothing free anywhere: page fault — swap out a cold DRAM page.
+        self.page_fault_alloc(o, ctx);
+    }
+
+    fn page_fault_alloc(&mut self, o: u16, ctx: &mut SetCtx<'_>) {
+        self.page_faults += 1;
+        // OS swap penalty (~10 µs at 3.6 GHz) for faulting the page in.
+        ctx.plan.stall_cycles += 36_000;
+        // Pick a cold DRAM-resident victim (not tracked hot, not cached).
+        let victim = (0..self.prt.slots()).find(|&v| {
+            v != o
+                && self
+                    .prt
+                    .location(v)
+                    .is_some_and(|p| !self.prt.is_hbm_slot(p))
+                && self.hot.dram_hotness(v) == 0
+                && self.cached_in[usize::from(v)].is_none()
+        });
+        let victim = victim.or_else(|| {
+            (0..self.prt.slots()).find(|&v| {
+                v != o && self.prt.location(v).is_some_and(|p| !self.prt.is_hbm_slot(p))
+            })
+        });
+        let Some(v) = victim else { return };
+        if let Some(fi) = self.cached_in[usize::from(v)] {
+            self.evict_chbm_frame(fi, ctx);
+        }
+        let p = self.prt.location(v).expect("victim allocated");
+        self.prt.free(v);
+        self.hot.remove(v);
+        self.prt.allocate(o, p);
+        self.last_allocs = [Some(o), self.last_allocs[0]];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_types::Geometry;
+
+    fn geometry() -> Geometry {
+        // 2 KB blocks, 64 KB pages, 8 HBM frames/set, 1 set, 16 DRAM slots.
+        Geometry::builder()
+            .block_bytes(2 << 10)
+            .page_bytes(64 << 10)
+            .hbm_bytes(8 * (64 << 10))
+            .dram_bytes(16 * (64 << 10))
+            .hbm_ways(8)
+            .build()
+            .unwrap()
+    }
+
+    struct Harness {
+        geometry: Geometry,
+        cfg: BumblebeeConfig,
+        plan: AccessPlan,
+        stats: CtrlStats,
+        overfetch: OverfetchTracker,
+        mode_switch_bytes: u64,
+        movement_credit: i64,
+        set: RemapSet,
+    }
+
+    impl Harness {
+        fn new(cfg: BumblebeeConfig) -> Harness {
+            let geometry = geometry();
+            let set = RemapSet::new(16, 8, &cfg);
+            Harness {
+                geometry,
+                cfg,
+                plan: AccessPlan::new(),
+                stats: CtrlStats::new(),
+                overfetch: OverfetchTracker::new(),
+                mode_switch_bytes: 0,
+                movement_credit: i64::MAX / 2,
+                set,
+            }
+        }
+
+        fn access(&mut self, o: u16, block: u32, kind: AccessKind) -> ServedFrom {
+            self.plan.clear();
+            let mut ctx = SetCtx {
+                geometry: &self.geometry,
+                cfg: &self.cfg,
+                set_id: 0,
+                plan: &mut self.plan,
+                stats: &mut self.stats,
+                overfetch: Some(&mut self.overfetch),
+                mode_switch_bytes: &mut self.mode_switch_bytes,
+                movement_credit: &mut self.movement_credit,
+            };
+            self.set.access(o, block, 0, kind, &mut ctx)
+        }
+    }
+
+    #[test]
+    fn first_touch_allocates_and_serves() {
+        let mut h = Harness::new(BumblebeeConfig::default());
+        let served = h.access(0, 0, AccessKind::Read);
+        assert_eq!(h.stats.allocations, 1);
+        assert!(h.set.prt().is_allocated(0));
+        // Fresh set: SL = 0 → cache path; data served from DRAM.
+        assert_eq!(served, ServedFrom::OffChip);
+    }
+
+    #[test]
+    fn cold_page_gets_cached_then_hits() {
+        let mut h = Harness::new(BumblebeeConfig::default());
+        h.access(0, 3, AccessKind::Read); // cache block 3
+        assert_eq!(h.stats.block_fills, 1);
+        let served = h.access(0, 3, AccessKind::Read);
+        assert_eq!(served, ServedFrom::Hbm, "block was cached");
+        assert_eq!(h.stats.hbm_hits, 1);
+    }
+
+    #[test]
+    fn uncached_block_of_cached_page_is_fetched() {
+        let mut h = Harness::new(BumblebeeConfig::default());
+        h.access(0, 0, AccessKind::Read);
+        let served = h.access(0, 1, AccessKind::Read);
+        assert_eq!(served, ServedFrom::OffChip);
+        assert_eq!(h.stats.block_fills, 2);
+        assert!(h.access(0, 1, AccessKind::Read) == ServedFrom::Hbm);
+    }
+
+    #[test]
+    fn mostly_cached_page_switches_to_mhbm() {
+        let mut h = Harness::new(BumblebeeConfig::default());
+        // 32 blocks/page; touch >16 distinct blocks.
+        for b in 0..18 {
+            h.access(0, b, AccessKind::Read);
+        }
+        assert!(h.stats.switch_to_mhbm >= 1, "page should have switched");
+        // Page now lives in HBM: PRT points at an HBM slot.
+        let p = h.set.prt().location(0).unwrap();
+        assert!(h.set.prt().is_hbm_slot(p));
+        assert_eq!(h.access(0, 31, AccessKind::Read), ServedFrom::Hbm);
+        assert!(h.mode_switch_bytes > 0, "missing blocks moved");
+    }
+
+    #[test]
+    fn strong_spatial_sets_prefer_migration() {
+        // Alloc-D keeps the hotness allocator from pre-placing page 5 in
+        // HBM, so the migration decision itself is what we observe.
+        let mut h = Harness::new(BumblebeeConfig::alloc_d());
+        // Build spatial-strong evidence: switch two pages to mHBM by
+        // caching most blocks.
+        for o in 0..2u16 {
+            for b in 0..18 {
+                h.access(o, b, AccessKind::Read);
+            }
+        }
+        assert!(h.set.spatial_locality(32, 0.5) > 0);
+        let migrations_before = h.stats.page_migrations;
+        h.access(5, 0, AccessKind::Read); // new page: SL>0 → migrate
+        assert_eq!(h.stats.page_migrations, migrations_before + 1);
+        assert_eq!(h.access(5, 9, AccessKind::Read), ServedFrom::Hbm);
+    }
+
+    #[test]
+    fn m_only_always_migrates() {
+        let mut h = Harness::new(BumblebeeConfig::m_only());
+        h.access(0, 0, AccessKind::Read);
+        assert_eq!(h.stats.page_migrations, 1);
+        assert_eq!(h.stats.block_fills, 0);
+        assert_eq!(h.access(0, 5, AccessKind::Read), ServedFrom::Hbm);
+    }
+
+    #[test]
+    fn c_only_never_migrates() {
+        let mut h = Harness::new(BumblebeeConfig::c_only());
+        for o in 0..8u16 {
+            for b in 0..20 {
+                h.access(o, b, AccessKind::Read);
+            }
+        }
+        assert_eq!(h.stats.page_migrations, 0);
+        assert_eq!(h.stats.switch_to_mhbm, 0);
+        assert!(h.stats.block_fills > 0);
+    }
+
+    #[test]
+    fn eviction_frees_room_when_hbm_full() {
+        // Alloc-D so pages start off-chip and enter HBM only by migration.
+        let mut h = Harness::new(BumblebeeConfig {
+            alloc_policy: AllocPolicy::AllDram,
+            ..BumblebeeConfig::m_only()
+        });
+        // 8 frames fill with pages 0..8.
+        for o in 0..8u16 {
+            h.access(o, 0, AccessKind::Read);
+        }
+        assert_eq!(h.stats.page_migrations, 8);
+        // Once full (Rh = 1), a single-touch page is rejected by T.
+        h.access(8, 0, AccessKind::Read);
+        assert_eq!(h.stats.page_migrations, 8);
+        assert!(h.stats.threshold_rejections >= 1);
+        // A re-referenced page (touched, interleaved with another page,
+        // touched again; every resident counter is 1) passes the threshold
+        // and displaces the LRU page.
+        h.access(9, 0, AccessKind::Read);
+        h.access(10, 0, AccessKind::Read);
+        h.access(9, 1, AccessKind::Read);
+        assert_eq!(h.stats.page_migrations, 9);
+        assert!(
+            h.stats.evictions + h.stats.switch_to_chbm >= 1,
+            "evictions {} switches {}",
+            h.stats.evictions,
+            h.stats.switch_to_chbm
+        );
+    }
+
+    #[test]
+    fn buffered_eviction_marks_all_dirty() {
+        let mut h = Harness::new(BumblebeeConfig::m_only());
+        for o in 0..9u16 {
+            h.access(o, 0, AccessKind::Read);
+        }
+        // Page 0 was LRU; with HMF on it became cHBM with everything dirty.
+        if h.stats.switch_to_chbm > 0 {
+            let f = h
+                .set
+                .bles()
+                .iter()
+                .find(|b| b.mode == FrameMode::Chbm)
+                .expect("buffered page");
+            assert_eq!(f.dirty.count(), 32);
+            assert_eq!(f.valid.count(), 32);
+        }
+    }
+
+    #[test]
+    fn no_hmf_evicts_directly() {
+        // M-Only + No-HMF: migrations displace pages with full writebacks,
+        // never the buffered mHBM→cHBM switch.
+        let mut h = Harness::new(BumblebeeConfig {
+            hmf_enabled: false,
+            alloc_policy: AllocPolicy::AllDram,
+            ..BumblebeeConfig::m_only()
+        });
+        for o in 0..8u16 {
+            h.access(o, 0, AccessKind::Read);
+        }
+        // Re-referenced pages that beat the threshold displace residents.
+        for round in 0..2u32 {
+            for o in 8..10u16 {
+                h.access(o, round, AccessKind::Read);
+            }
+        }
+        assert_eq!(h.stats.switch_to_chbm, 0, "buffering disabled");
+        assert!(h.stats.evictions >= 2, "evictions {}", h.stats.evictions);
+    }
+
+    #[test]
+    fn write_to_cached_block_sets_dirty() {
+        let mut h = Harness::new(BumblebeeConfig::default());
+        h.access(0, 0, AccessKind::Read);
+        h.access(0, 0, AccessKind::Write);
+        let f = h.set.bles().iter().find(|b| b.mode == FrameMode::Chbm).unwrap();
+        assert!(f.dirty.get(0));
+        assert!(f.valid.contains_all(&f.dirty));
+    }
+
+    #[test]
+    fn alloc_h_places_new_pages_in_hbm() {
+        let mut h = Harness::new(BumblebeeConfig::alloc_h());
+        for o in 0..4u16 {
+            h.access(o, 0, AccessKind::Read);
+        }
+        assert_eq!(h.stats.alloc_in_hbm, 4);
+        assert_eq!(h.stats.offchip_serves, 0);
+    }
+
+    #[test]
+    fn alloc_d_places_new_pages_in_dram() {
+        let mut h = Harness::new(BumblebeeConfig::alloc_d());
+        h.access(0, 0, AccessKind::Read);
+        let p = h.set.prt().location(0).unwrap();
+        assert!(!h.set.prt().is_hbm_slot(p));
+    }
+
+    #[test]
+    fn no_page_fault_within_capacity() {
+        let mut h = Harness::new(BumblebeeConfig::alloc_d());
+        // 16 DRAM slots + 8 HBM frames = capacity for all 24 identities.
+        for o in 0..24u16 {
+            h.access(o, 0, AccessKind::Read);
+        }
+        for o in 0..24u16 {
+            h.access(o, 1, AccessKind::Read);
+        }
+        assert_eq!(h.set.page_faults(), 0, "no fault while capacity suffices");
+        // Every identity stays allocated.
+        for o in 0..24u16 {
+            assert!(h.set.prt().is_allocated(o), "page {o}");
+        }
+    }
+
+    #[test]
+    fn pressure_flush_disables_chbm() {
+        let mut h = Harness::new(BumblebeeConfig::default());
+        h.access(0, 0, AccessKind::Read); // one cached block
+        assert!(h.set.chbm_frames() > 0);
+        h.plan.clear();
+        let mut ctx = SetCtx {
+            geometry: &h.geometry,
+            cfg: &h.cfg,
+            set_id: 0,
+            plan: &mut h.plan,
+            stats: &mut h.stats,
+            overfetch: Some(&mut h.overfetch),
+            mode_switch_bytes: &mut h.mode_switch_bytes,
+            movement_credit: &mut h.movement_credit,
+        };
+        h.set.pressure_flush(&mut ctx);
+        assert_eq!(h.set.chbm_frames(), 0);
+        assert_eq!(h.stats.pressure_flushes, 1);
+        // New accesses do not create cHBM pages during the window.
+        h.access(3, 0, AccessKind::Read);
+        assert_eq!(h.set.chbm_frames(), 0);
+    }
+
+    #[test]
+    fn sl_counts_na_nn_nc() {
+        let mut h = Harness::new(BumblebeeConfig::default());
+        assert_eq!(h.set.spatial_locality(32, 0.5), 0);
+        h.access(0, 0, AccessKind::Read); // one cHBM frame → Nc = 1
+        assert_eq!(h.set.spatial_locality(32, 0.5), -1);
+    }
+
+    #[test]
+    fn rh_tracks_frame_usage() {
+        let mut h = Harness::new(BumblebeeConfig::m_only());
+        assert_eq!(h.set.rh(), 0.0);
+        h.access(0, 0, AccessKind::Read);
+        assert!((h.set.rh() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_reads_are_critical_writes_are_posted() {
+        let mut h = Harness::new(BumblebeeConfig::m_only());
+        h.access(0, 0, AccessKind::Read);
+        h.plan.clear();
+        let mut ctx = SetCtx {
+            geometry: &h.geometry,
+            cfg: &h.cfg,
+            set_id: 0,
+            plan: &mut h.plan,
+            stats: &mut h.stats,
+            overfetch: None,
+            mode_switch_bytes: &mut h.mode_switch_bytes,
+            movement_credit: &mut h.movement_credit,
+        };
+        h.set.access(0, 1, 0, AccessKind::Write, &mut ctx);
+        assert!(h.plan.critical.is_empty(), "writes are posted");
+        assert!(!h.plan.background.is_empty());
+    }
+
+    #[test]
+    fn overfetch_tracks_migrated_pages() {
+        let mut h = Harness::new(BumblebeeConfig::m_only());
+        h.access(0, 0, AccessKind::Read); // migrate whole page, use 1 block
+        h.plan.clear();
+        let mut ctx = SetCtx {
+            geometry: &h.geometry,
+            cfg: &h.cfg,
+            set_id: 0,
+            plan: &mut h.plan,
+            stats: &mut h.stats,
+            overfetch: Some(&mut h.overfetch),
+            mode_switch_bytes: &mut h.mode_switch_bytes,
+            movement_credit: &mut h.movement_credit,
+        };
+        h.set.finish(&mut ctx);
+        h.overfetch.evict_all();
+        // 1023 of 1024 64 B lines of the migrated 64 KB page were unused.
+        assert!((h.overfetch.overfetch_ratio() - 1023.0 / 1024.0).abs() < 1e-9);
+    }
+}

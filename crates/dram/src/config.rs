@@ -1,0 +1,129 @@
+//! Device configuration: organization and timing.
+
+use crate::power::PowerParams;
+
+/// Core DRAM timing parameters, in device clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Column access strobe latency (read latency after the column command).
+    pub t_cas: u32,
+    /// Row-to-column delay (activate → column command).
+    pub t_rcd: u32,
+    /// Row precharge time (close a row).
+    pub t_rp: u32,
+    /// Row active time lower bound (activate → precharge). When building
+    /// presets this is derived as `t_rcd + t_cas + 8` if not specified, a
+    /// common ratio for both DDR4 and HBM2 parts.
+    pub t_ras: u32,
+}
+
+impl Timing {
+    /// Row cycle time `tRC = tRAS + tRP`.
+    pub fn t_rc(&self) -> u32 {
+        self.t_ras + self.t_rp
+    }
+}
+
+/// Full configuration of one memory device (an HBM stack or a DDR channel
+/// group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Human-readable name (e.g. `"HBM2"`).
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Independent channels.
+    pub channels: u32,
+    /// Banks per channel.
+    pub banks_per_channel: u32,
+    /// Row-buffer size per bank in bytes.
+    pub row_bytes: u64,
+    /// Channel interleave granularity in bytes (Table I: 512 B for HBM2).
+    pub interleave_bytes: u64,
+    /// Data-bus bytes transferred per device clock (both edges counted).
+    pub bus_bytes_per_cycle: u32,
+    /// Device clock in MHz.
+    pub device_mhz: u64,
+    /// CPU clock in MHz (times reported to callers are CPU cycles).
+    pub cpu_mhz: u64,
+    /// Timing parameters in device clocks.
+    pub timing: Timing,
+    /// IDD/VDD power parameters.
+    pub power: PowerParams,
+}
+
+impl DeviceConfig {
+    /// Converts device clocks to CPU cycles (rounding up).
+    #[inline]
+    pub fn to_cpu_cycles(&self, device_cycles: u64) -> u64 {
+        (device_cycles * self.cpu_mhz).div_ceil(self.device_mhz)
+    }
+
+    /// Duration of `device_cycles` in nanoseconds.
+    #[inline]
+    pub fn device_cycles_ns(&self, device_cycles: u64) -> f64 {
+        device_cycles as f64 * 1000.0 / self.device_mhz as f64
+    }
+
+    /// CPU cycles for the data burst of `bytes` on one channel.
+    #[inline]
+    pub fn burst_cpu_cycles(&self, bytes: u32) -> u64 {
+        let dev = u64::from(bytes).div_ceil(u64::from(self.bus_bytes_per_cycle));
+        self.to_cpu_cycles(dev)
+    }
+
+    /// Peak bandwidth in bytes per CPU cycle, across all channels.
+    pub fn peak_bytes_per_cpu_cycle(&self) -> f64 {
+        let per_channel =
+            f64::from(self.bus_bytes_per_cycle) * self.device_mhz as f64 / self.cpu_mhz as f64;
+        per_channel * f64::from(self.channels)
+    }
+
+    /// Peak bandwidth in GB/s.
+    pub fn peak_gbps(&self) -> f64 {
+        f64::from(self.bus_bytes_per_cycle)
+            * self.device_mhz as f64
+            * f64::from(self.channels)
+            / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn clock_conversion_rounds_up() {
+        let cfg = presets::hbm2(1 << 30);
+        // 1000 MHz device, 3600 MHz CPU → 1 device cycle = 3.6 CPU cycles.
+        assert_eq!(cfg.to_cpu_cycles(1), 4);
+        assert_eq!(cfg.to_cpu_cycles(10), 36);
+    }
+
+    #[test]
+    fn hbm2_peak_bandwidth_matches_spec() {
+        let cfg = presets::hbm2(1 << 30);
+        // 8 channels × 128-bit DDR @ 1000 MHz = 256 GB/s.
+        assert!((cfg.peak_gbps() - 256.0).abs() < 1.0, "{}", cfg.peak_gbps());
+    }
+
+    #[test]
+    fn ddr4_peak_bandwidth_matches_spec() {
+        let cfg = presets::ddr4_3200(10 << 30);
+        // 2 channels × 64-bit @ 3200 MT/s = 51.2 GB/s.
+        assert!((cfg.peak_gbps() - 51.2).abs() < 0.5, "{}", cfg.peak_gbps());
+    }
+
+    #[test]
+    fn trc_is_tras_plus_trp() {
+        let t = Timing { t_cas: 7, t_rcd: 7, t_rp: 7, t_ras: 22 };
+        assert_eq!(t.t_rc(), 29);
+    }
+
+    #[test]
+    fn burst_cycles_scale_with_bytes() {
+        let cfg = presets::hbm2(1 << 30);
+        assert!(cfg.burst_cpu_cycles(2048) > cfg.burst_cpu_cycles(64));
+    }
+}

@@ -1,0 +1,134 @@
+//! IDD-based dynamic and background energy.
+//!
+//! Standard Micron power-calculation formulation:
+//!
+//! * energy per activate/precharge pair:
+//!   `(IDD0 · tRC − IDD3N · tRAS − IDD2N · tRP) · VDD`
+//! * read burst power above background: `(IDD4R − IDD3N) · VDD`,
+//!   charged for the burst duration;
+//! * write burst power: `(IDD4W − IDD3N) · VDD`;
+//! * background power: `IDD3N · VDD` while any row is open (we
+//!   conservatively charge IDD3N for the whole run, as open-page policies
+//!   keep rows open), plus the refresh average
+//!   `(IDD5 − IDD3N) · VDD · (tRFC / tREFI)` with the JEDEC-typical
+//!   `tRFC/tREFI ≈ 0.05`.
+//!
+//! Currents are in mA, VDD in V, times in ns, so all energies come out in pJ.
+//!
+//! On top of the IDD core energy, each transferred byte pays an
+//! **IO/termination** energy: off-chip DDR4 drives terminated PCB traces
+//! (~10–15 pJ/B with ODT), while die-stacked HBM drives short unterminated
+//! TSVs (~1–2 pJ/B) — the physical reason HBM wins on energy per bit.
+
+/// IDD currents (mA) and supply voltage for one device, as in Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Activate-precharge current (one bank cycling).
+    pub idd0: f64,
+    /// Precharge power-down / standby currents.
+    pub idd2p: f64,
+    /// Precharge standby current.
+    pub idd2n: f64,
+    /// Active power-down current.
+    pub idd3p: f64,
+    /// Active standby current.
+    pub idd3n: f64,
+    /// Burst write current.
+    pub idd4w: f64,
+    /// Burst read current.
+    pub idd4r: f64,
+    /// Refresh current.
+    pub idd5: f64,
+    /// Self-refresh current.
+    pub idd6: f64,
+    /// IO + termination energy per transferred byte (pJ/B).
+    pub io_pj_per_byte: f64,
+}
+
+impl PowerParams {
+    /// Energy in pJ for one activate/precharge pair given timings in ns.
+    pub fn activate_energy_pj(&self, t_rc_ns: f64, t_ras_ns: f64, t_rp_ns: f64) -> f64 {
+        ((self.idd0 * t_rc_ns) - (self.idd3n * t_ras_ns) - (self.idd2n * t_rp_ns)).max(0.0)
+            * self.vdd
+    }
+
+    /// Energy in pJ for a read burst lasting `burst_ns` moving `bytes`.
+    pub fn read_energy_pj(&self, burst_ns: f64, bytes: f64) -> f64 {
+        (self.idd4r - self.idd3n).max(0.0) * self.vdd * burst_ns + self.io_pj_per_byte * bytes
+    }
+
+    /// Energy in pJ for a write burst lasting `burst_ns` moving `bytes`.
+    pub fn write_energy_pj(&self, burst_ns: f64, bytes: f64) -> f64 {
+        (self.idd4w - self.idd3n).max(0.0) * self.vdd * burst_ns + self.io_pj_per_byte * bytes
+    }
+
+    /// Background + refresh energy in pJ over `elapsed_ns`, for `ranks`
+    /// independent rank/channel groups.
+    pub fn background_energy_pj(&self, elapsed_ns: f64, ranks: u32) -> f64 {
+        let standby = self.idd3n * self.vdd;
+        let refresh = (self.idd5 - self.idd3n).max(0.0) * self.vdd * 0.05;
+        (standby + refresh) * elapsed_ns * f64::from(ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hbm_power() -> PowerParams {
+        PowerParams {
+            vdd: 1.2,
+            idd0: 65.0,
+            idd2p: 28.0,
+            idd2n: 40.0,
+            idd3p: 40.0,
+            idd3n: 55.0,
+            idd4w: 500.0,
+            idd4r: 390.0,
+            idd5: 250.0,
+            idd6: 31.0,
+            io_pj_per_byte: 1.5,
+        }
+    }
+
+    #[test]
+    fn activate_energy_is_positive_and_scales_with_trc() {
+        let p = hbm_power();
+        let e1 = p.activate_energy_pj(29.0, 22.0, 7.0);
+        let e2 = p.activate_energy_pj(58.0, 44.0, 14.0);
+        assert!(e1 > 0.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_burst_costs_more_than_read_for_hbm() {
+        let p = hbm_power();
+        assert!(p.write_energy_pj(10.0, 64.0) > p.read_energy_pj(10.0, 64.0));
+    }
+
+    #[test]
+    fn io_energy_scales_with_bytes() {
+        let p = hbm_power();
+        let small = p.read_energy_pj(10.0, 64.0);
+        let big = p.read_energy_pj(10.0, 128.0);
+        assert!((big - small - 1.5 * 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_energy_scales_with_time_and_ranks() {
+        let p = hbm_power();
+        let e = p.background_energy_pj(1000.0, 8);
+        assert!((p.background_energy_pj(2000.0, 8) - 2.0 * e).abs() < 1e-9);
+        assert!((p.background_energy_pj(1000.0, 16) - 2.0 * e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_currents_clamp_core_to_zero() {
+        let mut p = hbm_power();
+        p.idd4r = 1.0; // below IDD3N
+        // Core term clamps; only the IO term remains.
+        assert!((p.read_energy_pj(5.0, 64.0) - 1.5 * 64.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Device presets matching the paper's Table I.
+
+use crate::config::{DeviceConfig, Timing};
+use crate::power::PowerParams;
+
+/// CPU clock used throughout the paper's evaluation (ARM A72 @ 3600 MHz).
+pub const CPU_MHZ: u64 = 3600;
+
+/// HBM2 per Table I: 8 × 128-bit channels, 512 B interleave, 8 banks,
+/// 7-7-7 timing, VDD 1.2 V, and the listed IDD currents.
+///
+/// The device clock is 1000 MHz (2000 MT/s double-data-rate), giving the
+/// canonical 256 GB/s stack bandwidth.
+pub fn hbm2(capacity_bytes: u64) -> DeviceConfig {
+    DeviceConfig {
+        name: "HBM2",
+        capacity_bytes,
+        channels: 8,
+        banks_per_channel: 8,
+        row_bytes: 2 << 10,
+        interleave_bytes: 512,
+        // 128-bit bus, both edges: 32 B per device clock.
+        bus_bytes_per_cycle: 32,
+        device_mhz: 1000,
+        cpu_mhz: CPU_MHZ,
+        timing: Timing { t_cas: 7, t_rcd: 7, t_rp: 7, t_ras: 22 },
+        power: PowerParams {
+            vdd: 1.2,
+            idd0: 65.0,
+            idd2p: 28.0,
+            idd2n: 40.0,
+            idd3p: 40.0,
+            idd3n: 55.0,
+            idd4w: 500.0,
+            idd4r: 390.0,
+            idd5: 250.0,
+            idd6: 31.0,
+            // Short unterminated TSV links.
+            io_pj_per_byte: 1.5,
+        },
+    }
+}
+
+/// Off-chip DDR4-3200 per Table I: 2 × 64-bit channels, 8 banks,
+/// 22-22-22 timing, VDD 1.2 V, and the listed IDD currents.
+///
+/// Device clock 1600 MHz (3200 MT/s), 4 KB channel interleave.
+pub fn ddr4_3200(capacity_bytes: u64) -> DeviceConfig {
+    DeviceConfig {
+        name: "DDR4-3200",
+        capacity_bytes,
+        channels: 2,
+        banks_per_channel: 8,
+        row_bytes: 8 << 10,
+        interleave_bytes: 4 << 10,
+        // 64-bit bus, both edges: 16 B per device clock.
+        bus_bytes_per_cycle: 16,
+        device_mhz: 1600,
+        cpu_mhz: CPU_MHZ,
+        timing: Timing { t_cas: 22, t_rcd: 22, t_rp: 22, t_ras: 52 },
+        power: PowerParams {
+            vdd: 1.2,
+            idd0: 52.0,
+            idd2p: 25.0,
+            idd2n: 37.0,
+            idd3p: 38.0,
+            idd3n: 47.0,
+            idd4w: 130.0,
+            idd4r: 143.0,
+            idd5: 250.0,
+            idd6: 30.0,
+            // Terminated PCB traces with ODT.
+            io_pj_per_byte: 12.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm_latency_lower_than_ddr4() {
+        let h = hbm2(1 << 30);
+        let d = ddr4_3200(10 << 30);
+        let h_lat = h.to_cpu_cycles(u64::from(h.timing.t_rcd + h.timing.t_cas));
+        let d_lat = d.to_cpu_cycles(u64::from(d.timing.t_rcd + d.timing.t_cas));
+        assert!(h_lat < d_lat);
+    }
+
+    #[test]
+    fn hbm_bandwidth_about_5x_ddr4() {
+        let ratio = hbm2(1 << 30).peak_gbps() / ddr4_3200(10 << 30).peak_gbps();
+        assert!(ratio > 4.0 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn table1_currents_present() {
+        let h = hbm2(1 << 30);
+        assert_eq!(h.power.idd4r, 390.0);
+        assert_eq!(h.power.idd4w, 500.0);
+        let d = ddr4_3200(1 << 30);
+        assert_eq!(d.power.idd4r, 143.0);
+        assert_eq!(d.timing.t_cas, 22);
+    }
+}

@@ -1,0 +1,94 @@
+//! Fig. 6: normalized IPC for the block-page design space
+//! (1/2/4 KB blocks × 64/96/128 KB pages).
+
+use crate::designs::Design;
+use crate::report::render_table;
+use crate::run::{geomean, run_design, run_reference, RunConfig};
+use memsim_trace::SpecProfile;
+use memsim_types::GeometryError;
+
+/// The paper's nine configurations, `(block_kb, page_kb)` in figure order.
+pub const CONFIGS: [(u64, u64); 9] = [
+    (1, 64),
+    (1, 96),
+    (1, 128),
+    (2, 64),
+    (2, 96),
+    (2, 128),
+    (4, 64),
+    (4, 96),
+    (4, 128),
+];
+
+/// One design-space point: configuration and geomean normalized IPC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Point {
+    /// Block size in KB.
+    pub block_kb: u64,
+    /// Page size in KB.
+    pub page_kb: u64,
+    /// Geomean IPC over all Table II workloads, normalized to no-HBM.
+    pub speedup: f64,
+}
+
+/// Runs the full design-space exploration over `profiles`.
+///
+/// # Errors
+///
+/// Propagates geometry errors from invalid block/page combinations.
+pub fn run(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<Vec<Fig6Point>, GeometryError> {
+    let mut points = Vec::with_capacity(CONFIGS.len());
+    for (block_kb, page_kb) in CONFIGS {
+        let point_cfg = cfg.clone().with_block_page(block_kb << 10, page_kb << 10)?;
+        let mut speedups = Vec::with_capacity(profiles.len());
+        for p in profiles {
+            let base = run_reference(&point_cfg, p)?;
+            let bee = run_design(Design::Bumblebee, &point_cfg, p)?;
+            speedups.push(bee.normalized_ipc(&base));
+        }
+        points.push(Fig6Point { block_kb, page_kb, speedup: geomean(&speedups) });
+    }
+    Ok(points)
+}
+
+/// Renders the figure as a text table (same order as the paper's bars).
+pub fn render(points: &[Fig6Point]) -> String {
+    let mut rows = vec![vec!["block-page (KB)".to_string(), "normalized IPC".to_string()]];
+    for p in points {
+        rows.push(vec![format!("{}-{}", p.block_kb, p.page_kb), format!("{:.2}", p.speedup)]);
+    }
+    render_table(&rows)
+}
+
+/// The best configuration (the paper finds 2 KB blocks / 64 KB pages).
+pub fn best(points: &[Fig6Point]) -> Option<&Fig6Point> {
+    points.iter().max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_match_paper_axis() {
+        assert_eq!(CONFIGS.len(), 9);
+        assert!(CONFIGS.contains(&(2, 64)));
+        assert!(CONFIGS.contains(&(4, 128)));
+    }
+
+    #[test]
+    fn small_sweep_runs_and_orders() {
+        // Two workloads, tiny scale: just shape-checks the plumbing.
+        let cfg = RunConfig::tiny();
+        let profiles = [SpecProfile::mcf(), SpecProfile::named("leela")];
+        let points = run(&cfg, &profiles).unwrap();
+        assert_eq!(points.len(), 9);
+        for p in &points {
+            assert!(p.speedup > 0.0, "{}-{}", p.block_kb, p.page_kb);
+        }
+        let b = best(&points).unwrap();
+        assert!(b.speedup >= points[0].speedup);
+        let text = render(&points);
+        assert!(text.contains("2-64"));
+    }
+}

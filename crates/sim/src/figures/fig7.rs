@@ -1,0 +1,73 @@
+//! Fig. 7: performance-factor breakdown — geomean speedup of every
+//! Bumblebee ablation over the no-HBM baseline.
+
+use crate::designs::Design;
+use crate::report::render_table;
+use crate::run::{geomean, run_design, run_reference, RunConfig};
+use memsim_baselines::ablations::FIG7_LABELS;
+use memsim_trace::SpecProfile;
+use memsim_types::GeometryError;
+
+/// One Fig. 7 bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Bar {
+    /// Figure label (e.g. `"No-Multi"`).
+    pub label: &'static str,
+    /// Geomean normalized IPC over the workloads.
+    pub speedup: f64,
+}
+
+/// Runs every ablation over `profiles`.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`run_design`].
+pub fn run(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<Vec<Fig7Bar>, GeometryError> {
+    // One baseline run per workload, reused across ablations.
+    let mut baselines = Vec::with_capacity(profiles.len());
+    for p in profiles {
+        baselines.push(run_reference(cfg, p)?);
+    }
+    let mut bars = Vec::with_capacity(FIG7_LABELS.len());
+    for label in FIG7_LABELS {
+        let mut speedups = Vec::with_capacity(profiles.len());
+        for (p, base) in profiles.iter().zip(&baselines) {
+            let r = run_design(Design::Ablation(label), cfg, p)?;
+            speedups.push(r.normalized_ipc(base));
+        }
+        bars.push(Fig7Bar { label, speedup: geomean(&speedups) });
+    }
+    Ok(bars)
+}
+
+/// Renders the bars in figure order.
+pub fn render(bars: &[Fig7Bar]) -> String {
+    let mut rows = vec![vec!["variant".to_string(), "geomean speedup".to_string()]];
+    for b in bars {
+        rows.push(vec![b.label.to_string(), format!("{:.2}", b.speedup)]);
+    }
+    render_table(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_covers_every_label_and_bumblebee_wins() {
+        // One workload per locality archetype so no single mode dominates.
+        let cfg = RunConfig::tiny();
+        let profiles = [SpecProfile::mcf(), SpecProfile::wrf(), SpecProfile::named("bwaves")];
+        let bars = run(&cfg, &profiles).unwrap();
+        assert_eq!(bars.len(), FIG7_LABELS.len());
+        let get = |l: &str| bars.iter().find(|b| b.label == l).unwrap().speedup;
+        // The full design must beat both single modes (the paper's claim;
+        // 2% tolerance for the tiny test scale).
+        assert!(get("Bumblebee") >= get("C-Only") * 0.98, "vs C-Only");
+        assert!(get("Bumblebee") >= get("M-Only") * 0.98, "vs M-Only");
+        // Meta-H pays for its in-HBM metadata.
+        assert!(get("Meta-H") < get("Bumblebee"), "Meta-H must lose");
+        let text = render(&bars);
+        assert!(text.contains("No-HMF") && text.contains("Bumblebee"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Generators for every table and figure of the paper's evaluation.
+//!
+//! Each submodule produces the data of one figure and renders the same
+//! rows/series the paper reports:
+//!
+//! * [`fig1`] — motivation: per-64 B access counts before eviction vs
+//!   cache-line size for the mcf/wrf/xz archetypes.
+//! * [`fig6`] — design-space exploration: normalized IPC per block/page
+//!   configuration.
+//! * [`fig7`] — performance-factor breakdown (ablations).
+//! * [`fig8`] — the head-to-head comparison: normalized IPC, HBM traffic,
+//!   off-chip traffic and dynamic energy per MPKI group.
+//! * [`tables`] — Table I, Table II, the §IV-B metadata budget and the
+//!   over-fetching analysis.
+//! * [`sensitivity`] — sweeps over the design choices the paper fixes
+//!   (hot-table depth, mode-switch fraction, set associativity, zombie
+//!   window).
+
+pub mod fig1;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod sensitivity;
+pub mod tables;

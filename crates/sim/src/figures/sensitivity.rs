@@ -1,0 +1,231 @@
+//! Sensitivity sweeps over Bumblebee's design choices.
+//!
+//! The paper fixes several parameters with one-line justifications (§IV-A:
+//! hot-table depth 8 "for a balance between performance and metadata size",
+//! 8-way sets "for a balance between hardware overhead and performance",
+//! T = smallest resident hotness, majority mode-switch threshold). These
+//! sweeps regenerate the trade-off curves behind those choices.
+
+use crate::designs::{AnyController, Design};
+use crate::report::render_table;
+use crate::run::{geomean, run_reference, RunConfig};
+use crate::system::System;
+use bumblebee_core::BumblebeeConfig;
+use memsim_trace::SpecProfile;
+use memsim_types::{Geometry, GeometryError, HybridMemoryController};
+
+/// One swept parameter point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Parameter label (e.g. `"hot_queue_len"`).
+    pub parameter: &'static str,
+    /// The value at this point, rendered.
+    pub value: String,
+    /// Geomean normalized IPC over the evaluated workloads.
+    pub speedup: f64,
+    /// Metadata footprint at this point in KB.
+    pub metadata_kb: f64,
+}
+
+fn run_point(
+    cfg: &RunConfig,
+    geometry: Geometry,
+    bee: BumblebeeConfig,
+    profiles: &[SpecProfile],
+) -> Result<(f64, f64), GeometryError> {
+    let mut speedups = Vec::with_capacity(profiles.len());
+    let mut metadata_kb = 0.0;
+    for p in profiles {
+        let base = run_reference(cfg, p)?;
+        let controller = AnyController::Bumblebee(bumblebee_core::BumblebeeController::new(
+            geometry,
+            bee.clone(),
+        ));
+        metadata_kb = controller.metadata_bytes() as f64 / 1024.0;
+        let mut system = System::new(controller, &geometry, cfg.params, true);
+        let mut w = memsim_trace::Workload::new(p.spec(cfg.scale), geometry.flat_bytes(), cfg.seed);
+        for _ in 0..cfg.warmup {
+            system.step(w.next_access());
+        }
+        let warm_insts = system.counters().instructions;
+        let warm_cycles = system.now();
+        for _ in 0..cfg.accesses {
+            system.step(w.next_access());
+        }
+        let insts = system.counters().instructions - warm_insts;
+        let cycles = (system.now() - warm_cycles).max(1);
+        speedups.push((insts as f64 / cycles as f64) / base.ipc);
+    }
+    Ok((geomean(&speedups), metadata_kb))
+}
+
+/// Sweeps the hot-table off-chip queue depth (paper default: 8).
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn sweep_hot_queue(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<Vec<SweepPoint>, GeometryError> {
+    [2usize, 4, 8, 16, 32]
+        .into_iter()
+        .map(|depth| {
+            let bee = BumblebeeConfig {
+                hot_queue_len: depth,
+                sram_budget: cfg.sram_budget,
+                ..BumblebeeConfig::paper()
+            };
+            let (speedup, metadata_kb) = run_point(cfg, cfg.geometry, bee, profiles)?;
+            Ok(SweepPoint {
+                parameter: "hot_queue_len",
+                value: depth.to_string(),
+                speedup,
+                metadata_kb,
+            })
+        })
+        .collect()
+}
+
+/// Sweeps the "most blocks" mode-switch fraction (paper: strict majority).
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn sweep_switch_fraction(
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<Vec<SweepPoint>, GeometryError> {
+    [0.25f64, 0.375, 0.5, 0.75, 0.9]
+        .into_iter()
+        .map(|f| {
+            let bee = BumblebeeConfig {
+                mode_switch_fraction: f,
+                sram_budget: cfg.sram_budget,
+                ..BumblebeeConfig::paper()
+            };
+            let (speedup, metadata_kb) = run_point(cfg, cfg.geometry, bee, profiles)?;
+            Ok(SweepPoint {
+                parameter: "mode_switch_fraction",
+                value: format!("{f}"),
+                speedup,
+                metadata_kb,
+            })
+        })
+        .collect()
+}
+
+/// Sweeps the remapping-set HBM associativity (paper: 8-way).
+///
+/// # Errors
+///
+/// Propagates geometry errors for invalid way counts.
+pub fn sweep_ways(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<Vec<SweepPoint>, GeometryError> {
+    [2u32, 4, 8, 16]
+        .into_iter()
+        .map(|ways| {
+            let geometry = Geometry::builder()
+                .block_bytes(cfg.geometry.block_bytes())
+                .page_bytes(cfg.geometry.page_bytes())
+                .hbm_bytes(cfg.geometry.hbm_bytes())
+                .dram_bytes(cfg.geometry.dram_bytes())
+                .hbm_ways(ways)
+                .build()?;
+            let bee = BumblebeeConfig {
+                sram_budget: cfg.sram_budget,
+                ..BumblebeeConfig::paper()
+            };
+            let (speedup, metadata_kb) = run_point(cfg, geometry, bee, profiles)?;
+            Ok(SweepPoint { parameter: "hbm_ways", value: ways.to_string(), speedup, metadata_kb })
+        })
+        .collect()
+}
+
+/// Sweeps the zombie-detection window (paper: "a long time").
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn sweep_zombie_window(
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<Vec<SweepPoint>, GeometryError> {
+    [128u32, 512, 1024, 4096, 16384]
+        .into_iter()
+        .map(|w| {
+            let bee = BumblebeeConfig {
+                zombie_window: w,
+                sram_budget: cfg.sram_budget,
+                ..BumblebeeConfig::paper()
+            };
+            let (speedup, metadata_kb) = run_point(cfg, cfg.geometry, bee, profiles)?;
+            Ok(SweepPoint {
+                parameter: "zombie_window",
+                value: w.to_string(),
+                speedup,
+                metadata_kb,
+            })
+        })
+        .collect()
+}
+
+/// Renders sweep points grouped by parameter.
+pub fn render(points: &[SweepPoint]) -> String {
+    let mut rows = vec![vec![
+        "parameter".to_string(),
+        "value".to_string(),
+        "normalized IPC".to_string(),
+        "metadata KB".to_string(),
+    ]];
+    for p in points {
+        rows.push(vec![
+            p.parameter.to_string(),
+            p.value.clone(),
+            format!("{:.3}", p.speedup),
+            format!("{:.1}", p.metadata_kb),
+        ]);
+    }
+    render_table(&rows)
+}
+
+/// The `Design` hook so the binary can reuse shared plumbing. (Sweeps build
+/// Bumblebee variants directly; this is here for discoverability.)
+pub fn design() -> Design {
+    Design::Bumblebee
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> [SpecProfile; 2] {
+        [SpecProfile::mcf(), SpecProfile::wrf()]
+    }
+
+    #[test]
+    fn hot_queue_sweep_metadata_grows_with_depth() {
+        let cfg = RunConfig::tiny();
+        let pts = sweep_hot_queue(&cfg, &profiles()).unwrap();
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[1].metadata_kb >= w[0].metadata_kb, "deeper queue = more metadata");
+        }
+        for p in &pts {
+            assert!(p.speedup > 0.5, "{}", p.value);
+        }
+    }
+
+    #[test]
+    fn way_sweep_produces_valid_geometries() {
+        let cfg = RunConfig::tiny();
+        let pts = sweep_ways(&cfg, &profiles()).unwrap();
+        assert_eq!(pts.len(), 4);
+        let text = render(&pts);
+        assert!(text.contains("hbm_ways"));
+    }
+
+    #[test]
+    fn switch_fraction_sweep_runs() {
+        let cfg = RunConfig::tiny();
+        let pts = sweep_switch_fraction(&cfg, &profiles()).unwrap();
+        assert_eq!(pts.len(), 5);
+        assert!(pts.iter().all(|p| p.speedup > 0.5));
+    }
+}

@@ -1,0 +1,257 @@
+//! Table I, Table II, the §IV-B metadata budget and the over-fetching
+//! analysis.
+
+use crate::designs::Design;
+use crate::report::render_table;
+use crate::run::{run_design, RunConfig};
+use memsim_cache::Hierarchy;
+use memsim_dram::presets;
+use memsim_trace::SpecProfile;
+use memsim_types::{GeometryError, HybridMemoryController};
+
+/// Renders Table I (system configuration) from the actual presets.
+pub fn table1(cfg: &RunConfig) -> String {
+    let hbm = presets::hbm2(cfg.geometry().hbm_bytes());
+    let dram = presets::ddr4_3200(cfg.geometry().dram_bytes());
+    let rows = vec![
+        vec!["component".to_string(), "configuration".to_string()],
+        vec!["Core".to_string(), format!("ARM A72-class, {} MHz", presets::CPU_MHZ)],
+        vec!["L1".to_string(), "64 KB/core, 4-way, LRU".to_string()],
+        vec!["L2".to_string(), "256 KB/core, 8-way, SRRIP".to_string()],
+        vec!["L3".to_string(), "8 MB shared, 16-way, DRRIP".to_string()],
+        vec![
+            "HBM2".to_string(),
+            format!(
+                "{} MB, {}x128-bit ch, {}B interleave, {} banks, tCAS-tRCD-tRP {}-{}-{}, {:.0} GB/s",
+                hbm.capacity_bytes >> 20,
+                hbm.channels,
+                hbm.interleave_bytes,
+                hbm.banks_per_channel,
+                hbm.timing.t_cas,
+                hbm.timing.t_rcd,
+                hbm.timing.t_rp,
+                hbm.peak_gbps()
+            ),
+        ],
+        vec![
+            "DDR4-3200".to_string(),
+            format!(
+                "{} MB, {}x64-bit ch, {} banks, tCAS-tRCD-tRP {}-{}-{}, {:.1} GB/s",
+                dram.capacity_bytes >> 20,
+                dram.channels,
+                dram.banks_per_channel,
+                dram.timing.t_cas,
+                dram.timing.t_rcd,
+                dram.timing.t_rp,
+                dram.peak_gbps()
+            ),
+        ],
+        vec![
+            "Geometry".to_string(),
+            format!(
+                "{} KB pages, {} KB blocks, {}-way sets, scale 1/{}",
+                cfg.geometry().page_bytes() >> 10,
+                cfg.geometry().block_bytes() >> 10,
+                cfg.geometry().hbm_ways(),
+                cfg.scale
+            ),
+        ],
+    ];
+    render_table(&rows)
+}
+
+/// One Table II row, measured from the synthetic workload through the
+/// Table I cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Paper-reported MPKI.
+    pub paper_mpki: f64,
+    /// Measured MPKI of the generated LLC-miss stream.
+    pub measured_mpki: f64,
+    /// Paper-reported footprint (GB).
+    pub paper_footprint_gb: f64,
+    /// Measured footprint at this run's scale, re-scaled to paper GB.
+    pub measured_footprint_gb: f64,
+}
+
+/// Measures every Table II profile. The generator emits LLC-miss streams
+/// directly, so MPKI comes from the emitted instruction gaps; the
+/// footprint is the distinct 4 KB pages touched, re-scaled to paper units.
+pub fn table2(cfg: &RunConfig) -> Vec<Table2Row> {
+    SpecProfile::table2()
+        .into_iter()
+        .map(|p| {
+            let mut w = cfg.workload(&p);
+            let mut pages = std::collections::HashSet::new();
+            for _ in 0..cfg.accesses {
+                let a = w.next_access();
+                pages.insert(a.addr.0 >> 12);
+            }
+            let measured_mpki =
+                w.accesses_emitted() as f64 * 1000.0 / w.instructions_emitted() as f64;
+            let measured_gb =
+                (pages.len() as u64 * 4096 * cfg.scale) as f64 / (1u64 << 30) as f64;
+            Table2Row {
+                name: p.name,
+                paper_mpki: p.mpki,
+                measured_mpki,
+                paper_footprint_gb: p.footprint_mb as f64 / 1024.0,
+                measured_footprint_gb: measured_gb,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table II with paper-vs-measured columns.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut t = vec![vec![
+        "benchmark".to_string(),
+        "MPKI (paper)".to_string(),
+        "MPKI (measured)".to_string(),
+        "footprint GB (paper)".to_string(),
+        "footprint GB (touched)".to_string(),
+    ]];
+    for r in rows {
+        t.push(vec![
+            r.name.to_string(),
+            format!("{:.1}", r.paper_mpki),
+            format!("{:.1}", r.measured_mpki),
+            format!("{:.1}", r.paper_footprint_gb),
+            format!("{:.1}", r.measured_footprint_gb),
+        ]);
+    }
+    render_table(&t)
+}
+
+/// Sanity-checks Table II MPKI through the real cache hierarchy on one
+/// profile (used by tests and the table2 binary's `--hierarchy` mode):
+/// replays the miss stream as memory accesses and returns the hierarchy's
+/// own MPKI measure.
+pub fn hierarchy_mpki(cfg: &RunConfig, profile: &SpecProfile, accesses: u64) -> f64 {
+    let mut h = Hierarchy::table1();
+    let mut w = cfg.workload(profile);
+    for _ in 0..accesses {
+        let a = w.next_access();
+        h.access(a.addr, a.kind.is_write(), u64::from(a.insts));
+    }
+    h.mpki()
+}
+
+/// Metadata budget per design (§IV-B).
+pub fn metadata_table(cfg: &RunConfig) -> String {
+    let mut rows = vec![vec![
+        "design".to_string(),
+        "metadata (KB)".to_string(),
+        "fits 512KB SRAM (scaled)".to_string(),
+    ]];
+    for d in [
+        Design::Alloy,
+        Design::Unison,
+        Design::Banshee,
+        Design::Chameleon,
+        Design::Hybrid2,
+        Design::Bumblebee,
+    ] {
+        let c = d.build(cfg.geometry, cfg.sram_budget);
+        let kb = c.metadata_bytes() as f64 / 1024.0;
+        rows.push(vec![
+            d.label().to_string(),
+            format!("{kb:.0}"),
+            if c.metadata_bytes() <= cfg.sram_budget { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    // Bumblebee breakdown (paper: 110 KB PRT + 136 KB BLE + 88 KB tracker).
+    if let Design::Bumblebee = Design::Bumblebee {
+        let c = Design::Bumblebee.build(cfg.geometry, cfg.sram_budget);
+        if let Some(b) = c.as_bumblebee() {
+            let br = b.metadata_breakdown();
+            rows.push(vec![
+                "  (PRT/BLE/tracker)".to_string(),
+                format!(
+                    "{:.0}/{:.0}/{:.0}",
+                    br.prt_bytes as f64 / 1024.0,
+                    br.ble_bytes as f64 / 1024.0,
+                    br.tracker_bytes as f64 / 1024.0
+                ),
+                String::new(),
+            ]);
+        }
+    }
+    render_table(&rows)
+}
+
+/// Over-fetching comparison (§IV-B): percent of data brought into HBM but
+/// never used, Bumblebee vs Hybrid2, averaged over `profiles`.
+///
+/// # Errors
+///
+/// Propagates run errors.
+pub fn overfetch(
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<Vec<(String, f64)>, GeometryError> {
+    let mut out = Vec::new();
+    for d in [Design::Hybrid2, Design::Bumblebee] {
+        let mut total = 0.0;
+        let mut n = 0;
+        for p in profiles {
+            let r = run_design(d, cfg, p)?;
+            if let Some(of) = r.overfetch {
+                total += of;
+                n += 1;
+            }
+        }
+        out.push((d.label().to_string(), if n > 0 { total / f64::from(n) } else { 0.0 }));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_devices_and_geometry() {
+        let t = table1(&RunConfig::tiny());
+        assert!(t.contains("HBM2"));
+        assert!(t.contains("DDR4-3200"));
+        assert!(t.contains("64 KB pages"));
+    }
+
+    #[test]
+    fn table2_mpki_tracks_paper() {
+        let cfg = RunConfig::tiny();
+        let rows = table2(&cfg);
+        assert_eq!(rows.len(), 14);
+        for r in rows {
+            let rel = (r.measured_mpki - r.paper_mpki).abs() / r.paper_mpki;
+            assert!(rel < 0.15, "{}: measured {:.2} vs paper {:.2}", r.name, r.measured_mpki, r.paper_mpki);
+        }
+    }
+
+    #[test]
+    fn metadata_table_shows_bumblebee_smallest_hybrid() {
+        let t = metadata_table(&RunConfig::tiny());
+        assert!(t.contains("Bumblebee"));
+        assert!(t.contains("PRT/BLE/tracker"));
+    }
+
+    #[test]
+    fn overfetch_produces_both_designs() {
+        let cfg = RunConfig::tiny();
+        let rows = overfetch(&cfg, &[SpecProfile::wrf()]).unwrap();
+        assert_eq!(rows.len(), 2);
+        for (_, v) in rows {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn hierarchy_mpki_is_positive() {
+        let cfg = RunConfig::tiny();
+        let mpki = hierarchy_mpki(&cfg, &SpecProfile::mcf(), 5_000);
+        assert!(mpki > 0.0);
+    }
+}

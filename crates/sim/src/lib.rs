@@ -1,0 +1,40 @@
+//! The system simulator: cores, caches, hybrid-memory controllers and DRAM
+//! devices tied together, plus one experiment runner per paper figure.
+//!
+//! * [`system::System`] — executes controller [`AccessPlan`]s against the
+//!   HBM2/DDR4 timing models and accounts cycles, traffic and energy.
+//! * [`designs::Design`] — the registry of every evaluated design
+//!   (Bumblebee, the five baselines, the no-HBM reference and the Fig. 7
+//!   ablations).
+//! * [`run`] — [`RunConfig`] (geometry scale, SRAM budget, access volume)
+//!   and [`run_design`], the single-run entry point.
+//! * [`report`] — [`SimReport`] and text-table rendering.
+//! * [`figures`] — generators for Fig. 1, Fig. 6, Fig. 7, Fig. 8(a–d) and
+//!   the §IV-B tables.
+//!
+//! [`AccessPlan`]: memsim_types::AccessPlan
+//!
+//! # Example
+//!
+//! ```
+//! use memsim_sim::{Design, RunConfig, run_design};
+//! use memsim_trace::SpecProfile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = RunConfig::tiny();
+//! let report = run_design(Design::Bumblebee, &cfg, &SpecProfile::mcf())?;
+//! assert!(report.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod designs;
+pub mod figures;
+pub mod report;
+pub mod run;
+pub mod system;
+
+pub use designs::Design;
+pub use report::SimReport;
+pub use run::{geomean, run_design, run_reference, RunConfig};
+pub use system::{SimParams, System};

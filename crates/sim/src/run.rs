@@ -1,0 +1,222 @@
+//! Run configuration and the single-run entry point.
+
+use crate::designs::Design;
+use crate::report::SimReport;
+use crate::system::{SimParams, System};
+use memsim_trace::{SpecProfile, Workload};
+use memsim_types::{Geometry, GeometryError, HybridMemoryController};
+
+/// Scale, geometry, SRAM budget and access volume of one experiment.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Capacity divisor relative to Table I (1 = paper scale).
+    pub scale: u64,
+    /// Memory geometry (Table I scaled, possibly with Fig. 6 block/page
+    /// overrides).
+    pub geometry: Geometry,
+    /// SRAM metadata budget (the paper's 512 KB, scaled with capacity).
+    pub sram_budget: u64,
+    /// LLC-miss accesses simulated per run.
+    pub accesses: u64,
+    /// Accesses before measurement starts (cache warm-up).
+    pub warmup: u64,
+    /// Core timing parameters.
+    pub params: SimParams,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A configuration at capacity divisor `scale` with `accesses`
+    /// measured requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled geometry is invalid (power-of-two scales up to
+    /// 1024 are always fine).
+    pub fn at_scale(scale: u64, accesses: u64) -> RunConfig {
+        RunConfig {
+            scale,
+            geometry: Geometry::paper(scale),
+            sram_budget: (512 << 10) / scale,
+            accesses,
+            warmup: accesses / 5,
+            params: SimParams::default(),
+            seed: 0xB0B1_BEE5,
+        }
+    }
+
+    /// Tiny scale for unit/integration tests (fast, still exercises every
+    /// mechanism).
+    pub fn tiny() -> RunConfig {
+        RunConfig::at_scale(256, 20_000)
+    }
+
+    /// The default experiment scale (1/16 of Table I, as DESIGN.md
+    /// documents).
+    pub fn scaled() -> RunConfig {
+        RunConfig::at_scale(16, 400_000)
+    }
+
+    /// Paper-scale geometry (slow; for `--full` runs).
+    pub fn full() -> RunConfig {
+        RunConfig::at_scale(1, 2_000_000)
+    }
+
+    /// The geometry in use.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Replaces block/page sizes (Fig. 6 design-space points).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`GeometryError`] if the combination is
+    /// invalid.
+    pub fn with_block_page(mut self, block_bytes: u64, page_bytes: u64) -> Result<RunConfig, GeometryError> {
+        self.geometry = Geometry::builder()
+            .block_bytes(block_bytes)
+            .page_bytes(page_bytes)
+            .hbm_bytes(self.geometry.hbm_bytes())
+            .dram_bytes(self.geometry.dram_bytes())
+            .hbm_ways(self.geometry.hbm_ways())
+            .build()?;
+        Ok(self)
+    }
+
+    /// Builds the workload stream for `profile` under this configuration
+    /// (footprint scaled with the geometry, addresses bounded by the flat
+    /// space).
+    pub fn workload(&self, profile: &SpecProfile) -> Workload {
+        let spec = profile.spec(self.scale);
+        Workload::new(spec, self.geometry.flat_bytes(), self.seed)
+    }
+}
+
+/// Runs `design` on `profile` under `cfg` and reports.
+///
+/// # Errors
+///
+/// Currently infallible in practice; the `Result` guards future
+/// configuration validation.
+pub fn run_design(
+    design: Design,
+    cfg: &RunConfig,
+    profile: &SpecProfile,
+) -> Result<SimReport, GeometryError> {
+    let controller = design.build(cfg.geometry, cfg.sram_budget);
+    let mut system = System::new(controller, &cfg.geometry, cfg.params, design.uses_hbm());
+    let mut workload = cfg.workload(profile);
+
+    // Warm-up: run, then reset instruction/cycle accounting by snapshotting.
+    for _ in 0..cfg.warmup {
+        system.step(workload.next_access());
+    }
+    let warm_cycles = system.now();
+    let warm = *system.counters();
+    for _ in 0..cfg.accesses {
+        system.step(workload.next_access());
+    }
+    let instructions = system.counters().instructions - warm.instructions;
+    let cycles = system.now() - warm_cycles;
+    let mal_cycles = system.counters().mal_cycles - warm.mal_cycles;
+    let stall_cycles = system.counters().stall_cycles - warm.stall_cycles;
+    let (hbm, dram) = system.finish();
+    let (hbm_counters, dram_counters) = (*hbm.counters(), *dram.counters());
+
+    let controller = system.controller();
+    Ok(SimReport {
+        design: design.label().to_string(),
+        workload: profile.name.to_string(),
+        instructions,
+        cycles: cycles.max(1),
+        ipc: instructions as f64 / cycles.max(1) as f64,
+        accesses: cfg.accesses,
+        hbm_bytes: hbm_counters.total_bytes(),
+        dram_bytes: dram_counters.total_bytes(),
+        dynamic_energy_pj: system.dynamic_energy_pj(),
+        background_energy_pj: system.background_energy_pj(),
+        mal_cycles,
+        stall_cycles,
+        overfetch: controller.overfetch_ratio(),
+        metadata_bytes: controller.metadata_bytes(),
+        os_visible_bytes: controller.os_visible_bytes(),
+        mode_switch_bytes: controller.mode_switch_bytes(),
+        page_faults: controller.page_faults(),
+        stats: controller.stats().clone(),
+    })
+}
+
+/// Runs the no-HBM reference on `profile` (the normalization denominator).
+///
+/// # Errors
+///
+/// See [`run_design`].
+pub fn run_reference(cfg: &RunConfig, profile: &SpecProfile) -> Result<SimReport, GeometryError> {
+    run_design(Design::NoHbm, cfg, profile)
+}
+
+/// Geometric mean (0 for an empty slice; non-positive entries clamped to a
+/// tiny epsilon so a single broken run cannot zero the whole figure).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_consistent_report() {
+        let cfg = RunConfig::tiny();
+        let r = run_design(Design::Bumblebee, &cfg, &SpecProfile::mcf()).unwrap();
+        assert_eq!(r.design, "Bumblebee");
+        assert_eq!(r.workload, "mcf");
+        assert!(r.cycles > 0 && r.instructions > 0);
+        assert!(r.ipc > 0.0);
+        assert!(r.hbm_bytes > 0, "Bumblebee must use HBM");
+    }
+
+    #[test]
+    fn bumblebee_beats_no_hbm_on_mcf() {
+        let cfg = RunConfig::tiny();
+        let base = run_reference(&cfg, &SpecProfile::mcf()).unwrap();
+        let bee = run_design(Design::Bumblebee, &cfg, &SpecProfile::mcf()).unwrap();
+        assert!(
+            bee.normalized_ipc(&base) > 1.0,
+            "bumblebee {:.3} vs baseline 1.0",
+            bee.normalized_ipc(&base)
+        );
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // Non-positive entries are clamped, not fatal.
+        assert!(geomean(&[0.0, 4.0]) >= 0.0);
+    }
+
+    #[test]
+    fn fig6_block_page_override() {
+        let cfg = RunConfig::tiny().with_block_page(1 << 10, 96 << 10).unwrap();
+        assert_eq!(cfg.geometry().block_bytes(), 1 << 10);
+        assert_eq!(cfg.geometry().page_bytes(), 96 << 10);
+        assert!(RunConfig::tiny().with_block_page(3000, 96 << 10).is_err());
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let cfg = RunConfig::tiny();
+        let a = run_design(Design::Alloy, &cfg, &SpecProfile::xz()).unwrap();
+        let b = run_design(Design::Alloy, &cfg, &SpecProfile::xz()).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.hbm_bytes, b.hbm_bytes);
+    }
+}

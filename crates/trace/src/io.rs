@@ -1,0 +1,164 @@
+//! Trace recording and replay.
+//!
+//! A compact binary format for LLC-miss traces so workloads can be
+//! captured once and replayed bit-identically (or imported from external
+//! tools). Records are fixed-size little-endian:
+//!
+//! ```text
+//! magic   "BBT1"                                  (4 bytes, once)
+//! record  addr: u64 | insts: u32 | kind: u8 | pad [u8; 3]   (16 bytes)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use memsim_trace::{io::{read_trace, write_trace}, SpecProfile, Workload};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let stream = Workload::new(SpecProfile::mcf().spec(64), u64::MAX, 1);
+//! let mut buf = Vec::new();
+//! write_trace(&mut buf, stream.take(100))?;
+//! let replayed = read_trace(&buf[..])?.collect::<Result<Vec<_>, _>>()?;
+//! assert_eq!(replayed.len(), 100);
+//! # Ok(())
+//! # }
+//! ```
+
+use memsim_types::{Access, AccessKind, Addr};
+use std::io::{self, Read, Write};
+
+/// File magic identifying trace format version 1.
+pub const MAGIC: [u8; 4] = *b"BBT1";
+
+/// Bytes per record.
+pub const RECORD_BYTES: usize = 16;
+
+/// Writes `accesses` as a version-1 trace to `writer`.
+///
+/// A `&mut` reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write, I: IntoIterator<Item = Access>>(
+    mut writer: W,
+    accesses: I,
+) -> io::Result<u64> {
+    writer.write_all(&MAGIC)?;
+    let mut n = 0u64;
+    let mut rec = [0u8; RECORD_BYTES];
+    for a in accesses {
+        rec[0..8].copy_from_slice(&a.addr.0.to_le_bytes());
+        rec[8..12].copy_from_slice(&a.insts.to_le_bytes());
+        rec[12] = match a.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        };
+        writer.write_all(&rec)?;
+        n += 1;
+    }
+    writer.flush()?;
+    Ok(n)
+}
+
+/// Opens a version-1 trace for reading, validating the magic.
+///
+/// A `&mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Fails with `InvalidData` if the magic does not match, or with the
+/// reader's I/O error.
+pub fn read_trace<R: Read>(mut reader: R) -> io::Result<TraceReader<R>> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a BBT1 trace"));
+    }
+    Ok(TraceReader { reader })
+}
+
+/// Iterator over the records of a trace; see [`read_trace`].
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<Access>;
+
+    fn next(&mut self) -> Option<io::Result<Access>> {
+        let mut rec = [0u8; RECORD_BYTES];
+        match self.reader.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return None,
+            Err(e) => return Some(Err(e)),
+        }
+        let addr = Addr(u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")));
+        let insts = u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes"));
+        let kind = match rec[12] {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            other => {
+                return Some(Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("invalid access kind {other}"),
+                )))
+            }
+        };
+        Some(Ok(Access { addr, kind, insts }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecProfile;
+    use crate::workload::Workload;
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let stream = Workload::new(SpecProfile::wrf().spec(64), u64::MAX, 9);
+        let original: Vec<Access> = stream.take(500).collect();
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, original.iter().copied()).expect("write");
+        assert_eq!(n, 500);
+        assert_eq!(buf.len(), 4 + 500 * RECORD_BYTES);
+        let replayed: Vec<Access> =
+            read_trace(&buf[..]).expect("open").map(|r| r.expect("record")).collect();
+        assert_eq!(replayed, original);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOPE".to_vec();
+        let err = read_trace(&buf[..]).expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_record_ends_iteration() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [Access::read(Addr(64))]).expect("write");
+        buf.truncate(buf.len() - 3); // mid-record cut
+        let got: Vec<_> = read_trace(&buf[..]).expect("open").collect();
+        assert!(got.is_empty(), "partial record is dropped");
+    }
+
+    #[test]
+    fn invalid_kind_errors() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [Access::write(Addr(0))]).expect("write");
+        buf[4 + 12] = 7; // corrupt the kind byte
+        let got: Vec<_> = read_trace(&buf[..]).expect("open").collect();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].is_err());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        assert_eq!(write_trace(&mut buf, std::iter::empty()).expect("write"), 0);
+        assert_eq!(read_trace(&buf[..]).expect("open").count(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Multi-programmed workload mixes.
+//!
+//! The paper's platform is a shared-LLC multicore (Table I); below the LLC
+//! the memory system sees the *interleaved* miss streams of all cores. A
+//! [`MixWorkload`] models that: each constituent workload occupies its own
+//! slice of the address space (as the OS would place separate processes)
+//! and contributes accesses in proportion to its miss rate — streams with
+//! more misses per kilo-instruction inject proportionally more requests
+//! per unit of simulated time, exactly as co-running cores would.
+
+use crate::spec::SpecProfile;
+use crate::workload::Workload;
+use memsim_types::{Access, Addr};
+
+/// An interleaved multi-programmed access stream.
+///
+/// ```
+/// use memsim_trace::{MixWorkload, SpecProfile};
+///
+/// let mut mix = MixWorkload::new(
+///     &[SpecProfile::mcf(), SpecProfile::named("lbm")],
+///     16,          // capacity scale
+///     1 << 30,     // OS-visible bytes to partition
+///     42,
+/// );
+/// let a = mix.next_access();
+/// assert!(a.insts > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixWorkload {
+    streams: Vec<Stream>,
+    /// Virtual time per stream (instructions retired), for rate pacing.
+    accesses_emitted: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Stream {
+    workload: Workload,
+    base: u64,
+    /// Instructions this core has retired (its own clock).
+    time: u64,
+    /// Next access, pre-drawn so streams merge in timestamp order.
+    pending: Access,
+}
+
+impl MixWorkload {
+    /// Builds a mix of `profiles` at capacity divisor `scale`, partitioning
+    /// `visible_bytes` of address space equally among the constituents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or `visible_bytes` is too small to
+    /// give every constituent a non-empty slice.
+    pub fn new(profiles: &[SpecProfile], scale: u64, visible_bytes: u64, seed: u64) -> MixWorkload {
+        assert!(!profiles.is_empty(), "a mix needs at least one workload");
+        let slice = visible_bytes / profiles.len() as u64;
+        assert!(slice > 0, "address space too small for the mix");
+        let streams = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut workload =
+                    Workload::new(p.spec(scale), slice, seed.wrapping_add(i as u64 * 0x9E37));
+                let mut pending = workload.next_access();
+                let time = u64::from(pending.insts);
+                pending.addr = Addr(pending.addr.0 + i as u64 * slice);
+                Stream { workload, base: i as u64 * slice, time, pending }
+            })
+            .collect();
+        MixWorkload { streams, accesses_emitted: 0 }
+    }
+
+    /// Number of constituent streams.
+    pub fn width(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Accesses emitted so far.
+    pub fn accesses_emitted(&self) -> u64 {
+        self.accesses_emitted
+    }
+
+    /// The next access across all cores, in per-core retired-instruction
+    /// order (the stream whose core clock is furthest behind goes next).
+    ///
+    /// The returned `insts` field is the *global* instruction gap: the
+    /// advance of the minimum core clock, so MPKI accounting over the mix
+    /// reflects per-core progress rather than the sum of all cores.
+    pub fn next_access(&mut self) -> Access {
+        let idx = self
+            .streams
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.time)
+            .map(|(i, _)| i)
+            .expect("non-empty mix");
+        let before = self.streams[idx].time;
+        let out = self.streams[idx].pending;
+        // Draw the stream's next access and advance its clock.
+        let mut next = self.streams[idx].workload.next_access();
+        next.addr = Addr(next.addr.0 + self.streams[idx].base);
+        self.streams[idx].time += u64::from(next.insts);
+        self.streams[idx].pending = next;
+        // Global gap: how much the minimum clock advanced.
+        let min_after = self.streams.iter().map(|s| s.time).min().expect("non-empty");
+        let gap = min_after.saturating_sub(before).min(u64::from(u32::MAX)) as u32;
+        self.accesses_emitted += 1;
+        Access { addr: out.addr, kind: out.kind, insts: gap.max(1) }
+    }
+}
+
+impl Iterator for MixWorkload {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        Some(self.next_access())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn two_mix() -> MixWorkload {
+        MixWorkload::new(&[SpecProfile::mcf(), SpecProfile::named("lbm")], 64, 1 << 28, 7)
+    }
+
+    #[test]
+    fn streams_occupy_disjoint_slices() {
+        let mut m = two_mix();
+        let slice = (1u64 << 28) / 2;
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..5_000 {
+            let a = m.next_access();
+            if a.addr.0 < slice {
+                low = true;
+            } else {
+                assert!(a.addr.0 < 1 << 28, "within the partition");
+                high = true;
+            }
+        }
+        assert!(low && high, "both constituents must contribute");
+    }
+
+    #[test]
+    fn high_mpki_streams_inject_more_accesses() {
+        // lbm (31.4 MPKI) must contribute far more misses than leela (0.1).
+        let mut m =
+            MixWorkload::new(&[SpecProfile::named("lbm"), SpecProfile::named("leela")], 64, 1 << 28, 7);
+        let slice = (1u64 << 28) / 2;
+        let mut lbm = 0u64;
+        let mut leela = 0u64;
+        for _ in 0..20_000 {
+            if m.next_access().addr.0 < slice {
+                lbm += 1;
+            } else {
+                leela += 1;
+            }
+        }
+        assert!(lbm > 50 * leela, "lbm {lbm} vs leela {leela}");
+        assert!(leela > 0, "the slow core still progresses");
+    }
+
+    #[test]
+    fn deterministic_and_distinct_seeds() {
+        let a: Vec<Access> = two_mix().take(200).collect();
+        let b: Vec<Access> = two_mix().take(200).collect();
+        assert_eq!(a, b);
+        let c: Vec<Access> =
+            MixWorkload::new(&[SpecProfile::mcf(), SpecProfile::named("lbm")], 64, 1 << 28, 8)
+                .take(200)
+                .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn global_instruction_gaps_are_sane() {
+        let mut m = two_mix();
+        let mut total = 0u64;
+        for _ in 0..10_000 {
+            let a = m.next_access();
+            assert!(a.insts >= 1);
+            total += u64::from(a.insts);
+        }
+        // Mix MPKI is dominated by the faster-missing constituent and must
+        // exceed each single-stream MPKI's reciprocal bound.
+        let mpki = 10_000.0 * 1000.0 / total as f64;
+        assert!(mpki > SpecProfile::mcf().mpki, "mix mpki {mpki}");
+    }
+
+    #[test]
+    fn width_and_counters() {
+        let mut m = two_mix();
+        assert_eq!(m.width(), 2);
+        for _ in 0..10 {
+            m.next_access();
+        }
+        assert_eq!(m.accesses_emitted(), 10);
+    }
+
+    #[test]
+    fn single_constituent_mix_behaves_like_workload() {
+        let mut m = MixWorkload::new(&[SpecProfile::mcf()], 64, 1 << 28, 7);
+        let addrs: HashSet<u64> = (0..1000).map(|_| m.next_access().addr.0).collect();
+        assert!(addrs.len() > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_mix_panics() {
+        MixWorkload::new(&[], 64, 1 << 28, 7);
+    }
+}

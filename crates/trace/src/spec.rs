@@ -1,0 +1,280 @@
+//! Workload specifications and the Table II SPEC CPU2017-like profiles.
+
+use std::fmt;
+
+/// The four locality archetypes the paper's motivation (Fig. 1) builds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalityClass {
+    /// Strong spatial, strong temporal (the paper's `mcf` slice).
+    StrongStrong,
+    /// Weak spatial, strong temporal (the paper's `wrf` slice).
+    WeakSpatialStrongTemporal,
+    /// Strong spatial, weak temporal (the paper's `xz` slice).
+    StrongSpatialWeakTemporal,
+    /// Weak spatial, weak temporal.
+    WeakWeak,
+}
+
+impl fmt::Display for LocalityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LocalityClass::StrongStrong => "strong-spatial/strong-temporal",
+            LocalityClass::WeakSpatialStrongTemporal => "weak-spatial/strong-temporal",
+            LocalityClass::StrongSpatialWeakTemporal => "strong-spatial/weak-temporal",
+            LocalityClass::WeakWeak => "weak-spatial/weak-temporal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully parameterized synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload name (e.g. `"mcf"`).
+    pub name: &'static str,
+    /// Target LLC misses per kilo-instruction.
+    pub mpki: f64,
+    /// Bytes of distinct data touched.
+    pub footprint_bytes: u64,
+    /// Mean sequential run length in bytes (spatial-locality knob; runs are
+    /// geometrically distributed around this mean in 64 B lines).
+    pub mean_run_bytes: u64,
+    /// Fraction of the footprint that is "hot" (temporal-locality knob).
+    pub hot_fraction: f64,
+    /// Probability an access run starts in the hot set.
+    pub hot_probability: f64,
+    /// Skew exponent inside the hot set (`u^skew`; larger = hotter head).
+    pub hot_skew: f64,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+}
+
+impl WorkloadSpec {
+    /// Mean instructions between LLC misses implied by the MPKI target.
+    pub fn insts_per_miss(&self) -> f64 {
+        1000.0 / self.mpki.max(1e-6)
+    }
+}
+
+/// MPKI grouping used throughout the paper's Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpkiGroup {
+    /// MPKI ≥ 18 (roms, lbm, bwaves, wrf).
+    High,
+    /// 10 ≤ MPKI < 18 (xalancbmk, mcf, cam4, cactuBSSN).
+    Medium,
+    /// MPKI < 10 (fotonik3d, x264, nab, namd, xz, leela).
+    Low,
+}
+
+impl fmt::Display for MpkiGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MpkiGroup::High => "High",
+            MpkiGroup::Medium => "Medium",
+            MpkiGroup::Low => "Low",
+        })
+    }
+}
+
+/// One benchmark row of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecProfile {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Table II MPKI.
+    pub mpki: f64,
+    /// Table II footprint in megabytes (paper reports GB with one decimal).
+    pub footprint_mb: u64,
+    /// Locality archetype.
+    pub class: LocalityClass,
+    /// Write fraction (streaming HPC codes write more).
+    pub write_fraction: f64,
+}
+
+impl SpecProfile {
+    /// All 14 benchmarks of Table II, in the paper's order.
+    pub fn table2() -> Vec<SpecProfile> {
+        vec![
+            // High MPKI.
+            Self::named("roms"),
+            Self::named("lbm"),
+            Self::named("bwaves"),
+            Self::named("wrf"),
+            // Medium MPKI.
+            Self::named("xalancbmk"),
+            Self::named("mcf"),
+            Self::named("cam4"),
+            Self::named("cactuBSSN"),
+            // Low MPKI.
+            Self::named("fotonik3d"),
+            Self::named("x264"),
+            Self::named("nab"),
+            Self::named("namd"),
+            Self::named("xz"),
+            Self::named("leela"),
+        ]
+    }
+
+    /// Profile by Table II benchmark name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the 14 Table II benchmarks.
+    pub fn named(name: &str) -> SpecProfile {
+        use LocalityClass::*;
+        let (mpki, footprint_mb, class, wf) = match name {
+            // Streaming stencil/fluid codes: long sequential sweeps over a
+            // huge footprint, little reuse before the sweep returns.
+            "roms" => (31.9, 10854, StrongSpatialWeakTemporal, 0.35),
+            "lbm" => (31.4, 5222, StrongSpatialWeakTemporal, 0.45),
+            "bwaves" => (20.4, 7680, StrongSpatialWeakTemporal, 0.30),
+            // wrf: the paper's weak-spatial/strong-temporal exemplar.
+            "wrf" => (18.5, 2765, WeakSpatialStrongTemporal, 0.30),
+            "xalancbmk" => (16.9, 614, WeakSpatialStrongTemporal, 0.15),
+            // mcf: the paper's strong/strong exemplar.
+            "mcf" => (16.1, 205, StrongStrong, 0.20),
+            "cam4" => (13.8, 11059, StrongSpatialWeakTemporal, 0.30),
+            "cactuBSSN" => (12.2, 2970, StrongStrong, 0.30),
+            "fotonik3d" => (2.0, 205, StrongStrong, 0.30),
+            "x264" => (0.9, 1946, StrongStrong, 0.25),
+            "nab" => (0.8, 922, WeakSpatialStrongTemporal, 0.20),
+            "namd" => (0.5, 1946, StrongStrong, 0.20),
+            // xz: the paper's strong-spatial/weak-temporal exemplar.
+            "xz" => (0.4, 7373, StrongSpatialWeakTemporal, 0.30),
+            "leela" => (0.1, 102, WeakWeak, 0.15),
+            other => panic!("unknown Table II benchmark `{other}`"),
+        };
+        SpecProfile { name: Self::static_name(name), mpki, footprint_mb, class, write_fraction: wf }
+    }
+
+    fn static_name(name: &str) -> &'static str {
+        const NAMES: [&str; 14] = [
+            "roms", "lbm", "bwaves", "wrf", "xalancbmk", "mcf", "cam4", "cactuBSSN",
+            "fotonik3d", "x264", "nab", "namd", "xz", "leela",
+        ];
+        NAMES.iter().find(|&&n| n == name).expect("known name")
+    }
+
+    /// Shorthand for the paper's three Fig. 1 exemplars.
+    pub fn mcf() -> SpecProfile {
+        Self::named("mcf")
+    }
+
+    /// See [`mcf`](Self::mcf).
+    pub fn wrf() -> SpecProfile {
+        Self::named("wrf")
+    }
+
+    /// See [`mcf`](Self::mcf).
+    pub fn xz() -> SpecProfile {
+        Self::named("xz")
+    }
+
+    /// MPKI group per the paper's Fig. 8 bucketing.
+    pub fn group(&self) -> MpkiGroup {
+        if self.mpki >= 18.0 {
+            MpkiGroup::High
+        } else if self.mpki >= 10.0 {
+            MpkiGroup::Medium
+        } else {
+            MpkiGroup::Low
+        }
+    }
+
+    /// Expands the profile into a concrete [`WorkloadSpec`], dividing the
+    /// footprint by `scale` (use the same scale as the memory geometry so
+    /// footprint:capacity ratios match the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn spec(&self, scale: u64) -> WorkloadSpec {
+        assert!(scale > 0, "scale must be positive");
+        use LocalityClass::*;
+        let (mean_run_bytes, hot_fraction, hot_probability, hot_skew) = match self.class {
+            // Long runs; reuse concentrated on a modest hot set.
+            StrongStrong => (16 << 10, 0.10, 0.85, 3.0),
+            // Short scattered runs; strong reuse of a small hot set.
+            WeakSpatialStrongTemporal => (128, 0.05, 0.90, 4.0),
+            // Page-spanning streaming sweeps; accesses spread over the
+            // footprint (HPC array codes stream linearly for megabytes).
+            StrongSpatialWeakTemporal => (64 << 10, 0.30, 0.35, 1.2),
+            // Short runs, little reuse.
+            WeakWeak => (128, 0.30, 0.30, 1.2),
+        };
+        WorkloadSpec {
+            name: self.name,
+            mpki: self.mpki,
+            footprint_bytes: (self.footprint_mb << 20) / scale,
+            mean_run_bytes,
+            hot_fraction,
+            hot_probability,
+            hot_skew,
+            write_fraction: self.write_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_all_fourteen_rows() {
+        let t = SpecProfile::table2();
+        assert_eq!(t.len(), 14);
+        let names: Vec<_> = t.iter().map(|p| p.name).collect();
+        assert!(names.contains(&"mcf") && names.contains(&"leela"));
+    }
+
+    #[test]
+    fn groups_match_paper_buckets() {
+        use MpkiGroup::*;
+        assert_eq!(SpecProfile::named("roms").group(), High);
+        assert_eq!(SpecProfile::named("wrf").group(), High);
+        assert_eq!(SpecProfile::named("mcf").group(), Medium);
+        assert_eq!(SpecProfile::named("cactuBSSN").group(), Medium);
+        assert_eq!(SpecProfile::named("xz").group(), Low);
+        assert_eq!(SpecProfile::named("leela").group(), Low);
+        let t = SpecProfile::table2();
+        assert_eq!(t.iter().filter(|p| p.group() == High).count(), 4);
+        assert_eq!(t.iter().filter(|p| p.group() == Medium).count(), 4);
+        assert_eq!(t.iter().filter(|p| p.group() == Low).count(), 6);
+    }
+
+    #[test]
+    fn fig1_exemplars_have_paper_classes() {
+        assert_eq!(SpecProfile::mcf().class, LocalityClass::StrongStrong);
+        assert_eq!(SpecProfile::wrf().class, LocalityClass::WeakSpatialStrongTemporal);
+        assert_eq!(SpecProfile::xz().class, LocalityClass::StrongSpatialWeakTemporal);
+    }
+
+    #[test]
+    fn spec_scales_footprint_only() {
+        let p = SpecProfile::mcf();
+        let s1 = p.spec(1);
+        let s16 = p.spec(16);
+        assert_eq!(s1.footprint_bytes, 16 * s16.footprint_bytes);
+        assert_eq!(s1.mpki, s16.mpki);
+        assert_eq!(s1.mean_run_bytes, s16.mean_run_bytes);
+    }
+
+    #[test]
+    fn insts_per_miss_inverse_of_mpki() {
+        let s = SpecProfile::named("leela").spec(1);
+        assert!((s.insts_per_miss() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Table II benchmark")]
+    fn unknown_name_panics() {
+        SpecProfile::named("gcc");
+    }
+
+    #[test]
+    fn display_of_classes() {
+        assert!(LocalityClass::StrongStrong.to_string().contains("strong-spatial"));
+        assert_eq!(MpkiGroup::High.to_string(), "High");
+    }
+}

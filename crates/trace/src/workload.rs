@@ -1,0 +1,236 @@
+//! The synthetic access-stream generator.
+
+use crate::spec::WorkloadSpec;
+use memsim_types::{Access, AccessKind, Addr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Region size used for hot-set bookkeeping (an OS page).
+const REGION_BYTES: u64 = 4096;
+/// Line granularity of generated accesses (an LLC line).
+const LINE_BYTES: u64 = 64;
+
+/// An infinite, deterministic stream of LLC-level memory accesses
+/// realizing a [`WorkloadSpec`]; see the [crate documentation](crate).
+///
+/// The generator emits *runs*: a run starts at a page chosen by the
+/// temporal-locality model (hot set with skew, or uniform cold pick) and
+/// proceeds sequentially in 64 B lines for a geometrically distributed
+/// length around `mean_run_bytes` — the spatial-locality model. Hot pages
+/// are scattered over the footprint by a fixed odd-stride permutation so
+/// hotness is uncorrelated with physical placement.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    spec: WorkloadSpec,
+    limit_bytes: u64,
+    rng: SmallRng,
+    regions: u64,
+    hot_regions: u64,
+    perm_stride: u64,
+    run_remaining: u32,
+    cursor: u64,
+    accesses_emitted: u64,
+    instructions_emitted: u64,
+}
+
+impl Workload {
+    /// Creates a generator for `spec`, wrapping all addresses modulo
+    /// `limit_bytes` (pass the OS-visible capacity, or `u64::MAX` for an
+    /// unbounded virtual stream), seeded deterministically by `seed`.
+    pub fn new(spec: WorkloadSpec, limit_bytes: u64, seed: u64) -> Workload {
+        let regions = (spec.footprint_bytes / REGION_BYTES).max(1);
+        let hot_regions = ((regions as f64 * spec.hot_fraction) as u64).max(1);
+        // An odd stride coprime with `regions` scatters logical region ids.
+        let mut perm_stride = 0x9E37_79B1 % regions;
+        if perm_stride == 0 {
+            perm_stride = 1;
+        }
+        while gcd(perm_stride, regions) != 1 {
+            perm_stride += 1;
+        }
+        Workload {
+            spec,
+            limit_bytes,
+            rng: SmallRng::seed_from_u64(seed),
+            regions,
+            hot_regions,
+            perm_stride,
+            run_remaining: 0,
+            cursor: 0,
+            accesses_emitted: 0,
+            instructions_emitted: 0,
+        }
+    }
+
+    /// The spec this stream realizes.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Accesses generated so far.
+    pub fn accesses_emitted(&self) -> u64 {
+        self.accesses_emitted
+    }
+
+    /// Instructions represented so far (for MPKI verification).
+    pub fn instructions_emitted(&self) -> u64 {
+        self.instructions_emitted
+    }
+
+    /// Generates the next access.
+    pub fn next_access(&mut self) -> Access {
+        if self.run_remaining == 0 {
+            self.start_run();
+        }
+        self.run_remaining -= 1;
+        let addr = Addr(self.cursor % self.limit_bytes.max(1));
+        self.cursor += LINE_BYTES;
+        let kind = if self.rng.gen::<f64>() < self.spec.write_fraction {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let mean_gap = self.spec.insts_per_miss();
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let gap = (-mean_gap * u.ln()).clamp(1.0, 4_000_000_000.0) as u32;
+        self.accesses_emitted += 1;
+        self.instructions_emitted += u64::from(gap);
+        Access { addr, kind, insts: gap }
+    }
+
+    fn start_run(&mut self) {
+        let logical = if self.rng.gen::<f64>() < self.spec.hot_probability {
+            // Skewed pick inside the hot set: u^skew concentrates on low ids.
+            let u: f64 = self.rng.gen();
+            ((self.hot_regions as f64) * u.powf(self.spec.hot_skew)) as u64
+        } else {
+            self.rng.gen_range(0..self.regions)
+        };
+        let region = (logical % self.regions).wrapping_mul(self.perm_stride) % self.regions;
+        let line_in_region = self.rng.gen_range(0..REGION_BYTES / LINE_BYTES);
+        self.cursor = region * REGION_BYTES + line_in_region * LINE_BYTES;
+        let mean_lines = (self.spec.mean_run_bytes / LINE_BYTES).max(1) as f64;
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        self.run_remaining = (-mean_lines * u.ln()).clamp(1.0, 1e9) as u32;
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl Iterator for Workload {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        Some(self.next_access())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecProfile;
+    use std::collections::HashSet;
+
+    fn stream(name: &str, n: usize) -> (Workload, Vec<Access>) {
+        let spec = SpecProfile::named(name).spec(16);
+        let mut w = Workload::new(spec, u64::MAX, 7);
+        let v: Vec<Access> = (0..n).map(|_| w.next_access()).collect();
+        (w, v)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = SpecProfile::mcf().spec(16);
+        let a: Vec<Access> = Workload::new(spec.clone(), u64::MAX, 1).take(100).collect();
+        let b: Vec<Access> = Workload::new(spec, u64::MAX, 1).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = SpecProfile::mcf().spec(16);
+        let a: Vec<Access> = Workload::new(spec.clone(), u64::MAX, 1).take(100).collect();
+        let b: Vec<Access> = Workload::new(spec, u64::MAX, 2).take(100).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mpki_converges_to_target() {
+        let (w, _) = stream("mcf", 50_000);
+        let mpki = w.accesses_emitted() as f64 * 1000.0 / w.instructions_emitted() as f64;
+        let target = SpecProfile::mcf().mpki;
+        assert!((mpki - target).abs() / target < 0.05, "mpki {mpki} vs {target}");
+    }
+
+    #[test]
+    fn addresses_stay_within_footprint_ballpark() {
+        let spec = SpecProfile::named("leela").spec(16);
+        let fp = spec.footprint_bytes;
+        let mut w = Workload::new(spec, u64::MAX, 3);
+        for _ in 0..10_000 {
+            let a = w.next_access();
+            // Runs may stream slightly past the last region.
+            assert!(a.addr.0 < fp + (1 << 20), "addr {} fp {fp}", a.addr.0);
+        }
+    }
+
+    #[test]
+    fn limit_wraps_addresses() {
+        let spec = SpecProfile::named("roms").spec(16);
+        let mut w = Workload::new(spec, 1 << 20, 3);
+        for _ in 0..1000 {
+            assert!(w.next_access().addr.0 < 1 << 20);
+        }
+    }
+
+    #[test]
+    fn strong_spatial_touches_more_of_each_page_than_weak() {
+        // Fraction of 64 KB page touched per visit: xz (strong) ≫ wrf (weak).
+        let coverage = |name: &str| {
+            let (_, v) = stream(name, 40_000);
+            let mut lines = HashSet::new();
+            let mut pages = HashSet::new();
+            for a in &v {
+                lines.insert(a.addr.0 / 64);
+                pages.insert(a.addr.0 / 65536);
+            }
+            lines.len() as f64 / (pages.len() as f64 * 1024.0)
+        };
+        let strong = coverage("xz");
+        let weak = coverage("wrf");
+        assert!(strong > 2.0 * weak, "strong {strong} weak {weak}");
+    }
+
+    #[test]
+    fn strong_temporal_reuses_lines_more_than_weak() {
+        let reuse = |name: &str| {
+            let (_, v) = stream(name, 40_000);
+            let distinct: HashSet<u64> = v.iter().map(|a| a.addr.0 / 64).collect();
+            v.len() as f64 / distinct.len() as f64
+        };
+        let strong = reuse("wrf");
+        let weak = reuse("xz");
+        assert!(strong > 1.5 * weak, "strong {strong} weak {weak}");
+    }
+
+    #[test]
+    fn write_fraction_close_to_spec() {
+        let (_, v) = stream("lbm", 20_000);
+        let writes = v.iter().filter(|a| a.kind == AccessKind::Write).count() as f64;
+        let frac = writes / v.len() as f64;
+        assert!((frac - 0.45).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn iterator_interface_works() {
+        let spec = SpecProfile::mcf().spec(16);
+        let n = Workload::new(spec, u64::MAX, 1).take(10).count();
+        assert_eq!(n, 10);
+    }
+}

@@ -1,0 +1,111 @@
+//! The hybrid-memory controller policy trait.
+
+use crate::plan::{Access, AccessPlan};
+use crate::stats::CtrlStats;
+
+/// A hybrid die-stacked/off-chip memory management policy.
+///
+/// Implemented by Bumblebee, every baseline (Alloy, Unison, Banshee,
+/// Chameleon, Hybrid2) and the trivial off-chip-only reference. The
+/// controller owns all remapping/caching metadata; the timing simulator owns
+/// the clock and the DRAM devices. See [`AccessPlan`] for the contract.
+///
+/// # Example
+///
+/// ```
+/// use memsim_types::{Access, AccessPlan, Addr, CtrlStats, DeviceOp, HybridMemoryController, Mem};
+///
+/// /// A controller that forwards everything to off-chip DRAM.
+/// struct OffChipOnly {
+///     stats: CtrlStats,
+/// }
+///
+/// impl HybridMemoryController for OffChipOnly {
+///     fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
+///         self.stats.offchip_serves += 1;
+///         plan.critical.push(DeviceOp::demand_read(Mem::OffChip, req.addr, 64));
+///     }
+///     fn name(&self) -> &'static str { "offchip-only" }
+///     fn metadata_bytes(&self) -> u64 { 0 }
+///     fn os_visible_bytes(&self) -> u64 { 0 }
+///     fn stats(&self) -> &CtrlStats { &self.stats }
+/// }
+///
+/// let mut c = OffChipOnly { stats: CtrlStats::new() };
+/// let mut plan = AccessPlan::new();
+/// c.access(&Access::read(Addr(0x40)), &mut plan);
+/// assert_eq!(plan.critical.len(), 1);
+/// ```
+pub trait HybridMemoryController {
+    /// Handles one LLC-miss request, filling `plan` (which arrives cleared).
+    fn access(&mut self, req: &Access, plan: &mut AccessPlan);
+
+    /// Short stable design name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Total metadata footprint in bytes (PRTs, tags, trackers — everything
+    /// the design needs beyond the data arrays).
+    fn metadata_bytes(&self) -> u64;
+
+    /// Bytes of HBM currently exposed to the OS as memory (0 for pure cache
+    /// designs, full capacity for POM designs, dynamic for hybrids).
+    fn os_visible_bytes(&self) -> u64;
+
+    /// Common event counters.
+    fn stats(&self) -> &CtrlStats;
+
+    /// Fraction of data brought into HBM and evicted unused, if the design
+    /// tracks it (paper §IV-B). Defaults to `None`.
+    fn overfetch_ratio(&self) -> Option<f64> {
+        None
+    }
+
+    /// Finalizes end-of-run accounting (drain over-fetch trackers, flush
+    /// dirty state into `plan` if the design wants writeback fairness).
+    /// Defaults to a no-op.
+    fn finish(&mut self, plan: &mut AccessPlan) {
+        let _ = plan;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::plan::{DeviceOp, Mem};
+
+    struct Dummy {
+        stats: CtrlStats,
+    }
+
+    impl HybridMemoryController for Dummy {
+        fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
+            self.stats.offchip_serves += 1;
+            plan.critical.push(DeviceOp::demand_read(Mem::OffChip, req.addr, 64));
+        }
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn metadata_bytes(&self) -> u64 {
+            0
+        }
+        fn os_visible_bytes(&self) -> u64 {
+            0
+        }
+        fn stats(&self) -> &CtrlStats {
+            &self.stats
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_defaults_work() {
+        let mut c: Box<dyn HybridMemoryController> = Box::new(Dummy { stats: CtrlStats::new() });
+        let mut plan = AccessPlan::new();
+        c.access(&Access::read(Addr(0)), &mut plan);
+        assert_eq!(c.stats().offchip_serves, 1);
+        assert_eq!(c.overfetch_ratio(), None);
+        plan.clear();
+        c.finish(&mut plan);
+        assert!(plan.is_empty());
+    }
+}

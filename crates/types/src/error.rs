@@ -1,0 +1,79 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error building a [`Geometry`](crate::geometry::Geometry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A required builder field was not set.
+    Missing(&'static str),
+    /// A capacity, size or way count was zero.
+    Zero,
+    /// Block size does not divide the page size.
+    BlockPageMismatch {
+        /// The offending block size.
+        block_bytes: u64,
+        /// The offending page size.
+        page_bytes: u64,
+    },
+    /// HBM cannot hold even one complete remapping set.
+    HbmTooSmall {
+        /// HBM capacity.
+        hbm_bytes: u64,
+        /// Page size.
+        page_bytes: u64,
+        /// Requested associativity.
+        hbm_ways: u32,
+    },
+    /// Off-chip DRAM has fewer pages than remapping sets.
+    DramTooSmall {
+        /// Off-chip page count.
+        dram_pages: u64,
+        /// Remapping-set count.
+        num_sets: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Missing(field) => write!(f, "geometry field `{field}` was not set"),
+            GeometryError::Zero => write!(f, "geometry sizes and way counts must be non-zero"),
+            GeometryError::BlockPageMismatch { block_bytes, page_bytes } => write!(
+                f,
+                "block size {block_bytes} does not divide page size {page_bytes}"
+            ),
+            GeometryError::HbmTooSmall { hbm_bytes, page_bytes, hbm_ways } => write!(
+                f,
+                "HBM of {hbm_bytes} bytes cannot hold one set of {hbm_ways} pages of {page_bytes} bytes"
+            ),
+            GeometryError::DramTooSmall { dram_pages, num_sets } => write!(
+                f,
+                "off-chip DRAM with {dram_pages} pages is smaller than the {num_sets} remapping sets"
+            ),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = GeometryError::BlockPageMismatch { block_bytes: 3, page_bytes: 7 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('7'));
+        assert!(s.chars().next().unwrap().is_lowercase());
+        assert!(!GeometryError::Zero.to_string().ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

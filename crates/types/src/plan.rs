@@ -1,0 +1,230 @@
+//! The request/response contract between memory *policies* and the timing
+//! simulator.
+//!
+//! A hybrid-memory controller in this workspace is a pure policy: for each
+//! LLC-miss [`Access`] it fills an [`AccessPlan`] describing which device
+//! operations happen on the critical path, which data movement proceeds in
+//! the background (the paper's asynchronous data-movement module), and how
+//! many cycles of metadata lookup precede the data access. The simulator in
+//! `memsim-sim` executes plans against the DRAM timing models; this split
+//! keeps every policy independently unit-testable.
+
+use crate::addr::Addr;
+
+/// Read or write, as seen below the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand read (LLC load/ifetch miss).
+    Read,
+    /// A write (LLC writeback of a dirty line).
+    Write,
+}
+
+impl AccessKind {
+    /// Whether this is a write.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One LLC-miss memory request presented to a controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Flat physical byte address.
+    pub addr: Addr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Instructions retired since the previous LLC miss (used for IPC
+    /// accounting; 0 when unknown).
+    pub insts: u32,
+}
+
+impl Access {
+    /// Convenience constructor for a read with no instruction gap.
+    pub fn read(addr: Addr) -> Access {
+        Access { addr, kind: AccessKind::Read, insts: 0 }
+    }
+
+    /// Convenience constructor for a write with no instruction gap.
+    pub fn write(addr: Addr) -> Access {
+        Access { addr, kind: AccessKind::Write, insts: 0 }
+    }
+}
+
+/// Which memory device an operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mem {
+    /// Die-stacked high-bandwidth memory.
+    Hbm,
+    /// Off-chip DRAM.
+    OffChip,
+}
+
+/// Device-level operation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Read `bytes` from the device.
+    Read,
+    /// Write `bytes` to the device.
+    Write,
+}
+
+/// Why an operation was issued — drives the traffic breakdown of Fig. 8(b/c)
+/// and the mode-switch/metadata analyses of §IV-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cause {
+    /// Serving the demand request itself.
+    Demand,
+    /// Filling a cache block/page on a miss.
+    Fill,
+    /// Writing back dirty data.
+    Writeback,
+    /// Migrating a page between off-chip DRAM and mHBM.
+    Migration,
+    /// Moving blocks for a cHBM↔mHBM mode switch.
+    ModeSwitch,
+    /// Metadata structures stored in memory (tags, remap tables).
+    Metadata,
+}
+
+/// A single device operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceOp {
+    /// Target device.
+    pub mem: Mem,
+    /// Device-local byte address (within the device's own address range).
+    pub addr: Addr,
+    /// Transfer size in bytes.
+    pub bytes: u32,
+    /// Direction.
+    pub kind: OpKind,
+    /// Reason this traffic exists.
+    pub cause: Cause,
+}
+
+impl DeviceOp {
+    /// A demand read of `bytes` at `addr` on `mem`.
+    pub fn demand_read(mem: Mem, addr: Addr, bytes: u32) -> DeviceOp {
+        DeviceOp { mem, addr, bytes, kind: OpKind::Read, cause: Cause::Demand }
+    }
+
+    /// A demand write of `bytes` at `addr` on `mem`.
+    pub fn demand_write(mem: Mem, addr: Addr, bytes: u32) -> DeviceOp {
+        DeviceOp { mem, addr, bytes, kind: OpKind::Write, cause: Cause::Demand }
+    }
+}
+
+/// The controller's answer to one [`Access`]: what the memory system must do.
+///
+/// Plans are designed for reuse — the simulator calls [`AccessPlan::clear`]
+/// and hands the same plan to the controller for every request, so the
+/// per-request hot path performs no allocation once the vectors have grown.
+#[derive(Debug, Clone, Default)]
+pub struct AccessPlan {
+    /// Operations on the demand critical path, executed in order.
+    pub critical: Vec<DeviceOp>,
+    /// Asynchronous operations (fills, migrations, writebacks); they consume
+    /// bandwidth and energy but do not stall the demand request.
+    pub background: Vec<DeviceOp>,
+    /// On-chip SRAM metadata lookup cycles preceding the data access.
+    pub metadata_cycles: u32,
+    /// Extra stall cycles outside the memory devices (e.g. the OS
+    /// page-fault/swap penalty when a footprint exceeds OS-visible memory).
+    pub stall_cycles: u64,
+}
+
+impl AccessPlan {
+    /// Creates an empty plan.
+    pub fn new() -> AccessPlan {
+        AccessPlan::default()
+    }
+
+    /// Clears the plan for reuse without releasing capacity.
+    pub fn clear(&mut self) {
+        self.critical.clear();
+        self.background.clear();
+        self.metadata_cycles = 0;
+        self.stall_cycles = 0;
+    }
+
+    /// Total bytes moved on `mem` (critical + background).
+    pub fn bytes_on(&self, mem: Mem) -> u64 {
+        self.critical
+            .iter()
+            .chain(&self.background)
+            .filter(|op| op.mem == mem)
+            .map(|op| u64::from(op.bytes))
+            .sum()
+    }
+
+    /// Total bytes attributed to `cause` (critical + background).
+    pub fn bytes_for(&self, cause: Cause) -> u64 {
+        self.critical
+            .iter()
+            .chain(&self.background)
+            .filter(|op| op.cause == cause)
+            .map(|op| u64::from(op.bytes))
+            .sum()
+    }
+
+    /// Whether the plan moves no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.critical.is_empty() && self.background.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_constructors() {
+        let r = Access::read(Addr(64));
+        assert_eq!(r.kind, AccessKind::Read);
+        assert!(!r.kind.is_write());
+        let w = Access::write(Addr(64));
+        assert!(w.kind.is_write());
+    }
+
+    #[test]
+    fn plan_accounting() {
+        let mut plan = AccessPlan::new();
+        assert!(plan.is_empty());
+        plan.critical.push(DeviceOp::demand_read(Mem::Hbm, Addr(0), 64));
+        plan.background.push(DeviceOp {
+            mem: Mem::OffChip,
+            addr: Addr(128),
+            bytes: 2048,
+            kind: OpKind::Read,
+            cause: Cause::Fill,
+        });
+        plan.background.push(DeviceOp {
+            mem: Mem::Hbm,
+            addr: Addr(0),
+            bytes: 2048,
+            kind: OpKind::Write,
+            cause: Cause::Fill,
+        });
+        assert_eq!(plan.bytes_on(Mem::Hbm), 64 + 2048);
+        assert_eq!(plan.bytes_on(Mem::OffChip), 2048);
+        assert_eq!(plan.bytes_for(Cause::Demand), 64);
+        assert_eq!(plan.bytes_for(Cause::Fill), 4096);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut plan = AccessPlan::new();
+        plan.critical.reserve(16);
+        plan.critical.push(DeviceOp::demand_read(Mem::Hbm, Addr(0), 64));
+        plan.metadata_cycles = 3;
+        plan.stall_cycles = 99;
+        let cap = plan.critical.capacity();
+        plan.clear();
+        assert!(plan.is_empty());
+        assert_eq!(plan.metadata_cycles, 0);
+        assert_eq!(plan.stall_cycles, 0);
+        assert_eq!(plan.critical.capacity(), cap);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the geometry index math.
+
+use memsim_types::{Addr, Geometry, PageIndex, PageSlot};
+use proptest::prelude::*;
+
+/// Strategy producing valid geometries, including non-power-of-two pages.
+fn geometries() -> impl Strategy<Value = Geometry> {
+    (
+        prop_oneof![Just(64u64), Just(256), Just(1024), Just(2048), Just(4096)],
+        prop_oneof![Just(4096u64), Just(32 << 10), Just(64 << 10), Just(96 << 10)],
+        1u64..=8,   // HBM in MB units below
+        8u64..=64,  // DRAM multiplier
+        prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+    )
+        .prop_filter_map("valid geometry", |(block, page, hbm_mb, dram_mult, ways)| {
+            if block > page {
+                return None;
+            }
+            Geometry::builder()
+                .block_bytes(block)
+                .page_bytes(page)
+                .hbm_bytes(hbm_mb << 20)
+                .dram_bytes((hbm_mb << 20) * dram_mult)
+                .hbm_ways(ways)
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    #[test]
+    fn slot_of_page_round_trips(g in geometries(), raw in 0u64..1_000_000) {
+        let total = g.dram_pages() + g.hbm_pages();
+        let page = PageIndex(raw % total);
+        let set = g.set_of_page(page);
+        prop_assert!(set < g.num_sets());
+        let slot = g.slot_of_page(page);
+        prop_assert_eq!(g.page_of_slot(set, slot), page);
+    }
+
+    #[test]
+    fn slots_partition_pages(g in geometries(), raw in 0u64..1_000_000) {
+        let total = g.dram_pages() + g.hbm_pages();
+        let page = PageIndex(raw % total);
+        match g.slot_of_page(page) {
+            PageSlot::OffChip(i) => {
+                prop_assert!(!g.is_hbm_page(page));
+                prop_assert!(i < g.dram_slots_in_set(g.set_of_page(page)));
+            }
+            PageSlot::Hbm(i) => {
+                prop_assert!(g.is_hbm_page(page));
+                prop_assert!(i < g.hbm_ways());
+            }
+        }
+    }
+
+    #[test]
+    fn addr_page_block_consistent(g in geometries(), raw in 0u64..u64::MAX / 2) {
+        let addr = Addr(raw % g.flat_bytes());
+        let page = g.page_of(addr);
+        let block = g.block_of(addr);
+        prop_assert!(u64::from(block.0) < u64::from(g.blocks_per_page()));
+        let reconstructed = g.page_base(page).0
+            + u64::from(block.0) * g.block_bytes()
+            + addr.0 % g.block_bytes();
+        prop_assert_eq!(reconstructed, addr.0);
+    }
+
+    #[test]
+    fn dram_slot_totals_cover_all_pages(g in geometries()) {
+        let total: u64 = (0..g.num_sets()).map(|s| u64::from(g.dram_slots_in_set(s))).sum();
+        prop_assert_eq!(total, g.dram_pages());
+    }
+
+    #[test]
+    fn hbm_device_addrs_stay_in_device(g in geometries(), set_raw in 0u64..1_000_000, way_raw in 0u32..64) {
+        let set = set_raw % g.num_sets();
+        let way = way_raw % g.hbm_ways();
+        let last_block = memsim_types::BlockIndex(g.blocks_per_page() - 1);
+        let a = g.hbm_device_addr(set, way, last_block);
+        prop_assert!(a.0 + g.block_bytes() <= g.hbm_bytes());
+    }
+
+    #[test]
+    fn ple_bits_can_encode_every_slot(g in geometries()) {
+        let max_slots = g.max_dram_slots() + g.hbm_ways();
+        prop_assert!(1u64 << g.ple_bits() >= u64::from(max_slots));
+    }
+}

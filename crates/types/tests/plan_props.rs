@@ -1,0 +1,134 @@
+//! Property-based tests for plan accounting and the metadata model.
+
+use memsim_types::{
+    AccessPlan, Addr, Cause, DeviceOp, Mem, MetadataModel, OpKind, OverfetchTracker,
+};
+use proptest::prelude::*;
+
+fn ops() -> impl Strategy<Value = Vec<DeviceOp>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![Just(Mem::Hbm), Just(Mem::OffChip)],
+            0u64..(1 << 30),
+            1u32..65536,
+            prop::bool::ANY,
+            prop_oneof![
+                Just(Cause::Demand),
+                Just(Cause::Fill),
+                Just(Cause::Writeback),
+                Just(Cause::Migration),
+                Just(Cause::ModeSwitch),
+                Just(Cause::Metadata),
+            ],
+        )
+            .prop_map(|(mem, addr, bytes, write, cause)| DeviceOp {
+                mem,
+                addr: Addr(addr),
+                bytes,
+                kind: if write { OpKind::Write } else { OpKind::Read },
+                cause,
+            }),
+        0..64,
+    )
+}
+
+proptest! {
+    #[test]
+    fn bytes_on_partitions_by_device(critical in ops(), background in ops()) {
+        let plan = AccessPlan { critical, background, metadata_cycles: 0, stall_cycles: 0 };
+        let total: u64 = plan
+            .critical
+            .iter()
+            .chain(&plan.background)
+            .map(|o| u64::from(o.bytes))
+            .sum();
+        prop_assert_eq!(plan.bytes_on(Mem::Hbm) + plan.bytes_on(Mem::OffChip), total);
+    }
+
+    #[test]
+    fn bytes_for_partitions_by_cause(critical in ops(), background in ops()) {
+        let plan = AccessPlan { critical, background, metadata_cycles: 0, stall_cycles: 0 };
+        let total: u64 = plan
+            .critical
+            .iter()
+            .chain(&plan.background)
+            .map(|o| u64::from(o.bytes))
+            .sum();
+        let by_cause: u64 = [
+            Cause::Demand,
+            Cause::Fill,
+            Cause::Writeback,
+            Cause::Migration,
+            Cause::ModeSwitch,
+            Cause::Metadata,
+        ]
+        .into_iter()
+        .map(|c| plan.bytes_for(c))
+        .sum();
+        prop_assert_eq!(by_cause, total);
+    }
+
+    #[test]
+    fn metadata_spill_rate_matches_model(
+        metadata_kb in 1u64..4096,
+        budget_kb in 0u64..1024,
+        lookups in 100usize..2000,
+    ) {
+        let mut m = MetadataModel::new(metadata_kb << 10, budget_kb << 10, Mem::Hbm, 64);
+        let mut plan = AccessPlan::new();
+        for i in 0..lookups {
+            m.lookup(&mut plan, Addr(i as u64 * 64));
+        }
+        let expected_miss = 1.0 - m.sram_hit_fraction();
+        let observed = plan.background.len() as f64 / lookups as f64;
+        prop_assert!(
+            (observed - expected_miss).abs() < 0.02,
+            "observed {observed} expected {expected_miss}"
+        );
+        prop_assert_eq!(m.lookups(), lookups as u64);
+        prop_assert_eq!(m.spill_lookups(), plan.background.len() as u64);
+    }
+
+    #[test]
+    fn overfetch_tracker_accounting_is_exact(
+        events in proptest::collection::vec((0u64..64, 0u8..3), 1..500)
+    ) {
+        let mut t = OverfetchTracker::new();
+        // Shadow model.
+        let mut resident: std::collections::HashMap<u64, (u64, bool)> = Default::default();
+        let mut fetched = 0u64;
+        let mut wasted = 0u64;
+        for (key, ev) in events {
+            match ev {
+                0 => {
+                    t.fetched(key, 64);
+                    fetched += 64;
+                    resident.entry(key).and_modify(|(b, _)| *b += 64).or_insert((64, false));
+                }
+                1 => {
+                    t.used(key);
+                    if let Some((_, u)) = resident.get_mut(&key) {
+                        *u = true;
+                    }
+                }
+                _ => {
+                    t.evicted(key);
+                    if let Some((b, u)) = resident.remove(&key) {
+                        if !u {
+                            wasted += b;
+                        }
+                    }
+                }
+            }
+        }
+        // Drain.
+        t.evict_all();
+        for (_, (b, u)) in resident {
+            if !u {
+                wasted += b;
+            }
+        }
+        prop_assert_eq!(t.fetched_bytes(), fetched);
+        prop_assert_eq!(t.wasted_bytes(), wasted);
+    }
+}

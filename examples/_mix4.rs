@@ -1,0 +1,18 @@
+use bumblebee::sim::{Design, RunConfig, SimParams, System};
+use bumblebee::trace::{MixWorkload, SpecProfile};
+use bumblebee::types::HybridMemoryController;
+fn main() {
+    let cfg = RunConfig::at_scale(64, 150_000);
+    let profiles = vec![SpecProfile::mcf(), SpecProfile::wrf(), SpecProfile::named("lbm"), SpecProfile::xz()];
+    let controller = Design::Bumblebee.build(cfg.geometry, cfg.sram_budget);
+    let mut system = System::new(controller, cfg.geometry(), SimParams::default(), true);
+    let mut mix = MixWorkload::new(&profiles, cfg.scale, cfg.geometry().flat_bytes(), cfg.seed);
+    for _ in 0..150_000 { system.step(mix.next_access()); }
+    let c = system.controller();
+    let s = c.stats();
+    println!("cycles {} insts {} stall {} | hit {:.3} migr {} evic {} sw {}+{} zomb {} rej {} flush {} faults {:?} alloc {}/{} fills {}",
+        system.now(), system.counters().instructions, system.counters().stall_cycles,
+        s.hbm_hit_rate(), s.page_migrations, s.evictions, s.switch_to_mhbm, s.switch_to_chbm,
+        s.zombie_evictions, s.threshold_rejections, s.pressure_flushes, c.page_faults(),
+        s.alloc_in_hbm, s.allocations, s.block_fills);
+}

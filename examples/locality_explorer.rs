@@ -1,0 +1,68 @@
+//! Locality explorer: watch Bumblebee adapt its cHBM:mHBM ratio to the
+//! workload's locality class — the paper's central claim.
+//!
+//! Runs the three Fig. 1 archetypes (mcf: strong/strong, wrf: weak
+//! spatial/strong temporal, xz: strong spatial/weak temporal) plus a
+//! phase-change stream, printing the controller's chosen mode mix.
+//!
+//! ```text
+//! cargo run --release --example locality_explorer
+//! ```
+
+use bumblebee::core::{BumblebeeConfig, BumblebeeController};
+use bumblebee::sim::{RunConfig, SimParams, System};
+use bumblebee::trace::{SpecProfile, Workload};
+use bumblebee::types::HybridMemoryController;
+
+fn run_profile(cfg: &RunConfig, profile: &SpecProfile) {
+    let controller = BumblebeeController::new(
+        cfg.geometry,
+        BumblebeeConfig { sram_budget: cfg.sram_budget, ..BumblebeeConfig::paper() },
+    );
+    let mut system = System::new(controller, cfg.geometry(), SimParams::default(), true);
+    let mut workload = cfg.workload(profile);
+    for _ in 0..cfg.accesses {
+        system.step(workload.next_access());
+    }
+    let c = system.controller();
+    println!(
+        "{:10} ({:35})  cHBM {:4.1}%  mHBM {:4.1}%  hit {:4.1}%  switches {:>6}+{:<6}",
+        profile.name,
+        profile.class.to_string(),
+        c.chbm_fraction() * 100.0,
+        c.mhbm_fraction() * 100.0,
+        c.stats().hbm_hit_rate() * 100.0,
+        c.stats().switch_to_mhbm,
+        c.stats().switch_to_chbm,
+    );
+}
+
+fn phase_change(cfg: &RunConfig) {
+    // Half the run behaves like wrf (weak spatial), then like xz (strong
+    // spatial): the ratio must move at runtime, without any reconfiguration.
+    let controller = BumblebeeController::new(
+        cfg.geometry,
+        BumblebeeConfig { sram_budget: cfg.sram_budget, ..BumblebeeConfig::paper() },
+    );
+    let mut system = System::new(controller, cfg.geometry(), SimParams::default(), true);
+    let mut wrf = Workload::new(SpecProfile::wrf().spec(cfg.scale), cfg.geometry().flat_bytes(), 7);
+    let mut xz = Workload::new(SpecProfile::xz().spec(cfg.scale), cfg.geometry().flat_bytes(), 7);
+    for _ in 0..cfg.accesses / 2 {
+        system.step(wrf.next_access());
+    }
+    let mid = system.controller().chbm_fraction();
+    for _ in 0..cfg.accesses / 2 {
+        system.step(xz.next_access());
+    }
+    let end = system.controller().chbm_fraction();
+    println!("\nphase change wrf→xz: cHBM fraction {:4.1}% → {:4.1}% (adapted at runtime)", mid * 100.0, end * 100.0);
+}
+
+fn main() {
+    let cfg = RunConfig::at_scale(64, 120_000);
+    println!("How Bumblebee splits its HBM between cache (cHBM) and memory (mHBM):\n");
+    for p in [SpecProfile::mcf(), SpecProfile::wrf(), SpecProfile::xz()] {
+        run_profile(&cfg, &p);
+    }
+    phase_change(&cfg);
+}

@@ -1,0 +1,39 @@
+//! Quickstart: run Bumblebee on one workload and print the headline
+//! numbers against the no-HBM baseline and Hybrid2.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bumblebee::sim::{run_design, run_reference, Design, RunConfig};
+use bumblebee::trace::SpecProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1/64 of the paper's Table I capacities: fast, same ratios.
+    let cfg = RunConfig::at_scale(64, 100_000);
+    let mcf = SpecProfile::mcf();
+
+    println!("workload: {} ({}; paper MPKI {:.1})", mcf.name, mcf.class, mcf.mpki);
+    println!(
+        "geometry: {} MB HBM / {} MB off-chip DRAM, {} KB pages, {} KB blocks\n",
+        cfg.geometry().hbm_bytes() >> 20,
+        cfg.geometry().dram_bytes() >> 20,
+        cfg.geometry().page_bytes() >> 10,
+        cfg.geometry().block_bytes() >> 10,
+    );
+
+    let baseline = run_reference(&cfg, &mcf)?;
+    for design in [Design::Hybrid2, Design::Bumblebee] {
+        let r = run_design(design, &cfg, &mcf)?;
+        println!(
+            "{:10}  IPC {:.2}x  HBM hit rate {:4.1}%  HBM {:6.1} MB  DRAM {:6.1} MB  metadata {:5.1} KB",
+            r.design,
+            r.normalized_ipc(&baseline),
+            r.stats.hbm_hit_rate() * 100.0,
+            r.hbm_bytes as f64 / (1 << 20) as f64,
+            r.dram_bytes as f64 / (1 << 20) as f64,
+            r.metadata_bytes as f64 / 1024.0,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Shootout: every design of the paper's Fig. 8 head to head on a chosen
+//! workload, with the full metric set.
+//!
+//! ```text
+//! cargo run --release --example shootout [workload]
+//! ```
+
+use bumblebee::sim::{run_design, run_reference, Design, RunConfig};
+use bumblebee::trace::SpecProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bwaves".to_string());
+    let profile = SpecProfile::named(&name);
+    let cfg = RunConfig::at_scale(64, 100_000);
+
+    println!(
+        "{} — MPKI {:.1}, footprint {:.1} GB (paper scale), {}\n",
+        profile.name,
+        profile.mpki,
+        profile.footprint_mb as f64 / 1024.0,
+        profile.class
+    );
+    let baseline = run_reference(&cfg, &profile)?;
+    println!(
+        "{:10}  {:>6}  {:>9}  {:>10}  {:>10}  {:>8}  {:>9}",
+        "design", "IPC", "HBM hit%", "HBM MB", "DRAM MB", "energy", "overfetch"
+    );
+    for design in Design::fig8() {
+        let r = run_design(design, &cfg, &profile)?;
+        println!(
+            "{:10}  {:6.2}  {:9.1}  {:10.1}  {:10.1}  {:8.2}  {:>9}",
+            r.design,
+            r.normalized_ipc(&baseline),
+            r.stats.hbm_hit_rate() * 100.0,
+            r.hbm_bytes as f64 / (1 << 20) as f64,
+            r.dram_bytes as f64 / (1 << 20) as f64,
+            r.normalized_energy(&baseline),
+            r.overfetch.map_or("-".to_string(), |v| format!("{:.1}%", v * 100.0)),
+        );
+    }
+    println!("\n(IPC and energy normalized to a no-HBM system; lower energy is better)");
+    Ok(())
+}

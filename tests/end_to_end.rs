@@ -1,0 +1,113 @@
+//! Cross-crate integration: trace generation → controllers → DRAM timing,
+//! for every design in the registry.
+
+use bumblebee::sim::{run_design, run_reference, Design, RunConfig};
+use bumblebee::trace::SpecProfile;
+use bumblebee::types::HybridMemoryController;
+
+fn all_designs() -> Vec<Design> {
+    let mut v = vec![Design::NoHbm];
+    v.extend(Design::fig8());
+    v.extend(
+        memsim_baselines_labels()
+            .into_iter()
+            .map(Design::Ablation),
+    );
+    v
+}
+
+fn memsim_baselines_labels() -> Vec<&'static str> {
+    bumblebee::baselines::ablations::FIG7_LABELS.to_vec()
+}
+
+#[test]
+fn every_design_completes_a_run_with_consistent_reports() {
+    let cfg = RunConfig::tiny();
+    let profile = SpecProfile::mcf();
+    for design in all_designs() {
+        let r = run_design(design, &cfg, &profile).expect("run completes");
+        assert!(r.cycles > 0, "{}", r.design);
+        assert!(r.instructions > 0, "{}", r.design);
+        assert!(r.ipc > 0.0, "{}", r.design);
+        assert_eq!(r.accesses, cfg.accesses, "{}", r.design);
+        // Controllers served every access exactly once.
+        assert_eq!(
+            r.stats.total_accesses(),
+            cfg.accesses + cfg.warmup,
+            "{} (incl. warmup)",
+            r.design
+        );
+        if design.uses_hbm() {
+            assert!(r.hbm_bytes > 0, "{} must touch HBM", r.design);
+        } else {
+            assert_eq!(r.hbm_bytes, 0, "{} must not touch HBM", r.design);
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = RunConfig::tiny();
+    for design in [Design::Bumblebee, Design::Banshee, Design::Hybrid2] {
+        let a = run_design(design, &cfg, &SpecProfile::wrf()).expect("run");
+        let b = run_design(design, &cfg, &SpecProfile::wrf()).expect("run");
+        assert_eq!(a.cycles, b.cycles, "{}", a.design);
+        assert_eq!(a.hbm_bytes, b.hbm_bytes, "{}", a.design);
+        assert_eq!(a.dram_bytes, b.dram_bytes, "{}", a.design);
+        assert!((a.dynamic_energy_pj - b.dynamic_energy_pj).abs() < 1e-6, "{}", a.design);
+    }
+}
+
+#[test]
+fn baseline_normalization_is_identity() {
+    let cfg = RunConfig::tiny();
+    let base = run_reference(&cfg, &SpecProfile::xz()).expect("run");
+    assert!((base.normalized_ipc(&base) - 1.0).abs() < 1e-12);
+    assert!((base.normalized_energy(&base) - 1.0).abs() < 1e-12);
+    assert!((base.normalized_dram_traffic(&base) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn hbm_designs_shift_traffic_off_the_dram_bus() {
+    let cfg = RunConfig::tiny();
+    let p = SpecProfile::mcf();
+    let base = run_reference(&cfg, &p).expect("run");
+    let bee = run_design(Design::Bumblebee, &cfg, &p).expect("run");
+    // mcf's hot set lives in HBM: demand DRAM traffic must drop.
+    assert!(
+        bee.stats.hbm_hit_rate() > 0.8,
+        "mcf hot set should be HBM-resident, hit rate {}",
+        bee.stats.hbm_hit_rate()
+    );
+    assert!(bee.normalized_ipc(&base) > 1.0);
+}
+
+#[test]
+fn direct_controller_use_matches_the_documented_api() {
+    // The README/quickstart path: build a controller by hand and drive it.
+    use bumblebee::core::{BumblebeeConfig, BumblebeeController};
+    use bumblebee::types::{Access, AccessPlan, Addr, Geometry};
+
+    let geometry = Geometry::paper(256);
+    let mut hmmc = BumblebeeController::new(geometry, BumblebeeConfig::default());
+    let mut plan = AccessPlan::new();
+    for i in 0..1000u64 {
+        plan.clear();
+        hmmc.access(&Access::read(Addr((i % 64) * 2048)), &mut plan);
+    }
+    assert!(hmmc.stats().hbm_hit_rate() > 0.5);
+    assert!(hmmc.metadata_bytes() > 0);
+    assert!(hmmc.os_visible_bytes() >= geometry.dram_bytes());
+}
+
+#[test]
+fn mpki_of_generated_streams_survives_the_full_pipeline() {
+    let cfg = RunConfig::tiny();
+    for name in ["roms", "mcf", "leela"] {
+        let p = SpecProfile::named(name);
+        let r = run_design(Design::NoHbm, &cfg, &p).expect("run");
+        let mpki = r.accesses as f64 * 1000.0 / r.instructions as f64;
+        let rel = (mpki - p.mpki).abs() / p.mpki;
+        assert!(rel < 0.2, "{name}: pipeline MPKI {mpki:.2} vs paper {:.2}", p.mpki);
+    }
+}
