@@ -1,20 +1,11 @@
-//! Criterion bench regenerating Fig. 1 at a reduced volume.
+//! Timing bench regenerating Fig. 1 at a reduced volume.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bumblebee_bench::bench_case;
 use memsim_sim::figures::fig1;
 use memsim_sim::RunConfig;
 
-fn bench_fig1(c: &mut Criterion) {
+fn main() {
     let mut cfg = RunConfig::at_scale(64, 30_000);
     cfg.warmup = 0;
-    c.bench_function("fig1_three_archetypes", |b| {
-        b.iter(|| fig1::run(&cfg))
-    });
+    bench_case("fig1_three_archetypes", 10, || fig1::run(&cfg));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig1
-}
-criterion_main!(benches);

@@ -1,28 +1,19 @@
-//! Criterion bench regenerating a Fig. 6 design-space point.
+//! Timing bench regenerating a Fig. 6 design-space point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bumblebee_bench::bench_case;
 use memsim_sim::{run_design, Design, RunConfig};
 use memsim_trace::SpecProfile;
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
     let profiles = [SpecProfile::mcf(), SpecProfile::wrf()];
     for (block, page) in [(2u64, 64u64), (4, 128)] {
         let cfg = RunConfig::at_scale(64, 30_000)
             .with_block_page(block << 10, page << 10)
             .expect("valid configuration");
-        c.bench_function(&format!("fig6_{block}k_{page}k"), |b| {
-            b.iter(|| {
-                for p in &profiles {
-                    run_design(Design::Bumblebee, &cfg, p).expect("run");
-                }
-            })
+        bench_case(&format!("fig6_{block}k_{page}k"), 10, || {
+            for p in &profiles {
+                run_design(Design::Bumblebee, &cfg, p).expect("run");
+            }
         });
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig6
-}
-criterion_main!(benches);

@@ -1,22 +1,15 @@
-//! Criterion bench regenerating Fig. 7 ablation points.
+//! Timing bench regenerating Fig. 7 ablation points.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bumblebee_bench::bench_case;
 use memsim_sim::{run_design, Design, RunConfig};
 use memsim_trace::SpecProfile;
 
-fn bench_fig7(c: &mut Criterion) {
+fn main() {
     let cfg = RunConfig::at_scale(64, 30_000);
     let p = SpecProfile::mcf();
     for label in ["C-Only", "M-Only", "No-Multi", "Bumblebee"] {
-        c.bench_function(&format!("fig7_{label}"), |b| {
-            b.iter(|| run_design(Design::Ablation(label), &cfg, &p).expect("run"))
+        bench_case(&format!("fig7_{label}"), 10, || {
+            run_design(Design::Ablation(label), &cfg, &p).expect("run")
         });
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig7
-}
-criterion_main!(benches);

@@ -1,22 +1,15 @@
-//! Criterion bench regenerating Fig. 8 design/workload cells.
+//! Timing bench regenerating Fig. 8 design/workload cells.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bumblebee_bench::bench_case;
 use memsim_sim::{run_design, Design, RunConfig};
 use memsim_trace::SpecProfile;
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
     let cfg = RunConfig::at_scale(64, 30_000);
     let p = SpecProfile::mcf();
     for d in Design::fig8() {
-        c.bench_function(&format!("fig8_{}_mcf", d.label()), |b| {
-            b.iter(|| run_design(d, &cfg, &p).expect("run"))
+        bench_case(&format!("fig8_{}_mcf", d.label()), 10, || {
+            run_design(d, &cfg, &p).expect("run")
         });
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig8
-}
-criterion_main!(benches);

@@ -1,47 +1,42 @@
 //! Microbenchmarks of the performance-critical building blocks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bumblebee_bench::bench_case;
 use memsim_dram::{presets, DramDevice};
 use memsim_trace::{SpecProfile, Workload};
 use memsim_types::{Access, AccessPlan, Addr, Geometry, HybridMemoryController, OpKind};
 
-fn bench_dram_device(c: &mut Criterion) {
-    c.bench_function("dram_device_64b_reads", |b| {
-        let mut d = DramDevice::new(presets::hbm2(64 << 20));
-        let mut now = 0u64;
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9E3779B97F4A7C15);
-            now = d.access(Addr(i % (64 << 20)), 64, OpKind::Read, now);
-            now
-        })
+fn bench_dram_device() {
+    let mut d = DramDevice::new(presets::hbm2(64 << 20));
+    let mut now = 0u64;
+    let mut i = 0u64;
+    bench_case("dram_device_64b_reads", 1_000_000, || {
+        i = i.wrapping_add(0x9E3779B97F4A7C15);
+        now = d.access(Addr(i % (64 << 20)), 64, OpKind::Read, now);
+        now
     });
 }
 
-fn bench_workload_generation(c: &mut Criterion) {
-    c.bench_function("workload_next_access", |b| {
-        let mut w = Workload::new(SpecProfile::mcf().spec(16), u64::MAX, 1);
-        b.iter(|| w.next_access())
+fn bench_workload_generation() {
+    let mut w = Workload::new(SpecProfile::mcf().spec(16), u64::MAX, 1);
+    bench_case("workload_next_access", 1_000_000, || w.next_access());
+}
+
+fn bench_bumblebee_access() {
+    let g = Geometry::paper(64);
+    let mut ctrl =
+        bumblebee_core::BumblebeeController::new(g, bumblebee_core::BumblebeeConfig::default());
+    let mut w = Workload::new(SpecProfile::mcf().spec(64), g.flat_bytes(), 1);
+    let mut plan = AccessPlan::new();
+    bench_case("bumblebee_controller_access", 1_000_000, || {
+        let a: Access = w.next_access();
+        plan.clear();
+        ctrl.access(&a, &mut plan);
+        plan.critical.len()
     });
 }
 
-fn bench_bumblebee_access(c: &mut Criterion) {
-    c.bench_function("bumblebee_controller_access", |b| {
-        let g = Geometry::paper(64);
-        let mut ctrl = bumblebee_core::BumblebeeController::new(
-            g,
-            bumblebee_core::BumblebeeConfig::default(),
-        );
-        let mut w = Workload::new(SpecProfile::mcf().spec(64), g.flat_bytes(), 1);
-        let mut plan = AccessPlan::new();
-        b.iter(|| {
-            let a: Access = w.next_access();
-            plan.clear();
-            ctrl.access(&a, &mut plan);
-            plan.critical.len()
-        })
-    });
+fn main() {
+    bench_dram_device();
+    bench_workload_generation();
+    bench_bumblebee_access();
 }
-
-criterion_group!(benches, bench_dram_device, bench_workload_generation, bench_bumblebee_access);
-criterion_main!(benches);

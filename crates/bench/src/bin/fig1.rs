@@ -8,7 +8,13 @@ fn main() {
     // Per-line reuse needs run lengths well beyond the figure-8 default
     // (the paper's slices run billions of instructions).
     opts.cfg.accesses = opts.cfg.accesses.max(4_000_000);
-    println!("Fig. 1 — access counts per 64 B before eviction (scale 1/{})", opts.cfg.scale);
-    let data = fig1::run(&opts.cfg);
+    let engine = opts.engine();
+    println!(
+        "Fig. 1 — access counts per 64 B before eviction (scale 1/{}, {} jobs)",
+        opts.cfg.scale,
+        engine.jobs()
+    );
+    let data = fig1::run_with(&engine, &opts.cfg);
+    opts.write_jsonl("fig1", &fig1::jsonl_lines(&data));
     println!("{}", fig1::render(&data));
 }

@@ -5,12 +5,16 @@ use memsim_sim::figures::fig6;
 
 fn main() {
     let opts = bumblebee_bench::parse_env();
+    let engine = opts.engine();
     println!(
-        "Fig. 6 — design-space exploration over {} workloads (scale 1/{})",
+        "Fig. 6 — design-space exploration over {} workloads (scale 1/{}, {} jobs)",
         opts.profiles.len(),
-        opts.cfg.scale
+        opts.cfg.scale,
+        engine.jobs()
     );
-    let points = fig6::run(&opts.cfg, &opts.profiles).expect("valid design-space geometry");
+    let (points, results) =
+        fig6::run_with(&engine, &opts.cfg, &opts.profiles).expect("valid design-space geometry");
+    opts.write_jsonl("fig6", &results.jsonl_lines());
     println!("{}", fig6::render(&points));
     if let Some(best) = fig6::best(&points) {
         println!("best configuration: {}KB blocks / {}KB pages (paper: 2KB / 64KB)",

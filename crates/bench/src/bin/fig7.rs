@@ -5,11 +5,15 @@ use memsim_sim::figures::fig7;
 
 fn main() {
     let opts = bumblebee_bench::parse_env();
+    let engine = opts.engine();
     println!(
-        "Fig. 7 — performance factors over {} workloads (scale 1/{})",
+        "Fig. 7 — performance factors over {} workloads (scale 1/{}, {} jobs)",
         opts.profiles.len(),
-        opts.cfg.scale
+        opts.cfg.scale,
+        engine.jobs()
     );
-    let bars = fig7::run(&opts.cfg, &opts.profiles).expect("runs complete");
+    let (bars, results) =
+        fig7::run_with(&engine, &opts.cfg, &opts.profiles).expect("runs complete");
+    opts.write_jsonl("fig7", &results.jsonl_lines());
     println!("{}", fig7::render(&bars));
 }

@@ -8,12 +8,15 @@ use memsim_sim::figures::fig8::{self, Panel};
 fn main() {
     let opts = bumblebee_bench::parse_env();
     let which = opts.rest.first().map(String::as_str).unwrap_or("all");
+    let engine = opts.engine();
     println!(
-        "Fig. 8 — comparison over {} workloads (scale 1/{})",
+        "Fig. 8 — comparison over {} workloads (scale 1/{}, {} jobs)",
         opts.profiles.len(),
-        opts.cfg.scale
+        opts.cfg.scale,
+        engine.jobs()
     );
-    let data = fig8::run(&opts.cfg, &opts.profiles).expect("runs complete");
+    let data = fig8::run_with(&engine, &opts.cfg, &opts.profiles).expect("runs complete");
+    opts.write_jsonl("fig8", &data.results.jsonl_lines());
     let panels: Vec<Panel> = match which {
         "ipc" => vec![Panel::Ipc],
         "hbm-traffic" => vec![Panel::HbmTraffic],

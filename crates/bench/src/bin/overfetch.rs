@@ -5,7 +5,9 @@ use memsim_sim::figures::tables;
 
 fn main() {
     let opts = bumblebee_bench::parse_env();
-    let rows = tables::overfetch(&opts.cfg, &opts.profiles).expect("runs complete");
+    let (rows, results) =
+        tables::overfetch_with(&opts.engine(), &opts.cfg, &opts.profiles).expect("runs complete");
+    opts.write_jsonl("overfetch", &results.jsonl_lines());
     println!("data brought into HBM but never used before eviction:");
     for (design, ratio) in rows {
         println!("  {design:10} {:5.1}%", ratio * 100.0);

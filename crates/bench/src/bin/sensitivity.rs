@@ -8,24 +8,36 @@ use memsim_sim::figures::sensitivity;
 fn main() {
     let opts = bumblebee_bench::parse_env();
     let which = opts.rest.first().map(String::as_str).unwrap_or("all");
+    let engine = opts.engine();
     println!(
-        "Sensitivity sweeps over {} workloads (scale 1/{})",
+        "Sensitivity sweeps over {} workloads (scale 1/{}, {} jobs)",
         opts.profiles.len(),
-        opts.cfg.scale
+        opts.cfg.scale,
+        engine.jobs()
     );
     let mut points = Vec::new();
     if which == "hot-queue" || which == "all" {
-        points.extend(sensitivity::sweep_hot_queue(&opts.cfg, &opts.profiles).expect("sweep"));
+        points.extend(
+            sensitivity::sweep_hot_queue_with(&engine, &opts.cfg, &opts.profiles).expect("sweep"),
+        );
     }
     if which == "switch-fraction" || which == "all" {
-        points
-            .extend(sensitivity::sweep_switch_fraction(&opts.cfg, &opts.profiles).expect("sweep"));
+        points.extend(
+            sensitivity::sweep_switch_fraction_with(&engine, &opts.cfg, &opts.profiles)
+                .expect("sweep"),
+        );
     }
     if which == "ways" || which == "all" {
-        points.extend(sensitivity::sweep_ways(&opts.cfg, &opts.profiles).expect("sweep"));
+        points.extend(
+            sensitivity::sweep_ways_with(&engine, &opts.cfg, &opts.profiles).expect("sweep"),
+        );
     }
     if which == "zombie" || which == "all" {
-        points.extend(sensitivity::sweep_zombie_window(&opts.cfg, &opts.profiles).expect("sweep"));
+        points.extend(
+            sensitivity::sweep_zombie_window_with(&engine, &opts.cfg, &opts.profiles)
+                .expect("sweep"),
+        );
     }
+    opts.write_jsonl("sensitivity", &sensitivity::jsonl_lines(&points));
     println!("{}", sensitivity::render(&points));
 }

@@ -8,7 +8,8 @@ use memsim_trace::SpecProfile;
 
 fn main() {
     let opts = bumblebee_bench::parse_env();
-    let rows = tables::table2(&opts.cfg);
+    let rows = tables::table2_with(&opts.engine(), &opts.cfg);
+    opts.write_jsonl("table2", &tables::table2_jsonl(&rows));
     println!("{}", tables::render_table2(&rows));
     if opts.rest.iter().any(|a| a == "--hierarchy") {
         let mpki = tables::hierarchy_mpki(&opts.cfg, &SpecProfile::mcf(), 100_000);

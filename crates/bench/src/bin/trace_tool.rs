@@ -6,7 +6,7 @@
 //! trace_tool info   <file>
 //! ```
 
-use memsim_sim::{Design, SimParams, System};
+use memsim_sim::{Design, JsonObj, SimParams, System};
 use memsim_trace::io::{read_trace, write_trace};
 use memsim_types::HybridMemoryController;
 use std::fs::File;
@@ -27,6 +27,7 @@ fn main() -> std::io::Result<()> {
             println!("recorded {n} accesses of {} to {path}", profile.name);
         }
         ("replay", Some(path)) => {
+            let mut lines = Vec::new();
             for design in [Design::NoHbm, Design::Bumblebee] {
                 let reader = BufReader::new(File::open(&path)?);
                 let controller = design.build(opts.cfg.geometry, opts.cfg.sram_budget);
@@ -37,15 +38,29 @@ fn main() -> std::io::Result<()> {
                     system.step(rec?);
                     n += 1;
                 }
+                let ipc = system.counters().instructions as f64 / system.now().max(1) as f64;
+                let hit = system.controller().stats().hbm_hit_rate();
                 println!(
                     "{:10}  {} accesses  {} cycles  IPC {:.3}  HBM hit {:.1}%",
                     design.label(),
                     n,
                     system.now(),
-                    system.counters().instructions as f64 / system.now().max(1) as f64,
-                    system.controller().stats().hbm_hit_rate() * 100.0,
+                    ipc,
+                    hit * 100.0,
+                );
+                lines.push(
+                    JsonObj::new()
+                        .str("kind", "trace_replay")
+                        .str("trace", &path)
+                        .str("design", design.label())
+                        .u64("accesses", n)
+                        .u64("cycles", system.now())
+                        .f64("ipc", ipc)
+                        .f64("hbm_hit_rate", hit)
+                        .finish(),
                 );
             }
+            opts.write_jsonl("trace_replay", &lines);
         }
         ("info", Some(path)) => {
             let reader = BufReader::new(File::open(&path)?);

@@ -1,4 +1,4 @@
-//! Shared harness plumbing for the figure/table binaries and Criterion
+//! Shared harness plumbing for the figure/table binaries and the timing
 //! benches.
 //!
 //! Every binary accepts the same flags:
@@ -6,10 +6,16 @@
 //! * `--full` — paper-scale geometry (1 GB HBM / 10 GB DRAM; slow);
 //! * `--scale N` — capacity divisor (default 16);
 //! * `--accesses N` — LLC-miss requests per run;
-//! * `--workloads a,b,c` — subset of Table II benchmarks (default: all 14).
+//! * `--workloads a,b,c` — subset of Table II benchmarks (default: all 14);
+//! * `--jobs N` — parallel experiment cells (default: `BUMBLEBEE_JOBS`
+//!   or the machine's available parallelism; `1` = serial);
+//! * `--out DIR` — directory for `*.jsonl` artifacts (default:
+//!   `BUMBLEBEE_RESULTS_DIR` or `./results`).
 
-use memsim_sim::RunConfig;
+use memsim_sim::{Engine, RunConfig};
 use memsim_trace::SpecProfile;
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -18,8 +24,36 @@ pub struct HarnessOpts {
     pub cfg: RunConfig,
     /// Workloads to evaluate.
     pub profiles: Vec<SpecProfile>,
+    /// Explicit `--jobs` width, if given.
+    pub jobs: Option<usize>,
+    /// Directory for JSONL artifacts.
+    pub out: PathBuf,
     /// Positional (non-flag) arguments left over.
     pub rest: Vec<String>,
+}
+
+impl HarnessOpts {
+    /// The experiment engine these options select: `--jobs` if given,
+    /// the environment otherwise, with progress lines enabled.
+    pub fn engine(&self) -> Engine {
+        match self.jobs {
+            Some(j) => Engine::new(j),
+            None => Engine::from_env(),
+        }
+        .with_progress(true)
+    }
+
+    /// Writes `lines` to `<out>/<figure>.jsonl` and reports the path on
+    /// stderr; exits the process on I/O failure (these are leaf binaries).
+    pub fn write_jsonl(&self, figure: &str, lines: &[String]) {
+        match memsim_sim::write_jsonl(&self.out, figure, lines) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {figure}.jsonl under {}: {e}", self.out.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Parses command-line style arguments.
@@ -32,6 +66,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
     let mut scale = 16u64;
     let mut accesses: Option<u64> = None;
     let mut names: Option<Vec<String>> = None;
+    let mut jobs: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -54,6 +90,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
                 let list = it.next().unwrap_or_else(|| panic!("--workloads needs a list"));
                 names = Some(list.split(',').map(str::to_string).collect());
             }
+            "--jobs" => {
+                jobs = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&j| j > 0)
+                        .unwrap_or_else(|| panic!("--jobs needs a positive number")),
+                );
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| panic!("--out needs a directory")),
+                ));
+            }
             other => rest.push(other.to_string()),
         }
     }
@@ -63,12 +112,35 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
         Some(ns) => ns.iter().map(|n| SpecProfile::named(n)).collect(),
         None => SpecProfile::table2(),
     };
-    HarnessOpts { cfg, profiles, rest }
+    HarnessOpts {
+        cfg,
+        profiles,
+        jobs,
+        out: out.unwrap_or_else(memsim_sim::results_dir),
+        rest,
+    }
 }
 
 /// Parses `std::env::args()` (skipping the binary name).
 pub fn parse_env() -> HarnessOpts {
     parse_args(std::env::args().skip(1))
+}
+
+/// Times `f` over `iters` iterations after one warm-up call and prints a
+/// `name  total  per-iter` line — the plain-`fn main()` replacement for
+/// the former Criterion harness, keeping `cargo bench` registry-free.
+pub fn bench_case<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    println!(
+        "{name:40} {iters:>9} iters  {:>10.1} ms total  {:>12.0} ns/iter",
+        total.as_secs_f64() * 1e3,
+        total.as_secs_f64() * 1e9 / iters as f64
+    );
 }
 
 #[cfg(test)]
@@ -85,6 +157,7 @@ mod tests {
         assert_eq!(o.cfg.scale, 16);
         assert_eq!(o.cfg.accesses, 400_000);
         assert_eq!(o.profiles.len(), 14);
+        assert_eq!(o.jobs, None);
         assert!(o.rest.is_empty());
     }
 
@@ -105,8 +178,22 @@ mod tests {
     }
 
     #[test]
+    fn jobs_and_out_flags() {
+        let o = opts(&["--jobs", "4", "--out", "/tmp/r"]);
+        assert_eq!(o.jobs, Some(4));
+        assert_eq!(o.engine().jobs(), 4);
+        assert_eq!(o.out, PathBuf::from("/tmp/r"));
+    }
+
+    #[test]
     #[should_panic(expected = "--scale needs a number")]
     fn bad_scale_panics() {
         opts(&["--scale", "abc"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs needs a positive number")]
+    fn zero_jobs_panics() {
+        opts(&["--jobs", "0"]);
     }
 }

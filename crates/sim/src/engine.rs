@@ -1,0 +1,250 @@
+//! The experiment engine: parallel execution of an [`ExperimentMatrix`].
+//!
+//! A shared-cursor executor over `std::thread::scope` (no external
+//! dependencies): workers pop the next unclaimed cell from an atomic
+//! cursor, run it with [`run_design`], and slot the [`SimReport`] into the
+//! cell's position, so the assembled [`ResultSet`] is independent of
+//! worker count and scheduling. Width comes from `--jobs N`, the
+//! `BUMBLEBEE_JOBS` environment variable, or the machine's available
+//! parallelism; `1` reproduces the old sequential behavior exactly — and,
+//! because per-cell seeds are derived in the matrix rather than at run
+//! time, every width produces byte-identical reports.
+
+use crate::jsonl::JsonObj;
+use crate::matrix::{Cell, ExperimentMatrix};
+use crate::report::SimReport;
+use crate::run::run_design;
+use memsim_types::GeometryError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Parallel executor for experiment matrices; see the module docs.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    jobs: usize,
+    progress: bool,
+}
+
+impl Engine {
+    /// An engine running `jobs` cells concurrently (clamped to ≥ 1),
+    /// without progress output.
+    pub fn new(jobs: usize) -> Engine {
+        Engine { jobs: jobs.max(1), progress: false }
+    }
+
+    /// Width from the environment: `BUMBLEBEE_JOBS` if set, else the
+    /// machine's available parallelism.
+    pub fn from_env() -> Engine {
+        let jobs = std::env::var("BUMBLEBEE_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&j| j > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+            });
+        Engine::new(jobs)
+    }
+
+    /// Enables or disables per-cell progress lines on stderr.
+    pub fn with_progress(mut self, progress: bool) -> Engine {
+        self.progress = progress;
+        self
+    }
+
+    /// The configured width.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item, in parallel up to the engine width.
+    /// Results keep item order regardless of scheduling.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<R>>> =
+            Mutex::new(std::iter::repeat_with(|| None).take(items.len()).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    slots.lock().expect("no panics while holding results lock")[i] = Some(r);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Runs every cell of `matrix` and assembles the indexed result set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration error any cell produced (by cell
+    /// order, not completion order).
+    pub fn run(&self, matrix: &ExperimentMatrix) -> Result<ResultSet, GeometryError> {
+        let total = matrix.len();
+        let done = AtomicUsize::new(0);
+        let results = self.par_map(matrix.cells(), |cell| {
+            let start = Instant::now();
+            let report = run_design(cell.design, &cell.cfg, &cell.profile);
+            if self.progress {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[{} {n}/{total}] {} {} ms",
+                    matrix.name(),
+                    cell.label(),
+                    start.elapsed().as_millis()
+                );
+            }
+            report
+        });
+        let mut reports = Vec::with_capacity(total);
+        for r in results {
+            reports.push(r?);
+        }
+        Ok(ResultSet::new(matrix, self.jobs, reports))
+    }
+}
+
+/// The reports of one matrix run, indexed by cell id and by
+/// `(tag, design, workload)`.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    name: String,
+    jobs: usize,
+    cells: Vec<Cell>,
+    reports: Vec<SimReport>,
+    index: HashMap<(String, &'static str, String), usize>,
+}
+
+impl ResultSet {
+    fn new(matrix: &ExperimentMatrix, jobs: usize, reports: Vec<SimReport>) -> ResultSet {
+        let cells = matrix.cells().to_vec();
+        let mut index = HashMap::with_capacity(cells.len());
+        for c in &cells {
+            index.insert((c.tag.clone(), c.design.label(), c.profile.name.to_string()), c.id);
+        }
+        ResultSet { name: matrix.name().to_string(), jobs, cells, reports, index }
+    }
+
+    /// The matrix name this set came from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The width the run used.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Report of cell `id`.
+    pub fn report(&self, id: usize) -> &SimReport {
+        &self.reports[id]
+    }
+
+    /// All reports, in cell order.
+    pub fn reports(&self) -> &[SimReport] {
+        &self.reports
+    }
+
+    /// The cells, in order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Looks up the report for `(tag, design label, workload)`.
+    pub fn get(&self, tag: &str, design: &str, workload: &str) -> Option<&SimReport> {
+        self.index
+            .get(&(tag.to_string(), design, workload.to_string()))
+            .map(|&id| &self.reports[id])
+    }
+
+    /// One JSONL line per cell: cell coordinates plus the full report.
+    /// Byte-identical across `--jobs` widths for the same matrix.
+    pub fn jsonl_lines(&self) -> Vec<String> {
+        self.cells
+            .iter()
+            .zip(&self.reports)
+            .map(|(c, r)| {
+                let mut obj = JsonObj::new()
+                    .str("kind", "report")
+                    .str("figure", &self.name)
+                    .str("tag", &c.tag)
+                    .u64("cell", c.id as u64)
+                    .u64("seed", c.cfg.seed)
+                    .u64("scale", c.cfg.scale);
+                r.append_json(&mut obj);
+                obj.finish()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::Design;
+    use crate::run::RunConfig;
+    use memsim_trace::SpecProfile;
+
+    #[test]
+    fn par_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = Engine::new(1).par_map(&items, |x| x * x);
+        for jobs in [2, 4, 8] {
+            let parallel = Engine::new(jobs).par_map(&items, |x| x * x);
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn engine_from_env_is_at_least_one() {
+        assert!(Engine::from_env().jobs() >= 1);
+    }
+
+    #[test]
+    fn result_set_indexes_by_design_and_workload() {
+        let profiles = [SpecProfile::mcf()];
+        let m = ExperimentMatrix::cross(
+            "t",
+            &[Design::NoHbm, Design::Bumblebee],
+            &profiles,
+            &RunConfig::tiny(),
+        );
+        let rs = Engine::new(2).run(&m).unwrap();
+        assert_eq!(rs.len(), 2);
+        let bee = rs.get("", "Bumblebee", "mcf").unwrap();
+        assert_eq!(bee.design, "Bumblebee");
+        assert!(rs.get("", "Hybrid2", "mcf").is_none());
+        assert_eq!(rs.jsonl_lines().len(), 2);
+        assert!(rs.jsonl_lines()[0].contains("\"figure\":\"t\""));
+    }
+}

@@ -7,6 +7,8 @@
 //! in the figure's legend (N < 5, 5 ≤ N < 10, 10 ≤ N < 15, 15 ≤ N < 20,
 //! 20 ≤ N).
 
+use crate::engine::Engine;
+use crate::jsonl::JsonObj;
 use crate::report::render_table;
 use crate::run::RunConfig;
 use memsim_trace::SpecProfile;
@@ -137,13 +139,60 @@ pub fn run_workload(cfg: &RunConfig, profile: &SpecProfile) -> Vec<(u64, BucketS
 
 /// Runs Fig. 1 for the paper's three archetypes (mcf, wrf, xz).
 pub fn run(cfg: &RunConfig) -> Vec<(SpecProfile, Vec<(u64, BucketShares)>)> {
-    [SpecProfile::mcf(), SpecProfile::wrf(), SpecProfile::xz()]
+    run_with(&Engine::new(1), cfg)
+}
+
+/// Runs Fig. 1 on `engine`: one unit of work per (workload, line size)
+/// cell, so all 18 cells fill the available width.
+pub fn run_with(engine: &Engine, cfg: &RunConfig) -> Vec<(SpecProfile, Vec<(u64, BucketShares)>)> {
+    let profiles = [SpecProfile::mcf(), SpecProfile::wrf(), SpecProfile::xz()];
+    let cells: Vec<(SpecProfile, u64)> = profiles
+        .iter()
+        .flat_map(|p| LINE_SIZES.iter().map(|&l| (p.clone(), l)))
+        .collect();
+    let shares = engine.par_map(&cells, |(p, line_bytes)| {
+        let mut cache = LineCache::new(cfg.geometry().hbm_bytes(), *line_bytes);
+        let mut workload = cfg.workload(p);
+        for _ in 0..cfg.accesses {
+            cache.touch(workload.next_access().addr.0);
+        }
+        cache.drain();
+        cache.shares()
+    });
+    profiles
         .into_iter()
-        .map(|p| {
-            let rows = run_workload(cfg, &p);
+        .enumerate()
+        .map(|(i, p)| {
+            let rows = LINE_SIZES
+                .iter()
+                .enumerate()
+                .map(|(j, &l)| (l, shares[i * LINE_SIZES.len() + j]))
+                .collect();
             (p, rows)
         })
         .collect()
+}
+
+/// One JSONL line per (workload, line size) cell.
+pub fn jsonl_lines(data: &[(SpecProfile, Vec<(u64, BucketShares)>)]) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (p, cells) in data {
+        for (line_bytes, shares) in cells {
+            lines.push(
+                JsonObj::new()
+                    .str("kind", "fig1")
+                    .str("workload", p.name)
+                    .u64("line_bytes", *line_bytes)
+                    .f64("share_lt5", shares.0[0])
+                    .f64("share_5_10", shares.0[1])
+                    .f64("share_10_15", shares.0[2])
+                    .f64("share_15_20", shares.0[3])
+                    .f64("share_ge20", shares.0[4])
+                    .finish(),
+            );
+        }
+    }
+    lines
 }
 
 /// Renders the figure data as a text table.

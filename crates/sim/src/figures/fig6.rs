@@ -2,8 +2,10 @@
 //! (1/2/4 KB blocks × 64/96/128 KB pages).
 
 use crate::designs::Design;
+use crate::engine::{Engine, ResultSet};
+use crate::matrix::ExperimentMatrix;
 use crate::report::render_table;
-use crate::run::{geomean, run_design, run_reference, RunConfig};
+use crate::run::{geomean, RunConfig};
 use memsim_trace::SpecProfile;
 use memsim_types::GeometryError;
 
@@ -31,24 +33,64 @@ pub struct Fig6Point {
     pub speedup: f64,
 }
 
+/// The declarative cell list: baseline + Bumblebee per workload, tagged
+/// `"<block>-<page>"`, for each of the nine configurations.
+///
+/// # Errors
+///
+/// Propagates geometry errors from invalid block/page combinations.
+pub fn matrix(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<ExperimentMatrix, GeometryError> {
+    let mut m = ExperimentMatrix::new("fig6");
+    for (block_kb, page_kb) in CONFIGS {
+        let point_cfg = cfg.clone().with_block_page(block_kb << 10, page_kb << 10)?;
+        let tag = format!("{block_kb}-{page_kb}");
+        for d in [Design::NoHbm, Design::Bumblebee] {
+            for p in profiles {
+                m.push(tag.clone(), d, p.clone(), point_cfg.clone());
+            }
+        }
+    }
+    Ok(m)
+}
+
 /// Runs the full design-space exploration over `profiles`.
 ///
 /// # Errors
 ///
 /// Propagates geometry errors from invalid block/page combinations.
 pub fn run(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<Vec<Fig6Point>, GeometryError> {
-    let mut points = Vec::with_capacity(CONFIGS.len());
-    for (block_kb, page_kb) in CONFIGS {
-        let point_cfg = cfg.clone().with_block_page(block_kb << 10, page_kb << 10)?;
-        let mut speedups = Vec::with_capacity(profiles.len());
-        for p in profiles {
-            let base = run_reference(&point_cfg, p)?;
-            let bee = run_design(Design::Bumblebee, &point_cfg, p)?;
-            speedups.push(bee.normalized_ipc(&base));
-        }
-        points.push(Fig6Point { block_kb, page_kb, speedup: geomean(&speedups) });
-    }
-    Ok(points)
+    run_with(&Engine::new(1), cfg, profiles).map(|(points, _)| points)
+}
+
+/// Runs the exploration on `engine`, also returning the raw results for
+/// JSONL output.
+///
+/// # Errors
+///
+/// Propagates geometry errors from invalid block/page combinations.
+pub fn run_with(
+    engine: &Engine,
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<(Vec<Fig6Point>, ResultSet), GeometryError> {
+    let results = engine.run(&matrix(cfg, profiles)?)?;
+    let points = CONFIGS
+        .iter()
+        .map(|&(block_kb, page_kb)| {
+            let tag = format!("{block_kb}-{page_kb}");
+            let speedups: Vec<f64> = profiles
+                .iter()
+                .map(|p| {
+                    let base = results.get(&tag, Design::NoHbm.label(), p.name).expect("baseline cell");
+                    let bee =
+                        results.get(&tag, Design::Bumblebee.label(), p.name).expect("bumblebee cell");
+                    bee.normalized_ipc(base)
+                })
+                .collect();
+            Fig6Point { block_kb, page_kb, speedup: geomean(&speedups) }
+        })
+        .collect();
+    Ok((points, results))
 }
 
 /// Renders the figure as a text table (same order as the paper's bars).

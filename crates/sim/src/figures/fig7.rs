@@ -2,8 +2,10 @@
 //! Bumblebee ablation over the no-HBM baseline.
 
 use crate::designs::Design;
+use crate::engine::{Engine, ResultSet};
+use crate::matrix::ExperimentMatrix;
 use crate::report::render_table;
-use crate::run::{geomean, run_design, run_reference, RunConfig};
+use crate::run::{geomean, RunConfig};
 use memsim_baselines::ablations::FIG7_LABELS;
 use memsim_trace::SpecProfile;
 use memsim_types::GeometryError;
@@ -17,27 +19,52 @@ pub struct Fig7Bar {
     pub speedup: f64,
 }
 
+/// The declarative cell list: the no-HBM baseline plus every ablation,
+/// crossed with `profiles`.
+pub fn matrix(cfg: &RunConfig, profiles: &[SpecProfile]) -> ExperimentMatrix {
+    let mut designs = vec![Design::NoHbm];
+    designs.extend(FIG7_LABELS.iter().map(|l| Design::Ablation(l)));
+    ExperimentMatrix::cross("fig7", &designs, profiles, cfg)
+}
+
 /// Runs every ablation over `profiles`.
 ///
 /// # Errors
 ///
-/// Propagates configuration errors from [`run_design`].
+/// Propagates configuration errors from [`crate::run::run_design`].
 pub fn run(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<Vec<Fig7Bar>, GeometryError> {
-    // One baseline run per workload, reused across ablations.
-    let mut baselines = Vec::with_capacity(profiles.len());
-    for p in profiles {
-        baselines.push(run_reference(cfg, p)?);
-    }
-    let mut bars = Vec::with_capacity(FIG7_LABELS.len());
-    for label in FIG7_LABELS {
-        let mut speedups = Vec::with_capacity(profiles.len());
-        for (p, base) in profiles.iter().zip(&baselines) {
-            let r = run_design(Design::Ablation(label), cfg, p)?;
-            speedups.push(r.normalized_ipc(base));
-        }
-        bars.push(Fig7Bar { label, speedup: geomean(&speedups) });
-    }
-    Ok(bars)
+    run_with(&Engine::new(1), cfg, profiles).map(|(bars, _)| bars)
+}
+
+/// Runs the breakdown on `engine`, also returning the raw results for
+/// JSONL output.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`crate::run::run_design`].
+pub fn run_with(
+    engine: &Engine,
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<(Vec<Fig7Bar>, ResultSet), GeometryError> {
+    let results = engine.run(&matrix(cfg, profiles))?;
+    let bars = FIG7_LABELS
+        .iter()
+        .map(|&label| {
+            let speedups: Vec<f64> = profiles
+                .iter()
+                .map(|p| {
+                    let base = results.get("", Design::NoHbm.label(), p.name).expect("baseline cell");
+                    let r = results
+                        .get("", Design::Ablation(label).label(), p.name)
+                        .expect("ablation cell");
+                    r.normalized_ipc(base)
+                })
+                .collect();
+            Fig7Bar { label, speedup: geomean(&speedups) }
+        })
+        .collect();
+    Ok((bars, results))
 }
 
 /// Renders the bars in figure order.

@@ -3,8 +3,10 @@
 //! by MPKI class (plus the §IV-D auxiliary MAL/mode-switch comparison).
 
 use crate::designs::Design;
+use crate::engine::{Engine, ResultSet};
+use crate::matrix::ExperimentMatrix;
 use crate::report::{render_table, SimReport};
-use crate::run::{geomean, run_design, run_reference, RunConfig};
+use crate::run::{geomean, RunConfig};
 use memsim_trace::spec::MpkiGroup;
 use memsim_trace::SpecProfile;
 use memsim_types::GeometryError;
@@ -49,27 +51,48 @@ pub struct Fig8Data {
     pub baselines: Vec<SimReport>,
     /// The evaluated profiles.
     pub profiles: Vec<SpecProfile>,
+    /// The raw engine results (for JSONL output and ad-hoc lookups).
+    pub results: ResultSet,
+}
+
+/// The declarative cell list of the comparison: the no-HBM baseline plus
+/// every [`Design::fig8`] design, crossed with `profiles`.
+pub fn matrix(cfg: &RunConfig, profiles: &[SpecProfile]) -> ExperimentMatrix {
+    let mut designs = vec![Design::NoHbm];
+    designs.extend(Design::fig8());
+    ExperimentMatrix::cross("fig8", &designs, profiles, cfg)
 }
 
 /// Runs the full comparison once; every panel reads from the same data.
 ///
 /// # Errors
 ///
-/// Propagates configuration errors from [`run_design`].
+/// Propagates configuration errors from [`crate::run::run_design`].
 pub fn run(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<Fig8Data, GeometryError> {
-    let mut baselines = Vec::with_capacity(profiles.len());
-    for p in profiles {
-        baselines.push(run_reference(cfg, p)?);
-    }
-    let mut reports = Vec::new();
-    for d in Design::fig8() {
-        let mut per_workload = Vec::with_capacity(profiles.len());
-        for p in profiles {
-            per_workload.push(run_design(d, cfg, p)?);
-        }
-        reports.push(per_workload);
-    }
-    Ok(Fig8Data { reports, baselines, profiles: profiles.to_vec() })
+    run_with(&Engine::new(1), cfg, profiles)
+}
+
+/// Runs the comparison on `engine` (parallel across cells at the engine's
+/// `--jobs` width; identical results at any width).
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`crate::run::run_design`].
+pub fn run_with(
+    engine: &Engine,
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<Fig8Data, GeometryError> {
+    let results = engine.run(&matrix(cfg, profiles))?;
+    // Cell order is design-major: NoHbm first, then the fig8 designs.
+    let n = profiles.len();
+    let baselines = results.reports()[..n].to_vec();
+    let reports = Design::fig8()
+        .iter()
+        .enumerate()
+        .map(|(d, _)| results.reports()[(d + 1) * n..(d + 2) * n].to_vec())
+        .collect();
+    Ok(Fig8Data { reports, baselines, profiles: profiles.to_vec(), results })
 }
 
 /// The figure's x-axis groups.

@@ -7,7 +7,9 @@
 //! sweeps regenerate the trade-off curves behind those choices.
 
 use crate::designs::{AnyController, Design};
-use crate::report::render_table;
+use crate::engine::Engine;
+use crate::jsonl::JsonObj;
+use crate::report::{render_table, SimReport};
 use crate::run::{geomean, run_reference, RunConfig};
 use crate::system::System;
 use bumblebee_core::BumblebeeConfig;
@@ -27,16 +29,25 @@ pub struct SweepPoint {
     pub metadata_kb: f64,
 }
 
+/// The no-HBM reference per profile, shared by every point of a sweep.
+fn baselines_with(
+    engine: &Engine,
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<Vec<SimReport>, GeometryError> {
+    engine.par_map(profiles, |p| run_reference(cfg, p)).into_iter().collect()
+}
+
 fn run_point(
     cfg: &RunConfig,
     geometry: Geometry,
-    bee: BumblebeeConfig,
+    bee: &BumblebeeConfig,
     profiles: &[SpecProfile],
-) -> Result<(f64, f64), GeometryError> {
+    baselines: &[SimReport],
+) -> (f64, f64) {
     let mut speedups = Vec::with_capacity(profiles.len());
     let mut metadata_kb = 0.0;
-    for p in profiles {
-        let base = run_reference(cfg, p)?;
+    for (p, base) in profiles.iter().zip(baselines) {
         let controller = AnyController::Bumblebee(bumblebee_core::BumblebeeController::new(
             geometry,
             bee.clone(),
@@ -56,7 +67,7 @@ fn run_point(
         let cycles = (system.now() - warm_cycles).max(1);
         speedups.push((insts as f64 / cycles as f64) / base.ipc);
     }
-    Ok((geomean(&speedups), metadata_kb))
+    (geomean(&speedups), metadata_kb)
 }
 
 /// Sweeps the hot-table off-chip queue depth (paper default: 8).
@@ -65,23 +76,29 @@ fn run_point(
 ///
 /// Propagates configuration errors.
 pub fn sweep_hot_queue(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<Vec<SweepPoint>, GeometryError> {
-    [2usize, 4, 8, 16, 32]
-        .into_iter()
-        .map(|depth| {
-            let bee = BumblebeeConfig {
-                hot_queue_len: depth,
-                sram_budget: cfg.sram_budget,
-                ..BumblebeeConfig::paper()
-            };
-            let (speedup, metadata_kb) = run_point(cfg, cfg.geometry, bee, profiles)?;
-            Ok(SweepPoint {
-                parameter: "hot_queue_len",
-                value: depth.to_string(),
-                speedup,
-                metadata_kb,
-            })
-        })
-        .collect()
+    sweep_hot_queue_with(&Engine::new(1), cfg, profiles)
+}
+
+/// [`sweep_hot_queue`] on `engine` (one unit of work per swept value).
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn sweep_hot_queue_with(
+    engine: &Engine,
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<Vec<SweepPoint>, GeometryError> {
+    let baselines = baselines_with(engine, cfg, profiles)?;
+    Ok(engine.par_map(&[2usize, 4, 8, 16, 32], |&depth| {
+        let bee = BumblebeeConfig {
+            hot_queue_len: depth,
+            sram_budget: cfg.sram_budget,
+            ..BumblebeeConfig::paper()
+        };
+        let (speedup, metadata_kb) = run_point(cfg, cfg.geometry, &bee, profiles, &baselines);
+        SweepPoint { parameter: "hot_queue_len", value: depth.to_string(), speedup, metadata_kb }
+    }))
 }
 
 /// Sweeps the "most blocks" mode-switch fraction (paper: strict majority).
@@ -93,23 +110,34 @@ pub fn sweep_switch_fraction(
     cfg: &RunConfig,
     profiles: &[SpecProfile],
 ) -> Result<Vec<SweepPoint>, GeometryError> {
-    [0.25f64, 0.375, 0.5, 0.75, 0.9]
-        .into_iter()
-        .map(|f| {
-            let bee = BumblebeeConfig {
-                mode_switch_fraction: f,
-                sram_budget: cfg.sram_budget,
-                ..BumblebeeConfig::paper()
-            };
-            let (speedup, metadata_kb) = run_point(cfg, cfg.geometry, bee, profiles)?;
-            Ok(SweepPoint {
-                parameter: "mode_switch_fraction",
-                value: format!("{f}"),
-                speedup,
-                metadata_kb,
-            })
-        })
-        .collect()
+    sweep_switch_fraction_with(&Engine::new(1), cfg, profiles)
+}
+
+/// [`sweep_switch_fraction`] on `engine`.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn sweep_switch_fraction_with(
+    engine: &Engine,
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<Vec<SweepPoint>, GeometryError> {
+    let baselines = baselines_with(engine, cfg, profiles)?;
+    Ok(engine.par_map(&[0.25f64, 0.375, 0.5, 0.75, 0.9], |&f| {
+        let bee = BumblebeeConfig {
+            mode_switch_fraction: f,
+            sram_budget: cfg.sram_budget,
+            ..BumblebeeConfig::paper()
+        };
+        let (speedup, metadata_kb) = run_point(cfg, cfg.geometry, &bee, profiles, &baselines);
+        SweepPoint {
+            parameter: "mode_switch_fraction",
+            value: format!("{f}"),
+            speedup,
+            metadata_kb,
+        }
+    }))
 }
 
 /// Sweeps the remapping-set HBM associativity (paper: 8-way).
@@ -118,7 +146,22 @@ pub fn sweep_switch_fraction(
 ///
 /// Propagates geometry errors for invalid way counts.
 pub fn sweep_ways(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<Vec<SweepPoint>, GeometryError> {
-    [2u32, 4, 8, 16]
+    sweep_ways_with(&Engine::new(1), cfg, profiles)
+}
+
+/// [`sweep_ways`] on `engine`.
+///
+/// # Errors
+///
+/// Propagates geometry errors for invalid way counts.
+pub fn sweep_ways_with(
+    engine: &Engine,
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<Vec<SweepPoint>, GeometryError> {
+    let baselines = baselines_with(engine, cfg, profiles)?;
+    // Validate every geometry up front so errors surface before any run.
+    let points: Vec<(u32, Geometry)> = [2u32, 4, 8, 16]
         .into_iter()
         .map(|ways| {
             let geometry = Geometry::builder()
@@ -128,14 +171,14 @@ pub fn sweep_ways(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<Vec<Sweep
                 .dram_bytes(cfg.geometry.dram_bytes())
                 .hbm_ways(ways)
                 .build()?;
-            let bee = BumblebeeConfig {
-                sram_budget: cfg.sram_budget,
-                ..BumblebeeConfig::paper()
-            };
-            let (speedup, metadata_kb) = run_point(cfg, geometry, bee, profiles)?;
-            Ok(SweepPoint { parameter: "hbm_ways", value: ways.to_string(), speedup, metadata_kb })
+            Ok((ways, geometry))
         })
-        .collect()
+        .collect::<Result<_, GeometryError>>()?;
+    Ok(engine.par_map(&points, |&(ways, geometry)| {
+        let bee = BumblebeeConfig { sram_budget: cfg.sram_budget, ..BumblebeeConfig::paper() };
+        let (speedup, metadata_kb) = run_point(cfg, geometry, &bee, profiles, &baselines);
+        SweepPoint { parameter: "hbm_ways", value: ways.to_string(), speedup, metadata_kb }
+    }))
 }
 
 /// Sweeps the zombie-detection window (paper: "a long time").
@@ -147,23 +190,29 @@ pub fn sweep_zombie_window(
     cfg: &RunConfig,
     profiles: &[SpecProfile],
 ) -> Result<Vec<SweepPoint>, GeometryError> {
-    [128u32, 512, 1024, 4096, 16384]
-        .into_iter()
-        .map(|w| {
-            let bee = BumblebeeConfig {
-                zombie_window: w,
-                sram_budget: cfg.sram_budget,
-                ..BumblebeeConfig::paper()
-            };
-            let (speedup, metadata_kb) = run_point(cfg, cfg.geometry, bee, profiles)?;
-            Ok(SweepPoint {
-                parameter: "zombie_window",
-                value: w.to_string(),
-                speedup,
-                metadata_kb,
-            })
-        })
-        .collect()
+    sweep_zombie_window_with(&Engine::new(1), cfg, profiles)
+}
+
+/// [`sweep_zombie_window`] on `engine`.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn sweep_zombie_window_with(
+    engine: &Engine,
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<Vec<SweepPoint>, GeometryError> {
+    let baselines = baselines_with(engine, cfg, profiles)?;
+    Ok(engine.par_map(&[128u32, 512, 1024, 4096, 16384], |&w| {
+        let bee = BumblebeeConfig {
+            zombie_window: w,
+            sram_budget: cfg.sram_budget,
+            ..BumblebeeConfig::paper()
+        };
+        let (speedup, metadata_kb) = run_point(cfg, cfg.geometry, &bee, profiles, &baselines);
+        SweepPoint { parameter: "zombie_window", value: w.to_string(), speedup, metadata_kb }
+    }))
 }
 
 /// Renders sweep points grouped by parameter.
@@ -183,6 +232,22 @@ pub fn render(points: &[SweepPoint]) -> String {
         ]);
     }
     render_table(&rows)
+}
+
+/// One JSONL line per sweep point.
+pub fn jsonl_lines(points: &[SweepPoint]) -> Vec<String> {
+    points
+        .iter()
+        .map(|p| {
+            JsonObj::new()
+                .str("kind", "sensitivity")
+                .str("parameter", p.parameter)
+                .str("value", &p.value)
+                .f64("speedup", p.speedup)
+                .f64("metadata_kb", p.metadata_kb)
+                .finish()
+        })
+        .collect()
 }
 
 /// The `Design` hook so the binary can reuse shared plumbing. (Sweeps build

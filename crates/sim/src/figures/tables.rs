@@ -2,8 +2,11 @@
 //! analysis.
 
 use crate::designs::Design;
+use crate::engine::{Engine, ResultSet};
+use crate::jsonl::JsonObj;
+use crate::matrix::ExperimentMatrix;
 use crate::report::render_table;
-use crate::run::{run_design, RunConfig};
+use crate::run::RunConfig;
 use memsim_cache::Hierarchy;
 use memsim_dram::presets;
 use memsim_trace::SpecProfile;
@@ -80,10 +83,13 @@ pub struct Table2Row {
 /// directly, so MPKI comes from the emitted instruction gaps; the
 /// footprint is the distinct 4 KB pages touched, re-scaled to paper units.
 pub fn table2(cfg: &RunConfig) -> Vec<Table2Row> {
-    SpecProfile::table2()
-        .into_iter()
-        .map(|p| {
-            let mut w = cfg.workload(&p);
+    table2_with(&Engine::new(1), cfg)
+}
+
+/// [`table2`] on `engine` (one unit of work per profile).
+pub fn table2_with(engine: &Engine, cfg: &RunConfig) -> Vec<Table2Row> {
+    engine.par_map(&SpecProfile::table2(), |p| {
+        let mut w = cfg.workload(p);
             let mut pages = std::collections::HashSet::new();
             for _ in 0..cfg.accesses {
                 let a = w.next_access();
@@ -100,6 +106,21 @@ pub fn table2(cfg: &RunConfig) -> Vec<Table2Row> {
                 paper_footprint_gb: p.footprint_mb as f64 / 1024.0,
                 measured_footprint_gb: measured_gb,
             }
+        })
+}
+
+/// One JSONL line per Table II row.
+pub fn table2_jsonl(rows: &[Table2Row]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            JsonObj::new()
+                .str("kind", "table2")
+                .str("benchmark", r.name)
+                .f64("paper_mpki", r.paper_mpki)
+                .f64("measured_mpki", r.measured_mpki)
+                .f64("paper_footprint_gb", r.paper_footprint_gb)
+                .f64("measured_footprint_gb", r.measured_footprint_gb)
+                .finish()
         })
         .collect()
 }
@@ -182,6 +203,47 @@ pub fn metadata_table(cfg: &RunConfig) -> String {
     render_table(&rows)
 }
 
+/// One JSONL line per design of the §IV-B metadata budget.
+pub fn metadata_jsonl(cfg: &RunConfig) -> Vec<String> {
+    [
+        Design::Alloy,
+        Design::Unison,
+        Design::Banshee,
+        Design::Chameleon,
+        Design::Hybrid2,
+        Design::Bumblebee,
+    ]
+    .iter()
+    .map(|d| {
+        let c = d.build(cfg.geometry, cfg.sram_budget);
+        JsonObj::new()
+            .str("kind", "metadata")
+            .str("design", d.label())
+            .u64("metadata_bytes", c.metadata_bytes())
+            .u64("sram_budget", cfg.sram_budget)
+            .bool("fits_sram", c.metadata_bytes() <= cfg.sram_budget)
+            .finish()
+    })
+    .collect()
+}
+
+/// Table I as JSONL (one line with the headline configuration numbers).
+pub fn table1_jsonl(cfg: &RunConfig) -> Vec<String> {
+    let hbm = presets::hbm2(cfg.geometry().hbm_bytes());
+    let dram = presets::ddr4_3200(cfg.geometry().dram_bytes());
+    vec![JsonObj::new()
+        .str("kind", "table1")
+        .u64("scale", cfg.scale)
+        .u64("hbm_bytes", hbm.capacity_bytes)
+        .f64("hbm_peak_gbps", hbm.peak_gbps())
+        .u64("dram_bytes", dram.capacity_bytes)
+        .f64("dram_peak_gbps", dram.peak_gbps())
+        .u64("page_bytes", cfg.geometry().page_bytes())
+        .u64("block_bytes", cfg.geometry().block_bytes())
+        .u64("hbm_ways", u64::from(cfg.geometry().hbm_ways()))
+        .finish()]
+}
+
 /// Over-fetching comparison (§IV-B): percent of data brought into HBM but
 /// never used, Bumblebee vs Hybrid2, averaged over `profiles`.
 ///
@@ -192,20 +254,38 @@ pub fn overfetch(
     cfg: &RunConfig,
     profiles: &[SpecProfile],
 ) -> Result<Vec<(String, f64)>, GeometryError> {
-    let mut out = Vec::new();
-    for d in [Design::Hybrid2, Design::Bumblebee] {
-        let mut total = 0.0;
-        let mut n = 0;
-        for p in profiles {
-            let r = run_design(d, cfg, p)?;
-            if let Some(of) = r.overfetch {
-                total += of;
-                n += 1;
-            }
-        }
-        out.push((d.label().to_string(), if n > 0 { total / f64::from(n) } else { 0.0 }));
-    }
-    Ok(out)
+    overfetch_with(&Engine::new(1), cfg, profiles).map(|(rows, _)| rows)
+}
+
+/// [`overfetch`] on `engine`, also returning the raw results for JSONL
+/// output.
+///
+/// # Errors
+///
+/// Propagates run errors.
+pub fn overfetch_with(
+    engine: &Engine,
+    cfg: &RunConfig,
+    profiles: &[SpecProfile],
+) -> Result<(Vec<(String, f64)>, ResultSet), GeometryError> {
+    const DESIGNS: [Design; 2] = [Design::Hybrid2, Design::Bumblebee];
+    let results = engine.run(&ExperimentMatrix::cross("overfetch", &DESIGNS, profiles, cfg))?;
+    let rows = DESIGNS
+        .iter()
+        .map(|d| {
+            let ratios: Vec<f64> = profiles
+                .iter()
+                .filter_map(|p| results.get("", d.label(), p.name).and_then(|r| r.overfetch))
+                .collect();
+            let mean = if ratios.is_empty() {
+                0.0
+            } else {
+                ratios.iter().sum::<f64>() / ratios.len() as f64
+            };
+            (d.label().to_string(), mean)
+        })
+        .collect();
+    Ok((rows, results))
 }
 
 #[cfg(test)]

@@ -1,0 +1,189 @@
+//! Hand-rolled JSON-lines output for machine-readable results.
+//!
+//! Every figure run writes `results/<figure>.jsonl` next to its text
+//! table: one JSON object per line, flat keys, stable key order (the
+//! insertion order of the builder). Kept dependency-free on purpose —
+//! the workspace must build with zero registry access, so no serde.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// An incremental single-line JSON object builder.
+///
+/// Keys appear in call order. `f64` values are emitted via Rust's
+/// shortest-roundtrip formatting; non-finite floats become `null` (JSON
+/// has no NaN/Infinity).
+#[derive(Debug, Clone)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> JsonObj {
+        JsonObj { buf: String::from("{") }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, k: &str, v: &str) -> JsonObj {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` if non-finite).
+    pub fn f64(mut self, k: &str, v: f64) -> JsonObj {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an optional unsigned field (`null` when absent).
+    pub fn opt_u64(mut self, k: &str, v: Option<u64>) -> JsonObj {
+        self.key(k);
+        match v {
+            Some(v) => self.buf.push_str(&v.to_string()),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Adds an optional float field (`null` when absent or non-finite).
+    pub fn opt_f64(self, k: &str, v: Option<f64>) -> JsonObj {
+        match v {
+            Some(v) => self.f64(k, v),
+            None => {
+                let mut s = self;
+                s.key(k);
+                s.buf.push_str("null");
+                s
+            }
+        }
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> JsonObj {
+        JsonObj::new()
+    }
+}
+
+/// Appends `s` to `buf` with JSON string escaping.
+pub fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => buf.push_str(&format!("\\u{:04x}", c as u32)),
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Writes `lines` to `dir/<name>.jsonl` (creating `dir` as needed) and
+/// returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_jsonl(dir: &Path, name: &str, lines: &[String]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut body = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for line in lines {
+        body.push_str(line);
+        body.push('\n');
+    }
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// The default artifact directory: `$BUMBLEBEE_RESULTS_DIR` or
+/// `./results`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("BUMBLEBEE_RESULTS_DIR").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_flat_object_in_key_order() {
+        let line = JsonObj::new()
+            .str("design", "Bumblebee")
+            .u64("cycles", 42)
+            .f64("ipc", 1.5)
+            .bool("ok", true)
+            .opt_u64("faults", None)
+            .opt_f64("overfetch", Some(0.25))
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"design":"Bumblebee","cycles":42,"ipc":1.5,"ok":true,"faults":null,"overfetch":0.25}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_rejects_nan() {
+        let line = JsonObj::new().str("s", "a\"b\\c\nd").f64("x", f64::NAN).finish();
+        assert_eq!(line, r#"{"s":"a\"b\\c\nd","x":null}"#);
+    }
+
+    #[test]
+    fn empty_object_is_braces() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn write_jsonl_creates_dir_and_file() {
+        let dir = std::env::temp_dir().join(format!("jsonl-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path =
+            write_jsonl(&dir.join("nested"), "fig8", &["{}".to_string(), "{}".to_string()])
+                .unwrap();
+        let body = fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{}\n{}\n");
+        assert!(path.ends_with("nested/fig8.jsonl"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -8,7 +8,13 @@
 //!   ablations).
 //! * [`run`] — [`RunConfig`] (geometry scale, SRAM budget, access volume)
 //!   and [`run_design`], the single-run entry point.
+//! * [`matrix`] — [`ExperimentMatrix`], the declarative list of
+//!   `(Design, SpecProfile, RunConfig)` cells a figure evaluates, with
+//!   deterministic per-cell seeds.
+//! * [`engine`] — [`Engine`], the parallel matrix executor
+//!   (`--jobs`/`BUMBLEBEE_JOBS`), and [`ResultSet`], its indexed output.
 //! * [`report`] — [`SimReport`] and text-table rendering.
+//! * [`jsonl`] — the machine-readable `results/<figure>.jsonl` writer.
 //! * [`figures`] — generators for Fig. 1, Fig. 6, Fig. 7, Fig. 8(a–d) and
 //!   the §IV-B tables.
 //!
@@ -29,12 +35,18 @@
 //! ```
 
 pub mod designs;
+pub mod engine;
 pub mod figures;
+pub mod jsonl;
+pub mod matrix;
 pub mod report;
 pub mod run;
 pub mod system;
 
 pub use designs::Design;
+pub use engine::{Engine, ResultSet};
+pub use jsonl::{results_dir, write_jsonl, JsonObj};
+pub use matrix::{cell_seed, Cell, ExperimentMatrix};
 pub use report::SimReport;
-pub use run::{geomean, run_design, run_reference, RunConfig};
+pub use run::{geomean, geomean_diag, run_design, run_reference, Geomean, RunConfig};
 pub use system::{SimParams, System};

@@ -1,5 +1,6 @@
-//! Run reports and text-table rendering.
+//! Run reports, text-table rendering and JSONL serialization.
 
+use crate::jsonl::JsonObj;
 use memsim_types::CtrlStats;
 
 /// Everything one simulation run produces.
@@ -87,6 +88,49 @@ impl SimReport {
         } else {
             self.mal_cycles as f64 / self.cycles as f64
         }
+    }
+
+    /// Appends every report field (flat keys, controller counters under
+    /// `stats_*`) to a JSONL object under construction.
+    pub fn append_json(&self, obj: &mut JsonObj) {
+        let o = std::mem::take(obj)
+            .str("design", &self.design)
+            .str("workload", &self.workload)
+            .u64("instructions", self.instructions)
+            .u64("cycles", self.cycles)
+            .f64("ipc", self.ipc)
+            .u64("accesses", self.accesses)
+            .u64("hbm_bytes", self.hbm_bytes)
+            .u64("dram_bytes", self.dram_bytes)
+            .f64("dynamic_energy_pj", self.dynamic_energy_pj)
+            .f64("background_energy_pj", self.background_energy_pj)
+            .u64("mal_cycles", self.mal_cycles)
+            .u64("stall_cycles", self.stall_cycles)
+            .opt_f64("overfetch", self.overfetch)
+            .u64("metadata_bytes", self.metadata_bytes)
+            .u64("os_visible_bytes", self.os_visible_bytes)
+            .opt_u64("mode_switch_bytes", self.mode_switch_bytes)
+            .opt_u64("page_faults", self.page_faults)
+            .u64("stats_hbm_hits", self.stats.hbm_hits)
+            .u64("stats_offchip_serves", self.stats.offchip_serves)
+            .u64("stats_block_fills", self.stats.block_fills)
+            .u64("stats_page_migrations", self.stats.page_migrations)
+            .u64("stats_evictions", self.stats.evictions)
+            .u64("stats_switch_to_mhbm", self.stats.switch_to_mhbm)
+            .u64("stats_switch_to_chbm", self.stats.switch_to_chbm)
+            .u64("stats_zombie_evictions", self.stats.zombie_evictions)
+            .u64("stats_pressure_flushes", self.stats.pressure_flushes)
+            .u64("stats_threshold_rejections", self.stats.threshold_rejections)
+            .u64("stats_allocations", self.stats.allocations)
+            .u64("stats_alloc_in_hbm", self.stats.alloc_in_hbm);
+        *obj = o;
+    }
+
+    /// The report as one standalone JSONL line.
+    pub fn to_jsonl(&self) -> String {
+        let mut obj = JsonObj::new();
+        self.append_json(&mut obj);
+        obj.finish()
     }
 }
 

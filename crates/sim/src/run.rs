@@ -157,14 +157,51 @@ pub fn run_reference(cfg: &RunConfig, profile: &SpecProfile) -> Result<SimReport
     run_design(Design::NoHbm, cfg, profile)
 }
 
-/// Geometric mean (0 for an empty slice; non-positive entries clamped to a
-/// tiny epsilon so a single broken run cannot zero the whole figure).
-pub fn geomean(values: &[f64]) -> f64 {
+/// A geometric mean together with how many inputs had to be clamped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geomean {
+    /// The mean (0 for an empty slice).
+    pub value: f64,
+    /// Inputs that were non-positive or NaN and got clamped to the epsilon.
+    /// Anything above zero means a run produced a degenerate metric and the
+    /// figure is quietly misleading — surface it.
+    pub clamped: usize,
+}
+
+/// Geometric mean with clamp diagnostics: non-positive (or NaN) entries are
+/// clamped to a tiny epsilon so a single broken run cannot zero the whole
+/// figure, and the number of such entries is reported.
+pub fn geomean_diag(values: &[f64]) -> Geomean {
     if values.is_empty() {
-        return 0.0;
+        return Geomean { value: 0.0, clamped: 0 };
     }
-    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
-    (log_sum / values.len() as f64).exp()
+    let mut clamped = 0usize;
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            if v >= 1e-12 {
+                v.ln()
+            } else {
+                clamped += 1;
+                1e-12f64.ln()
+            }
+        })
+        .sum();
+    Geomean { value: (log_sum / values.len() as f64).exp(), clamped }
+}
+
+/// Geometric mean (0 for an empty slice). In debug builds, panics if any
+/// entry had to be clamped — use [`geomean_diag`] where degenerate inputs
+/// are expected and must be reported instead.
+pub fn geomean(values: &[f64]) -> f64 {
+    let g = geomean_diag(values);
+    debug_assert_eq!(
+        g.clamped, 0,
+        "geomean clamped {} non-positive entr{} in {values:?}",
+        g.clamped,
+        if g.clamped == 1 { "y" } else { "ies" }
+    );
+    g.value
 }
 
 #[cfg(test)]
@@ -199,8 +236,18 @@ mod tests {
         assert_eq!(geomean(&[]), 0.0);
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
-        // Non-positive entries are clamped, not fatal.
-        assert!(geomean(&[0.0, 4.0]) >= 0.0);
+    }
+
+    #[test]
+    fn geomean_diag_counts_clamped_entries() {
+        let clean = geomean_diag(&[2.0, 8.0]);
+        assert_eq!(clean.clamped, 0);
+        assert!((clean.value - 4.0).abs() < 1e-12);
+        // Non-positive entries are clamped, not fatal, and counted.
+        let dirty = geomean_diag(&[0.0, 4.0, -1.0, f64::NAN]);
+        assert_eq!(dirty.clamped, 3);
+        assert!(dirty.value >= 0.0);
+        assert_eq!(geomean_diag(&[]).clamped, 0);
     }
 
     #[test]

@@ -33,9 +33,11 @@
 
 pub mod io;
 pub mod mix;
+pub mod rng;
 pub mod spec;
 pub mod workload;
 
 pub use mix::MixWorkload;
+pub use rng::SplitMix64;
 pub use spec::{LocalityClass, SpecProfile, WorkloadSpec};
 pub use workload::Workload;

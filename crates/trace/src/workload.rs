@@ -1,9 +1,8 @@
 //! The synthetic access-stream generator.
 
+use crate::rng::SplitMix64;
 use crate::spec::WorkloadSpec;
 use memsim_types::{Access, AccessKind, Addr};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Region size used for hot-set bookkeeping (an OS page).
 const REGION_BYTES: u64 = 4096;
@@ -23,7 +22,7 @@ const LINE_BYTES: u64 = 64;
 pub struct Workload {
     spec: WorkloadSpec,
     limit_bytes: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
     regions: u64,
     hot_regions: u64,
     perm_stride: u64,
@@ -51,7 +50,7 @@ impl Workload {
         Workload {
             spec,
             limit_bytes,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             regions,
             hot_regions,
             perm_stride,
@@ -85,13 +84,13 @@ impl Workload {
         self.run_remaining -= 1;
         let addr = Addr(self.cursor % self.limit_bytes.max(1));
         self.cursor += LINE_BYTES;
-        let kind = if self.rng.gen::<f64>() < self.spec.write_fraction {
+        let kind = if self.rng.gen_f64() < self.spec.write_fraction {
             AccessKind::Write
         } else {
             AccessKind::Read
         };
         let mean_gap = self.spec.insts_per_miss();
-        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u: f64 = self.rng.gen_f64().max(1e-12);
         let gap = (-mean_gap * u.ln()).clamp(1.0, 4_000_000_000.0) as u32;
         self.accesses_emitted += 1;
         self.instructions_emitted += u64::from(gap);
@@ -99,18 +98,18 @@ impl Workload {
     }
 
     fn start_run(&mut self) {
-        let logical = if self.rng.gen::<f64>() < self.spec.hot_probability {
+        let logical = if self.rng.gen_f64() < self.spec.hot_probability {
             // Skewed pick inside the hot set: u^skew concentrates on low ids.
-            let u: f64 = self.rng.gen();
+            let u: f64 = self.rng.gen_f64();
             ((self.hot_regions as f64) * u.powf(self.spec.hot_skew)) as u64
         } else {
-            self.rng.gen_range(0..self.regions)
+            self.rng.gen_below(self.regions)
         };
         let region = (logical % self.regions).wrapping_mul(self.perm_stride) % self.regions;
-        let line_in_region = self.rng.gen_range(0..REGION_BYTES / LINE_BYTES);
+        let line_in_region = self.rng.gen_below(REGION_BYTES / LINE_BYTES);
         self.cursor = region * REGION_BYTES + line_in_region * LINE_BYTES;
         let mean_lines = (self.spec.mean_run_bytes / LINE_BYTES).max(1) as f64;
-        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u: f64 = self.rng.gen_f64().max(1e-12);
         self.run_remaining = (-mean_lines * u.ln()).clamp(1.0, 1e9) as u32;
     }
 }

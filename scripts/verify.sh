@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: offline release build, full test suite, and a
+# parallel-vs-serial smoke run of one figure binary. Run from the repo root.
+#
+#   scripts/verify.sh
+#
+# Everything here must pass with NO network access — the workspace has no
+# registry dependencies (property tests use the in-repo proptest shim).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== property tests (in-repo proptest shim) =="
+cargo test -q --workspace \
+  --features memsim-types/proptest,memsim-cache/proptest,memsim-baselines/proptest,memsim-dram/proptest,bumblebee-core/proptest
+
+echo "== smoke: fig8 serial vs parallel must be byte-identical =="
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+common=(--scale 256 --accesses 20000 --workloads mcf,wrf)
+cargo run --release -q -p bumblebee-bench --bin fig8 -- \
+  "${common[@]}" --jobs 1 --out "$smoke/serial" >/dev/null
+cargo run --release -q -p bumblebee-bench --bin fig8 -- \
+  "${common[@]}" --jobs 4 --out "$smoke/parallel" >/dev/null
+if ! cmp -s "$smoke/serial/fig8.jsonl" "$smoke/parallel/fig8.jsonl"; then
+  echo "FAIL: fig8.jsonl differs between --jobs 1 and --jobs 4" >&2
+  diff "$smoke/serial/fig8.jsonl" "$smoke/parallel/fig8.jsonl" | head >&2
+  exit 1
+fi
+echo "ok: $(wc -l < "$smoke/serial/fig8.jsonl") JSONL lines identical at both widths"
+
+echo "== verify.sh: all gates passed =="

@@ -29,7 +29,10 @@ fn geomean_speedup(design: Design, cfg: &RunConfig, profiles: &[SpecProfile]) ->
 
 #[test]
 fn bumblebee_beats_every_baseline_on_the_mix() {
-    let cfg = RunConfig::tiny();
+    // 60k accesses: enough for the streaming workloads' geomean to settle —
+    // at 20k the Banshee-vs-Bumblebee ordering is still seed noise.
+    let mut cfg = RunConfig::tiny();
+    cfg.accesses = 60_000;
     let profiles = mix();
     let bee = geomean_speedup(Design::Bumblebee, &cfg, &profiles);
     assert!(bee > 1.0, "Bumblebee speedup {bee:.2}");
@@ -133,11 +136,20 @@ fn high_footprint_workloads_fault_on_cache_designs_not_pom() {
     // The OS-capacity story behind the High-MPKI group: roms exceeds
     // off-chip DRAM, so cache-only designs page-fault while POM/hybrid
     // designs serve from the enlarged flat space.
-    let cfg = RunConfig::tiny();
+    // 60k accesses so the streamer keeps touching fresh pages well past the
+    // warmup window — at 20k every fault can land pre-measurement.
+    let mut cfg = RunConfig::tiny();
+    cfg.accesses = 60_000;
     let roms = SpecProfile::named("roms");
     let base = run_design(Design::NoHbm, &cfg, &roms).expect("run");
     let bee = run_design(Design::Bumblebee, &cfg, &roms).expect("run");
     assert!(base.stall_cycles > 0, "no-HBM must fault on roms");
+    assert!(
+        base.page_faults.unwrap_or(0) > 0 && bee.page_faults == Some(0),
+        "faults: no-HBM {:?} vs Bumblebee {:?}",
+        base.page_faults,
+        bee.page_faults
+    );
     assert!(
         bee.stall_cycles < base.stall_cycles / 10,
         "Bumblebee absorbs roms in the flat space: {} vs {}",
