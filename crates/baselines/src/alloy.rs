@@ -10,6 +10,7 @@
 //! off the serialized probe-then-DRAM path.
 
 use crate::common::FaultModel;
+use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
     Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
     HybridMemoryController, Mem, OpKind, OverfetchTracker,
@@ -67,6 +68,7 @@ pub struct AlloyCache {
     faults: FaultModel,
     stats: CtrlStats,
     overfetch: OverfetchTracker,
+    telemetry: Telemetry,
 }
 
 impl AlloyCache {
@@ -80,7 +82,13 @@ impl AlloyCache {
             geometry,
             stats: CtrlStats::new(),
             overfetch: OverfetchTracker::new(),
+            telemetry: Telemetry::default(),
         }
+    }
+
+    /// The controller's telemetry handle (install/remove a recorder).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     fn index(&self, line_addr: u64) -> (usize, u64) {
@@ -89,8 +97,8 @@ impl AlloyCache {
     }
 }
 
-impl HybridMemoryController for AlloyCache {
-    fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
+impl AlloyCache {
+    fn access_inner(&mut self, req: &Access, plan: &mut AccessPlan) {
         let addr = self.faults.translate(req.addr, plan);
         let line_addr = addr.0 / LINE_BYTES;
         let (idx, tag) = self.index(line_addr);
@@ -178,6 +186,16 @@ impl HybridMemoryController for AlloyCache {
         self.stats.block_fills += 1;
         self.overfetch.fetched(line_addr, LINE_BYTES as u32);
         self.overfetch.used(line_addr); // demand-fetched block is used
+    }
+}
+
+impl HybridMemoryController for AlloyCache {
+    fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
+        self.access_inner(req, plan);
+        crate::common::tick_epoch(&mut self.telemetry, &self.stats, || EpochGauges {
+            overfetch_ratio: self.overfetch.overfetch_ratio(),
+            ..EpochGauges::default()
+        });
     }
 
     fn name(&self) -> &'static str {

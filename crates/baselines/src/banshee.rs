@@ -8,6 +8,7 @@
 //! reduction in cache-fill and metadata traffic.
 
 use crate::common::FaultModel;
+use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
     Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
     HybridMemoryController, Mem, OpKind, OverfetchTracker,
@@ -45,6 +46,7 @@ pub struct Banshee {
     faults: FaultModel,
     stats: CtrlStats,
     overfetch: OverfetchTracker,
+    telemetry: Telemetry,
 }
 
 impl Banshee {
@@ -60,6 +62,7 @@ impl Banshee {
             sets,
             stats: CtrlStats::new(),
             overfetch: OverfetchTracker::new(),
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -68,8 +71,13 @@ impl Banshee {
     }
 }
 
-impl HybridMemoryController for Banshee {
-    fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
+impl Banshee {
+    /// The controller's telemetry handle (install/remove a recorder).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    fn access_inner(&mut self, req: &Access, plan: &mut AccessPlan) {
         let addr = self.faults.translate(req.addr, plan);
         let page = addr.0 / PAGE_BYTES;
         let offset = addr.0 % PAGE_BYTES;
@@ -191,6 +199,16 @@ impl HybridMemoryController for Banshee {
         }
         self.overfetch.used(page * 64 + offset / 64);
     }
+}
+
+impl HybridMemoryController for Banshee {
+    fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
+        self.access_inner(req, plan);
+        crate::common::tick_epoch(&mut self.telemetry, &self.stats, || EpochGauges {
+            overfetch_ratio: self.overfetch.overfetch_ratio(),
+            ..EpochGauges::default()
+        });
+    }
 
     fn name(&self) -> &'static str {
         "banshee"
@@ -243,7 +261,7 @@ mod tests {
     fn cold_candidates_do_not_displace_hot_residents() {
         let g = geometry();
         let mut c = Banshee::new(g);
-        let sets = (g.hbm_bytes() / 4096 / 4);
+        let sets = g.hbm_bytes() / 4096 / 4;
         let mut plan = AccessPlan::new();
         // Fill all 4 ways of set 0 and heat them up.
         for k in 0..4u64 {
@@ -264,7 +282,7 @@ mod tests {
     fn persistent_candidate_eventually_replaces() {
         let g = geometry();
         let mut c = Banshee::new(g);
-        let sets = (g.hbm_bytes() / 4096 / 4);
+        let sets = g.hbm_bytes() / 4096 / 4;
         let mut plan = AccessPlan::new();
         for k in 0..4u64 {
             plan.clear();
@@ -298,7 +316,7 @@ mod tests {
     fn clean_eviction_writes_nothing_back() {
         let g = geometry();
         let mut c = Banshee::new(g);
-        let sets = (g.hbm_bytes() / 4096 / 4);
+        let sets = g.hbm_bytes() / 4096 / 4;
         let mut plan = AccessPlan::new();
         c.access(&Access::read(Addr(0)), &mut plan);
         // Heat a conflicting candidate to displace the clean page.

@@ -8,6 +8,7 @@
 //! memory with only the hottest entries cached in the SRAM budget, so
 //! lookups frequently pay an in-HBM metadata access.
 
+use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
     Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
     HybridMemoryController, Mem, MetadataModel, OpKind,
@@ -38,6 +39,7 @@ pub struct Chameleon {
     metadata: MetadataModel,
     stats: CtrlStats,
     swaps: u64,
+    telemetry: Telemetry,
 }
 
 impl Chameleon {
@@ -63,7 +65,13 @@ impl Chameleon {
             metadata: MetadataModel::new(metadata_bytes, sram_budget, Mem::Hbm, 64),
             stats: CtrlStats::new(),
             swaps: 0,
+            telemetry: Telemetry::default(),
         }
+    }
+
+    /// The controller's telemetry handle (install/remove a recorder).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// Sector swaps performed.
@@ -154,6 +162,7 @@ impl HybridMemoryController for Chameleon {
             self.swaps += 1;
             self.stats.page_migrations += 1;
         }
+        crate::common::tick_epoch(&mut self.telemetry, &self.stats, EpochGauges::default);
     }
 
     fn name(&self) -> &'static str {
@@ -222,7 +231,7 @@ mod tests {
         let g = geometry();
         let mut c = chameleon();
         let mut plan = AccessPlan::new();
-        let groups = (g.hbm_bytes() / 4096);
+        let groups = g.hbm_bytes() / 4096;
         // Two off-chip sectors of the same group fight for one HBM slot.
         let a = Addr(0);
         let b = Addr(groups * 4096);

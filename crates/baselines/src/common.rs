@@ -1,6 +1,7 @@
 //! Helpers shared by every baseline.
 
-use memsim_types::{AccessPlan, Addr, Cause, DeviceOp, Mem, OpKind};
+use memsim_obs::{EpochGauges, Telemetry};
+use memsim_types::{AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Mem, OpKind};
 
 /// OS page size used for fault accounting.
 pub const OS_PAGE_BYTES: u64 = 4096;
@@ -70,6 +71,20 @@ impl FaultModel {
             });
         }
         Addr(addr.0 % self.os_visible_bytes)
+    }
+}
+
+/// Epoch tick shared by every baseline: counts one access on `telemetry`
+/// and samples a snapshot at epoch boundaries. `gauges` is only invoked
+/// when a sample is actually due, so the disabled path never computes them.
+pub fn tick_epoch(
+    telemetry: &mut Telemetry,
+    stats: &CtrlStats,
+    gauges: impl FnOnce() -> EpochGauges,
+) {
+    if telemetry.tick() {
+        let g = gauges();
+        telemetry.sample(stats, g);
     }
 }
 
@@ -150,7 +165,7 @@ mod tests {
         let mut plan = AccessPlan::new();
         // Pages 256 and 260 conflict in a 4-entry table (256 % 4 == 260 % 4).
         f.translate(Addr(256 * 4096 + (1 << 20) - (1 << 20)), &mut plan); // in range, no fault
-        let p1 = Addr(((1 << 20))); // page 256
+        let p1 = Addr(1 << 20); // page 256
         let p2 = Addr((1 << 20) + 4 * 4096); // page 260
         f.translate(p1, &mut plan);
         f.translate(p2, &mut plan);

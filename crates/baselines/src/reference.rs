@@ -1,6 +1,7 @@
 //! The no-HBM reference system (the paper's normalization baseline).
 
 use crate::common::FaultModel;
+use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
     Access, AccessKind, AccessPlan, CtrlStats, DeviceOp, Geometry, HybridMemoryController, Mem,
 };
@@ -12,6 +13,7 @@ pub struct OffChipOnly {
     geometry: Geometry,
     faults: FaultModel,
     stats: CtrlStats,
+    telemetry: Telemetry,
 }
 
 impl OffChipOnly {
@@ -21,12 +23,18 @@ impl OffChipOnly {
             faults: FaultModel::with_default_table(geometry.dram_bytes()),
             geometry,
             stats: CtrlStats::new(),
+            telemetry: Telemetry::default(),
         }
     }
 
     /// Major page faults absorbed.
     pub fn page_faults(&self) -> u64 {
         self.faults.faults()
+    }
+
+    /// The controller's telemetry handle (install/remove a recorder).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 }
 
@@ -41,6 +49,7 @@ impl HybridMemoryController for OffChipOnly {
                 plan.background.push(DeviceOp::demand_write(Mem::OffChip, addr, 64))
             }
         }
+        crate::common::tick_epoch(&mut self.telemetry, &self.stats, EpochGauges::default);
     }
 
     fn name(&self) -> &'static str {

@@ -8,6 +8,7 @@
 //! use rather than the whole page.
 
 use crate::common::{FaultModel, LruRanks};
+use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
     Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
     HybridMemoryController, Mem, OpKind, OverfetchTracker,
@@ -43,6 +44,7 @@ pub struct UnisonCache {
     faults: FaultModel,
     stats: CtrlStats,
     overfetch: OverfetchTracker,
+    telemetry: Telemetry,
 }
 
 impl UnisonCache {
@@ -59,6 +61,7 @@ impl UnisonCache {
             sets,
             stats: CtrlStats::new(),
             overfetch: OverfetchTracker::new(),
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -150,8 +153,13 @@ impl UnisonCache {
     }
 }
 
-impl HybridMemoryController for UnisonCache {
-    fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
+impl UnisonCache {
+    /// The controller's telemetry handle (install/remove a recorder).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    fn access_inner(&mut self, req: &Access, plan: &mut AccessPlan) {
         let addr = self.faults.translate(req.addr, plan);
         let page = addr.0 / PAGE_BYTES;
         let block = ((addr.0 % PAGE_BYTES) / LINE_BYTES) as u32;
@@ -253,6 +261,16 @@ impl HybridMemoryController for UnisonCache {
         self.lru.touch(set, victim);
         self.overfetch.used(page * 64 + u64::from(block));
     }
+}
+
+impl HybridMemoryController for UnisonCache {
+    fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
+        self.access_inner(req, plan);
+        crate::common::tick_epoch(&mut self.telemetry, &self.stats, || EpochGauges {
+            overfetch_ratio: self.overfetch.overfetch_ratio(),
+            ..EpochGauges::default()
+        });
+    }
 
     fn name(&self) -> &'static str {
         "unison"
@@ -333,7 +351,7 @@ mod tests {
         // filling the set with conflicting pages.
         c.access(&Access::read(Addr(0)), &mut plan);
         c.access(&Access::read(Addr(64)), &mut plan);
-        let sets = (g.hbm_bytes() / 4096 / 4);
+        let sets = g.hbm_bytes() / 4096 / 4;
         for k in 1..=4u64 {
             plan.clear();
             c.access(&Access::read(Addr(k * sets * 4096)), &mut plan);
@@ -369,7 +387,7 @@ mod tests {
         let mut plan = AccessPlan::new();
         c.access(&Access::read(Addr(0)), &mut plan);
         c.access(&Access::write(Addr(0)), &mut plan);
-        let sets = (g.hbm_bytes() / 4096 / 4);
+        let sets = g.hbm_bytes() / 4096 / 4;
         plan.clear();
         for k in 1..=4u64 {
             c.access(&Access::read(Addr(k * sets * 4096)), &mut plan);

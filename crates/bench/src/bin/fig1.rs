@@ -9,6 +9,9 @@ fn main() {
     // (the paper's slices run billions of instructions).
     opts.cfg.accesses = opts.cfg.accesses.max(4_000_000);
     let engine = opts.engine();
+    if opts.metrics {
+        eprintln!("note: --metrics has no per-cell telemetry here; Fig. 1 aggregates per-line reuse internally");
+    }
     println!(
         "Fig. 1 — access counts per 64 B before eviction (scale 1/{}, {} jobs)",
         opts.cfg.scale,

@@ -15,6 +15,7 @@ fn main() {
     let (points, results) =
         fig6::run_with(&engine, &opts.cfg, &opts.profiles).expect("valid design-space geometry");
     opts.write_jsonl("fig6", &results.jsonl_lines());
+    opts.write_telemetry("fig6", &results);
     println!("{}", fig6::render(&points));
     if let Some(best) = fig6::best(&points) {
         println!("best configuration: {}KB blocks / {}KB pages (paper: 2KB / 64KB)",

@@ -15,5 +15,6 @@ fn main() {
     let (bars, results) =
         fig7::run_with(&engine, &opts.cfg, &opts.profiles).expect("runs complete");
     opts.write_jsonl("fig7", &results.jsonl_lines());
+    opts.write_telemetry("fig7", &results);
     println!("{}", fig7::render(&bars));
 }

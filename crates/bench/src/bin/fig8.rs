@@ -17,6 +17,7 @@ fn main() {
     );
     let data = fig8::run_with(&engine, &opts.cfg, &opts.profiles).expect("runs complete");
     opts.write_jsonl("fig8", &data.results.jsonl_lines());
+    opts.write_telemetry("fig8", &data.results);
     let panels: Vec<Panel> = match which {
         "ipc" => vec![Panel::Ipc],
         "hbm-traffic" => vec![Panel::HbmTraffic],

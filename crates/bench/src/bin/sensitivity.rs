@@ -9,6 +9,9 @@ fn main() {
     let opts = bumblebee_bench::parse_env();
     let which = opts.rest.first().map(String::as_str).unwrap_or("all");
     let engine = opts.engine();
+    if opts.metrics {
+        eprintln!("note: --metrics has no per-cell telemetry here; sweeps aggregate over many matrices");
+    }
     println!(
         "Sensitivity sweeps over {} workloads (scale 1/{}, {} jobs)",
         opts.profiles.len(),

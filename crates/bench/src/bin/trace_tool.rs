@@ -1,16 +1,166 @@
-//! Record and replay LLC-miss traces.
+//! Record and replay LLC-miss traces; inspect observability JSONL.
 //!
 //! ```text
 //! trace_tool record <file> [--workloads mcf] [--accesses N] [--scale N]
 //! trace_tool replay <file> [--scale N]        # runs Bumblebee vs no-HBM
 //! trace_tool info   <file>
+//! trace_tool summarize <file.jsonl>           # line/event-kind counts
+//! trace_tool timeline  <file.epochs.jsonl> [--cell N]
+//! trace_tool histo     <file.epochs.jsonl>    # device latency/queue histograms
 //! ```
 
-use memsim_sim::{Design, JsonObj, SimParams, System};
+use memsim_sim::report::render_table;
+use memsim_sim::{parse_flat, Design, JsonObj, JsonValue, SimParams, System};
 use memsim_trace::io::{read_trace, write_trace};
 use memsim_types::HybridMemoryController;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+
+/// Parses every line of a JSONL file, skipping unparsable lines with a
+/// stderr warning.
+fn read_jsonl(path: &str) -> std::io::Result<Vec<Vec<(String, JsonValue)>>> {
+    let body = std::fs::read_to_string(path)?;
+    let mut rows = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_flat(line) {
+            Some(fields) => rows.push(fields),
+            None => eprintln!("warning: {path}:{}: unparsable line skipped", i + 1),
+        }
+    }
+    Ok(rows)
+}
+
+fn get<'a>(row: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    row.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str<'a>(row: &'a [(String, JsonValue)], key: &str) -> &'a str {
+    get(row, key).and_then(JsonValue::as_str).unwrap_or("?")
+}
+
+fn get_u64(row: &[(String, JsonValue)], key: &str) -> u64 {
+    get(row, key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+fn get_f64(row: &[(String, JsonValue)], key: &str) -> f64 {
+    get(row, key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+}
+
+/// `summarize`: line counts by `kind`, event counts by event name, and the
+/// per-cell drop totals of `trace_summary` lines.
+fn summarize(rows: &[Vec<(String, JsonValue)>]) {
+    let mut kinds: Vec<(String, u64)> = Vec::new();
+    let mut events: Vec<(String, u64)> = Vec::new();
+    let bump = |list: &mut Vec<(String, u64)>, name: &str| {
+        match list.iter_mut().find(|(n, _)| n == name) {
+            Some((_, c)) => *c += 1,
+            None => list.push((name.to_string(), 1)),
+        }
+    };
+    let mut dropped = 0u64;
+    for row in rows {
+        let kind = get_str(row, "kind");
+        bump(&mut kinds, kind);
+        match kind {
+            "event" => bump(&mut events, get_str(row, "event")),
+            "trace_summary" => dropped += get_u64(row, "dropped"),
+            _ => {}
+        }
+    }
+    let mut table = vec![vec!["kind".to_string(), "lines".to_string()]];
+    table.extend(kinds.iter().map(|(n, c)| vec![n.clone(), c.to_string()]));
+    println!("{}", render_table(&table));
+    if !events.is_empty() {
+        events.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut table = vec![vec!["event".to_string(), "count".to_string()]];
+        table.extend(events.iter().map(|(n, c)| vec![n.clone(), c.to_string()]));
+        println!("{}", render_table(&table));
+        println!("events dropped by full rings: {dropped}");
+    }
+}
+
+/// `timeline`: the epoch time-series of one cell (or all) as a table.
+fn timeline(rows: &[Vec<(String, JsonValue)>], cell: Option<u64>) {
+    let mut table = vec![
+        ["cell", "design", "workload", "epoch", "accesses", "hit%", "cum%", "fills", "migr", "evict", "Rh"]
+            .map(str::to_string)
+            .to_vec(),
+    ];
+    for row in rows {
+        if get_str(row, "kind") != "epoch" {
+            continue;
+        }
+        if cell.is_some_and(|c| get_u64(row, "cell") != c) {
+            continue;
+        }
+        table.push(vec![
+            get_u64(row, "cell").to_string(),
+            get_str(row, "design").to_string(),
+            get_str(row, "workload").to_string(),
+            get_u64(row, "epoch").to_string(),
+            get_u64(row, "accesses").to_string(),
+            format!("{:.1}", get_f64(row, "hit_rate") * 100.0),
+            format!("{:.1}", get_f64(row, "cum_hit_rate") * 100.0),
+            get_u64(row, "fills").to_string(),
+            get_u64(row, "migrations").to_string(),
+            get_u64(row, "evictions").to_string(),
+            format!("{:.2}", get_f64(row, "rh")),
+        ]);
+    }
+    if table.len() == 1 {
+        println!("no epoch lines{}", cell.map_or(String::new(), |c| format!(" for cell {c}")));
+    } else {
+        println!("{}", render_table(&table));
+    }
+}
+
+/// `histo`: every `kind=histogram` line as a power-of-two bucket chart.
+fn histo(rows: &[Vec<(String, JsonValue)>]) {
+    let mut any = false;
+    for row in rows {
+        if get_str(row, "kind") != "histogram" {
+            continue;
+        }
+        any = true;
+        println!(
+            "cell {} {} {} — {} {}: {} samples, mean {:.1}, max {}",
+            get_u64(row, "cell"),
+            get_str(row, "design"),
+            get_str(row, "workload"),
+            get_str(row, "device"),
+            get_str(row, "metric"),
+            get_u64(row, "total"),
+            get_f64(row, "mean"),
+            get_u64(row, "max"),
+        );
+        let buckets: Vec<(u32, u64)> = row
+            .iter()
+            .filter_map(|(k, v)| {
+                let idx = k.strip_prefix('b')?.parse().ok()?;
+                Some((idx, v.as_u64()?))
+            })
+            .collect();
+        let peak = buckets.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+        for (k, count) in buckets {
+            let lo: u64 = if k == 0 { 0 } else { 1 << k };
+            let bar = "#".repeat(((count * 40).div_ceil(peak)) as usize);
+            println!("  ≥{lo:>12} cycles  {count:>10}  {bar}");
+        }
+        println!();
+    }
+    if !any {
+        println!("no histogram lines (was the run made with --metrics?)");
+    }
+}
+
+/// The `--cell N` filter from leftover positional args.
+fn cell_filter(rest: &[String]) -> Option<u64> {
+    let pos = rest.iter().position(|a| a == "--cell")?;
+    rest.get(pos + 1)?.parse().ok()
+}
 
 fn main() -> std::io::Result<()> {
     let opts = bumblebee_bench::parse_env();
@@ -75,8 +225,14 @@ fn main() -> std::io::Result<()> {
             }
             println!("{n} accesses, {:.1}% writes, max addr {:#x}", writes as f64 * 100.0 / n.max(1) as f64, max_addr);
         }
+        ("summarize", Some(path)) => summarize(&read_jsonl(&path)?),
+        ("timeline", Some(path)) => timeline(&read_jsonl(&path)?, cell_filter(&opts.rest)),
+        ("histo", Some(path)) => histo(&read_jsonl(&path)?),
         _ => {
-            eprintln!("usage: trace_tool record|replay|info <file> [--workloads w] [--accesses N] [--scale N]");
+            eprintln!(
+                "usage: trace_tool record|replay|info <file> [--workloads w] [--accesses N] [--scale N]\n\
+                 \x20      trace_tool summarize|timeline|histo <file.jsonl> [--cell N]"
+            );
         }
     }
     Ok(())

@@ -9,10 +9,14 @@
 //! * `--workloads a,b,c` — subset of Table II benchmarks (default: all 14);
 //! * `--jobs N` — parallel experiment cells (default: `BUMBLEBEE_JOBS`
 //!   or the machine's available parallelism; `1` = serial);
+//! * `--metrics` — record per-run observability (epoch time-series, event
+//!   trace, device histograms) and write `<figure>.epochs.jsonl`,
+//!   `<figure>.trace.jsonl` and `<figure>.metrics.jsonl` alongside the
+//!   results;
 //! * `--out DIR` — directory for `*.jsonl` artifacts (default:
 //!   `BUMBLEBEE_RESULTS_DIR` or `./results`).
 
-use memsim_sim::{Engine, RunConfig};
+use memsim_sim::{Engine, MetricsConfig, ResultSet, RunConfig};
 use memsim_trace::SpecProfile;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -26,6 +30,8 @@ pub struct HarnessOpts {
     pub profiles: Vec<SpecProfile>,
     /// Explicit `--jobs` width, if given.
     pub jobs: Option<usize>,
+    /// Whether `--metrics` observability recording is on.
+    pub metrics: bool,
     /// Directory for JSONL artifacts.
     pub out: PathBuf,
     /// Positional (non-flag) arguments left over.
@@ -34,13 +40,32 @@ pub struct HarnessOpts {
 
 impl HarnessOpts {
     /// The experiment engine these options select: `--jobs` if given,
-    /// the environment otherwise, with progress lines enabled.
+    /// the environment otherwise, with progress lines enabled and metrics
+    /// recording when `--metrics` was passed.
     pub fn engine(&self) -> Engine {
-        match self.jobs {
+        let engine = match self.jobs {
             Some(j) => Engine::new(j),
             None => Engine::from_env(),
         }
-        .with_progress(true)
+        .with_progress(true);
+        if self.metrics {
+            engine.with_metrics(MetricsConfig::default())
+        } else {
+            engine
+        }
+    }
+
+    /// Writes the observability artifacts of `results` when `--metrics`
+    /// was given: `<figure>.epochs.jsonl` and `<figure>.trace.jsonl`
+    /// (deterministic, cycle-domain) plus `<figure>.metrics.jsonl`
+    /// (wall-clock engine telemetry).
+    pub fn write_telemetry(&self, figure: &str, results: &ResultSet) {
+        if !self.metrics {
+            return;
+        }
+        self.write_jsonl(&format!("{figure}.epochs"), &results.epochs_jsonl_lines());
+        self.write_jsonl(&format!("{figure}.trace"), &results.trace_jsonl_lines());
+        self.write_jsonl(&format!("{figure}.metrics"), &results.metrics_jsonl_lines());
     }
 
     /// Writes `lines` to `<out>/<figure>.jsonl` and reports the path on
@@ -67,6 +92,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
     let mut accesses: Option<u64> = None;
     let mut names: Option<Vec<String>> = None;
     let mut jobs: Option<usize> = None;
+    let mut metrics = false;
     let mut out: Option<PathBuf> = None;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
@@ -98,6 +124,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
                         .unwrap_or_else(|| panic!("--jobs needs a positive number")),
                 );
             }
+            "--metrics" => metrics = true,
             "--out" => {
                 out = Some(PathBuf::from(
                     it.next().unwrap_or_else(|| panic!("--out needs a directory")),
@@ -116,6 +143,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
         cfg,
         profiles,
         jobs,
+        metrics,
         out: out.unwrap_or_else(memsim_sim::results_dir),
         rest,
     }
@@ -158,7 +186,15 @@ mod tests {
         assert_eq!(o.cfg.accesses, 400_000);
         assert_eq!(o.profiles.len(), 14);
         assert_eq!(o.jobs, None);
+        assert!(!o.metrics);
         assert!(o.rest.is_empty());
+    }
+
+    #[test]
+    fn metrics_flag_enables_recording() {
+        let o = opts(&["--metrics", "--jobs", "2"]);
+        assert!(o.metrics);
+        assert_eq!(o.engine().jobs(), 2);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::config::BumblebeeConfig;
 use crate::metadata::MetadataBreakdown;
 use crate::set::{RemapSet, ServedFrom, SetCtx};
+use memsim_obs::{EpochGauges, Telemetry, OCC_BUCKETS};
 use memsim_types::{
     Access, AccessPlan, Addr, CtrlStats, Geometry, HybridMemoryController, Mem, MetadataModel,
     OverfetchTracker, PageSlot,
@@ -37,6 +38,7 @@ pub struct BumblebeeController {
     next_flush_ok: u64,
     movement_credit: i64,
     accesses: u64,
+    telemetry: Telemetry,
 }
 
 impl BumblebeeController {
@@ -66,7 +68,38 @@ impl BumblebeeController {
             next_flush_ok: 0,
             movement_credit: MOVEMENT_CREDIT_CAP,
             accesses: 0,
+            telemetry: Telemetry::default(),
             cfg,
+        }
+    }
+
+    /// The controller's telemetry handle (install/remove a recorder).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Instantaneous gauges for an epoch sample.
+    fn gauges(&self) -> EpochGauges {
+        let mut occupancy = [0u32; OCC_BUCKETS];
+        let mut rh_sum = 0.0;
+        let mut threshold_sum = 0u64;
+        for s in &self.sets {
+            let rh = s.rh();
+            occupancy[EpochGauges::occ_bucket(rh)] += 1;
+            rh_sum += rh;
+            threshold_sum += u64::from(s.hot().threshold());
+        }
+        let n = self.sets.len().max(1) as f64;
+        EpochGauges {
+            chbm_fraction: self.chbm_fraction(),
+            mhbm_fraction: self.mhbm_fraction(),
+            rh: rh_sum / n,
+            threshold: threshold_sum as f64 / n,
+            overfetch_ratio: self
+                .overfetch
+                .as_ref()
+                .map_or(0.0, OverfetchTracker::overfetch_ratio),
+            occupancy,
         }
     }
 
@@ -158,6 +191,7 @@ impl BumblebeeController {
                 overfetch: self.overfetch.as_mut(),
                 mode_switch_bytes: &mut self.mode_switch_bytes,
                 movement_credit: &mut self.movement_credit,
+                telemetry: self.telemetry.active(),
             };
             set.pressure_flush(&mut ctx);
         }
@@ -186,8 +220,13 @@ impl HybridMemoryController for BumblebeeController {
             overfetch: self.overfetch.as_mut(),
             mode_switch_bytes: &mut self.mode_switch_bytes,
             movement_credit: &mut self.movement_credit,
+            telemetry: self.telemetry.active(),
         };
         let _served: ServedFrom = set.access(o, block, line, req.kind, &mut ctx);
+        if self.telemetry.tick() {
+            let gauges = self.gauges();
+            self.telemetry.sample(&self.stats, gauges);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -227,6 +266,7 @@ impl HybridMemoryController for BumblebeeController {
                 overfetch: self.overfetch.as_mut(),
                 mode_switch_bytes: &mut self.mode_switch_bytes,
                 movement_credit: &mut self.movement_credit,
+                telemetry: self.telemetry.active(),
             };
             set.finish(&mut ctx);
         }
@@ -351,6 +391,44 @@ mod tests {
         c.access(&Access { addr: Addr(0), kind: AccessKind::Write, insts: 0 }, &mut plan);
         assert!(plan.critical.is_empty());
         assert!(!plan.background.is_empty());
+    }
+
+    #[test]
+    fn recorder_collects_epochs_and_events() {
+        use memsim_obs::{MetricsConfig, RunRecorder};
+        let mut c = BumblebeeController::new(tiny_geometry(), BumblebeeConfig::default());
+        c.telemetry_mut().install(Box::new(RunRecorder::new(&MetricsConfig {
+            epoch_interval: 4,
+            event_capacity: 64,
+        })));
+        let mut plan = AccessPlan::new();
+        for i in 0..10u64 {
+            plan.clear();
+            c.access(&Access::read(Addr(i * 64)), &mut plan);
+        }
+        let run = c.telemetry_mut().take().unwrap().into_run().unwrap();
+        assert_eq!(run.epochs().len(), 2, "boundaries at accesses 4 and 8");
+        assert_eq!(run.epochs()[0].accesses, 4);
+        assert!(run.epochs()[1].cum_hit_rate > 0.0, "repeat touches hit HBM");
+        assert!(!run.ring().is_empty(), "allocation/fill events were traced");
+    }
+
+    #[test]
+    fn noop_recorder_leaves_stats_unchanged() {
+        use memsim_obs::NoopRecorder;
+        let run = |install: bool| {
+            let mut c = BumblebeeController::new(tiny_geometry(), BumblebeeConfig::default());
+            if install {
+                c.telemetry_mut().install(Box::new(NoopRecorder));
+            }
+            let mut plan = AccessPlan::new();
+            for i in 0..64u64 {
+                plan.clear();
+                c.access(&Access::read(Addr(i * 4096)), &mut plan);
+            }
+            c.stats().clone()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -316,12 +316,6 @@ mod tests {
 
     #[test]
     fn counters_saturate() {
-        let mut t = HotTable::new(2, 2);
-        t.touch_dram(1);
-        for _ in 0..u32::MAX as u64 + 5 {
-            // Saturating: cannot overflow. (Loop kept tiny via direct set.)
-            break;
-        }
         // Direct saturation check via many touches is too slow; emulate:
         let mut e = HotEntry { ple: 0, counter: u32::MAX };
         e.counter = e.counter.saturating_add(1);

@@ -11,6 +11,7 @@ use crate::ble::{Ble, FrameMode};
 use crate::config::{AllocPolicy, BumblebeeConfig};
 use crate::hot_table::HotTable;
 use crate::prt::Prt;
+use memsim_obs::{Telemetry, TraceEvent};
 use memsim_types::{
     AccessKind, AccessPlan, Addr, BlockIndex, Cause, CtrlStats, DeviceOp, Geometry, Mem, OpKind,
     OverfetchTracker, PageSlot,
@@ -47,6 +48,9 @@ pub struct SetCtx<'a> {
     /// movement (migrations, rule-4 swaps) is deferred when exhausted —
     /// the mover is a finite resource, not an infinite DMA engine.
     pub movement_credit: &'a mut i64,
+    /// Telemetry handle when a recorder is installed; `None` keeps the
+    /// fast path free of even event-payload construction.
+    pub telemetry: Option<&'a mut Telemetry>,
 }
 
 impl SetCtx<'_> {
@@ -57,6 +61,14 @@ impl SetCtx<'_> {
     fn dram_addr(&self, dram_slot: u16, block: u32) -> Addr {
         let page = self.geometry.page_of_slot(self.set_id, PageSlot::OffChip(u32::from(dram_slot)));
         self.geometry.dram_device_addr(page, BlockIndex(block))
+    }
+
+    /// Emits a trace event when telemetry is recording; the closure keeps
+    /// payload construction entirely off the disabled path.
+    fn emit(&mut self, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.event(ev());
+        }
     }
 
     fn push(&mut self, critical: bool, op: DeviceOp) {
@@ -282,6 +294,8 @@ impl RemapSet {
         ctx.push(kind == AccessKind::Read, op);
         self.hot.touch_hbm(o);
         ctx.stats.hbm_hits += 1;
+        let set = ctx.set_id;
+        ctx.emit(|| TraceEvent::BleHit { set, page: o, block });
         ctx.of_used(o, block, line);
         ServedFrom::Hbm
     }
@@ -312,6 +326,8 @@ impl RemapSet {
                 }
                 self.hot.touch_hbm(o);
                 ctx.stats.hbm_hits += 1;
+                let set = ctx.set_id;
+                ctx.emit(|| TraceEvent::BleHit { set, page: o, block });
                 ctx.of_used(o, block, line);
                 return ServedFrom::Hbm;
             }
@@ -327,6 +343,8 @@ impl RemapSet {
                 || self.hot.hbm_len() >= usize::from(self.n());
             if high_rh && hotness <= self.threshold_for(true, quota) {
                 ctx.stats.threshold_rejections += 1;
+                let set = ctx.set_id;
+                ctx.emit(|| TraceEvent::ThresholdReject { set, page: o });
                 return ServedFrom::OffChip;
             }
             self.fill_block(o, fi, home, block, ctx);
@@ -387,7 +405,7 @@ impl RemapSet {
         // When the async mover cannot afford a page migration, degrade to
         // block caching (16× cheaper per entry) instead of doing nothing —
         // unless a fixed partition or the pressure rule forbids cHBM.
-        let can_cache = !chbm_disabled && quota.map_or(true, |q| q > 0);
+        let can_cache = !chbm_disabled && quota.is_none_or(|q| q > 0);
         let prefer_mhbm = if prefer_mhbm
             && *ctx.movement_credit < 2 * ctx.geometry.page_bytes() as i64
             && can_cache
@@ -402,6 +420,8 @@ impl RemapSet {
         if prefer_mhbm {
             if high_rh && hotness <= threshold {
                 ctx.stats.threshold_rejections += 1;
+                let set = ctx.set_id;
+                ctx.emit(|| TraceEvent::ThresholdReject { set, page: o });
                 return;
             }
             self.try_migrate_to_mhbm(o, block, line, quota, ctx);
@@ -411,6 +431,8 @@ impl RemapSet {
             }
             if high_rh && hotness <= threshold {
                 ctx.stats.threshold_rejections += 1;
+                let set = ctx.set_id;
+                ctx.emit(|| TraceEvent::ThresholdReject { set, page: o });
                 return;
             }
             self.try_cache_block(o, home, block, line, quota, ctx);
@@ -508,6 +530,8 @@ impl RemapSet {
             self.handle_popped_entry(popped, ctx);
         }
         ctx.stats.page_migrations += 1;
+        let set = ctx.set_id;
+        ctx.emit(|| TraceEvent::Migrate { set, page: o });
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -556,6 +580,8 @@ impl RemapSet {
         let _ = block_bytes;
         self.bles[f].valid.set(block);
         ctx.stats.block_fills += 1;
+        let set = ctx.set_id;
+        ctx.emit(|| TraceEvent::BlockFill { set, page: o, block });
         ctx.of_fetched_block(o, block);
     }
 
@@ -621,6 +647,8 @@ impl RemapSet {
         self.bles[f].switch_to_mhbm();
         self.cached_in[usize::from(o)] = None;
         ctx.stats.switch_to_mhbm += 1;
+        let set = ctx.set_id;
+        ctx.emit(|| TraceEvent::SwitchMode { set, page: o, to_mhbm: true });
     }
 
     // ---- §III-E data movement triggered by footprint --------------------
@@ -709,6 +737,8 @@ impl RemapSet {
                 self.bles[usize::from(frame)].switch_to_chbm(ctx.geometry.blocks_per_page());
                 self.cached_in[usize::from(ple)] = Some(frame as u8);
                 ctx.stats.switch_to_chbm += 1;
+                let set = ctx.set_id;
+                ctx.emit(|| TraceEvent::SwitchMode { set, page: ple, to_mhbm: false });
                 if !ctx.cfg.multiplexed {
                     // Separate spaces: the page must actually be copied out.
                     let page_bytes = ctx.geometry.page_bytes() as u32;
@@ -737,6 +767,8 @@ impl RemapSet {
         self.bles[usize::from(frame)].reset();
         self.hot.push_dram_front(entry);
         ctx.stats.evictions += 1;
+        let set = ctx.set_id;
+        ctx.emit(|| TraceEvent::Evict { set, page: ple });
         true
     }
 
@@ -790,6 +822,8 @@ impl RemapSet {
         self.bles[f].reset();
         self.cached_in[usize::from(o)] = None;
         ctx.stats.evictions += 1;
+        let set = ctx.set_id;
+        ctx.emit(|| TraceEvent::Evict { set, page: o });
     }
 
     /// Rule 3: evict the zombie page when the LRU HBM entry and its counter
@@ -815,10 +849,14 @@ impl RemapSet {
                             self.prt.relocate(ple, slot);
                             self.bles[usize::from(frame)].reset();
                             ctx.stats.evictions += 1;
+                            let set = ctx.set_id;
+                            ctx.emit(|| TraceEvent::Evict { set, page: ple });
                         }
                     }
                 }
                 ctx.stats.zombie_evictions += 1;
+                let set = ctx.set_id;
+                ctx.emit(|| TraceEvent::ZombieEvict { set, page: ple });
                 self.zombie_stale = 0;
                 self.zombie_head = None;
             }
@@ -839,6 +877,8 @@ impl RemapSet {
     fn try_swap(&mut self, o: u16, block: u32, hotness: u32, ctx: &mut SetCtx<'_>) {
         if hotness <= self.hot.threshold() {
             ctx.stats.threshold_rejections += 1;
+            let set = ctx.set_id;
+            ctx.emit(|| TraceEvent::ThresholdReject { set, page: o });
             return;
         }
         if self.accesses.saturating_sub(self.last_swap_at) < Self::SWAP_COOLDOWN {
@@ -896,6 +936,9 @@ impl RemapSet {
         self.hot.promote(o);
         self.last_swap_at = self.accesses;
         ctx.stats.page_migrations += 1;
+        let set = ctx.set_id;
+        let victim_ple = victim.ple;
+        ctx.emit(|| TraceEvent::Swap { set, page: o, victim: victim_ple });
     }
 
     /// Rule 5: flush every cHBM frame of this set to off-chip DRAM and
@@ -910,6 +953,8 @@ impl RemapSet {
         }
         self.chbm_disabled_until = self.accesses + u64::from(ctx.cfg.chbm_disable_window);
         ctx.stats.pressure_flushes += 1;
+        let set = ctx.set_id;
+        ctx.emit(|| TraceEvent::PressureFlush { set });
     }
 
     /// End-of-run: drain over-fetch state for every HBM-resident chunk.
@@ -929,6 +974,8 @@ impl RemapSet {
 
     fn allocate(&mut self, o: u16, ctx: &mut SetCtx<'_>) {
         ctx.stats.allocations += 1;
+        let set = ctx.set_id;
+        ctx.emit(|| TraceEvent::PrtMiss { set, page: o });
         let want_hbm = match ctx.cfg.alloc_policy {
             AllocPolicy::AllDram => false,
             AllocPolicy::AllHbm => true,
@@ -957,6 +1004,7 @@ impl RemapSet {
                     self.handle_popped_entry(popped, ctx);
                 }
                 ctx.stats.alloc_in_hbm += 1;
+                ctx.emit(|| TraceEvent::AllocInHbm { set, page: o });
                 self.last_allocs = [Some(o), self.last_allocs[0]];
                 return;
             }
@@ -972,6 +1020,7 @@ impl RemapSet {
                     self.handle_popped_entry(popped, ctx);
                 }
                 ctx.stats.alloc_in_hbm += 1;
+                ctx.emit(|| TraceEvent::AllocInHbm { set, page: o });
                 self.last_allocs = [Some(o), self.last_allocs[0]];
                 return;
             }
@@ -1008,6 +1057,7 @@ impl RemapSet {
                     self.handle_popped_entry(popped, ctx);
                 }
                 ctx.stats.alloc_in_hbm += 1;
+                ctx.emit(|| TraceEvent::AllocInHbm { set, page: o });
             }
             self.last_allocs = [Some(o), self.last_allocs[0]];
             return;
@@ -1072,6 +1122,7 @@ mod tests {
         overfetch: OverfetchTracker,
         mode_switch_bytes: u64,
         movement_credit: i64,
+        telemetry: Telemetry,
         set: RemapSet,
     }
 
@@ -1087,6 +1138,7 @@ mod tests {
                 overfetch: OverfetchTracker::new(),
                 mode_switch_bytes: 0,
                 movement_credit: i64::MAX / 2,
+                telemetry: Telemetry::default(),
                 set,
             }
         }
@@ -1102,6 +1154,7 @@ mod tests {
                 overfetch: Some(&mut self.overfetch),
                 mode_switch_bytes: &mut self.mode_switch_bytes,
                 movement_credit: &mut self.movement_credit,
+                telemetry: self.telemetry.active(),
             };
             self.set.access(o, block, 0, kind, &mut ctx)
         }
@@ -1325,6 +1378,7 @@ mod tests {
             overfetch: Some(&mut h.overfetch),
             mode_switch_bytes: &mut h.mode_switch_bytes,
             movement_credit: &mut h.movement_credit,
+            telemetry: None,
         };
         h.set.pressure_flush(&mut ctx);
         assert_eq!(h.set.chbm_frames(), 0);
@@ -1364,10 +1418,25 @@ mod tests {
             overfetch: None,
             mode_switch_bytes: &mut h.mode_switch_bytes,
             movement_credit: &mut h.movement_credit,
+            telemetry: None,
         };
         h.set.access(0, 1, 0, AccessKind::Write, &mut ctx);
         assert!(h.plan.critical.is_empty(), "writes are posted");
         assert!(!h.plan.background.is_empty());
+    }
+
+    #[test]
+    fn events_are_recorded_when_a_recorder_is_installed() {
+        use memsim_obs::{MetricsConfig, RunRecorder};
+        let mut h = Harness::new(BumblebeeConfig::default());
+        h.telemetry.install(Box::new(RunRecorder::new(&MetricsConfig::default())));
+        h.access(0, 0, AccessKind::Read); // allocate + fill
+        h.access(0, 0, AccessKind::Read); // cHBM hit
+        let run = h.telemetry.take().unwrap().into_run().unwrap();
+        let kinds: Vec<&str> = run.ring().iter().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains(&"prt_miss"), "kinds {kinds:?}");
+        assert!(kinds.contains(&"block_fill"), "kinds {kinds:?}");
+        assert!(kinds.contains(&"ble_hit"), "kinds {kinds:?}");
     }
 
     #[test]
@@ -1384,6 +1453,7 @@ mod tests {
             overfetch: Some(&mut h.overfetch),
             mode_switch_bytes: &mut h.mode_switch_bytes,
             movement_credit: &mut h.movement_credit,
+            telemetry: None,
         };
         h.set.finish(&mut ctx);
         h.overfetch.evict_all();

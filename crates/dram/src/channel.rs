@@ -27,6 +27,9 @@ pub struct ChunkResult {
     /// Whether an activate (with implicit precharge of the old row) was
     /// performed.
     pub activated: bool,
+    /// Cycles the data burst waited for the shared channel bus after the
+    /// column access was ready (queueing delay behind earlier bursts).
+    pub bus_wait: u64,
 }
 
 /// One memory channel.
@@ -111,7 +114,7 @@ impl Channel {
         self.busy_cycles += burst;
         let b = &mut self.banks[bank as usize];
         b.ready_at = done_at;
-        ChunkResult { done_at, row_hit, activated }
+        ChunkResult { done_at, row_hit, activated, bus_wait: data_start - col_ready }
     }
 }
 

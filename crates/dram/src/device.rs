@@ -2,6 +2,7 @@
 
 use crate::channel::Channel;
 use crate::config::DeviceConfig;
+use memsim_obs::DeviceHistograms;
 use memsim_types::{Addr, OpKind};
 
 /// Traffic and row-buffer counters for one device.
@@ -44,13 +45,19 @@ pub struct DramDevice {
     cfg: DeviceConfig,
     channels: Vec<Channel>,
     counters: DeviceCounters,
+    histograms: DeviceHistograms,
 }
 
 impl DramDevice {
     /// Creates an idle device from its configuration.
     pub fn new(cfg: DeviceConfig) -> DramDevice {
         let channels = (0..cfg.channels).map(|_| Channel::new(cfg.banks_per_channel)).collect();
-        DramDevice { cfg, channels, counters: DeviceCounters::default() }
+        DramDevice {
+            cfg,
+            channels,
+            counters: DeviceCounters::default(),
+            histograms: DeviceHistograms::new(),
+        }
     }
 
     /// The device configuration.
@@ -61,6 +68,12 @@ impl DramDevice {
     /// Traffic/row counters accumulated so far.
     pub fn counters(&self) -> &DeviceCounters {
         &self.counters
+    }
+
+    /// Always-on per-chunk latency and bus-queue-wait distributions.
+    /// Cycle-domain data: deterministic for a given access stream.
+    pub fn histograms(&self) -> &DeviceHistograms {
+        &self.histograms
     }
 
     /// Performs an access of `bytes` at device-local address `addr`,
@@ -111,6 +124,8 @@ impl DramDevice {
         if r.activated {
             self.counters.activates += 1;
         }
+        self.histograms.latency.record(r.done_at - now);
+        self.histograms.queue_wait.record(r.bus_wait);
         r.done_at
     }
 
@@ -153,6 +168,7 @@ impl DramDevice {
             *ch = Channel::new(self.cfg.banks_per_channel);
         }
         self.counters = DeviceCounters::default();
+        self.histograms = DeviceHistograms::new();
     }
 }
 
@@ -250,5 +266,31 @@ mod tests {
         d.reset();
         assert_eq!(*d.counters(), DeviceCounters::default());
         assert_eq!(d.busy_cycles(), 0);
+        assert_eq!(d.histograms().latency.total(), 0);
+    }
+
+    #[test]
+    fn histograms_record_every_chunk() {
+        let mut d = DramDevice::new(presets::hbm2(64 << 20));
+        d.access(Addr(0), 64 << 10, OpKind::Read, 0);
+        let h = d.histograms();
+        assert_eq!(h.latency.total(), d.counters().chunk_accesses);
+        assert_eq!(h.queue_wait.total(), d.counters().chunk_accesses);
+        assert!(h.latency.max() > 0);
+        // Back-to-back bursts on the same channel queue behind the bus.
+        assert!(h.queue_wait.max() > 0, "a 128-chunk page must contend for the bus");
+    }
+
+    #[test]
+    fn histograms_are_deterministic() {
+        let run = || {
+            let mut d = DramDevice::new(presets::ddr4_3200(64 << 20));
+            let mut now = 0;
+            for i in 0..64u64 {
+                now = d.access(Addr(i * 4096), 2048, OpKind::Read, now);
+            }
+            d.histograms().clone()
+        };
+        assert_eq!(run(), run());
     }
 }

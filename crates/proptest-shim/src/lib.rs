@@ -574,8 +574,8 @@ mod tests {
             for p in &picks {
                 prop_assert!((1..=3).contains(p));
             }
-            prop_assert!(picks.iter().any(|p| *p == 1));
-            prop_assert!(picks.iter().any(|p| *p == 3));
+            prop_assert!(picks.contains(&1));
+            prop_assert!(picks.contains(&3));
         }
     }
 }

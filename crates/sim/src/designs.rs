@@ -4,6 +4,7 @@ use bumblebee_core::{BumblebeeConfig, BumblebeeController};
 use memsim_baselines::{
     ablations, AlloyCache, Banshee, Chameleon, Hybrid2, OffChipOnly, UnisonCache,
 };
+use memsim_obs::MetricsRecorder;
 use memsim_types::{Access, AccessPlan, CtrlStats, Geometry, HybridMemoryController};
 
 /// Every design of the paper's evaluation (Fig. 7 + Fig. 8).
@@ -139,6 +140,16 @@ impl AnyController {
             AnyController::Bumblebee(c) => Some(c.page_faults()),
             _ => None,
         }
+    }
+
+    /// Installs a telemetry recorder on the concrete controller.
+    pub fn install_recorder(&mut self, rec: Box<dyn MetricsRecorder>) {
+        delegate!(self, c => c.telemetry_mut().install(rec));
+    }
+
+    /// Removes and returns the telemetry recorder, if one was installed.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn MetricsRecorder>> {
+        delegate!(self, c => c.telemetry_mut().take())
     }
 
     /// The inner Bumblebee controller, when this is one.

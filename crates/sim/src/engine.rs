@@ -13,7 +13,8 @@
 use crate::jsonl::JsonObj;
 use crate::matrix::{Cell, ExperimentMatrix};
 use crate::report::SimReport;
-use crate::run::run_design;
+use crate::run::{run_design_with, RunObservations};
+use memsim_obs::{MetricsConfig, Pow2Histogram};
 use memsim_types::GeometryError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -25,31 +26,34 @@ use std::time::Instant;
 pub struct Engine {
     jobs: usize,
     progress: bool,
+    metrics: Option<MetricsConfig>,
 }
 
 impl Engine {
     /// An engine running `jobs` cells concurrently (clamped to ≥ 1),
-    /// without progress output.
+    /// without progress output or metrics recording.
     pub fn new(jobs: usize) -> Engine {
-        Engine { jobs: jobs.max(1), progress: false }
+        Engine { jobs: jobs.max(1), progress: false, metrics: None }
     }
 
     /// Width from the environment: `BUMBLEBEE_JOBS` if set, else the
-    /// machine's available parallelism.
+    /// machine's available parallelism. An unusable `BUMBLEBEE_JOBS`
+    /// (unparsable or zero) is ignored with a one-line stderr warning.
     pub fn from_env() -> Engine {
-        let jobs = std::env::var("BUMBLEBEE_JOBS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&j| j > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
-            });
-        Engine::new(jobs)
+        Engine::new(jobs_from_env(std::env::var("BUMBLEBEE_JOBS").ok().as_deref()))
     }
 
     /// Enables or disables per-cell progress lines on stderr.
     pub fn with_progress(mut self, progress: bool) -> Engine {
         self.progress = progress;
+        self
+    }
+
+    /// Installs a [`RunRecorder`](memsim_obs::RunRecorder) in every cell's
+    /// controller, sampling per `metrics`; the run's [`ResultSet`] then
+    /// carries [`RunObservations`] and engine telemetry.
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Engine {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -102,25 +106,84 @@ impl Engine {
     pub fn run(&self, matrix: &ExperimentMatrix) -> Result<ResultSet, GeometryError> {
         let total = matrix.len();
         let done = AtomicUsize::new(0);
+        let wall = Instant::now();
         let results = self.par_map(matrix.cells(), |cell| {
             let start = Instant::now();
-            let report = run_design(cell.design, &cell.cfg, &cell.profile);
+            let outcome =
+                run_design_with(cell.design, &cell.cfg, &cell.profile, self.metrics.as_ref());
+            let nanos = start.elapsed().as_nanos() as u64;
             if self.progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(
                     "[{} {n}/{total}] {} {} ms",
                     matrix.name(),
                     cell.label(),
-                    start.elapsed().as_millis()
+                    nanos / 1_000_000
                 );
             }
-            report
+            (outcome, nanos)
         });
+        let wall_nanos = wall.elapsed().as_nanos() as u64;
         let mut reports = Vec::with_capacity(total);
-        for r in results {
-            reports.push(r?);
+        let mut observations = self.metrics.map(|_| Vec::with_capacity(total));
+        let mut cell_nanos = Vec::with_capacity(total);
+        for (r, nanos) in results {
+            let (report, obs) = r?;
+            if let Some(all) = observations.as_mut() {
+                all.push(obs.expect("metrics requested, so every run observes"));
+            }
+            reports.push(report);
+            cell_nanos.push(nanos);
         }
-        Ok(ResultSet::new(matrix, self.jobs, reports))
+        let telemetry = EngineTelemetry { jobs: self.jobs, wall_nanos, cell_nanos };
+        Ok(ResultSet::new(matrix, self.jobs, reports, observations, telemetry))
+    }
+}
+
+/// Parses a `BUMBLEBEE_JOBS` override; unusable values fall back to the
+/// machine's available parallelism after a stderr warning naming the value.
+fn jobs_from_env(var: Option<&str>) -> usize {
+    let fallback =
+        || std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let Some(raw) = var else { return fallback() };
+    match raw.trim().parse::<usize>() {
+        Ok(jobs) if jobs > 0 => jobs,
+        _ => {
+            eprintln!(
+                "warning: ignoring BUMBLEBEE_JOBS={raw:?}: expected a positive integer, \
+                 using available parallelism"
+            );
+            fallback()
+        }
+    }
+}
+
+/// Wall-clock telemetry of one matrix run.
+///
+/// Nondeterministic by nature — the engine writes it to a separate
+/// `.metrics.jsonl` artifact, never into the byte-compared deterministic
+/// outputs.
+#[derive(Debug, Clone)]
+pub struct EngineTelemetry {
+    /// Worker width the run used.
+    pub jobs: usize,
+    /// Wall time of the whole matrix, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Per-cell wall time, in cell order, in nanoseconds.
+    pub cell_nanos: Vec<u64>,
+}
+
+impl EngineTelemetry {
+    /// Worker utilization: total cell compute time over `jobs × wall`.
+    /// 1.0 means every worker was busy the whole run.
+    pub fn utilization(&self) -> f64 {
+        let busy: u64 = self.cell_nanos.iter().sum();
+        let span = self.jobs as u64 * self.wall_nanos;
+        if span == 0 {
+            0.0
+        } else {
+            busy as f64 / span as f64
+        }
     }
 }
 
@@ -132,17 +195,25 @@ pub struct ResultSet {
     jobs: usize,
     cells: Vec<Cell>,
     reports: Vec<SimReport>,
+    observations: Option<Vec<RunObservations>>,
+    engine: EngineTelemetry,
     index: HashMap<(String, &'static str, String), usize>,
 }
 
 impl ResultSet {
-    fn new(matrix: &ExperimentMatrix, jobs: usize, reports: Vec<SimReport>) -> ResultSet {
+    fn new(
+        matrix: &ExperimentMatrix,
+        jobs: usize,
+        reports: Vec<SimReport>,
+        observations: Option<Vec<RunObservations>>,
+        engine: EngineTelemetry,
+    ) -> ResultSet {
         let cells = matrix.cells().to_vec();
         let mut index = HashMap::with_capacity(cells.len());
         for c in &cells {
             index.insert((c.tag.clone(), c.design.label(), c.profile.name.to_string()), c.id);
         }
-        ResultSet { name: matrix.name().to_string(), jobs, cells, reports, index }
+        ResultSet { name: matrix.name().to_string(), jobs, cells, reports, observations, engine, index }
     }
 
     /// The matrix name this set came from.
@@ -206,6 +277,140 @@ impl ResultSet {
             })
             .collect()
     }
+
+    /// Per-cell observations, when the run recorded metrics.
+    pub fn observations(&self) -> Option<&[RunObservations]> {
+        self.observations.as_deref()
+    }
+
+    /// Wall-clock telemetry of the run (always present).
+    pub fn engine_telemetry(&self) -> &EngineTelemetry {
+        &self.engine
+    }
+
+    fn cell_obj(&self, kind: &str, c: &Cell) -> JsonObj {
+        JsonObj::new()
+            .str("kind", kind)
+            .str("figure", &self.name)
+            .str("tag", &c.tag)
+            .u64("cell", c.id as u64)
+            .str("design", c.design.label())
+            .str("workload", c.profile.name)
+    }
+
+    fn histogram_line(&self, c: &Cell, device: &str, metric: &str, h: &Pow2Histogram) -> String {
+        let mut obj = self
+            .cell_obj("histogram", c)
+            .str("device", device)
+            .str("metric", metric)
+            .u64("total", h.total())
+            .f64("mean", h.mean())
+            .u64("max", h.max());
+        for (k, _, count) in h.nonzero() {
+            obj = obj.u64(&format!("b{k}"), count);
+        }
+        obj.finish()
+    }
+
+    /// The epoch time-series as JSONL: one `kind=epoch` line per epoch per
+    /// cell, then the `kind=histogram` device-distribution lines. Purely
+    /// cycle-domain — byte-identical across `--jobs` widths. Empty when the
+    /// run recorded no metrics.
+    pub fn epochs_jsonl_lines(&self) -> Vec<String> {
+        let Some(all) = self.observations.as_deref() else { return Vec::new() };
+        let mut lines = Vec::new();
+        for (c, obs) in self.cells.iter().zip(all) {
+            for s in &obs.epochs {
+                let mut obj = self
+                    .cell_obj("epoch", c)
+                    .u64("epoch", s.epoch)
+                    .u64("accesses", s.accesses)
+                    .f64("hit_rate", s.hit_rate)
+                    .f64("cum_hit_rate", s.cum_hit_rate)
+                    .u64("fills", s.fills)
+                    .u64("migrations", s.migrations)
+                    .u64("evictions", s.evictions)
+                    .u64("threshold_rejections", s.threshold_rejections)
+                    .f64("chbm_fraction", s.gauges.chbm_fraction)
+                    .f64("mhbm_fraction", s.gauges.mhbm_fraction)
+                    .f64("rh", s.gauges.rh)
+                    .f64("threshold", s.gauges.threshold)
+                    .f64("overfetch_ratio", s.gauges.overfetch_ratio);
+                for (k, count) in s.gauges.occupancy.iter().enumerate() {
+                    obj = obj.u64(&format!("occ{k}"), u64::from(*count));
+                }
+                lines.push(obj.finish());
+            }
+            lines.push(self.histogram_line(c, "hbm", "latency", &obs.hbm.latency));
+            lines.push(self.histogram_line(c, "hbm", "queue_wait", &obs.hbm.queue_wait));
+            lines.push(self.histogram_line(c, "dram", "latency", &obs.dram.latency));
+            lines.push(self.histogram_line(c, "dram", "queue_wait", &obs.dram.queue_wait));
+        }
+        lines
+    }
+
+    /// The event trace as JSONL: one `kind=event` line per ring entry per
+    /// cell plus a `kind=trace_summary` line with the drop count. Purely
+    /// cycle-domain — byte-identical across `--jobs` widths. Empty when the
+    /// run recorded no metrics.
+    pub fn trace_jsonl_lines(&self) -> Vec<String> {
+        let Some(all) = self.observations.as_deref() else { return Vec::new() };
+        let mut lines = Vec::new();
+        for (c, obs) in self.cells.iter().zip(all) {
+            for e in &obs.events {
+                lines.push(
+                    self.cell_obj("event", c)
+                        .u64("seq", e.seq)
+                        .str("event", e.event.kind())
+                        .u64("set", e.event.set())
+                        .opt_u64("page", e.event.page())
+                        .opt_u64("block", e.event.block())
+                        .opt_u64("victim", e.event.victim())
+                        .finish(),
+                );
+            }
+            lines.push(
+                self.cell_obj("trace_summary", c)
+                    .u64("events", obs.events.len() as u64)
+                    .u64("dropped", obs.dropped_events)
+                    .finish(),
+            );
+        }
+        lines
+    }
+
+    /// Wall-clock engine telemetry as JSONL: one `kind=cell_metrics` line
+    /// per cell (wall ms, accesses/sec) and a final `kind=engine` line
+    /// (jobs, wall, worker utilization). Nondeterministic — write it to its
+    /// own `.metrics.jsonl`, never a byte-compared artifact.
+    pub fn metrics_jsonl_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (c, &nanos) in self.cells.iter().zip(&self.engine.cell_nanos) {
+            let accesses = c.cfg.warmup + c.cfg.accesses;
+            let per_sec = if nanos == 0 {
+                0.0
+            } else {
+                accesses as f64 / (nanos as f64 / 1e9)
+            };
+            lines.push(
+                self.cell_obj("cell_metrics", c)
+                    .f64("wall_ms", nanos as f64 / 1e6)
+                    .u64("accesses", accesses)
+                    .f64("accesses_per_sec", per_sec)
+                    .finish(),
+            );
+        }
+        lines.push(
+            JsonObj::new()
+                .str("kind", "engine")
+                .str("figure", &self.name)
+                .u64("jobs", self.engine.jobs as u64)
+                .f64("wall_ms", self.engine.wall_nanos as f64 / 1e6)
+                .f64("utilization", self.engine.utilization())
+                .finish(),
+        );
+        lines
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +433,60 @@ mod tests {
     #[test]
     fn engine_from_env_is_at_least_one() {
         assert!(Engine::from_env().jobs() >= 1);
+    }
+
+    #[test]
+    fn jobs_from_env_accepts_positive_and_warns_otherwise() {
+        assert_eq!(jobs_from_env(Some("3")), 3);
+        assert_eq!(jobs_from_env(Some(" 8 ")), 8, "whitespace tolerated");
+        // Unusable values fall back to available parallelism (≥ 1).
+        assert!(jobs_from_env(Some("zero")) >= 1);
+        assert!(jobs_from_env(Some("0")) >= 1);
+        assert!(jobs_from_env(Some("")) >= 1);
+        assert!(jobs_from_env(None) >= 1);
+    }
+
+    fn metrics_matrix() -> ExperimentMatrix {
+        let profiles = [SpecProfile::mcf(), SpecProfile::xz()];
+        ExperimentMatrix::cross(
+            "fig6-style",
+            &[Design::Bumblebee, Design::Alloy],
+            &profiles,
+            &RunConfig::tiny(),
+        )
+    }
+
+    #[test]
+    fn observability_output_is_byte_identical_at_any_width() {
+        let cfg = MetricsConfig { epoch_interval: 1000, event_capacity: 256 };
+        let m = metrics_matrix();
+        let serial = Engine::new(1).with_metrics(cfg).run(&m).unwrap();
+        assert!(!serial.epochs_jsonl_lines().is_empty());
+        assert!(!serial.trace_jsonl_lines().is_empty());
+        let wide = Engine::new(8).with_metrics(cfg).run(&m).unwrap();
+        assert_eq!(serial.jsonl_lines(), wide.jsonl_lines());
+        assert_eq!(serial.epochs_jsonl_lines(), wide.epochs_jsonl_lines());
+        assert_eq!(serial.trace_jsonl_lines(), wide.trace_jsonl_lines());
+    }
+
+    #[test]
+    fn metrics_recording_leaves_reports_unchanged() {
+        let m = metrics_matrix();
+        let plain = Engine::new(2).run(&m).unwrap();
+        let observed =
+            Engine::new(2).with_metrics(MetricsConfig::default()).run(&m).unwrap();
+        assert_eq!(plain.jsonl_lines(), observed.jsonl_lines());
+        assert!(plain.observations().is_none());
+        assert!(plain.epochs_jsonl_lines().is_empty());
+        assert!(plain.trace_jsonl_lines().is_empty());
+        let obs = observed.observations().unwrap();
+        assert_eq!(obs.len(), m.len());
+        assert!(obs.iter().all(|o| o.hbm.latency.total() > 0 || o.dram.latency.total() > 0));
+        // Wall-clock telemetry exists either way, one entry per cell.
+        assert_eq!(plain.engine_telemetry().cell_nanos.len(), m.len());
+        assert_eq!(plain.metrics_jsonl_lines().len(), m.len() + 1);
+        let util = observed.engine_telemetry().utilization();
+        assert!(util > 0.0, "workers did something: {util}");
     }
 
     #[test]

@@ -148,7 +148,7 @@ pub fn run_with(engine: &Engine, cfg: &RunConfig) -> Vec<(SpecProfile, Vec<(u64,
     let profiles = [SpecProfile::mcf(), SpecProfile::wrf(), SpecProfile::xz()];
     let cells: Vec<(SpecProfile, u64)> = profiles
         .iter()
-        .flat_map(|p| LINE_SIZES.iter().map(|&l| (p.clone(), l)))
+        .flat_map(|p| LINE_SIZES.iter().map(|&l| (*p, l)))
         .collect();
     let shares = engine.par_map(&cells, |(p, line_bytes)| {
         let mut cache = LineCache::new(cfg.geometry().hbm_bytes(), *line_bytes);

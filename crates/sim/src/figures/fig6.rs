@@ -46,7 +46,7 @@ pub fn matrix(cfg: &RunConfig, profiles: &[SpecProfile]) -> Result<ExperimentMat
         let tag = format!("{block_kb}-{page_kb}");
         for d in [Design::NoHbm, Design::Bumblebee] {
             for p in profiles {
-                m.push(tag.clone(), d, p.clone(), point_cfg.clone());
+                m.push(tag.clone(), d, *p, point_cfg.clone());
             }
         }
     }

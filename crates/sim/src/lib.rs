@@ -44,9 +44,13 @@ pub mod run;
 pub mod system;
 
 pub use designs::Design;
-pub use engine::{Engine, ResultSet};
-pub use jsonl::{results_dir, write_jsonl, JsonObj};
+pub use engine::{Engine, EngineTelemetry, ResultSet};
+pub use jsonl::{parse_flat, results_dir, write_jsonl, JsonObj, JsonValue};
 pub use matrix::{cell_seed, Cell, ExperimentMatrix};
+pub use memsim_obs::MetricsConfig;
 pub use report::SimReport;
-pub use run::{geomean, geomean_diag, run_design, run_reference, Geomean, RunConfig};
+pub use run::{
+    geomean, geomean_diag, run_design, run_design_with, run_reference, Geomean, RunConfig,
+    RunObservations,
+};
 pub use system::{SimParams, System};

@@ -77,7 +77,7 @@ impl ExperimentMatrix {
         let mut m = ExperimentMatrix::new(name);
         for d in designs {
             for p in profiles {
-                m.push("", *d, p.clone(), cfg.clone());
+                m.push("", *d, *p, cfg.clone());
             }
         }
         m

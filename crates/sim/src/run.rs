@@ -3,6 +3,7 @@
 use crate::designs::Design;
 use crate::report::SimReport;
 use crate::system::{SimParams, System};
+use memsim_obs::{DeviceHistograms, EpochSnapshot, MetricsConfig, RunRecorder, TimedEvent};
 use memsim_trace::{SpecProfile, Workload};
 use memsim_types::{Geometry, GeometryError, HybridMemoryController};
 
@@ -94,6 +95,25 @@ impl RunConfig {
     }
 }
 
+/// The deterministic observability harvest of one instrumented run: the
+/// controller's epoch time-series and trace events plus the per-device
+/// latency / queue-wait histograms. Everything here lives in the simulated
+/// cycle domain, so it is byte-identical across `--jobs` widths — wall-clock
+/// telemetry deliberately lives elsewhere (the engine).
+#[derive(Debug, Clone)]
+pub struct RunObservations {
+    /// Epoch snapshots, in epoch order (warm-up accesses included).
+    pub epochs: Vec<EpochSnapshot>,
+    /// Newest trace events, oldest first.
+    pub events: Vec<TimedEvent>,
+    /// Events dropped because the ring was full.
+    pub dropped_events: u64,
+    /// HBM device distributions.
+    pub hbm: DeviceHistograms,
+    /// Off-chip DRAM device distributions.
+    pub dram: DeviceHistograms,
+}
+
 /// Runs `design` on `profile` under `cfg` and reports.
 ///
 /// # Errors
@@ -105,7 +125,27 @@ pub fn run_design(
     cfg: &RunConfig,
     profile: &SpecProfile,
 ) -> Result<SimReport, GeometryError> {
-    let controller = design.build(cfg.geometry, cfg.sram_budget);
+    run_design_with(design, cfg, profile, None).map(|(report, _)| report)
+}
+
+/// Like [`run_design`], but installs a [`RunRecorder`] when `metrics` is
+/// given and returns the harvested [`RunObservations`] alongside the
+/// report. The recorder counts from access 0, so warm-up epochs appear in
+/// the time-series (useful: that is where the cache fills).
+///
+/// # Errors
+///
+/// See [`run_design`].
+pub fn run_design_with(
+    design: Design,
+    cfg: &RunConfig,
+    profile: &SpecProfile,
+    metrics: Option<&MetricsConfig>,
+) -> Result<(SimReport, Option<RunObservations>), GeometryError> {
+    let mut controller = design.build(cfg.geometry, cfg.sram_budget);
+    if let Some(m) = metrics {
+        controller.install_recorder(Box::new(RunRecorder::new(m)));
+    }
     let mut system = System::new(controller, &cfg.geometry, cfg.params, design.uses_hbm());
     let mut workload = cfg.workload(profile);
 
@@ -124,9 +164,21 @@ pub fn run_design(
     let stall_cycles = system.counters().stall_cycles - warm.stall_cycles;
     let (hbm, dram) = system.finish();
     let (hbm_counters, dram_counters) = (*hbm.counters(), *dram.counters());
+    let (hbm_hist, dram_hist) = (hbm.histograms().clone(), dram.histograms().clone());
+
+    let observations = system.controller_mut().take_recorder().and_then(|rec| {
+        let (epochs, events, dropped_events) = rec.into_run()?.into_parts();
+        Some(RunObservations {
+            epochs,
+            events,
+            dropped_events,
+            hbm: hbm_hist,
+            dram: dram_hist,
+        })
+    });
 
     let controller = system.controller();
-    Ok(SimReport {
+    let report = SimReport {
         design: design.label().to_string(),
         workload: profile.name.to_string(),
         instructions,
@@ -145,7 +197,8 @@ pub fn run_design(
         mode_switch_bytes: controller.mode_switch_bytes(),
         page_faults: controller.page_faults(),
         stats: controller.stats().clone(),
-    })
+    };
+    Ok((report, observations))
 }
 
 /// Runs the no-HBM reference on `profile` (the normalization denominator).
@@ -207,6 +260,7 @@ pub fn geomean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memsim_obs::MetricsConfig;
 
     #[test]
     fn tiny_run_produces_consistent_report() {
@@ -256,6 +310,28 @@ mod tests {
         assert_eq!(cfg.geometry().block_bytes(), 1 << 10);
         assert_eq!(cfg.geometry().page_bytes(), 96 << 10);
         assert!(RunConfig::tiny().with_block_page(3000, 96 << 10).is_err());
+    }
+
+    #[test]
+    fn instrumented_run_harvests_observations() {
+        let cfg = RunConfig::tiny();
+        let metrics = MetricsConfig { epoch_interval: 1000, event_capacity: 128 };
+        let (report, obs) =
+            run_design_with(Design::Bumblebee, &cfg, &SpecProfile::mcf(), Some(&metrics)).unwrap();
+        let obs = obs.expect("metrics requested");
+        // Epochs cover warm-up + measured accesses.
+        assert_eq!(obs.epochs.len() as u64, (cfg.warmup + cfg.accesses) / 1000);
+        assert!(!obs.events.is_empty());
+        assert!(obs.hbm.latency.total() > 0, "HBM saw traffic");
+        assert!(obs.dram.latency.total() > 0, "DRAM saw traffic");
+        // Instrumentation does not perturb the simulation itself.
+        let plain = run_design(Design::Bumblebee, &cfg, &SpecProfile::mcf()).unwrap();
+        assert_eq!(report.cycles, plain.cycles);
+        assert_eq!(report.hbm_bytes, plain.hbm_bytes);
+        // And without metrics there is nothing to harvest.
+        let (_, none) =
+            run_design_with(Design::Bumblebee, &cfg, &SpecProfile::mcf(), None).unwrap();
+        assert!(none.is_none());
     }
 
     #[test]

@@ -78,6 +78,11 @@ impl<C: HybridMemoryController> System<C> {
         &self.controller
     }
 
+    /// The wrapped controller, mutably (recorder install/harvest).
+    pub fn controller_mut(&mut self) -> &mut C {
+        &mut self.controller
+    }
+
     /// Current cycle.
     pub fn now(&self) -> u64 {
         self.now

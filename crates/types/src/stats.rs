@@ -64,7 +64,8 @@ impl fmt::Display for CtrlStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "accesses={} hbm_hit_rate={:.3} fills={} migrations={} evictions={} switches={}+{}",
+            "accesses={} hbm_hit_rate={:.3} fills={} migrations={} evictions={} switches={}+{} \
+             zombie_evictions={} pressure_flushes={} threshold_rejections={} alloc_in_hbm={}",
             self.total_accesses(),
             self.hbm_hit_rate(),
             self.block_fills,
@@ -72,6 +73,10 @@ impl fmt::Display for CtrlStats {
             self.evictions,
             self.switch_to_mhbm,
             self.switch_to_chbm,
+            self.zombie_evictions,
+            self.pressure_flushes,
+            self.threshold_rejections,
+            self.alloc_in_hbm,
         )
     }
 }
@@ -180,6 +185,70 @@ mod tests {
         assert_eq!(s.total_accesses(), 4);
         assert!((s.hbm_hit_rate() - 0.75).abs() < 1e-12);
         assert!(s.to_string().contains("hbm_hit_rate=0.750"));
+    }
+
+    #[test]
+    fn display_includes_every_bumblebee_rule_counter() {
+        let mut s = CtrlStats::new();
+        s.zombie_evictions = 2;
+        s.pressure_flushes = 3;
+        s.threshold_rejections = 4;
+        s.alloc_in_hbm = 5;
+        let text = s.to_string();
+        assert!(text.contains("zombie_evictions=2"), "{text}");
+        assert!(text.contains("pressure_flushes=3"), "{text}");
+        assert!(text.contains("threshold_rejections=4"), "{text}");
+        assert!(text.contains("alloc_in_hbm=5"), "{text}");
+    }
+
+    #[test]
+    fn evict_before_any_use_wastes_everything() {
+        let mut t = OverfetchTracker::new();
+        t.fetched(7, 256);
+        t.evicted(7);
+        assert_eq!(t.wasted_bytes(), 256);
+        assert_eq!(t.overfetch_ratio(), 1.0);
+        // Evicting an unknown key is a no-op, not an accounting error.
+        t.evicted(99);
+        assert_eq!(t.wasted_bytes(), 256);
+    }
+
+    #[test]
+    fn refill_after_evict_starts_a_fresh_chunk() {
+        let mut t = OverfetchTracker::new();
+        t.fetched(1, 64);
+        t.used(1);
+        t.evicted(1); // used: nothing wasted
+        assert_eq!(t.wasted_bytes(), 0);
+        // The same key re-enters HBM; the earlier use must not carry over.
+        t.fetched(1, 64);
+        t.evicted(1);
+        assert_eq!(t.wasted_bytes(), 64, "second residency was never touched");
+        assert_eq!(t.fetched_bytes(), 128);
+        assert!((t.overfetch_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fill_runs_report_zero_ratio() {
+        let mut t = OverfetchTracker::new();
+        assert_eq!(t.overfetch_ratio(), 0.0);
+        // Touching and evicting with no fetch ever recorded stays at zero.
+        t.used(1);
+        t.evicted(1);
+        t.evict_all();
+        assert_eq!(t.fetched_bytes(), 0);
+        assert_eq!(t.wasted_bytes(), 0);
+        assert_eq!(t.overfetch_ratio(), 0.0);
+    }
+
+    #[test]
+    fn zero_byte_fetch_is_counted_but_harmless() {
+        let mut t = OverfetchTracker::new();
+        t.fetched(1, 0);
+        t.evicted(1);
+        assert_eq!(t.fetched_bytes(), 0);
+        assert_eq!(t.wasted_bytes(), 0);
+        assert_eq!(t.overfetch_ratio(), 0.0, "0/0 stays defined");
     }
 
     #[test]

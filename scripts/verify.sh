@@ -16,6 +16,9 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== lint: cargo clippy --workspace --all-targets -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== property tests (in-repo proptest shim) =="
 cargo test -q --workspace \
   --features memsim-types/proptest,memsim-cache/proptest,memsim-baselines/proptest,memsim-dram/proptest,bumblebee-core/proptest
@@ -34,5 +37,19 @@ if ! cmp -s "$smoke/serial/fig8.jsonl" "$smoke/parallel/fig8.jsonl"; then
   exit 1
 fi
 echo "ok: $(wc -l < "$smoke/serial/fig8.jsonl") JSONL lines identical at both widths"
+
+echo "== smoke: fig6 --metrics writes observability artifacts =="
+cargo run --release -q -p bumblebee-bench --bin fig6 -- \
+  --scale 256 --accesses 20000 --workloads mcf --jobs 2 --metrics \
+  --out "$smoke/metrics" >/dev/null
+for f in fig6.jsonl fig6.epochs.jsonl fig6.trace.jsonl fig6.metrics.jsonl; do
+  if [ ! -s "$smoke/metrics/$f" ]; then
+    echo "FAIL: --metrics did not produce a non-empty $f" >&2
+    exit 1
+  fi
+done
+cargo run --release -q -p bumblebee-bench --bin trace_tool -- \
+  summarize "$smoke/metrics/fig6.trace.jsonl" >/dev/null
+echo "ok: epochs/trace/metrics JSONL written and summarizable"
 
 echo "== verify.sh: all gates passed =="
