@@ -1,0 +1,92 @@
+//! Inspect and diff `BENCH_*.json` performance reports.
+//!
+//! ```text
+//! bench_tool show    A.json
+//! bench_tool compare BASE.json NEW.json [--time-threshold-pct N]
+//!                                       [--invariant-tolerance-pct N]
+//! ```
+//!
+//! `compare` prints the per-metric deltas of the candidate against the
+//! baseline and exits `1` when any regression gate trips: wall time up by
+//! more than the time threshold (default 30%), or any cycle-domain
+//! invariant (cycles, IPC, hit rate, migrations, over-fetch) drifting at
+//! all. Parse/usage problems exit `2`. A report compared against itself
+//! always exits `0` — `scripts/verify.sh` relies on that as its self-diff
+//! gate.
+
+use bumblebee_bench::perf::{compare, BenchReport, Thresholds};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> BenchReport {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    BenchReport::parse(&body).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+}
+
+fn pct_flag(args: &[String], flag: &str) -> Option<f64> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let raw = args
+        .get(pos + 1)
+        .unwrap_or_else(|| fail(&format!("{flag} needs a percentage")));
+    Some(raw.parse().unwrap_or_else(|_| fail(&format!("{flag} needs a number, got {raw:?}"))))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("show") => {
+            let path = args.get(1).unwrap_or_else(|| fail("show needs a BENCH file"));
+            let r = load(path);
+            println!(
+                "BENCH {} — suite {} (scale {}, {} accesses, workloads {}), \
+                 median of {} repeat(s) at {} job(s)",
+                r.sha, r.suite, r.scale, r.accesses, r.workloads, r.repeats, r.jobs
+            );
+            println!("{}", r.case_table());
+            println!("{}", r.phase_table());
+            println!(
+                "phase self-times cover {:.1}% of {:.0} ms measured cell wall time",
+                r.self_coverage * 100.0,
+                r.busy_ms
+            );
+        }
+        Some("compare") => {
+            let base = args.get(1).unwrap_or_else(|| fail("compare needs BASE and NEW files"));
+            let new = args.get(2).unwrap_or_else(|| fail("compare needs BASE and NEW files"));
+            let mut th = Thresholds::default();
+            if let Some(t) = pct_flag(&args, "--time-threshold-pct") {
+                th.time_pct = t;
+            }
+            if let Some(t) = pct_flag(&args, "--invariant-tolerance-pct") {
+                th.invariant_pct = t;
+            }
+            let (base_report, new_report) = (load(base), load(new));
+            let cmp = compare(&base_report, &new_report, th)
+                .unwrap_or_else(|e| fail(&e));
+            print!("{}", cmp.render());
+            let regressions = cmp.regressions();
+            if regressions > 0 {
+                eprintln!(
+                    "FAIL: {regressions} regression(s) of {} vs baseline {}",
+                    new_report.sha, base_report.sha
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "ok: no regressions ({} vs baseline {}, time gate {:.0}%, invariant gate {:.4}%)",
+                new_report.sha, base_report.sha, th.time_pct, th.invariant_pct
+            );
+        }
+        _ => {
+            fail(
+                "usage: bench_tool show A.json\n\
+                 \x20      bench_tool compare BASE.json NEW.json \
+                 [--time-threshold-pct N] [--invariant-tolerance-pct N]",
+            );
+        }
+    }
+}

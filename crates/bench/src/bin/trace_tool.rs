@@ -1,4 +1,4 @@
-//! Record and replay LLC-miss traces; inspect observability JSONL.
+//! Record and replay LLC-miss traces; inspect and diff observability JSONL.
 //!
 //! ```text
 //! trace_tool record <file> [--workloads mcf] [--accesses N] [--scale N]
@@ -7,7 +7,14 @@
 //! trace_tool summarize <file.jsonl>           # line/event-kind counts
 //! trace_tool timeline  <file.epochs.jsonl> [--cell N]
 //! trace_tool histo     <file.epochs.jsonl>    # device latency/queue histograms
+//! trace_tool diff      <a.epochs.jsonl> <b.epochs.jsonl> [--threshold X]
 //! ```
+//!
+//! The inspection subcommands exit `2` with a clear error on unreadable,
+//! empty, or non-matching input instead of printing an empty table. `diff`
+//! exits `1` when any matched metric differs by more than `--threshold`
+//! (default 0 — the epoch time-series is deterministic, so any delta means
+//! the simulation changed behavior).
 
 use memsim_sim::report::render_table;
 use memsim_sim::{parse_flat, Design, JsonObj, JsonValue, SimParams, System};
@@ -16,10 +23,17 @@ use memsim_types::HybridMemoryController;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 /// Parses every line of a JSONL file, skipping unparsable lines with a
-/// stderr warning.
-fn read_jsonl(path: &str) -> std::io::Result<Vec<Vec<(String, JsonValue)>>> {
-    let body = std::fs::read_to_string(path)?;
+/// stderr warning. Exits with a clear error when the file cannot be read
+/// or contains no parsable lines at all.
+fn read_jsonl(path: &str) -> Vec<Vec<(String, JsonValue)>> {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     let mut rows = Vec::new();
     for (i, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
@@ -30,7 +44,10 @@ fn read_jsonl(path: &str) -> std::io::Result<Vec<Vec<(String, JsonValue)>>> {
             None => eprintln!("warning: {path}:{}: unparsable line skipped", i + 1),
         }
     }
-    Ok(rows)
+    if rows.is_empty() {
+        fail(&format!("{path}: no parsable JSONL lines"));
+    }
+    rows
 }
 
 fn get<'a>(row: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
@@ -49,8 +66,9 @@ fn get_f64(row: &[(String, JsonValue)], key: &str) -> f64 {
     get(row, key).and_then(JsonValue::as_f64).unwrap_or(0.0)
 }
 
-/// `summarize`: line counts by `kind`, event counts by event name, and the
-/// per-cell drop totals of `trace_summary` lines.
+/// `summarize`: line counts by `kind`, event counts by event name, the
+/// per-cell drop totals of `trace_summary` lines, and the span-profiler
+/// volume/overhead of `span_summary` lines.
 fn summarize(rows: &[Vec<(String, JsonValue)>]) {
     let mut kinds: Vec<(String, u64)> = Vec::new();
     let mut events: Vec<(String, u64)> = Vec::new();
@@ -61,12 +79,24 @@ fn summarize(rows: &[Vec<(String, JsonValue)>]) {
         }
     };
     let mut dropped = 0u64;
+    let mut ring_cells = 0u64;
+    let mut spans = 0u64;
+    let mut span_overhead_ms = 0.0f64;
+    let mut span_cells = 0u64;
     for row in rows {
         let kind = get_str(row, "kind");
         bump(&mut kinds, kind);
         match kind {
             "event" => bump(&mut events, get_str(row, "event")),
-            "trace_summary" => dropped += get_u64(row, "dropped"),
+            "trace_summary" => {
+                ring_cells += 1;
+                dropped += get_u64(row, "dropped");
+            }
+            "span_summary" => {
+                span_cells += 1;
+                spans += get_u64(row, "spans");
+                span_overhead_ms += get_f64(row, "overhead_ms");
+            }
             _ => {}
         }
     }
@@ -78,12 +108,23 @@ fn summarize(rows: &[Vec<(String, JsonValue)>]) {
         let mut table = vec![vec!["event".to_string(), "count".to_string()]];
         table.extend(events.iter().map(|(n, c)| vec![n.clone(), c.to_string()]));
         println!("{}", render_table(&table));
-        println!("events dropped by full rings: {dropped}");
+    }
+    if ring_cells > 0 {
+        println!(
+            "events dropped by full rings: {dropped}{}",
+            if dropped > 0 { "  (trace is TRUNCATED — raise event_capacity)" } else { "" }
+        );
+    }
+    if span_cells > 0 {
+        println!(
+            "span profiler: {spans} spans across {span_cells} cell(s), \
+             ~{span_overhead_ms:.1} ms estimated timer overhead"
+        );
     }
 }
 
 /// `timeline`: the epoch time-series of one cell (or all) as a table.
-fn timeline(rows: &[Vec<(String, JsonValue)>], cell: Option<u64>) {
+fn timeline(path: &str, rows: &[Vec<(String, JsonValue)>], cell: Option<u64>) {
     let mut table = vec![
         ["cell", "design", "workload", "epoch", "accesses", "hit%", "cum%", "fills", "migr", "evict", "Rh"]
             .map(str::to_string)
@@ -111,14 +152,16 @@ fn timeline(rows: &[Vec<(String, JsonValue)>], cell: Option<u64>) {
         ]);
     }
     if table.len() == 1 {
-        println!("no epoch lines{}", cell.map_or(String::new(), |c| format!(" for cell {c}")));
-    } else {
-        println!("{}", render_table(&table));
+        fail(&format!(
+            "no epoch lines{} in {path} (epochs come from --metrics runs)",
+            cell.map_or(String::new(), |c| format!(" for cell {c}"))
+        ));
     }
+    println!("{}", render_table(&table));
 }
 
 /// `histo`: every `kind=histogram` line as a power-of-two bucket chart.
-fn histo(rows: &[Vec<(String, JsonValue)>]) {
+fn histo(path: &str, rows: &[Vec<(String, JsonValue)>]) {
     let mut any = false;
     for row in rows {
         if get_str(row, "kind") != "histogram" {
@@ -152,13 +195,95 @@ fn histo(rows: &[Vec<(String, JsonValue)>]) {
         println!();
     }
     if !any {
-        println!("no histogram lines (was the run made with --metrics?)");
+        fail(&format!("no histogram lines in {path} (histograms come from --metrics runs)"));
     }
 }
 
-/// The `--cell N` filter from leftover positional args.
-fn cell_filter(rest: &[String]) -> Option<u64> {
-    let pos = rest.iter().position(|a| a == "--cell")?;
+/// Identity fields that name a diffable line rather than measure it.
+const DIFF_KEY_FIELDS: [&str; 9] =
+    ["kind", "figure", "tag", "cell", "design", "workload", "epoch", "device", "metric"];
+
+/// The identity of one diffable JSONL line: its kind plus every present
+/// coordinate field, serialized to a stable string key.
+fn diff_key(row: &[(String, JsonValue)]) -> String {
+    let mut key = String::new();
+    for field in DIFF_KEY_FIELDS {
+        if let Some(v) = get(row, field) {
+            let part = match v {
+                JsonValue::Str(s) => s.clone(),
+                JsonValue::Num(n) => format!("{n}"),
+                JsonValue::Bool(b) => b.to_string(),
+                JsonValue::Null => "null".to_string(),
+            };
+            key.push_str(&part);
+            key.push('|');
+        }
+    }
+    key
+}
+
+/// `diff`: matches the deterministic lines of two observability JSONL
+/// files by kind + coordinates and reports the largest per-metric deltas.
+/// Exits `1` when any delta exceeds `threshold` or lines are unmatched.
+fn diff(a_path: &str, b_path: &str, threshold: f64) {
+    let a_rows = read_jsonl(a_path);
+    let b_rows = read_jsonl(b_path);
+    let mut b_index: std::collections::HashMap<String, &Vec<(String, JsonValue)>> =
+        b_rows.iter().map(|r| (diff_key(r), r)).collect();
+    // metric -> (lines differing, max |delta|)
+    let mut metrics: Vec<(String, u64, f64)> = Vec::new();
+    let mut only_a = 0u64;
+    let mut compared = 0u64;
+    for row in &a_rows {
+        let Some(other) = b_index.remove(&diff_key(row)) else {
+            only_a += 1;
+            continue;
+        };
+        compared += 1;
+        for (k, v) in row {
+            if DIFF_KEY_FIELDS.contains(&k.as_str()) {
+                continue;
+            }
+            let Some(av) = v.as_f64() else { continue };
+            let bv = get_f64(other, k);
+            let delta = (av - bv).abs();
+            match metrics.iter_mut().find(|(n, _, _)| n == k) {
+                Some((_, count, max)) => {
+                    *count += u64::from(delta > threshold);
+                    *max = max.max(delta);
+                }
+                None => metrics.push((k.clone(), u64::from(delta > threshold), delta)),
+            }
+        }
+    }
+    let only_b = b_index.len() as u64;
+    if compared == 0 {
+        fail(&format!("{a_path} and {b_path} have no lines in common to diff"));
+    }
+    let mut table =
+        vec![["metric", "lines over threshold", "max |Δ|"].map(str::to_string).to_vec()];
+    for (name, count, max) in &metrics {
+        table.push(vec![name.clone(), count.to_string(), format!("{max}")]);
+    }
+    println!("{}", render_table(&table));
+    println!(
+        "{compared} matched line(s); {only_a} only in {a_path}, {only_b} only in {b_path}"
+    );
+    let exceeded: u64 = metrics.iter().map(|(_, count, _)| count).sum();
+    if exceeded > 0 || only_a > 0 || only_b > 0 {
+        eprintln!(
+            "FAIL: {exceeded} metric value(s) over threshold {threshold}, \
+             {} unmatched line(s)",
+            only_a + only_b
+        );
+        std::process::exit(1);
+    }
+    println!("ok: no deltas over threshold {threshold}");
+}
+
+/// A `--flag value` parse out of the leftover positional args.
+fn flag_value<T: std::str::FromStr>(rest: &[String], flag: &str) -> Option<T> {
+    let pos = rest.iter().position(|a| a == flag)?;
     rest.get(pos + 1)?.parse().ok()
 }
 
@@ -225,13 +350,22 @@ fn main() -> std::io::Result<()> {
             }
             println!("{n} accesses, {:.1}% writes, max addr {:#x}", writes as f64 * 100.0 / n.max(1) as f64, max_addr);
         }
-        ("summarize", Some(path)) => summarize(&read_jsonl(&path)?),
-        ("timeline", Some(path)) => timeline(&read_jsonl(&path)?, cell_filter(&opts.rest)),
-        ("histo", Some(path)) => histo(&read_jsonl(&path)?),
+        ("summarize", Some(path)) => summarize(&read_jsonl(&path)),
+        ("timeline", Some(path)) => {
+            timeline(&path, &read_jsonl(&path), flag_value(&opts.rest, "--cell"));
+        }
+        ("histo", Some(path)) => histo(&path, &read_jsonl(&path)),
+        ("diff", Some(a)) => {
+            let b = rest
+                .next()
+                .unwrap_or_else(|| fail("diff needs two JSONL files"));
+            diff(&a, b, flag_value(&opts.rest, "--threshold").unwrap_or(0.0));
+        }
         _ => {
-            eprintln!(
+            fail(
                 "usage: trace_tool record|replay|info <file> [--workloads w] [--accesses N] [--scale N]\n\
-                 \x20      trace_tool summarize|timeline|histo <file.jsonl> [--cell N]"
+                 \x20      trace_tool summarize|timeline|histo <file.jsonl> [--cell N]\n\
+                 \x20      trace_tool diff <a.jsonl> <b.jsonl> [--threshold X]",
             );
         }
     }

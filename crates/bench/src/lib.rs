@@ -13,6 +13,9 @@
 //!   trace, device histograms) and write `<figure>.epochs.jsonl`,
 //!   `<figure>.trace.jsonl` and `<figure>.metrics.jsonl` alongside the
 //!   results;
+//! * `--spans` — profile wall-clock phase spans per cell (trace-gen,
+//!   controller lookup, migration/swap, DRAM service, epoch sampling) and
+//!   write them as `kind=span` lines into `<figure>.metrics.jsonl`;
 //! * `--out DIR` — directory for `*.jsonl` artifacts (default:
 //!   `BUMBLEBEE_RESULTS_DIR` or `./results`).
 
@@ -20,6 +23,8 @@ use memsim_sim::{Engine, MetricsConfig, ResultSet, RunConfig};
 use memsim_trace::SpecProfile;
 use std::path::PathBuf;
 use std::time::Instant;
+
+pub mod perf;
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -32,6 +37,8 @@ pub struct HarnessOpts {
     pub jobs: Option<usize>,
     /// Whether `--metrics` observability recording is on.
     pub metrics: bool,
+    /// Whether `--spans` wall-clock phase profiling is on.
+    pub spans: bool,
     /// Directory for JSONL artifacts.
     pub out: PathBuf,
     /// Positional (non-flag) arguments left over.
@@ -47,7 +54,8 @@ impl HarnessOpts {
             Some(j) => Engine::new(j),
             None => Engine::from_env(),
         }
-        .with_progress(true);
+        .with_progress(true)
+        .with_spans(self.spans);
         if self.metrics {
             engine.with_metrics(MetricsConfig::default())
         } else {
@@ -55,17 +63,19 @@ impl HarnessOpts {
         }
     }
 
-    /// Writes the observability artifacts of `results` when `--metrics`
-    /// was given: `<figure>.epochs.jsonl` and `<figure>.trace.jsonl`
-    /// (deterministic, cycle-domain) plus `<figure>.metrics.jsonl`
-    /// (wall-clock engine telemetry).
+    /// Writes the observability artifacts of `results`: with `--metrics`,
+    /// `<figure>.epochs.jsonl` and `<figure>.trace.jsonl` (deterministic,
+    /// cycle-domain); with `--metrics` or `--spans`,
+    /// `<figure>.metrics.jsonl` (wall-clock engine telemetry and span
+    /// phase trees).
     pub fn write_telemetry(&self, figure: &str, results: &ResultSet) {
-        if !self.metrics {
-            return;
+        if self.metrics {
+            self.write_jsonl(&format!("{figure}.epochs"), &results.epochs_jsonl_lines());
+            self.write_jsonl(&format!("{figure}.trace"), &results.trace_jsonl_lines());
         }
-        self.write_jsonl(&format!("{figure}.epochs"), &results.epochs_jsonl_lines());
-        self.write_jsonl(&format!("{figure}.trace"), &results.trace_jsonl_lines());
-        self.write_jsonl(&format!("{figure}.metrics"), &results.metrics_jsonl_lines());
+        if self.metrics || self.spans {
+            self.write_jsonl(&format!("{figure}.metrics"), &results.metrics_jsonl_lines());
+        }
     }
 
     /// Writes `lines` to `<out>/<figure>.jsonl` and reports the path on
@@ -93,6 +103,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
     let mut names: Option<Vec<String>> = None;
     let mut jobs: Option<usize> = None;
     let mut metrics = false;
+    let mut spans = false;
     let mut out: Option<PathBuf> = None;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
@@ -125,6 +136,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
                 );
             }
             "--metrics" => metrics = true,
+            "--spans" => spans = true,
             "--out" => {
                 out = Some(PathBuf::from(
                     it.next().unwrap_or_else(|| panic!("--out needs a directory")),
@@ -144,6 +156,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
         profiles,
         jobs,
         metrics,
+        spans,
         out: out.unwrap_or_else(memsim_sim::results_dir),
         rest,
     }
@@ -187,6 +200,7 @@ mod tests {
         assert_eq!(o.profiles.len(), 14);
         assert_eq!(o.jobs, None);
         assert!(!o.metrics);
+        assert!(!o.spans);
         assert!(o.rest.is_empty());
     }
 
@@ -195,6 +209,13 @@ mod tests {
         let o = opts(&["--metrics", "--jobs", "2"]);
         assert!(o.metrics);
         assert_eq!(o.engine().jobs(), 2);
+    }
+
+    #[test]
+    fn spans_flag_enables_profiling() {
+        let o = opts(&["--spans"]);
+        assert!(o.spans);
+        assert!(!o.metrics, "--spans alone does not imply --metrics");
     }
 
     #[test]

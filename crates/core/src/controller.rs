@@ -3,6 +3,7 @@
 use crate::config::BumblebeeConfig;
 use crate::metadata::MetadataBreakdown;
 use crate::set::{RemapSet, ServedFrom, SetCtx};
+use memsim_obs::span::{self, Phase};
 use memsim_obs::{EpochGauges, Telemetry, OCC_BUCKETS};
 use memsim_types::{
     Access, AccessPlan, Addr, CtrlStats, Geometry, HybridMemoryController, Mem, MetadataModel,
@@ -177,6 +178,9 @@ impl BumblebeeController {
         if wrapped < self.geometry.dram_bytes() || self.accesses < self.next_flush_ok {
             return;
         }
+        // Only the (rare) actual flush rounds are spanned, not the
+        // per-access early-out above.
+        let _swap = span::span(Phase::MigrationSwap);
         self.next_flush_ok = self.accesses + PRESSURE_COOLDOWN;
         let batch = u64::from(self.cfg.flush_batch_sets).min(self.geometry.num_sets());
         for i in 0..batch {
@@ -224,6 +228,7 @@ impl HybridMemoryController for BumblebeeController {
         };
         let _served: ServedFrom = set.access(o, block, line, req.kind, &mut ctx);
         if self.telemetry.tick() {
+            let _sample = span::span(Phase::EpochSample);
             let gauges = self.gauges();
             self.telemetry.sample(&self.stats, gauges);
         }
@@ -255,6 +260,7 @@ impl HybridMemoryController for BumblebeeController {
     }
 
     fn finish(&mut self, plan: &mut AccessPlan) {
+        let _swap = span::span(Phase::MigrationSwap);
         for s in 0..self.sets.len() {
             let set = &mut self.sets[s];
             let mut ctx = SetCtx {

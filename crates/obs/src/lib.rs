@@ -19,11 +19,16 @@
 //!   [`recorder::RunRecorder`] (collects everything for JSONL export);
 //! * [`recorder::Telemetry`] — the controller-side handle. With no
 //!   recorder installed (the default) the fast path costs a single
-//!   `Option` discriminant check and **zero** virtual calls.
+//!   `Option` discriminant check and **zero** virtual calls;
+//! * [`span`] — a scoped wall-clock span profiler (thread-local RAII
+//!   guards aggregated into a per-phase tree), answering *where simulator
+//!   wall time goes*; disabled it costs one thread-local flag check.
 //!
-//! Everything recorded here is a pure function of the access stream, so
-//! epoch/trace output is byte-identical at any `--jobs` width; wall-clock
-//! engine telemetry lives with the engine, not here.
+//! Everything recorded by the recorder/event/snapshot machinery is a pure
+//! function of the access stream, so epoch/trace output is byte-identical
+//! at any `--jobs` width. The [`span`] profiler is the deliberate
+//! exception: it measures wall time and its output belongs only in the
+//! nondeterministic `.metrics.jsonl` / `BENCH_*.json` artifacts.
 //!
 //! # Example
 //!
@@ -52,8 +57,10 @@ pub mod event;
 pub mod hist;
 pub mod recorder;
 pub mod snapshot;
+pub mod span;
 
 pub use event::{EventRing, TimedEvent, TraceEvent};
 pub use hist::{DeviceHistograms, Pow2Histogram};
 pub use recorder::{MetricsConfig, MetricsRecorder, NoopRecorder, RunRecorder, Telemetry};
 pub use snapshot::{EpochGauges, EpochSnapshot, OCC_BUCKETS};
+pub use span::{Phase, SpanNode, SpanTree};

@@ -14,26 +14,38 @@ use crate::jsonl::JsonObj;
 use crate::matrix::{Cell, ExperimentMatrix};
 use crate::report::SimReport;
 use crate::run::{run_design_with, RunObservations};
-use memsim_obs::{MetricsConfig, Pow2Histogram};
+use memsim_obs::{span, MetricsConfig, Pow2Histogram, SpanTree};
 use memsim_types::GeometryError;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Nanoseconds between two progress heartbeat lines (see
+/// [`Engine::with_heartbeat_nanos`]).
+const DEFAULT_HEARTBEAT_NANOS: u64 = 5_000_000_000;
 
 /// Parallel executor for experiment matrices; see the module docs.
 #[derive(Debug, Clone)]
 pub struct Engine {
     jobs: usize,
     progress: bool,
+    heartbeat_nanos: u64,
     metrics: Option<MetricsConfig>,
+    spans: bool,
 }
 
 impl Engine {
     /// An engine running `jobs` cells concurrently (clamped to ≥ 1),
     /// without progress output or metrics recording.
     pub fn new(jobs: usize) -> Engine {
-        Engine { jobs: jobs.max(1), progress: false, metrics: None }
+        Engine {
+            jobs: jobs.max(1),
+            progress: false,
+            heartbeat_nanos: DEFAULT_HEARTBEAT_NANOS,
+            metrics: None,
+            spans: false,
+        }
     }
 
     /// Width from the environment: `BUMBLEBEE_JOBS` if set, else the
@@ -43,9 +55,28 @@ impl Engine {
         Engine::new(jobs_from_env(std::env::var("BUMBLEBEE_JOBS").ok().as_deref()))
     }
 
-    /// Enables or disables per-cell progress lines on stderr.
+    /// Enables or disables per-cell progress lines on stderr. With
+    /// progress on, the engine also emits a periodic heartbeat line
+    /// (cells done, elapsed, ETA, accesses/sec, worker utilization).
     pub fn with_progress(mut self, progress: bool) -> Engine {
         self.progress = progress;
+        self
+    }
+
+    /// Sets the minimum interval between two heartbeat lines (default 5 s);
+    /// `0` disables heartbeats while keeping per-cell progress lines.
+    pub fn with_heartbeat_nanos(mut self, nanos: u64) -> Engine {
+        self.heartbeat_nanos = nanos;
+        self
+    }
+
+    /// Enables the wall-clock span profiler for every cell: each run gets
+    /// its own thread-local profiling session, and the per-cell
+    /// [`SpanTree`]s land in [`EngineTelemetry::cell_spans`] (exported as
+    /// `kind=span` lines by
+    /// [`metrics_jsonl_lines`](ResultSet::metrics_jsonl_lines)).
+    pub fn with_spans(mut self, spans: bool) -> Engine {
+        self.spans = spans;
         self
     }
 
@@ -106,12 +137,19 @@ impl Engine {
     pub fn run(&self, matrix: &ExperimentMatrix) -> Result<ResultSet, GeometryError> {
         let total = matrix.len();
         let done = AtomicUsize::new(0);
+        let busy_nanos = AtomicU64::new(0);
+        let accesses_done = AtomicU64::new(0);
+        let last_beat = AtomicU64::new(0);
         let wall = Instant::now();
         let results = self.par_map(matrix.cells(), |cell| {
+            if self.spans {
+                span::enable();
+            }
             let start = Instant::now();
             let outcome =
                 run_design_with(cell.design, &cell.cfg, &cell.profile, self.metrics.as_ref());
             let nanos = start.elapsed().as_nanos() as u64;
+            let tree = if self.spans { Some(span::collect()) } else { None };
             if self.progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(
@@ -120,24 +158,70 @@ impl Engine {
                     cell.label(),
                     nanos / 1_000_000
                 );
+                let busy = busy_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
+                let accesses = cell.cfg.warmup + cell.cfg.accesses;
+                let acc = accesses_done.fetch_add(accesses, Ordering::Relaxed) + accesses;
+                let elapsed = wall.elapsed().as_nanos() as u64;
+                let prev = last_beat.load(Ordering::Relaxed);
+                // One worker wins the right to print each heartbeat.
+                if self.heartbeat_nanos > 0
+                    && n < total
+                    && elapsed.saturating_sub(prev) >= self.heartbeat_nanos
+                    && last_beat
+                        .compare_exchange(prev, elapsed, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    eprintln!(
+                        "{}",
+                        heartbeat_line(matrix.name(), n, total, elapsed, busy, self.jobs, acc)
+                    );
+                }
             }
-            (outcome, nanos)
+            (outcome, nanos, tree)
         });
         let wall_nanos = wall.elapsed().as_nanos() as u64;
         let mut reports = Vec::with_capacity(total);
         let mut observations = self.metrics.map(|_| Vec::with_capacity(total));
         let mut cell_nanos = Vec::with_capacity(total);
-        for (r, nanos) in results {
+        let mut cell_spans = self.spans.then(|| Vec::with_capacity(total));
+        for (r, nanos, tree) in results {
             let (report, obs) = r?;
             if let Some(all) = observations.as_mut() {
                 all.push(obs.expect("metrics requested, so every run observes"));
             }
+            if let Some(all) = cell_spans.as_mut() {
+                all.push(tree.expect("spans requested, so every run profiles"));
+            }
             reports.push(report);
             cell_nanos.push(nanos);
         }
-        let telemetry = EngineTelemetry { jobs: self.jobs, wall_nanos, cell_nanos };
+        let telemetry = EngineTelemetry { jobs: self.jobs, wall_nanos, cell_nanos, cell_spans };
         Ok(ResultSet::new(matrix, self.jobs, reports, observations, telemetry))
     }
+}
+
+/// Formats one progress heartbeat: completed cells, elapsed time, ETA
+/// extrapolated from the mean cell rate, cumulative simulated accesses per
+/// wall second, and worker utilization so far.
+fn heartbeat_line(
+    name: &str,
+    done: usize,
+    total: usize,
+    elapsed_nanos: u64,
+    busy_nanos: u64,
+    jobs: usize,
+    accesses_done: u64,
+) -> String {
+    let secs = elapsed_nanos as f64 / 1e9;
+    let eta = if done == 0 { 0.0 } else { secs / done as f64 * (total - done) as f64 };
+    let per_sec = if secs > 0.0 { accesses_done as f64 / secs } else { 0.0 };
+    let span = jobs as u64 * elapsed_nanos;
+    let util = if span == 0 { 0.0 } else { busy_nanos as f64 / span as f64 };
+    format!(
+        "[{name}] heartbeat: {done}/{total} cells, {secs:.1}s elapsed, eta {eta:.1}s, \
+         {per_sec:.0} acc/s, util {:.0}%",
+        util * 100.0
+    )
 }
 
 /// Parses a `BUMBLEBEE_JOBS` override; unusable values fall back to the
@@ -171,6 +255,9 @@ pub struct EngineTelemetry {
     pub wall_nanos: u64,
     /// Per-cell wall time, in cell order, in nanoseconds.
     pub cell_nanos: Vec<u64>,
+    /// Per-cell span profiler trees, in cell order, when the run was made
+    /// with [`Engine::with_spans`].
+    pub cell_spans: Option<Vec<SpanTree>>,
 }
 
 impl EngineTelemetry {
@@ -380,9 +467,11 @@ impl ResultSet {
     }
 
     /// Wall-clock engine telemetry as JSONL: one `kind=cell_metrics` line
-    /// per cell (wall ms, accesses/sec) and a final `kind=engine` line
-    /// (jobs, wall, worker utilization). Nondeterministic — write it to its
-    /// own `.metrics.jsonl`, never a byte-compared artifact.
+    /// per cell (wall ms, accesses/sec), per-cell `kind=span` phase-tree
+    /// lines and a `kind=span_summary` line when the run profiled spans,
+    /// and a final `kind=engine` line (jobs, wall, worker utilization).
+    /// Nondeterministic — write it to its own `.metrics.jsonl`, never a
+    /// byte-compared artifact.
     pub fn metrics_jsonl_lines(&self) -> Vec<String> {
         let mut lines = Vec::new();
         for (c, &nanos) in self.cells.iter().zip(&self.engine.cell_nanos) {
@@ -399,6 +488,35 @@ impl ResultSet {
                     .f64("accesses_per_sec", per_sec)
                     .finish(),
             );
+        }
+        if let Some(trees) = self.engine.cell_spans.as_deref() {
+            for ((c, tree), &nanos) in
+                self.cells.iter().zip(trees).zip(&self.engine.cell_nanos)
+            {
+                for (path, node) in tree.flatten() {
+                    lines.push(
+                        self.cell_obj("span", c)
+                            .str("path", &path)
+                            .str("phase", node.phase.name())
+                            .u64("calls", node.calls)
+                            .f64("total_ms", node.total_nanos as f64 / 1e6)
+                            .f64("self_ms", node.self_nanos() as f64 / 1e6)
+                            .finish(),
+                    );
+                }
+                let coverage = if nanos == 0 {
+                    0.0
+                } else {
+                    tree.self_nanos_sum() as f64 / nanos as f64
+                };
+                lines.push(
+                    self.cell_obj("span_summary", c)
+                        .u64("spans", tree.spans())
+                        .f64("overhead_ms", tree.overhead_nanos() as f64 / 1e6)
+                        .f64("self_coverage", coverage)
+                        .finish(),
+                );
+            }
         }
         lines.push(
             JsonObj::new()
@@ -487,6 +605,82 @@ mod tests {
         assert_eq!(plain.metrics_jsonl_lines().len(), m.len() + 1);
         let util = observed.engine_telemetry().utilization();
         assert!(util > 0.0, "workers did something: {util}");
+    }
+
+    #[test]
+    fn epoch_jsonl_round_trips_through_parse_flat() {
+        use crate::jsonl::parse_flat;
+        let cfg = MetricsConfig { epoch_interval: 1000, event_capacity: 256 };
+        let m = metrics_matrix();
+        let rs = Engine::new(1).with_metrics(cfg).run(&m).unwrap();
+        let lines = rs.epochs_jsonl_lines();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            assert!(parse_flat(line).is_some(), "emitted line must parse: {line}");
+        }
+        // The first line is the first cell's first epoch; every field must
+        // survive the JSONL round-trip exactly (shortest-roundtrip floats).
+        let snap = &rs.observations().unwrap()[0].epochs[0];
+        let row = parse_flat(&lines[0]).unwrap();
+        let get = |k: &str| {
+            row.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone()).unwrap()
+        };
+        assert_eq!(get("kind").as_str(), Some("epoch"));
+        assert_eq!(get("epoch").as_u64(), Some(snap.epoch));
+        assert_eq!(get("accesses").as_u64(), Some(snap.accesses));
+        assert_eq!(get("hit_rate").as_f64(), Some(snap.hit_rate));
+        assert_eq!(get("migrations").as_u64(), Some(snap.migrations));
+        assert_eq!(get("rh").as_f64(), Some(snap.gauges.rh));
+        assert_eq!(get("overfetch_ratio").as_f64(), Some(snap.gauges.overfetch_ratio));
+        assert_eq!(get("occ0").as_u64(), Some(u64::from(snap.gauges.occupancy[0])));
+    }
+
+    #[test]
+    fn span_profiling_collects_a_tree_per_cell() {
+        let m = metrics_matrix();
+        let rs = Engine::new(2).with_spans(true).run(&m).unwrap();
+        let trees = rs.engine_telemetry().cell_spans.as_deref().unwrap();
+        assert_eq!(trees.len(), m.len());
+        for (tree, &nanos) in trees.iter().zip(&rs.engine_telemetry().cell_nanos) {
+            let cell = tree.get("cell").expect("root span wraps the run");
+            assert_eq!(cell.calls, 1);
+            assert!(tree.get("cell/trace_gen").is_some());
+            assert!(tree.get("cell/ctrl_lookup").is_some());
+            assert!(tree.get("cell/dram_service").is_some());
+            // Self times must cover the bulk of the measured cell wall time.
+            let coverage = tree.self_nanos_sum() as f64 / nanos.max(1) as f64;
+            assert!(coverage > 0.5, "coverage {coverage}");
+        }
+        // Span lines appear in the metrics JSONL.
+        let lines = rs.metrics_jsonl_lines();
+        assert!(lines.iter().any(|l| l.contains("\"kind\":\"span\"")));
+        assert!(lines.iter().any(|l| l.contains("\"kind\":\"span_summary\"")));
+        // And a plain run has neither trees nor span lines.
+        let plain = Engine::new(2).run(&m).unwrap();
+        assert!(plain.engine_telemetry().cell_spans.is_none());
+        assert!(!plain.metrics_jsonl_lines().iter().any(|l| l.contains("\"kind\":\"span\"")));
+    }
+
+    #[test]
+    fn span_profiling_leaves_reports_unchanged() {
+        let m = metrics_matrix();
+        let plain = Engine::new(1).run(&m).unwrap();
+        let profiled = Engine::new(1).with_spans(true).run(&m).unwrap();
+        assert_eq!(plain.jsonl_lines(), profiled.jsonl_lines());
+    }
+
+    #[test]
+    fn heartbeat_line_reports_eta_rate_and_utilization() {
+        // 4 of 16 cells after 8 s, 2 workers fully busy, 4 M accesses done.
+        let line = heartbeat_line("fig8", 4, 16, 8_000_000_000, 16_000_000_000, 2, 4_000_000);
+        assert_eq!(
+            line,
+            "[fig8] heartbeat: 4/16 cells, 8.0s elapsed, eta 24.0s, 500000 acc/s, util 100%"
+        );
+        // Degenerate inputs stay finite.
+        let zero = heartbeat_line("t", 0, 5, 0, 0, 1, 0);
+        assert!(zero.contains("0/5 cells"));
+        assert!(zero.contains("eta 0.0s"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::designs::Design;
 use crate::report::SimReport;
 use crate::system::{SimParams, System};
+use memsim_obs::span::{self, Phase};
 use memsim_obs::{DeviceHistograms, EpochSnapshot, MetricsConfig, RunRecorder, TimedEvent};
 use memsim_trace::{SpecProfile, Workload};
 use memsim_types::{Geometry, GeometryError, HybridMemoryController};
@@ -142,6 +143,10 @@ pub fn run_design_with(
     profile: &SpecProfile,
     metrics: Option<&MetricsConfig>,
 ) -> Result<(SimReport, Option<RunObservations>), GeometryError> {
+    // Root span of the whole cell: everything below nests under it, so the
+    // collected tree's self times sum to (nearly all of) the cell's wall
+    // time. Inert unless a `span` profiling session is active.
+    let _cell = span::span(Phase::Cell);
     let mut controller = design.build(cfg.geometry, cfg.sram_budget);
     if let Some(m) = metrics {
         controller.install_recorder(Box::new(RunRecorder::new(m)));
@@ -151,12 +156,20 @@ pub fn run_design_with(
 
     // Warm-up: run, then reset instruction/cycle accounting by snapshotting.
     for _ in 0..cfg.warmup {
-        system.step(workload.next_access());
+        let access = {
+            let _gen = span::span(Phase::TraceGen);
+            workload.next_access()
+        };
+        system.step(access);
     }
     let warm_cycles = system.now();
     let warm = *system.counters();
     for _ in 0..cfg.accesses {
-        system.step(workload.next_access());
+        let access = {
+            let _gen = span::span(Phase::TraceGen);
+            workload.next_access()
+        };
+        system.step(access);
     }
     let instructions = system.counters().instructions - warm.instructions;
     let cycles = system.now() - warm_cycles;

@@ -2,6 +2,7 @@
 //! accounting.
 
 use memsim_dram::{presets, DramDevice};
+use memsim_obs::span::{self, Phase};
 use memsim_types::{
     Access, AccessKind, AccessPlan, Cause, Geometry, HybridMemoryController, Mem,
 };
@@ -97,10 +98,14 @@ impl<C: HybridMemoryController> System<C> {
     /// returning the exposed latency in cycles.
     pub fn step(&mut self, access: Access) -> u64 {
         self.plan.clear();
-        self.controller.access(&access, &mut self.plan);
+        {
+            let _lookup = span::span(Phase::CtrlLookup);
+            self.controller.access(&access, &mut self.plan);
+        }
         self.counters.accesses += 1;
         self.counters.instructions += u64::from(access.insts);
 
+        let service = span::span(Phase::DramService);
         // Critical path: metadata, then each op in order.
         let mut t = self.now + u64::from(self.plan.metadata_cycles);
         let mut mal = u64::from(self.plan.metadata_cycles);
@@ -125,6 +130,7 @@ impl<C: HybridMemoryController> System<C> {
             let op = self.plan.background[i];
             self.device(op.mem).access(op.addr, op.bytes, op.kind, background_at);
         }
+        drop(service);
 
         // Core model: base CPI on the instruction gap plus the exposed
         // (MLP-overlapped) miss latency plus OS stalls.

@@ -52,4 +52,53 @@ cargo run --release -q -p bumblebee-bench --bin trace_tool -- \
   summarize "$smoke/metrics/fig6.trace.jsonl" >/dev/null
 echo "ok: epochs/trace/metrics JSONL written and summarizable"
 
+echo "== smoke: trace_tool diff — self clean, doctored caught =="
+cargo run --release -q -p bumblebee-bench --bin trace_tool -- \
+  diff "$smoke/metrics/fig6.epochs.jsonl" "$smoke/metrics/fig6.epochs.jsonl" >/dev/null
+sed 's/"fills":[0-9]*/"fills":0/' "$smoke/metrics/fig6.epochs.jsonl" \
+  > "$smoke/metrics/doctored.epochs.jsonl"
+if cargo run --release -q -p bumblebee-bench --bin trace_tool -- \
+  diff "$smoke/metrics/fig6.epochs.jsonl" "$smoke/metrics/doctored.epochs.jsonl" \
+  >/dev/null 2>&1; then
+  echo "FAIL: trace_tool diff did not flag a doctored epochs file" >&2
+  exit 1
+fi
+echo "ok: epochs self-diff clean, doctored diff exits nonzero"
+
+echo "== bench: bench_harness --quick + phase coverage + compare gates =="
+cargo run --release -q -p bumblebee-bench --bin bench_harness -- \
+  --quick --out "$smoke/bench" --sha smoke >/dev/null
+bench="$smoke/bench/BENCH_smoke.json"
+if [ ! -s "$bench" ]; then
+  echo "FAIL: bench_harness did not write $bench" >&2
+  exit 1
+fi
+coverage="$(grep -o '"self_coverage":[0-9.eE+-]*' "$bench" | head -1 | cut -d: -f2)"
+if ! awk -v c="$coverage" 'BEGIN { exit !(c >= 0.90) }'; then
+  echo "FAIL: phase self-time coverage $coverage < 0.90 of measured wall time" >&2
+  exit 1
+fi
+cargo run --release -q -p bumblebee-bench --bin bench_tool -- \
+  compare "$bench" "$bench" >/dev/null
+echo "ok: self-compare reports zero regressions (phase coverage $coverage)"
+sed -E 's/"cycles":[0-9]+/"cycles":1/' "$bench" > "$smoke/bench/doctored.json"
+if cargo run --release -q -p bumblebee-bench --bin bench_tool -- \
+  compare "$bench" "$smoke/bench/doctored.json" >/dev/null 2>&1; then
+  echo "FAIL: bench_tool compare did not flag a doctored regression" >&2
+  exit 1
+fi
+echo "ok: doctored regression detected (nonzero exit)"
+
+echo "== bench: cycle-domain invariants vs committed baseline =="
+# Wall times are machine-specific, so the time gate is disabled here; the
+# cycle-domain invariants (cycles, IPC, hit rate, migrations, over-fetch)
+# must match results/bench_baseline.json exactly. A PR that intentionally
+# changes simulated behavior must regenerate the baseline:
+#   cargo run --release -p bumblebee-bench --bin bench_harness -- \
+#     --quick --name bench_baseline
+cargo run --release -q -p bumblebee-bench --bin bench_tool -- \
+  compare results/bench_baseline.json "$bench" \
+  --time-threshold-pct 1000000 >/dev/null
+echo "ok: invariants match the committed baseline"
+
 echo "== verify.sh: all gates passed =="
