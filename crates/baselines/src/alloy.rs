@@ -13,7 +13,7 @@ use crate::common::FaultModel;
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
     Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
-    HybridMemoryController, Mem, OpKind, OverfetchTracker,
+    HybridMemoryController, Mem, OpKind, OverfetchTracker, QuickDiv,
 };
 
 const LINE_BYTES: u64 = 64;
@@ -64,6 +64,7 @@ impl MapPredictor {
 pub struct AlloyCache {
     geometry: Geometry,
     lines: Vec<Line>,
+    line_div: QuickDiv,
     map: MapPredictor,
     faults: FaultModel,
     stats: CtrlStats,
@@ -77,6 +78,7 @@ impl AlloyCache {
         let lines = (geometry.hbm_bytes() / LINE_BYTES) as usize;
         AlloyCache {
             lines: vec![Line::default(); lines],
+            line_div: QuickDiv::new(lines as u64),
             map: MapPredictor::new(),
             faults: FaultModel::with_default_table(geometry.dram_bytes()),
             geometry,
@@ -92,8 +94,8 @@ impl AlloyCache {
     }
 
     fn index(&self, line_addr: u64) -> (usize, u64) {
-        let n = self.lines.len() as u64;
-        ((line_addr % n) as usize, line_addr / n)
+        let (tag, idx) = self.line_div.div_rem(line_addr);
+        (idx as usize, tag)
     }
 }
 

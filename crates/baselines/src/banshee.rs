@@ -11,7 +11,7 @@ use crate::common::FaultModel;
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
     Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
-    HybridMemoryController, Mem, OpKind, OverfetchTracker,
+    HybridMemoryController, Mem, OpKind, OverfetchTracker, QuickDiv,
 };
 
 const PAGE_BYTES: u64 = 4096;
@@ -41,6 +41,7 @@ struct Candidate {
 pub struct Banshee {
     geometry: Geometry,
     sets: usize,
+    set_div: QuickDiv,
     ways: Vec<WayState>,
     candidates: Vec<Candidate>,
     faults: FaultModel,
@@ -60,6 +61,7 @@ impl Banshee {
             faults: FaultModel::with_default_table(geometry.dram_bytes()),
             geometry,
             sets,
+            set_div: QuickDiv::new(sets as u64),
             stats: CtrlStats::new(),
             overfetch: OverfetchTracker::new(),
             telemetry: Telemetry::default(),
@@ -81,8 +83,8 @@ impl Banshee {
         let addr = self.faults.translate(req.addr, plan);
         let page = addr.0 / PAGE_BYTES;
         let offset = addr.0 % PAGE_BYTES;
-        let set = (page % self.sets as u64) as usize;
-        let tag = page / self.sets as u64;
+        let (tag, set) = self.set_div.div_rem(page);
+        let set = set as usize;
         let is_read = req.kind == AccessKind::Read;
         // Mapping rides in the TLB/PTE: SRAM-speed metadata.
         plan.metadata_cycles += 2;

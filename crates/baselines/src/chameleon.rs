@@ -11,7 +11,7 @@
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
     Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
-    HybridMemoryController, Mem, MetadataModel, OpKind,
+    HybridMemoryController, Mem, MetadataModel, OpKind, QuickDiv,
 };
 
 const SECTOR_BYTES: u64 = 4096;
@@ -35,7 +35,10 @@ struct Group {
 pub struct Chameleon {
     geometry: Geometry,
     groups: Vec<Group>,
-    members_per_group: u32,
+    group_div: QuickDiv,
+    member_div: QuickDiv,
+    hbm_div: QuickDiv,
+    dram_div: QuickDiv,
     metadata: MetadataModel,
     stats: CtrlStats,
     swaps: u64,
@@ -59,9 +62,12 @@ impl Chameleon {
         // Remap table: one entry (~2 B) per sector of the flat space.
         let metadata_bytes = total_sectors * 2;
         Chameleon {
+            group_div: QuickDiv::new(hbm_sectors),
+            member_div: QuickDiv::new(u64::from(members)),
+            hbm_div: QuickDiv::new(geometry.hbm_bytes()),
+            dram_div: QuickDiv::new(geometry.dram_bytes()),
             geometry,
             groups,
-            members_per_group: members,
             metadata: MetadataModel::new(metadata_bytes, sram_budget, Mem::Hbm, 64),
             stats: CtrlStats::new(),
             swaps: 0,
@@ -80,20 +86,19 @@ impl Chameleon {
     }
 
     fn locate(&self, addr: Addr) -> (usize, u32, u64) {
-        let sector = (addr.0 % self.geometry.flat_bytes()) / SECTOR_BYTES;
-        let groups = self.groups.len() as u64;
-        let group = (sector % groups) as usize;
-        let member = ((sector / groups) % u64::from(self.members_per_group)) as u32;
-        (group, member, addr.0 % SECTOR_BYTES)
+        let sector = self.geometry.wrap_flat(addr).0 / SECTOR_BYTES;
+        let (quot, group) = self.group_div.div_rem(sector);
+        let member = self.member_div.rem(quot) as u32;
+        (group as usize, member, addr.0 % SECTOR_BYTES)
     }
 
     fn hbm_sector_addr(&self, group: usize) -> Addr {
-        Addr(group as u64 * SECTOR_BYTES % self.geometry.hbm_bytes())
+        Addr(self.hbm_div.rem(group as u64 * SECTOR_BYTES))
     }
 
     fn dram_member_addr(&self, group: usize, member: u32) -> Addr {
         let sector = u64::from(member) * self.groups.len() as u64 + group as u64;
-        Addr((sector * SECTOR_BYTES) % self.geometry.dram_bytes())
+        Addr(self.dram_div.rem(sector * SECTOR_BYTES))
     }
 }
 

@@ -15,7 +15,7 @@ use crate::common::{FaultModel, LruRanks};
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
     Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
-    HybridMemoryController, Mem, MetadataModel, OpKind, OverfetchTracker,
+    HybridMemoryController, Mem, MetadataModel, OpKind, OverfetchTracker, QuickDiv,
 };
 
 const GROUP_BYTES: u64 = 2048;
@@ -54,10 +54,13 @@ pub struct Hybrid2 {
     geometry: Geometry,
     chbm_bytes: u64,
     cache_sets: usize,
+    cache_set_div: QuickDiv,
     cache: Vec<CacheWay>,
     cache_lru: LruRanks,
     pom_groups: Vec<PomGroup>,
-    pom_members: u32,
+    frame_div: QuickDiv,
+    member_div: QuickDiv,
+    dram_div: QuickDiv,
     metadata: MetadataModel,
     faults: FaultModel,
     stats: CtrlStats,
@@ -86,9 +89,12 @@ impl Hybrid2 {
             cache: vec![CacheWay::default(); cache_sets * CACHE_WAYS as usize],
             cache_lru: LruRanks::new(cache_sets, CACHE_WAYS),
             pom_groups,
-            pom_members: members,
             metadata: MetadataModel::new(metadata_bytes, sram_budget, Mem::Hbm, 64),
             faults: FaultModel::with_default_table(os_visible),
+            cache_set_div: QuickDiv::new(cache_sets as u64),
+            frame_div: QuickDiv::new(mhbm_frames),
+            member_div: QuickDiv::new(u64::from(members)),
+            dram_div: QuickDiv::new(geometry.dram_bytes()),
             geometry,
             chbm_bytes,
             cache_sets,
@@ -122,12 +128,12 @@ impl Hybrid2 {
 
     fn pom_locate(&self, addr: Addr) -> (usize, u32) {
         let group2k = addr.0 / GROUP_BYTES;
-        let frames = self.pom_groups.len() as u64;
-        ((group2k % frames) as usize, ((group2k / frames) % u64::from(self.pom_members)) as u32)
+        let (vgroup, frame) = self.frame_div.div_rem(group2k);
+        (frame as usize, self.member_div.rem(vgroup) as u32)
     }
 
     fn dram_group_addr(&self, addr: Addr) -> Addr {
-        Addr((addr.0 % self.geometry.dram_bytes()) & !(GROUP_BYTES - 1))
+        Addr(self.dram_div.rem(addr.0) & !(GROUP_BYTES - 1))
     }
 
     fn serve(&mut self, plan: &mut AccessPlan, op: DeviceOp, is_read: bool) {
@@ -174,8 +180,8 @@ impl Hybrid2 {
         // 2. cHBM lookup (the page's home is off-chip DRAM).
         let group = addr.0 / GROUP_BYTES;
         let block = ((addr.0 % GROUP_BYTES) / BLOCK_BYTES) as u32;
-        let set = (group % self.cache_sets as u64) as usize;
-        let tag = group / self.cache_sets as u64;
+        let (tag, set) = self.cache_set_div.div_rem(group);
+        let set = set as usize;
         let base = set * CACHE_WAYS as usize;
         let hit_way = (0..CACHE_WAYS as usize)
             .find(|&w| self.cache[base + w].valid_group && self.cache[base + w].tag == tag);
@@ -201,7 +207,7 @@ impl Hybrid2 {
                 // Block miss within a cached group: fetch the block.
                 let op = DeviceOp {
                     mem: Mem::OffChip,
-                    addr: Addr((addr.0 & !63) % self.geometry.dram_bytes()),
+                    addr: Addr(self.dram_div.rem(addr.0 & !63)),
                     bytes: 64,
                     kind: if is_read { OpKind::Read } else { OpKind::Write },
                     cause: Cause::Demand,
@@ -239,7 +245,7 @@ impl Hybrid2 {
         // 3. Full miss: serve off-chip, allocate a cache way.
         let op = DeviceOp {
             mem: Mem::OffChip,
-            addr: Addr((addr.0 & !63) % self.geometry.dram_bytes()),
+            addr: Addr(self.dram_div.rem(addr.0 & !63)),
             bytes: 64,
             kind: if is_read { OpKind::Read } else { OpKind::Write },
             cause: Cause::Demand,
@@ -263,7 +269,7 @@ impl Hybrid2 {
                 });
                 plan.background.push(DeviceOp {
                     mem: Mem::OffChip,
-                    addr: Addr((vgroup * GROUP_BYTES) % self.geometry.dram_bytes()),
+                    addr: Addr(self.dram_div.rem(vgroup * GROUP_BYTES)),
                     bytes: dirty * BLOCK_BYTES as u32,
                     kind: OpKind::Write,
                     cause: Cause::Writeback,

@@ -11,7 +11,7 @@ use crate::common::{FaultModel, LruRanks};
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
     Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
-    HybridMemoryController, Mem, OpKind, OverfetchTracker,
+    HybridMemoryController, Mem, OpKind, OverfetchTracker, QuickDiv,
 };
 
 const PAGE_BYTES: u64 = 4096;
@@ -38,6 +38,7 @@ struct Way {
 pub struct UnisonCache {
     geometry: Geometry,
     sets: usize,
+    set_div: QuickDiv,
     ways: Vec<Way>,
     lru: LruRanks,
     predictor: Vec<(u64, u64)>,
@@ -59,6 +60,7 @@ impl UnisonCache {
             faults: FaultModel::with_default_table(geometry.dram_bytes()),
             geometry,
             sets,
+            set_div: QuickDiv::new(sets as u64),
             stats: CtrlStats::new(),
             overfetch: OverfetchTracker::new(),
             telemetry: Telemetry::default(),
@@ -163,8 +165,8 @@ impl UnisonCache {
         let addr = self.faults.translate(req.addr, plan);
         let page = addr.0 / PAGE_BYTES;
         let block = ((addr.0 % PAGE_BYTES) / LINE_BYTES) as u32;
-        let set = (page % self.sets as u64) as usize;
-        let tag = page / self.sets as u64;
+        let (tag, set) = self.set_div.div_rem(page);
+        let set = set as usize;
         let is_read = req.kind == AccessKind::Read;
 
         // Way-predicted hits stream the embedded tag with the data; only

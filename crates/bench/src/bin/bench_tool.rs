@@ -69,6 +69,13 @@ fn main() {
                 .unwrap_or_else(|e| fail(&e));
             print!("{}", cmp.render());
             let regressions = cmp.regressions();
+            let improvements = cmp.improvements();
+            if improvements > 0 {
+                println!(
+                    "{improvements} case(s) improved wall time by more than {:.0}%",
+                    th.time_pct
+                );
+            }
             if regressions > 0 {
                 eprintln!(
                     "FAIL: {regressions} regression(s) of {} vs baseline {}",
@@ -77,7 +84,8 @@ fn main() {
                 std::process::exit(1);
             }
             println!(
-                "ok: no regressions ({} vs baseline {}, time gate {:.0}%, invariant gate {:.4}%)",
+                "ok: no regressions, {improvements} improvement(s) ({} vs baseline {}, \
+                 time gate {:.0}%, invariant gate {:.4}%)",
                 new_report.sha, base_report.sha, th.time_pct, th.invariant_pct
             );
         }

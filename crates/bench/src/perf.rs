@@ -330,20 +330,23 @@ impl BenchReport {
     }
 
     /// Renders the phase tree (indentation from path depth, self and total
-    /// times, share of the measured wall time).
+    /// times, and each phase's share of the measured wall time — both the
+    /// inclusive share of `total_ms` and the exclusive share of `self_ms`).
     pub fn phase_table(&self) -> String {
-        let mut rows =
-            vec![["phase", "calls", "total ms", "self ms", "self %"].map(str::to_string).to_vec()];
+        let mut rows = vec![["phase", "calls", "total ms", "wall %", "self ms", "self %"]
+            .map(str::to_string)
+            .to_vec()];
         for p in &self.phases {
             let depth = p.path.matches('/').count();
             let name = p.path.rsplit('/').next().unwrap_or(&p.path);
-            let share = if self.busy_ms > 0.0 { p.self_ms / self.busy_ms * 100.0 } else { 0.0 };
+            let share = |ms: f64| if self.busy_ms > 0.0 { ms / self.busy_ms * 100.0 } else { 0.0 };
             rows.push(vec![
                 format!("{}{}", "  ".repeat(depth), name),
                 p.calls.to_string(),
                 format!("{:.1}", p.total_ms),
+                format!("{:.1}", share(p.total_ms)),
                 format!("{:.1}", p.self_ms),
-                format!("{share:.1}"),
+                format!("{:.1}", share(p.self_ms)),
             ]);
         }
         render_table(&rows)
@@ -382,6 +385,10 @@ pub struct Delta {
     pub pct: f64,
     /// Whether the delta crosses its regression gate.
     pub regression: bool,
+    /// Whether the delta crosses the same gate in the *good* direction
+    /// (e.g. wall time down by more than the time threshold). Never set
+    /// together with `regression`.
+    pub improvement: bool,
 }
 
 /// The outcome of comparing a candidate BENCH report against a baseline.
@@ -389,6 +396,10 @@ pub struct Delta {
 pub struct Comparison {
     /// Every computed metric delta, case order preserved.
     pub deltas: Vec<Delta>,
+    /// Per-phase self-time deltas of the suite-wide profile, preorder.
+    /// Informational only — phase times are a breakdown of the gated wall
+    /// times, so they never trip the exit code themselves.
+    pub phase_deltas: Vec<Delta>,
     /// Case keys present in the baseline but missing from the candidate.
     pub missing: Vec<String>,
     /// Case keys new in the candidate (informational).
@@ -402,8 +413,14 @@ impl Comparison {
         self.deltas.iter().filter(|d| d.regression).count() + self.missing.len()
     }
 
+    /// Number of threshold-crossing wall-time improvements (informational
+    /// counterpart of [`regressions`](Self::regressions)).
+    pub fn improvements(&self) -> usize {
+        self.deltas.iter().filter(|d| d.improvement).count()
+    }
+
     /// Renders the comparison: changed metrics (and every wall-time row),
-    /// then missing/added cases.
+    /// phase self-time deltas, then missing/added cases.
     pub fn render(&self) -> String {
         let mut rows =
             vec![["case", "metric", "before", "after", "Δ%", "flag"].map(str::to_string).to_vec()];
@@ -413,6 +430,8 @@ impl Comparison {
             }
             let flag = if d.regression {
                 "REGRESSION"
+            } else if d.improvement {
+                "IMPROVED"
             } else if d.metric == "wall_ms" && d.pct < 0.0 {
                 "faster"
             } else {
@@ -428,6 +447,29 @@ impl Comparison {
             ]);
         }
         let mut out = render_table(&rows);
+        if !self.phase_deltas.is_empty() {
+            out.push_str("phase self-time deltas (informational):\n");
+            let mut rows = vec![["phase", "before ms", "after ms", "Δ%", "flag"]
+                .map(str::to_string)
+                .to_vec()];
+            for d in &self.phase_deltas {
+                let flag = if d.improvement {
+                    "faster"
+                } else if d.pct > 0.0 {
+                    "slower"
+                } else {
+                    "ok"
+                };
+                rows.push(vec![
+                    d.case.clone(),
+                    format!("{:.1}", d.before),
+                    format!("{:.1}", d.after),
+                    format!("{:+.2}", d.pct),
+                    flag.to_string(),
+                ]);
+            }
+            out.push_str(&render_table(&rows));
+        }
         for m in &self.missing {
             out.push_str(&format!("REGRESSION: case {m} missing from candidate\n"));
         }
@@ -494,6 +536,7 @@ pub fn compare(base: &BenchReport, new: &BenchReport, th: Thresholds) -> Result<
             after: n.wall_ms,
             pct: wall_pct,
             regression: wall_pct > th.time_pct,
+            improvement: wall_pct < -th.time_pct,
         });
         cmp.deltas.push(Delta {
             case: key.clone(),
@@ -502,6 +545,7 @@ pub fn compare(base: &BenchReport, new: &BenchReport, th: Thresholds) -> Result<
             after: n.accesses_per_sec,
             pct: rel_pct(b.accesses_per_sec, n.accesses_per_sec),
             regression: false,
+            improvement: false,
         });
         let invariants: [(&'static str, f64, f64); 4] = [
             ("cycles", b.cycles as f64, n.cycles as f64),
@@ -518,6 +562,7 @@ pub fn compare(base: &BenchReport, new: &BenchReport, th: Thresholds) -> Result<
                 after,
                 pct,
                 regression: pct.abs() > th.invariant_pct,
+                improvement: false,
             });
         }
         // Over-fetch only exists for tracking designs; appearing or
@@ -537,6 +582,7 @@ pub fn compare(base: &BenchReport, new: &BenchReport, th: Thresholds) -> Result<
                     after,
                     pct,
                     regression: drifted,
+                    improvement: false,
                 });
             }
         }
@@ -545,6 +591,23 @@ pub fn compare(base: &BenchReport, new: &BenchReport, th: Thresholds) -> Result<
         if !base.cases.iter().any(|b| b.key() == n.key()) {
             cmp.added.push(n.key());
         }
+    }
+    // Phase-level self-time deltas (informational): where did the wall
+    // time move? Matched by path; phases only one side knows are skipped.
+    for bp in &base.phases {
+        let Some(np) = new.phases.iter().find(|p| p.path == bp.path) else {
+            continue;
+        };
+        let pct = rel_pct(bp.self_ms, np.self_ms);
+        cmp.phase_deltas.push(Delta {
+            case: bp.path.clone(),
+            metric: "phase_self_ms",
+            before: bp.self_ms,
+            after: np.self_ms,
+            pct,
+            regression: false,
+            improvement: pct < -th.time_pct,
+        });
     }
     Ok(cmp)
 }
@@ -639,6 +702,36 @@ mod tests {
         // Getting faster is never a regression.
         slow.cases[0].wall_ms = base.cases[0].wall_ms * 0.5;
         assert_eq!(compare(&base, &slow, Thresholds::default()).unwrap().regressions(), 0);
+    }
+
+    #[test]
+    fn improvements_are_reported_not_gated() {
+        let base = report();
+        let mut fast = base.clone();
+        fast.cases[0].wall_ms *= 0.5; // −50% < −30% gate → improvement
+        fast.phases[1].self_ms *= 0.4;
+        let cmp = compare(&base, &fast, Thresholds::default()).unwrap();
+        assert_eq!(cmp.regressions(), 0);
+        assert_eq!(cmp.improvements(), 1);
+        let rendered = cmp.render();
+        assert!(rendered.contains("IMPROVED"));
+        // Phase deltas are informational: listed, never counted as gates.
+        assert_eq!(cmp.phase_deltas.len(), base.phases.len());
+        assert!(cmp.phase_deltas.iter().any(|d| d.improvement));
+        assert!(rendered.contains("phase self-time deltas"));
+        // A small speedup is "faster" but not a threshold-crossing
+        // improvement.
+        let mut slight = base.clone();
+        slight.cases[0].wall_ms *= 0.9;
+        assert_eq!(compare(&base, &slight, Thresholds::default()).unwrap().improvements(), 0);
+    }
+
+    #[test]
+    fn phase_table_reports_wall_share() {
+        let table = report().phase_table();
+        assert!(table.contains("wall %"));
+        // cell/ctrl_lookup: 80 ms of 120 ms busy → 66.7% both ways.
+        assert!(table.contains("66.7"));
     }
 
     #[test]

@@ -88,14 +88,60 @@ impl BlockBitmap {
         self.0.iter().zip(&other.0).all(|(a, b)| a & b == *b)
     }
 
-    /// Iterator over set bit indices, ascending.
-    pub fn iter_set(&self, limit: u32) -> impl Iterator<Item = u32> + '_ {
-        (0..limit.min(MAX_BLOCKS)).filter(move |&i| self.get(i))
+    /// Iterator over set bit indices, ascending. Walks the four words via
+    /// `trailing_zeros` rather than probing all 256 bit positions, so cost
+    /// scales with the population count. The bitmap is `Copy`: the iterator
+    /// owns a snapshot and does not borrow `self`.
+    pub fn iter_set(&self, limit: u32) -> BitIter {
+        BitIter::new(self.0, limit.min(MAX_BLOCKS))
     }
 
-    /// Iterator over clear bit indices below `limit`, ascending.
-    pub fn iter_clear(&self, limit: u32) -> impl Iterator<Item = u32> + '_ {
-        (0..limit.min(MAX_BLOCKS)).filter(move |&i| !self.get(i))
+    /// Iterator over clear bit indices below `limit`, ascending (same
+    /// word-at-a-time walk as [`iter_set`](Self::iter_set), over the
+    /// complement).
+    pub fn iter_clear(&self, limit: u32) -> BitIter {
+        BitIter::new(self.0.map(|w| !w), limit.min(MAX_BLOCKS))
+    }
+}
+
+/// Word-at-a-time iterator over set bit indices of a bitmap snapshot.
+#[derive(Debug, Clone)]
+pub struct BitIter {
+    words: [u64; 4],
+    /// Current word being drained (bits already yielded are cleared).
+    cur: u64,
+    /// Index of the word in `cur`.
+    word: u32,
+    limit: u32,
+}
+
+impl BitIter {
+    fn new(words: [u64; 4], limit: u32) -> BitIter {
+        BitIter { words, cur: words[0], word: 0, limit }
+    }
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.cur != 0 {
+                let bit = self.cur.trailing_zeros();
+                let i = self.word * 64 + bit;
+                if i >= self.limit {
+                    return None;
+                }
+                self.cur &= self.cur - 1;
+                return Some(i);
+            }
+            if self.word >= 3 || (self.word + 1) * 64 >= self.limit {
+                return None;
+            }
+            self.word += 1;
+            self.cur = self.words[self.word as usize];
+        }
     }
 }
 
@@ -157,5 +203,23 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn full_over_capacity_panics() {
         BlockBitmap::full(257);
+    }
+
+    #[test]
+    fn iterators_cross_word_boundaries() {
+        let mut b = BlockBitmap::new();
+        for i in [0u32, 63, 64, 127, 128, 191, 192, 255] {
+            b.set(i);
+        }
+        let set: Vec<u32> = b.iter_set(256).collect();
+        assert_eq!(set, vec![0, 63, 64, 127, 128, 191, 192, 255]);
+        // A limit inside a word truncates mid-word…
+        assert_eq!(b.iter_set(128).collect::<Vec<_>>(), vec![0, 63, 64, 127]);
+        assert_eq!(b.iter_set(127).collect::<Vec<_>>(), vec![0, 63, 64]);
+        // …and iter_clear over a full bitmap terminates without probing
+        // past the limit.
+        assert_eq!(BlockBitmap::full(256).iter_clear(256).count(), 0);
+        assert_eq!(BlockBitmap::new().iter_set(0).count(), 0);
+        assert_eq!(BlockBitmap::full(256).iter_set(0).count(), 0);
     }
 }

@@ -28,7 +28,13 @@ const MOVEMENT_CREDIT_CAP: i64 = 8 << 20;
 pub struct BumblebeeController {
     geometry: Geometry,
     cfg: BumblebeeConfig,
-    sets: Vec<RemapSet>,
+    /// One fixed-size header per remapping set, stored contiguously; each
+    /// header owns its metadata (packed PRT words, BLE array, hot-table
+    /// arena) in fixed boxed slices sized at construction. Sequential set
+    /// walks (epoch gauges, finish) therefore stride through memory
+    /// without chasing resizable-Vec indirections, and the per-access
+    /// lookup touches exactly one header.
+    sets: Box<[RemapSet]>,
     metadata: MetadataModel,
     metadata_breakdown: MetadataBreakdown,
     stats: CtrlStats,
@@ -51,7 +57,7 @@ impl BumblebeeController {
         } else {
             MetadataModel::new(breakdown.total(), cfg.sram_budget, Mem::Hbm, 64)
         };
-        let sets = (0..geometry.num_sets())
+        let sets: Box<[RemapSet]> = (0..geometry.num_sets())
             .map(|s| {
                 RemapSet::new(geometry.dram_slots_in_set(s) as u16, geometry.hbm_ways() as u16, &cfg)
             })
@@ -157,14 +163,14 @@ impl BumblebeeController {
     }
 
     fn resolve(&self, addr: Addr) -> (u64, u16, u32, u32) {
-        let wrapped = Addr(addr.0 % self.geometry.flat_bytes());
+        let wrapped = self.geometry.wrap_flat(addr);
         let page = self.geometry.page_of(wrapped);
         let set = self.geometry.set_of_page(page);
         let o = match self.geometry.slot_of_page(page) {
             PageSlot::OffChip(i) => i as u16,
             PageSlot::Hbm(i) => self.geometry.dram_slots_in_set(set) as u16 + i as u16,
         };
-        let line = ((wrapped.0 % self.geometry.block_bytes()) / 64) as u32;
+        let line = self.geometry.line_of(wrapped) as u32;
         (set, o, self.geometry.block_of(wrapped).0, line)
     }
 
@@ -174,7 +180,7 @@ impl BumblebeeController {
         }
         // Rule 5 trigger: the OS is handing out addresses beyond off-chip
         // capacity — the global footprint is high.
-        let wrapped = addr.0 % self.geometry.flat_bytes();
+        let wrapped = self.geometry.wrap_flat(addr).0;
         if wrapped < self.geometry.dram_bytes() || self.accesses < self.next_flush_ok {
             return;
         }

@@ -5,6 +5,18 @@
 //! pages (the paper evaluates a depth of eight). Each entry carries an
 //! access counter; the smallest counter among HBM entries is the paper's
 //! hotness threshold `T`.
+//!
+//! # Layout
+//!
+//! Both queues are intrusive doubly-linked lists threaded through one fixed
+//! node arena, with a per-PLE slot map giving the arena index of a page's
+//! node (or [`NIL`]). Every queue operation — touch, promote, demote,
+//! remove, pop-LRU — is O(1) and allocation-free once the arena has warmed
+//! up; the earlier `Vec<HotEntry>` representation paid O(n) `position`
+//! scans, front-inserts and `retain` removals on every access. The
+//! threshold `T` is tracked incrementally as `(min counter, multiplicity)`
+//! and only rescanned (over at most `hbm_cap` nodes) when the last
+//! minimal-counter entry disappears.
 
 /// One queue entry: an original PLE (slot id) and its hotness counter.
 ///
@@ -24,27 +36,249 @@ pub struct HotEntry {
     pub counter: u32,
 }
 
+/// Arena index sentinel: "no node".
+const NIL: u16 = u16::MAX;
+
+/// One arena node: a queue entry plus its intrusive list links.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    entry: HotEntry,
+    prev: u16,
+    next: u16,
+}
+
+/// Head/tail/length of one intrusive list.
+#[derive(Debug, Clone, Copy)]
+struct List {
+    head: u16,
+    tail: u16,
+    len: usize,
+}
+
+impl List {
+    const EMPTY: List = List { head: NIL, tail: NIL, len: 0 };
+}
+
+/// Unlinks `idx` from `list` (the node stays allocated).
+fn unlink(nodes: &mut [Node], list: &mut List, idx: u16) {
+    let (prev, next) = {
+        let n = &nodes[idx as usize];
+        (n.prev, n.next)
+    };
+    if prev == NIL {
+        list.head = next;
+    } else {
+        nodes[prev as usize].next = next;
+    }
+    if next == NIL {
+        list.tail = prev;
+    } else {
+        nodes[next as usize].prev = prev;
+    }
+    list.len -= 1;
+}
+
+/// Links `idx` at the front (MRU end) of `list`.
+fn link_front(nodes: &mut [Node], list: &mut List, idx: u16) {
+    let old = list.head;
+    {
+        let n = &mut nodes[idx as usize];
+        n.prev = NIL;
+        n.next = old;
+    }
+    if old == NIL {
+        list.tail = idx;
+    } else {
+        nodes[old as usize].prev = idx;
+    }
+    list.head = idx;
+    list.len += 1;
+}
+
+/// Links `idx` at the back (LRU end) of `list`.
+fn link_back(nodes: &mut [Node], list: &mut List, idx: u16) {
+    let old = list.tail;
+    {
+        let n = &mut nodes[idx as usize];
+        n.prev = old;
+        n.next = NIL;
+    }
+    if old == NIL {
+        list.head = idx;
+    } else {
+        nodes[old as usize].next = idx;
+    }
+    list.tail = idx;
+    list.len += 1;
+}
+
 /// The per-set hot table; see the [module documentation](self).
 ///
-/// Entries are kept in recency order, index 0 = most recently used.
+/// Entries are kept in recency order, queue front = most recently used.
 #[derive(Debug, Clone)]
 pub struct HotTable {
-    hbm: Vec<HotEntry>,
-    dram: Vec<HotEntry>,
+    nodes: Vec<Node>,
+    /// Recycled arena indices.
+    free: Vec<u16>,
+    hbm: List,
+    dram: List,
     hbm_cap: usize,
     dram_cap: usize,
+    /// PLE → arena index of its HBM-queue node, or `NIL`.
+    hbm_slot: Vec<u16>,
+    /// PLE → arena index of its DRAM-queue node, or `NIL`.
+    dram_slot: Vec<u16>,
+    /// Smallest counter among HBM entries (0 when the queue is empty)…
+    hbm_min: u32,
+    /// …and how many HBM entries carry exactly that counter.
+    hbm_min_count: usize,
 }
 
 impl HotTable {
     /// Creates a table tracking up to `hbm_cap` HBM pages (= the set's
-    /// HBM frames) and `dram_cap` recent off-chip pages.
+    /// HBM frames) and `dram_cap` recent off-chip pages. The slot map
+    /// grows lazily with the largest PLE seen; use
+    /// [`with_slots`](Self::with_slots) to pre-size it.
     pub fn new(hbm_cap: usize, dram_cap: usize) -> HotTable {
+        Self::with_slots(hbm_cap, dram_cap, 0)
+    }
+
+    /// As [`new`](Self::new), but pre-sizes the PLE slot map for PLEs in
+    /// `0..slots` so steady-state operation never allocates.
+    pub fn with_slots(hbm_cap: usize, dram_cap: usize, slots: usize) -> HotTable {
         HotTable {
-            hbm: Vec::with_capacity(hbm_cap),
-            dram: Vec::with_capacity(dram_cap),
+            nodes: Vec::with_capacity(hbm_cap + dram_cap + 2),
+            free: Vec::with_capacity(hbm_cap + dram_cap + 2),
+            hbm: List::EMPTY,
+            dram: List::EMPTY,
             hbm_cap,
             dram_cap,
+            hbm_slot: vec![NIL; slots],
+            dram_slot: vec![NIL; slots],
+            hbm_min: 0,
+            hbm_min_count: 0,
         }
+    }
+
+    /// Grows the slot maps to cover `ple` (no-op once warmed up).
+    fn ensure_ple(&mut self, ple: u16) {
+        let need = ple as usize + 1;
+        if self.hbm_slot.len() < need {
+            self.hbm_slot.resize(need, NIL);
+            self.dram_slot.resize(need, NIL);
+        }
+    }
+
+    fn alloc(&mut self, entry: HotEntry) -> u16 {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize].entry = entry;
+            i
+        } else {
+            let i = self.nodes.len();
+            assert!(i < NIL as usize, "hot-table arena overflow");
+            self.nodes.push(Node { entry, prev: NIL, next: NIL });
+            i as u16
+        }
+    }
+
+    /// Rescans the HBM queue for the minimum counter (rare: only when the
+    /// last minimal entry left; the queue holds at most `hbm_cap` nodes).
+    fn recompute_hbm_min(&mut self) {
+        self.hbm_min = u32::MAX;
+        self.hbm_min_count = 0;
+        let mut cur = self.hbm.head;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            match n.entry.counter.cmp(&self.hbm_min) {
+                std::cmp::Ordering::Less => {
+                    self.hbm_min = n.entry.counter;
+                    self.hbm_min_count = 1;
+                }
+                std::cmp::Ordering::Equal => self.hbm_min_count += 1,
+                std::cmp::Ordering::Greater => {}
+            }
+            cur = n.next;
+        }
+        if self.hbm.len == 0 {
+            self.hbm_min = 0;
+        }
+    }
+
+    /// Min-tracking hook: an entry with counter `c` joined the HBM queue.
+    fn note_hbm_insert(&mut self, c: u32) {
+        if self.hbm.len == 1 || c < self.hbm_min {
+            self.hbm_min = c;
+            self.hbm_min_count = 1;
+        } else if c == self.hbm_min {
+            self.hbm_min_count += 1;
+        }
+    }
+
+    /// Min-tracking hook: an entry that had counter `c` left the HBM queue
+    /// (call after unlinking).
+    fn note_hbm_remove(&mut self, c: u32) {
+        if self.hbm.len == 0 {
+            self.hbm_min = 0;
+            self.hbm_min_count = 0;
+        } else if c == self.hbm_min {
+            self.hbm_min_count -= 1;
+            if self.hbm_min_count == 0 {
+                self.recompute_hbm_min();
+            }
+        }
+    }
+
+    /// Min-tracking hook: an HBM entry's counter rose from `old` (call
+    /// after the node holds the new counter). A counter can only grow, so
+    /// the minimum needs attention only when the last `old == min` entry
+    /// moved up.
+    fn note_hbm_increment(&mut self, old: u32) {
+        if old == self.hbm_min {
+            self.hbm_min_count -= 1;
+            if self.hbm_min_count == 0 {
+                self.recompute_hbm_min();
+            }
+        }
+    }
+
+    /// Unlinks and frees the DRAM-queue LRU node, returning its entry.
+    fn pop_dram_lru(&mut self) -> Option<HotEntry> {
+        let idx = self.dram.tail;
+        if idx == NIL {
+            return None;
+        }
+        unlink(&mut self.nodes, &mut self.dram, idx);
+        let entry = self.nodes[idx as usize].entry;
+        self.dram_slot[entry.ple as usize] = NIL;
+        self.free.push(idx);
+        Some(entry)
+    }
+
+    /// Unlinks and frees `ple`'s HBM node if present, with min upkeep.
+    fn take_hbm(&mut self, ple: u16) -> Option<HotEntry> {
+        let idx = *self.hbm_slot.get(ple as usize)?;
+        if idx == NIL {
+            return None;
+        }
+        unlink(&mut self.nodes, &mut self.hbm, idx);
+        let entry = self.nodes[idx as usize].entry;
+        self.hbm_slot[ple as usize] = NIL;
+        self.free.push(idx);
+        self.note_hbm_remove(entry.counter);
+        Some(entry)
+    }
+
+    /// Unlinks and frees `ple`'s DRAM node if present.
+    fn take_dram(&mut self, ple: u16) -> Option<HotEntry> {
+        let idx = *self.dram_slot.get(ple as usize)?;
+        if idx == NIL {
+            return None;
+        }
+        unlink(&mut self.nodes, &mut self.dram, idx);
+        let entry = self.nodes[idx as usize].entry;
+        self.dram_slot[ple as usize] = NIL;
+        self.free.push(idx);
+        Some(entry)
     }
 
     /// Records an access to off-chip page `ple`, inserting it at the MRU
@@ -53,19 +287,23 @@ impl HotTable {
     /// A pre-existing entry keeps its counter; the LRU entry is silently
     /// dropped when the queue overflows.
     pub fn touch_dram(&mut self, ple: u16) -> u32 {
-        if let Some(pos) = self.dram.iter().position(|e| e.ple == ple) {
-            let mut e = self.dram.remove(pos);
-            if pos != 0 {
-                e.counter = e.counter.saturating_add(1);
+        self.ensure_ple(ple);
+        let idx = self.dram_slot[ple as usize];
+        if idx != NIL {
+            if self.dram.head != idx {
+                unlink(&mut self.nodes, &mut self.dram, idx);
+                let n = &mut self.nodes[idx as usize];
+                n.entry.counter = n.entry.counter.saturating_add(1);
+                link_front(&mut self.nodes, &mut self.dram, idx);
             }
-            let c = e.counter;
-            self.dram.insert(0, e);
-            c
+            self.nodes[idx as usize].entry.counter
         } else {
-            if self.dram.len() == self.dram_cap {
-                self.dram.pop();
+            if self.dram.len == self.dram_cap {
+                self.pop_dram_lru();
             }
-            self.dram.insert(0, HotEntry { ple, counter: 1 });
+            let i = self.alloc(HotEntry { ple, counter: 1 });
+            link_front(&mut self.nodes, &mut self.dram, i);
+            self.dram_slot[ple as usize] = i;
             1
         }
     }
@@ -75,16 +313,22 @@ impl HotTable {
     /// [`touch_dram`](Self::touch_dram)). Inserts the page if it is
     /// somehow untracked.
     pub fn touch_hbm(&mut self, ple: u16) -> u32 {
-        if let Some(pos) = self.hbm.iter().position(|e| e.ple == ple) {
-            let mut e = self.hbm.remove(pos);
-            if pos != 0 {
-                e.counter = e.counter.saturating_add(1);
+        self.ensure_ple(ple);
+        let idx = self.hbm_slot[ple as usize];
+        if idx != NIL {
+            if self.hbm.head != idx {
+                unlink(&mut self.nodes, &mut self.hbm, idx);
+                let old = self.nodes[idx as usize].entry.counter;
+                self.nodes[idx as usize].entry.counter = old.saturating_add(1);
+                link_front(&mut self.nodes, &mut self.hbm, idx);
+                self.note_hbm_increment(old);
             }
-            let c = e.counter;
-            self.hbm.insert(0, e);
-            c
+            self.nodes[idx as usize].entry.counter
         } else {
-            self.hbm.insert(0, HotEntry { ple, counter: 1 });
+            let i = self.alloc(HotEntry { ple, counter: 1 });
+            link_front(&mut self.nodes, &mut self.hbm, i);
+            self.hbm_slot[ple as usize] = i;
+            self.note_hbm_insert(1);
             1
         }
     }
@@ -94,14 +338,14 @@ impl HotTable {
     /// HBM. Returns the LRU HBM entry popped out if the HBM queue was full;
     /// per the paper that popped page must be evicted from HBM.
     pub fn promote(&mut self, ple: u16) -> Option<HotEntry> {
-        let carried = self
-            .dram
-            .iter()
-            .position(|e| e.ple == ple)
-            .map(|pos| self.dram.remove(pos))
-            .unwrap_or(HotEntry { ple, counter: 1 });
-        let popped = if self.hbm.len() == self.hbm_cap { self.hbm.pop() } else { None };
-        self.hbm.insert(0, HotEntry { ple, counter: carried.counter });
+        self.ensure_ple(ple);
+        self.take_hbm(ple); // defensive: a promoted page is never HBM-tracked
+        let counter = self.take_dram(ple).map_or(1, |e| e.counter);
+        let popped = if self.hbm.len == self.hbm_cap { self.pop_lru_hbm() } else { None };
+        let i = self.alloc(HotEntry { ple, counter });
+        link_front(&mut self.nodes, &mut self.hbm, i);
+        self.hbm_slot[ple as usize] = i;
+        self.note_hbm_insert(counter);
         popped
     }
 
@@ -109,12 +353,14 @@ impl HotTable {
     /// front (the paper's "popped-out HBM page entries are pushed back into
     /// the off-chip DRAM queue"). No-op if absent.
     pub fn demote(&mut self, ple: u16) {
-        if let Some(pos) = self.hbm.iter().position(|e| e.ple == ple) {
-            let e = self.hbm.remove(pos);
-            if self.dram.len() == self.dram_cap {
-                self.dram.pop();
+        if let Some(e) = self.take_hbm(ple) {
+            self.take_dram(ple); // defensive: never tracked in both queues
+            if self.dram.len == self.dram_cap {
+                self.pop_dram_lru();
             }
-            self.dram.insert(0, e);
+            let i = self.alloc(e);
+            link_front(&mut self.nodes, &mut self.dram, i);
+            self.dram_slot[ple as usize] = i;
         }
     }
 
@@ -122,88 +368,152 @@ impl HotTable {
     /// a popped mHBM page takes the buffered cHBM second chance and thus
     /// stays resident in HBM).
     pub fn push_hbm_front(&mut self, entry: HotEntry) {
-        self.hbm.retain(|e| e.ple != entry.ple);
-        if self.hbm.len() == self.hbm_cap {
-            self.hbm.pop();
+        self.ensure_ple(entry.ple);
+        self.take_hbm(entry.ple);
+        if self.hbm.len == self.hbm_cap {
+            self.pop_lru_hbm();
         }
-        self.hbm.insert(0, entry);
+        let i = self.alloc(entry);
+        link_front(&mut self.nodes, &mut self.hbm, i);
+        self.hbm_slot[entry.ple as usize] = i;
+        self.note_hbm_insert(entry.counter);
     }
 
     /// Re-inserts an entry at the LRU end of the HBM queue (restoring an
     /// entry that was popped but could not be processed).
     pub fn push_lru_hbm(&mut self, entry: HotEntry) {
-        self.hbm.retain(|e| e.ple != entry.ple);
-        if self.hbm.len() < self.hbm_cap {
-            self.hbm.push(entry);
+        self.ensure_ple(entry.ple);
+        self.take_hbm(entry.ple);
+        if self.hbm.len < self.hbm_cap {
+            let i = self.alloc(entry);
+            link_back(&mut self.nodes, &mut self.hbm, i);
+            self.hbm_slot[entry.ple as usize] = i;
+            self.note_hbm_insert(entry.counter);
         }
     }
 
     /// Pushes an entry (typically one popped from the HBM queue) onto the
     /// DRAM queue front, dropping the DRAM LRU entry if full.
     pub fn push_dram_front(&mut self, entry: HotEntry) {
-        self.dram.retain(|e| e.ple != entry.ple);
-        if self.dram.len() == self.dram_cap {
-            self.dram.pop();
+        self.ensure_ple(entry.ple);
+        self.take_dram(entry.ple);
+        if self.dram.len == self.dram_cap {
+            self.pop_dram_lru();
         }
-        self.dram.insert(0, entry);
+        let i = self.alloc(entry);
+        link_front(&mut self.nodes, &mut self.dram, i);
+        self.dram_slot[entry.ple as usize] = i;
     }
 
     /// Removes `ple` from both queues (page freed / swapped out).
     pub fn remove(&mut self, ple: u16) {
-        self.hbm.retain(|e| e.ple != ple);
-        self.dram.retain(|e| e.ple != ple);
+        self.take_hbm(ple);
+        self.take_dram(ple);
     }
 
     /// The hotness counter of `ple` in the DRAM queue (0 if untracked).
     pub fn dram_hotness(&self, ple: u16) -> u32 {
-        self.dram.iter().find(|e| e.ple == ple).map_or(0, |e| e.counter)
+        match self.dram_slot.get(ple as usize) {
+            Some(&idx) if idx != NIL => self.nodes[idx as usize].entry.counter,
+            _ => 0,
+        }
     }
 
     /// The hotness counter of `ple` in the HBM queue (0 if untracked).
     pub fn hbm_hotness(&self, ple: u16) -> u32 {
-        self.hbm.iter().find(|e| e.ple == ple).map_or(0, |e| e.counter)
+        match self.hbm_slot.get(ple as usize) {
+            Some(&idx) if idx != NIL => self.nodes[idx as usize].entry.counter,
+            _ => 0,
+        }
     }
 
     /// Whether `ple` is tracked in the HBM queue.
     pub fn in_hbm(&self, ple: u16) -> bool {
-        self.hbm.iter().any(|e| e.ple == ple)
+        matches!(self.hbm_slot.get(ple as usize), Some(&idx) if idx != NIL)
     }
 
     /// The paper's threshold `T`: the smallest counter among HBM entries
-    /// (0 when the queue is empty).
+    /// (0 when the queue is empty). O(1): tracked incrementally.
     pub fn threshold(&self) -> u32 {
-        self.hbm.iter().map(|e| e.counter).min().unwrap_or(0)
+        self.hbm_min
     }
 
     /// The LRU HBM entry (the next pop-out candidate), if any.
     pub fn lru_hbm(&self) -> Option<HotEntry> {
-        self.hbm.last().copied()
+        if self.hbm.tail == NIL {
+            None
+        } else {
+            Some(self.nodes[self.hbm.tail as usize].entry)
+        }
     }
 
     /// Pops the LRU HBM entry.
     pub fn pop_lru_hbm(&mut self) -> Option<HotEntry> {
-        self.hbm.pop()
+        let idx = self.hbm.tail;
+        if idx == NIL {
+            return None;
+        }
+        unlink(&mut self.nodes, &mut self.hbm, idx);
+        let entry = self.nodes[idx as usize].entry;
+        self.hbm_slot[entry.ple as usize] = NIL;
+        self.free.push(idx);
+        self.note_hbm_remove(entry.counter);
+        Some(entry)
     }
 
     /// Number of HBM entries.
     pub fn hbm_len(&self) -> usize {
-        self.hbm.len()
+        self.hbm.len
     }
 
     /// Number of DRAM entries.
     pub fn dram_len(&self) -> usize {
-        self.dram.len()
+        self.dram.len
     }
 
     /// Iterates the HBM-queue entries, MRU first.
     pub fn iter_hbm(&self) -> impl Iterator<Item = &HotEntry> {
-        self.hbm.iter()
+        ListIter { table: self, cur: self.hbm.head }
+    }
+
+    /// Iterates the DRAM-queue entries, MRU first.
+    pub fn iter_dram(&self) -> impl Iterator<Item = &HotEntry> {
+        ListIter { table: self, cur: self.dram.head }
     }
 
     /// The hottest (highest-counter) DRAM entry, if any — used by the
-    /// all-memory-used swap rule.
+    /// all-memory-used swap rule. Counter ties resolve to the least
+    /// recently used entry (matching the original `max_by_key` over a
+    /// MRU-first queue, which kept the last maximum).
     pub fn hottest_dram(&self) -> Option<HotEntry> {
-        self.dram.iter().copied().max_by_key(|e| e.counter)
+        let mut best: Option<HotEntry> = None;
+        let mut cur = self.dram.head;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            if best.is_none_or(|b| n.entry.counter >= b.counter) {
+                best = Some(n.entry);
+            }
+            cur = n.next;
+        }
+        best
+    }
+}
+
+struct ListIter<'a> {
+    table: &'a HotTable,
+    cur: u16,
+}
+
+impl<'a> Iterator for ListIter<'a> {
+    type Item = &'a HotEntry;
+
+    fn next(&mut self) -> Option<&'a HotEntry> {
+        if self.cur == NIL {
+            return None;
+        }
+        let n = &self.table.nodes[self.cur as usize];
+        self.cur = n.next;
+        Some(&n.entry)
     }
 }
 
@@ -320,5 +630,43 @@ mod tests {
         let mut e = HotEntry { ple: 0, counter: u32::MAX };
         e.counter = e.counter.saturating_add(1);
         assert_eq!(e.counter, u32::MAX);
+    }
+
+    #[test]
+    fn threshold_recomputes_when_last_min_entry_leaves() {
+        let mut t = HotTable::new(4, 4);
+        t.promote(1);
+        t.promote(2);
+        t.promote(3);
+        t.touch_hbm(2); // 2 → counter 2
+        t.touch_hbm(3); // 3 → counter 2
+        assert_eq!(t.threshold(), 1, "page 1 still at 1");
+        t.remove(1);
+        assert_eq!(t.threshold(), 2, "min rescanned after last minimal entry left");
+        t.pop_lru_hbm();
+        t.pop_lru_hbm();
+        assert_eq!(t.threshold(), 0, "empty queue reports 0");
+    }
+
+    #[test]
+    fn push_lru_hbm_respects_capacity() {
+        let mut t = HotTable::new(2, 2);
+        t.promote(1);
+        t.promote(2);
+        t.push_lru_hbm(HotEntry { ple: 3, counter: 9 });
+        assert!(!t.in_hbm(3), "full queue refuses an LRU re-insert");
+        t.pop_lru_hbm();
+        t.push_lru_hbm(HotEntry { ple: 3, counter: 9 });
+        assert_eq!(t.lru_hbm().unwrap().ple, 3);
+        assert_eq!(t.threshold(), 1, "counter-9 LRU insert does not lower the min");
+    }
+
+    #[test]
+    fn hottest_dram_tie_breaks_toward_lru() {
+        let mut t = HotTable::new(2, 4);
+        t.push_dram_front(HotEntry { ple: 1, counter: 5 });
+        t.push_dram_front(HotEntry { ple: 2, counter: 5 });
+        // Both carry counter 5; the LRU-most (ple 1) wins the tie.
+        assert_eq!(t.hottest_dram().unwrap().ple, 1);
     }
 }

@@ -48,7 +48,7 @@ pub use bitmap::BlockBitmap;
 pub use ble::{Ble, FrameMode};
 pub use config::{AllocPolicy, BumblebeeConfig};
 pub use controller::BumblebeeController;
-pub use hot_table::HotTable;
+pub use hot_table::{HotEntry, HotTable};
 pub use metadata::MetadataBreakdown;
 pub use prt::Prt;
 pub use set::RemapSet;

@@ -5,6 +5,12 @@
 //! slot id (the page identity the OS sees) the table stores the **new PLE**
 //! — the physical slot where the page currently lives, or "unallocated" —
 //! and per *physical* slot an **Occup** bit consulted by page allocation.
+//!
+//! Occup bits are packed into `u64` words with running occupancy counts, so
+//! the hot-path queries — `all_occupied`, `occupied_hbm`, first-free-slot
+//! searches — are O(1) or one `trailing_zeros` word scan instead of a
+//! per-slot sweep. First-free searches still return the **lowest** free
+//! slot, exactly as the original per-slot scans did.
 
 /// Sentinel for "page not allocated" (the paper's `-1`).
 const UNALLOCATED: u16 = u16::MAX;
@@ -12,12 +18,22 @@ const UNALLOCATED: u16 = u16::MAX;
 /// The per-set PLE remapping table.
 ///
 /// Invariant: `new_ple` restricted to allocated pages is injective, and
-/// `occup[p]` is set exactly when some page maps to physical slot `p`.
+/// occup bit `p` is set exactly when some page maps to physical slot `p`.
 #[derive(Debug, Clone)]
 pub struct Prt {
-    new_ple: Vec<u16>,
-    occup: Vec<bool>,
+    new_ple: Box<[u16]>,
+    /// Packed Occup bits, slot `p` = bit `p % 64` of word `p / 64`.
+    occup: Box<[u64]>,
     m: u16,
+    /// Number of occupied slots (all kinds).
+    n_occupied: u16,
+    /// Number of occupied HBM slots (`p ≥ m`).
+    n_occupied_hbm: u16,
+}
+
+#[inline]
+fn word_bit(p: u16) -> (usize, u64) {
+    (usize::from(p) / 64, 1u64 << (p % 64))
 }
 
 impl Prt {
@@ -31,7 +47,13 @@ impl Prt {
     pub fn new(m: u16, n: u16) -> Prt {
         let total = usize::from(m) + usize::from(n);
         assert!(total < usize::from(UNALLOCATED), "slot space overflow");
-        Prt { new_ple: vec![UNALLOCATED; total], occup: vec![false; total], m }
+        Prt {
+            new_ple: vec![UNALLOCATED; total].into_boxed_slice(),
+            occup: vec![0u64; total.div_ceil(64)].into_boxed_slice(),
+            m,
+            n_occupied: 0,
+            n_occupied_hbm: 0,
+        }
     }
 
     /// Total slots `m + n`.
@@ -56,13 +78,35 @@ impl Prt {
     }
 
     /// Whether physical slot `p` is occupied.
+    #[inline]
     pub fn occupied(&self, p: u16) -> bool {
-        self.occup[usize::from(p)]
+        let (w, b) = word_bit(p);
+        self.occup[w] & b != 0
     }
 
     /// Whether physical slot `p` is an HBM frame.
     pub fn is_hbm_slot(&self, p: u16) -> bool {
         p >= self.m
+    }
+
+    /// Sets slot `p`'s Occup bit, maintaining the counts.
+    fn mark(&mut self, p: u16) {
+        let (w, b) = word_bit(p);
+        self.occup[w] |= b;
+        self.n_occupied += 1;
+        if p >= self.m {
+            self.n_occupied_hbm += 1;
+        }
+    }
+
+    /// Clears slot `p`'s Occup bit, maintaining the counts.
+    fn unmark(&mut self, p: u16) {
+        let (w, b) = word_bit(p);
+        self.occup[w] &= !b;
+        self.n_occupied -= 1;
+        if p >= self.m {
+            self.n_occupied_hbm -= 1;
+        }
     }
 
     /// Allocates original page `o` at physical slot `p`.
@@ -74,7 +118,7 @@ impl Prt {
         assert!(!self.is_allocated(o), "page {o} already allocated");
         assert!(!self.occupied(p), "slot {p} already occupied");
         self.new_ple[usize::from(o)] = p;
-        self.occup[usize::from(p)] = true;
+        self.mark(p);
     }
 
     /// Moves original page `o` from its current slot to free slot `p`
@@ -86,8 +130,8 @@ impl Prt {
     pub fn relocate(&mut self, o: u16, p: u16) {
         let old = self.location(o).expect("relocating unallocated page");
         assert!(!self.occupied(p), "slot {p} already occupied");
-        self.occup[usize::from(old)] = false;
-        self.occup[usize::from(p)] = true;
+        self.unmark(old);
+        self.mark(p);
         self.new_ple[usize::from(o)] = p;
     }
 
@@ -111,7 +155,7 @@ impl Prt {
     /// Panics if `o` is unallocated.
     pub fn free(&mut self, o: u16) {
         let p = self.location(o).expect("freeing unallocated page");
-        self.occup[usize::from(p)] = false;
+        self.unmark(p);
         self.new_ple[usize::from(o)] = UNALLOCATED;
     }
 
@@ -120,23 +164,55 @@ impl Prt {
         if prefer < self.m && !self.occupied(prefer) {
             return Some(prefer);
         }
-        (0..self.m).find(|&p| !self.occupied(p))
+        let m = usize::from(self.m);
+        for (w, &word) in self.occup.iter().enumerate() {
+            let base = w * 64;
+            if base >= m {
+                break;
+            }
+            let mut free = !word;
+            if base + 64 > m {
+                free &= (1u64 << (m - base)) - 1;
+            }
+            if free != 0 {
+                return Some((base + free.trailing_zeros() as usize) as u16);
+            }
+        }
+        None
     }
 
     /// First free HBM physical slot.
     pub fn find_free_hbm(&self) -> Option<u16> {
-        (self.m..self.slots()).find(|&p| !self.occupied(p))
+        let m = usize::from(self.m);
+        let slots = usize::from(self.slots());
+        for (w, &word) in self.occup.iter().enumerate().skip(m / 64) {
+            let base = w * 64;
+            if base >= slots {
+                break;
+            }
+            let mut free = !word;
+            if base < m {
+                free &= !((1u64 << (m - base)) - 1);
+            }
+            if base + 64 > slots {
+                free &= (1u64 << (slots - base)) - 1;
+            }
+            if free != 0 {
+                return Some((base + free.trailing_zeros() as usize) as u16);
+            }
+        }
+        None
     }
 
-    /// Number of occupied HBM slots.
+    /// Number of occupied HBM slots. O(1): tracked incrementally.
     pub fn occupied_hbm(&self) -> u16 {
-        (self.m..self.slots()).filter(|&p| self.occupied(p)).count() as u16
+        self.n_occupied_hbm
     }
 
     /// Whether every physical slot is occupied (all memory in the set used
-    /// by the OS — the paper's swap-mode condition).
+    /// by the OS — the paper's swap-mode condition). O(1).
     pub fn all_occupied(&self) -> bool {
-        self.occup.iter().all(|&b| b)
+        usize::from(self.n_occupied) == self.new_ple.len()
     }
 
     /// The original page currently living at physical slot `p`, if any.
@@ -227,6 +303,30 @@ mod tests {
         prt.allocate(1, 1);
         prt.allocate(2, 2);
         assert!(prt.all_occupied());
+    }
+
+    #[test]
+    fn find_free_crosses_word_boundaries() {
+        // 100 DRAM + 30 HBM slots spans three occupancy words, with m=100
+        // splitting word 1 between DRAM and HBM bits.
+        let mut prt = Prt::new(100, 30);
+        for p in 0..100 {
+            prt.allocate(p, p);
+        }
+        assert_eq!(prt.find_free_dram(0), None, "all DRAM slots taken");
+        assert_eq!(prt.find_free_hbm(), Some(100), "lowest HBM slot, mid-word");
+        for p in 100..130 {
+            prt.allocate(p, p);
+        }
+        assert_eq!(prt.find_free_hbm(), None);
+        assert!(prt.all_occupied());
+        assert_eq!(prt.occupied_hbm(), 30);
+        prt.free(64); // word-1 DRAM bit
+        assert_eq!(prt.find_free_dram(3), Some(64));
+        prt.free(129); // last HBM slot, word-2 tail
+        assert_eq!(prt.find_free_hbm(), Some(129));
+        assert_eq!(prt.occupied_hbm(), 29);
+        assert!(!prt.all_occupied());
     }
 
     #[test]

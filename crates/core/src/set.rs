@@ -8,8 +8,9 @@
 //! [`AccessPlan`] through a [`SetCtx`].
 
 use crate::ble::{Ble, FrameMode};
+use crate::bitmap::BlockBitmap;
 use crate::config::{AllocPolicy, BumblebeeConfig};
-use crate::hot_table::HotTable;
+use crate::hot_table::{HotEntry, HotTable};
 use crate::prt::Prt;
 use memsim_obs::{Telemetry, TraceEvent};
 use memsim_types::{
@@ -121,13 +122,29 @@ impl SetCtx<'_> {
 }
 
 /// One remapping set; see the [module documentation](self).
+///
+/// All per-set metadata lives in fixed boxed slices sized at construction
+/// (PRT words, BLE array, cache map, hot-table arena), so the steady-state
+/// access path performs no heap allocation. Frame-mode counts and a
+/// free-frame bitmap are maintained incrementally at every BLE mode
+/// transition, making `rh`/`chbm_frames`/`mhbm_frames` O(1) and
+/// free-frame searches a word scan.
 #[derive(Debug, Clone)]
 pub struct RemapSet {
     prt: Prt,
-    bles: Vec<Ble>,
+    bles: Box<[Ble]>,
     hot: HotTable,
     /// For DRAM-resident original pages: the cHBM frame caching them.
-    cached_in: Vec<Option<u8>>,
+    cached_in: Box<[Option<u8>]>,
+    /// Bit `f` set ⇔ `bles[f].mode == Free`.
+    free_frames: BlockBitmap,
+    /// Number of frames currently in cHBM mode.
+    n_chbm: u16,
+    /// Number of frames currently in mHBM mode.
+    n_mhbm: u16,
+    /// Reusable buffer for entries skipped by [`make_room`](Self::make_room)
+    /// (capacity is retained across calls — no per-access allocation).
+    skip_scratch: Vec<HotEntry>,
     last_allocs: [Option<u16>; 2],
     accesses: u64,
     zombie_head: Option<(u16, u32)>,
@@ -142,11 +159,20 @@ pub struct RemapSet {
 impl RemapSet {
     /// Creates a set with `m` off-chip slots and `n` HBM frames.
     pub fn new(m: u16, n: u16, cfg: &BumblebeeConfig) -> RemapSet {
+        assert!(u32::from(n) <= crate::bitmap::MAX_BLOCKS, "free-frame bitmap capacity");
         RemapSet {
             prt: Prt::new(m, n),
-            bles: vec![Ble::default(); usize::from(n)],
-            hot: HotTable::new(usize::from(n), cfg.hot_queue_len),
-            cached_in: vec![None; usize::from(m) + usize::from(n)],
+            bles: vec![Ble::default(); usize::from(n)].into_boxed_slice(),
+            hot: HotTable::with_slots(
+                usize::from(n),
+                cfg.hot_queue_len,
+                usize::from(m) + usize::from(n),
+            ),
+            cached_in: vec![None; usize::from(m) + usize::from(n)].into_boxed_slice(),
+            free_frames: BlockBitmap::full(u32::from(n)),
+            n_chbm: 0,
+            n_mhbm: 0,
+            skip_scratch: Vec::with_capacity(usize::from(n)),
             last_allocs: [None, None],
             accesses: 0,
             zombie_head: None,
@@ -190,10 +216,59 @@ impl RemapSet {
         self.prt.m()
     }
 
+    /// Maintains the frame-mode counts and free-frame bitmap across a BLE
+    /// mode transition. Called by the `ble_*` wrappers below — BLE mode
+    /// must never be changed without going through them.
+    fn note_mode_change(&mut self, f: usize, old: FrameMode, new: FrameMode) {
+        if old == new {
+            return;
+        }
+        match old {
+            FrameMode::Free => self.free_frames.clear(f as u32),
+            FrameMode::Chbm => self.n_chbm -= 1,
+            FrameMode::Mhbm => self.n_mhbm -= 1,
+        }
+        match new {
+            FrameMode::Free => self.free_frames.set(f as u32),
+            FrameMode::Chbm => self.n_chbm += 1,
+            FrameMode::Mhbm => self.n_mhbm += 1,
+        }
+    }
+
+    fn ble_begin_chbm(&mut self, f: usize, o: u16) {
+        let old = self.bles[f].mode;
+        self.bles[f].begin_chbm(o);
+        self.note_mode_change(f, old, FrameMode::Chbm);
+    }
+
+    fn ble_begin_mhbm(&mut self, f: usize, o: u16, accessed: Option<u32>) {
+        let old = self.bles[f].mode;
+        self.bles[f].begin_mhbm(o, accessed);
+        self.note_mode_change(f, old, FrameMode::Mhbm);
+    }
+
+    fn ble_switch_to_mhbm(&mut self, f: usize) {
+        let old = self.bles[f].mode;
+        self.bles[f].switch_to_mhbm();
+        self.note_mode_change(f, old, FrameMode::Mhbm);
+    }
+
+    fn ble_switch_to_chbm(&mut self, f: usize, blocks_per_page: u32) {
+        let old = self.bles[f].mode;
+        self.bles[f].switch_to_chbm(blocks_per_page);
+        self.note_mode_change(f, old, FrameMode::Chbm);
+    }
+
+    fn ble_reset(&mut self, f: usize) {
+        let old = self.bles[f].mode;
+        self.bles[f].reset();
+        self.note_mode_change(f, old, FrameMode::Free);
+    }
+
     /// HBM occupancy ratio Rh: frames in use (cHBM or mHBM) over `n`.
+    /// O(1): frame-mode counts are maintained at every transition.
     pub fn rh(&self) -> f64 {
-        let used = self.bles.iter().filter(|b| b.mode != FrameMode::Free).count();
-        used as f64 / f64::from(self.n())
+        f64::from(self.n_chbm + self.n_mhbm) / f64::from(self.n())
     }
 
     /// Rh as seen by a movement decision. Adaptive designs use the whole
@@ -235,14 +310,14 @@ impl RemapSet {
         na - nn - nc
     }
 
-    /// Number of frames currently in cHBM mode.
+    /// Number of frames currently in cHBM mode. O(1).
     pub fn chbm_frames(&self) -> u32 {
-        self.bles.iter().filter(|b| b.mode == FrameMode::Chbm).count() as u32
+        u32::from(self.n_chbm)
     }
 
-    /// Number of frames currently in mHBM mode.
+    /// Number of frames currently in mHBM mode. O(1).
     pub fn mhbm_frames(&self) -> u32 {
-        self.bles.iter().filter(|b| b.mode == FrameMode::Mhbm).count() as u32
+        u32::from(self.n_mhbm)
     }
 
     /// Handles one demand access to original slot `o`, block `block`,
@@ -472,12 +547,17 @@ impl RemapSet {
         }
     }
 
+    /// Lowest Free frame whose PRT slot is also free (and, under a fixed
+    /// ratio, on the right side of the partition). Walks only the set bits
+    /// of the free-frame bitmap — in steady state (no free frames) this is
+    /// four word tests.
     fn find_free_frame(&self, for_chbm: bool, quota: Option<u32>) -> Option<u16> {
-        (0..self.n()).find(|&f| {
-            self.bles[usize::from(f)].mode == FrameMode::Free
-                && !self.prt.occupied(self.m() + f)
-                && self.frame_eligible(f, for_chbm, quota)
-        })
+        self.free_frames
+            .iter_set(u32::from(self.n()))
+            .map(|f| f as u16)
+            .find(|&f| {
+                !self.prt.occupied(self.m() + f) && self.frame_eligible(f, for_chbm, quota)
+            })
     }
 
     fn try_migrate_to_mhbm(
@@ -524,7 +604,7 @@ impl RemapSet {
         }
         ctx.of_used(o, block, line);
         self.prt.relocate(o, self.m() + f);
-        self.bles[usize::from(f)].begin_mhbm(o, Some(block));
+        self.ble_begin_mhbm(usize::from(f), o, Some(block));
         if let Some(popped) = self.hot.promote(o) {
             // Promotion displaced the LRU page: the paper evicts it.
             self.handle_popped_entry(popped, ctx);
@@ -549,7 +629,7 @@ impl RemapSet {
             None => self.make_room(true, quota, ctx),
         };
         let Some(f) = frame else { return };
-        self.bles[usize::from(f)].begin_chbm(o);
+        self.ble_begin_chbm(usize::from(f), o);
         self.cached_in[usize::from(o)] = Some(f as u8);
         if let Some(popped) = self.hot.promote(o) {
             self.handle_popped_entry(popped, ctx);
@@ -599,25 +679,26 @@ impl RemapSet {
             return;
         }
         let block_bytes = ctx.geometry.block_bytes() as u32;
-        // Fetch only blocks not yet cached.
-        let missing: Vec<u32> = self.bles[f].valid.iter_clear(bpp).collect();
-        for b in &missing {
+        // Fetch only blocks not yet cached. `iter_clear` snapshots the
+        // bitmap words (the bitmap is `Copy`), so no block list is
+        // collected and `self` stays free for the loop body.
+        for b in self.bles[f].valid.iter_clear(bpp) {
             ctx.push(false, DeviceOp {
                 mem: Mem::OffChip,
-                addr: ctx.dram_addr(home, *b),
+                addr: ctx.dram_addr(home, b),
                 bytes: block_bytes,
                 kind: OpKind::Read,
                 cause: Cause::ModeSwitch,
             });
             ctx.push(false, DeviceOp {
                 mem: Mem::Hbm,
-                addr: ctx.hbm_addr(u32::from(fi), *b),
+                addr: ctx.hbm_addr(u32::from(fi), b),
                 bytes: block_bytes,
                 kind: OpKind::Write,
                 cause: Cause::ModeSwitch,
             });
             *ctx.mode_switch_bytes += 2 * u64::from(block_bytes);
-            ctx.of_fetched_block(o, *b);
+            ctx.of_fetched_block(o, b);
         }
         if !ctx.cfg.multiplexed {
             // No-Multi: separate cHBM/mHBM spaces force the page through
@@ -644,7 +725,7 @@ impl RemapSet {
             }
         }
         self.prt.relocate(o, self.m() + u16::from(fi));
-        self.bles[f].switch_to_mhbm();
+        self.ble_switch_to_mhbm(f);
         self.cached_in[usize::from(o)] = None;
         ctx.stats.switch_to_mhbm += 1;
         let set = ctx.set_id;
@@ -662,7 +743,10 @@ impl RemapSet {
         // Entries whose frame cannot satisfy this request (wrong side of a
         // fixed partition) are skipped and re-inserted afterwards — evicting
         // an mHBM page to make room for one cache block would be pure waste.
-        let mut skipped = Vec::new();
+        // The skip buffer is a reusable field: its capacity survives between
+        // calls, so this path stays allocation-free in steady state.
+        let mut skipped = std::mem::take(&mut self.skip_scratch);
+        skipped.clear();
         let mut freed = None;
         for _ in 0..(2 * self.n() + 1) {
             let Some(popped) = self.hot.pop_lru_hbm() else { break };
@@ -682,9 +766,10 @@ impl RemapSet {
         }
         // Restore skipped entries in their original recency order (they
         // were popped LRU-first, so push back LRU-last).
-        for e in skipped.into_iter().rev() {
+        for e in skipped.drain(..).rev() {
             self.hot.push_lru_hbm(e);
         }
+        self.skip_scratch = skipped;
         freed
     }
 
@@ -734,7 +819,7 @@ impl RemapSet {
                 // Rule 2: buffered eviction — the page stays in HBM as a
                 // fully dirty cHBM page; no data moves (multiplexed space).
                 self.prt.relocate(ple, dram_slot);
-                self.bles[usize::from(frame)].switch_to_chbm(ctx.geometry.blocks_per_page());
+                self.ble_switch_to_chbm(usize::from(frame), ctx.geometry.blocks_per_page());
                 self.cached_in[usize::from(ple)] = Some(frame as u8);
                 ctx.stats.switch_to_chbm += 1;
                 let set = ctx.set_id;
@@ -764,7 +849,7 @@ impl RemapSet {
         for b in 0..ctx.geometry.blocks_per_page() {
             ctx.of_evicted_block(ple, b);
         }
-        self.bles[usize::from(frame)].reset();
+        self.ble_reset(usize::from(frame));
         self.hot.push_dram_front(entry);
         ctx.stats.evictions += 1;
         let set = ctx.set_id;
@@ -799,8 +884,9 @@ impl RemapSet {
         debug_assert!(!self.prt.is_hbm_slot(home));
         let bpp = ctx.geometry.blocks_per_page();
         let block_bytes = ctx.geometry.block_bytes() as u32;
-        let dirty: Vec<u32> = self.bles[f].dirty.iter_set(bpp).collect();
-        for b in dirty {
+        // `iter_set` snapshots the bitmap words — no dirty-block list is
+        // allocated on the writeback path.
+        for b in self.bles[f].dirty.iter_set(bpp) {
             ctx.push(false, DeviceOp {
                 mem: Mem::Hbm,
                 addr: ctx.hbm_addr(u32::from(fi), b),
@@ -819,7 +905,7 @@ impl RemapSet {
         for b in 0..bpp {
             ctx.of_evicted_block(o, b);
         }
-        self.bles[f].reset();
+        self.ble_reset(f);
         self.cached_in[usize::from(o)] = None;
         ctx.stats.evictions += 1;
         let set = ctx.set_id;
@@ -847,7 +933,7 @@ impl RemapSet {
                             let page_bytes = ctx.geometry.page_bytes() as u32;
                             self.page_copy(frame, slot, page_bytes, Cause::Writeback, ctx);
                             self.prt.relocate(ple, slot);
-                            self.bles[usize::from(frame)].reset();
+                            self.ble_reset(usize::from(frame));
                             ctx.stats.evictions += 1;
                             let set = ctx.set_id;
                             ctx.emit(|| TraceEvent::Evict { set, page: ple });
@@ -931,7 +1017,7 @@ impl RemapSet {
             cause: Cause::Migration,
         });
         self.prt.swap(o, victim.ple);
-        self.bles[usize::from(frame)].begin_mhbm(o, Some(block));
+        self.ble_begin_mhbm(usize::from(frame), o, Some(block));
         self.hot.push_dram_front(victim);
         self.hot.promote(o);
         self.last_swap_at = self.accesses;
@@ -999,7 +1085,7 @@ impl RemapSet {
         if want_hbm {
             if let Some(f) = self.find_free_frame(false, quota) {
                 self.prt.allocate(o, self.m() + f);
-                self.bles[usize::from(f)].begin_mhbm(o, None);
+                self.ble_begin_mhbm(usize::from(f), o, None);
                 if let Some(popped) = self.hot.promote(o) {
                     self.handle_popped_entry(popped, ctx);
                 }
@@ -1015,7 +1101,7 @@ impl RemapSet {
         if ctx.cfg.alloc_policy == AllocPolicy::AllHbm {
             if let Some(f) = self.make_room(false, quota, ctx) {
                 self.prt.allocate(o, self.m() + f);
-                self.bles[usize::from(f)].begin_mhbm(o, None);
+                self.ble_begin_mhbm(usize::from(f), o, None);
                 if let Some(popped) = self.hot.promote(o) {
                     self.handle_popped_entry(popped, ctx);
                 }
@@ -1034,7 +1120,7 @@ impl RemapSet {
         // DRAM full: fall back to a free HBM frame even for Alloc-D.
         if let Some(f) = self.find_free_frame(false, quota) {
             self.prt.allocate(o, self.m() + f);
-            self.bles[usize::from(f)].begin_mhbm(o, None);
+            self.ble_begin_mhbm(usize::from(f), o, None);
             if let Some(popped) = self.hot.promote(o) {
                 self.handle_popped_entry(popped, ctx);
             }
@@ -1052,7 +1138,7 @@ impl RemapSet {
                 self.prt.allocate(o, p);
             } else {
                 self.prt.allocate(o, self.m() + f);
-                self.bles[usize::from(f)].begin_mhbm(o, None);
+                self.ble_begin_mhbm(usize::from(f), o, None);
                 if let Some(popped) = self.hot.promote(o) {
                     self.handle_popped_entry(popped, ctx);
                 }

@@ -5,7 +5,7 @@
 //! (FR-FCFS row hits are naturally captured because consecutive requests to
 //! an open row skip the activate).
 
-use crate::config::DeviceConfig;
+use crate::config::{CpuTimings, DeviceConfig};
 use memsim_types::OpKind;
 
 /// One bank: open row and earliest next command time.
@@ -35,16 +35,21 @@ pub struct ChunkResult {
 /// One memory channel.
 #[derive(Debug, Clone)]
 pub struct Channel {
-    banks: Vec<Bank>,
+    banks: Box<[Bank]>,
+    /// Row timings pre-converted to CPU cycles at construction — the
+    /// per-chunk scheduling path performs no clock-domain divisions.
+    timings: CpuTimings,
     bus_free_at: u64,
     busy_cycles: u64,
 }
 
 impl Channel {
-    /// Creates a channel with `banks` idle banks.
-    pub fn new(banks: u32) -> Channel {
+    /// Creates a channel of `cfg.banks_per_channel` idle banks with
+    /// `cfg`'s timings pre-converted to CPU cycles.
+    pub fn new(cfg: &DeviceConfig) -> Channel {
         Channel {
-            banks: vec![Bank::default(); banks as usize],
+            banks: vec![Bank::default(); cfg.banks_per_channel as usize].into_boxed_slice(),
+            timings: cfg.cpu_timings(),
             bus_free_at: 0,
             busy_cycles: 0,
         }
@@ -81,10 +86,7 @@ impl Channel {
         _kind: OpKind,
         now: u64,
     ) -> ChunkResult {
-        let t_cas = cfg.to_cpu_cycles(u64::from(cfg.timing.t_cas));
-        let t_rcd = cfg.to_cpu_cycles(u64::from(cfg.timing.t_rcd));
-        let t_rp = cfg.to_cpu_cycles(u64::from(cfg.timing.t_rp));
-        let t_ras = cfg.to_cpu_cycles(u64::from(cfg.timing.t_ras));
+        let CpuTimings { t_cas, t_rcd, t_rp, t_ras } = self.timings;
         let burst = cfg.burst_cpu_cycles(bytes);
 
         let b = &mut self.banks[bank as usize];
@@ -130,7 +132,7 @@ mod tests {
     #[test]
     fn first_access_activates() {
         let cfg = cfg();
-        let mut ch = Channel::new(8);
+        let mut ch = Channel::new(&cfg);
         let r = ch.schedule(&cfg, 0, 5, 64, OpKind::Read, 0);
         assert!(!r.row_hit);
         assert!(r.activated);
@@ -141,7 +143,7 @@ mod tests {
     #[test]
     fn same_row_hits_and_is_faster() {
         let cfg = cfg();
-        let mut ch = Channel::new(8);
+        let mut ch = Channel::new(&cfg);
         let r1 = ch.schedule(&cfg, 0, 5, 64, OpKind::Read, 0);
         let r2 = ch.schedule(&cfg, 0, 5, 64, OpKind::Read, r1.done_at);
         assert!(r2.row_hit);
@@ -151,7 +153,7 @@ mod tests {
     #[test]
     fn row_conflict_precharges() {
         let cfg = cfg();
-        let mut ch = Channel::new(8);
+        let mut ch = Channel::new(&cfg);
         let r1 = ch.schedule(&cfg, 0, 5, 64, OpKind::Read, 0);
         let r2 = ch.schedule(&cfg, 0, 9, 64, OpKind::Read, r1.done_at);
         assert!(!r2.row_hit);
@@ -164,7 +166,7 @@ mod tests {
     #[test]
     fn different_banks_overlap_but_share_bus() {
         let cfg = cfg();
-        let mut ch = Channel::new(8);
+        let mut ch = Channel::new(&cfg);
         let r1 = ch.schedule(&cfg, 0, 5, 64, OpKind::Read, 0);
         let r2 = ch.schedule(&cfg, 1, 5, 64, OpKind::Read, 0);
         // Bank 1 proceeds in parallel; only the bus serializes the bursts.
@@ -175,16 +177,73 @@ mod tests {
     #[test]
     fn busy_cycles_accumulate() {
         let cfg = cfg();
-        let mut ch = Channel::new(8);
+        let mut ch = Channel::new(&cfg);
         ch.schedule(&cfg, 0, 0, 64, OpKind::Read, 0);
         ch.schedule(&cfg, 0, 0, 64, OpKind::Write, 100);
         assert_eq!(ch.busy_cycles(), 2 * cfg.burst_cpu_cycles(64));
     }
 
     #[test]
+    fn bus_wait_accounts_queueing_delay() {
+        let cfg = cfg();
+        let mut ch = Channel::new(&cfg);
+        // Two same-cycle requests to different banks: identical bank timing,
+        // so the second burst queues behind the first for exactly one burst.
+        let r1 = ch.schedule(&cfg, 0, 0, 64, OpKind::Read, 0);
+        let r2 = ch.schedule(&cfg, 1, 0, 64, OpKind::Read, 0);
+        assert_eq!(r1.bus_wait, 0, "uncontended burst must not wait");
+        assert_eq!(r2.bus_wait, cfg.burst_cpu_cycles(64));
+        assert_eq!(r2.done_at, r1.done_at + cfg.burst_cpu_cycles(64));
+        // A third request issued after the bus drains waits for nothing.
+        let r3 = ch.schedule(&cfg, 2, 0, 64, OpKind::Read, r2.done_at);
+        assert_eq!(r3.bus_wait, 0);
+    }
+
+    #[test]
+    fn same_bank_requests_serialize_on_ready_at() {
+        let cfg = cfg();
+        let mut ch = Channel::new(&cfg);
+        // Both issued at cycle 0 to one bank: the second cannot start its
+        // column access before the first's data transfer completes.
+        let r1 = ch.schedule(&cfg, 0, 7, 64, OpKind::Read, 0);
+        let r2 = ch.schedule(&cfg, 0, 7, 64, OpKind::Read, 0);
+        assert!(r2.row_hit);
+        let t_cas = cfg.to_cpu_cycles(u64::from(cfg.timing.t_cas));
+        assert_eq!(r2.done_at, r1.done_at + t_cas + cfg.burst_cpu_cycles(64));
+    }
+
+    #[test]
+    fn row_conflict_respects_tras_before_precharge() {
+        let cfg = cfg();
+        let mut ch = Channel::new(&cfg);
+        let t_ras = cfg.to_cpu_cycles(u64::from(cfg.timing.t_ras));
+        let t_rp = cfg.to_cpu_cycles(u64::from(cfg.timing.t_rp));
+        let t_rcd = cfg.to_cpu_cycles(u64::from(cfg.timing.t_rcd));
+        let t_cas = cfg.to_cpu_cycles(u64::from(cfg.timing.t_cas));
+        let r1 = ch.schedule(&cfg, 0, 1, 64, OpKind::Read, 0);
+        // Conflict arriving while tRAS still holds the row open: the
+        // precharge is deferred to the tRAS expiry at `t_ras`, so the row
+        // cycle completes no earlier than tRAS + tRP + tRCD + tCAS + burst.
+        let r2 = ch.schedule(&cfg, 0, 2, 64, OpKind::Read, r1.done_at);
+        assert!(r2.activated);
+        let earliest = t_ras + t_rp + t_rcd + t_cas + cfg.burst_cpu_cycles(64);
+        assert!(r2.done_at >= earliest, "done {} < tRAS-bound {}", r2.done_at, earliest);
+    }
+
+    #[test]
+    fn precomputed_timings_match_per_access_conversion() {
+        let cfg = cfg();
+        let t = cfg.cpu_timings();
+        assert_eq!(t.t_cas, cfg.to_cpu_cycles(u64::from(cfg.timing.t_cas)));
+        assert_eq!(t.t_rcd, cfg.to_cpu_cycles(u64::from(cfg.timing.t_rcd)));
+        assert_eq!(t.t_rp, cfg.to_cpu_cycles(u64::from(cfg.timing.t_rp)));
+        assert_eq!(t.t_ras, cfg.to_cpu_cycles(u64::from(cfg.timing.t_ras)));
+    }
+
+    #[test]
     fn bus_contention_serializes_time() {
         let cfg = cfg();
-        let mut ch = Channel::new(8);
+        let mut ch = Channel::new(&cfg);
         let mut done = 0;
         for i in 0..16 {
             let r = ch.schedule(&cfg, i % 8, 0, 2048, OpKind::Read, 0);

@@ -52,11 +52,38 @@ pub struct DeviceConfig {
     pub power: PowerParams,
 }
 
+/// The core timing parameters pre-converted to CPU cycles, computed once
+/// per channel via [`DeviceConfig::cpu_timings`] so the per-chunk
+/// scheduling path does not repeat four widening divisions per access.
+/// Each field equals `to_cpu_cycles` of the corresponding [`Timing`] value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuTimings {
+    /// `tCAS` in CPU cycles.
+    pub t_cas: u64,
+    /// `tRCD` in CPU cycles.
+    pub t_rcd: u64,
+    /// `tRP` in CPU cycles.
+    pub t_rp: u64,
+    /// `tRAS` in CPU cycles.
+    pub t_ras: u64,
+}
+
 impl DeviceConfig {
     /// Converts device clocks to CPU cycles (rounding up).
     #[inline]
     pub fn to_cpu_cycles(&self, device_cycles: u64) -> u64 {
         (device_cycles * self.cpu_mhz).div_ceil(self.device_mhz)
+    }
+
+    /// The [`Timing`] parameters converted to CPU cycles (same
+    /// `to_cpu_cycles` rounding as converting on every access).
+    pub fn cpu_timings(&self) -> CpuTimings {
+        CpuTimings {
+            t_cas: self.to_cpu_cycles(u64::from(self.timing.t_cas)),
+            t_rcd: self.to_cpu_cycles(u64::from(self.timing.t_rcd)),
+            t_rp: self.to_cpu_cycles(u64::from(self.timing.t_rp)),
+            t_ras: self.to_cpu_cycles(u64::from(self.timing.t_ras)),
+        }
     }
 
     /// Duration of `device_cycles` in nanoseconds.

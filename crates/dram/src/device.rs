@@ -3,7 +3,7 @@
 use crate::channel::Channel;
 use crate::config::DeviceConfig;
 use memsim_obs::DeviceHistograms;
-use memsim_types::{Addr, OpKind};
+use memsim_types::{Addr, OpKind, QuickDiv};
 
 /// Traffic and row-buffer counters for one device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,13 +46,27 @@ pub struct DramDevice {
     channels: Vec<Channel>,
     counters: DeviceCounters,
     histograms: DeviceHistograms,
+    /// Captured divisors for the per-chunk address decomposition
+    /// (interleave / channel / row / bank counts are powers of two for
+    /// every real part, so these run as shift/mask).
+    q_interleave: QuickDiv,
+    q_channels: QuickDiv,
+    q_row: QuickDiv,
+    q_banks: QuickDiv,
+    q_row_span: QuickDiv,
 }
 
 impl DramDevice {
     /// Creates an idle device from its configuration.
     pub fn new(cfg: DeviceConfig) -> DramDevice {
-        let channels = (0..cfg.channels).map(|_| Channel::new(cfg.banks_per_channel)).collect();
+        let channels = (0..cfg.channels).map(|_| Channel::new(&cfg)).collect();
+        let row_span = cfg.row_bytes * u64::from(cfg.banks_per_channel);
         DramDevice {
+            q_interleave: QuickDiv::new(cfg.interleave_bytes),
+            q_channels: QuickDiv::new(u64::from(cfg.channels)),
+            q_row: QuickDiv::new(cfg.row_bytes),
+            q_banks: QuickDiv::new(u64::from(cfg.banks_per_channel)),
+            q_row_span: QuickDiv::new(row_span),
             cfg,
             channels,
             counters: DeviceCounters::default(),
@@ -87,15 +101,20 @@ impl DramDevice {
     pub fn access(&mut self, addr: Addr, bytes: u32, kind: OpKind, now: u64) -> u64 {
         debug_assert!(bytes > 0, "zero-byte access");
         let cap = self.cfg.capacity_bytes;
-        let mut cursor = addr.0 % cap;
+        let mut cursor = if addr.0 < cap { addr.0 } else { addr.0 % cap };
         let mut remaining = u64::from(bytes);
         let mut done = now;
         while remaining > 0 {
-            let in_chunk = self.cfg.interleave_bytes - (cursor % self.cfg.interleave_bytes);
+            let in_chunk = self.cfg.interleave_bytes - self.q_interleave.rem(cursor);
             let take = in_chunk.min(remaining) as u32;
             let r = self.access_chunk(Addr(cursor), take, kind, now);
             done = done.max(r);
-            cursor = (cursor + u64::from(take)) % cap;
+            // A chunk never exceeds the interleave unit (≤ capacity), so
+            // one conditional subtraction wraps exactly like `% cap`.
+            cursor += u64::from(take);
+            if cursor >= cap {
+                cursor -= cap;
+            }
             remaining -= u64::from(take);
         }
         match kind {
@@ -106,14 +125,12 @@ impl DramDevice {
     }
 
     fn access_chunk(&mut self, addr: Addr, bytes: u32, kind: OpKind, now: u64) -> u64 {
-        let chunk = addr.0 / self.cfg.interleave_bytes;
-        let channel = (chunk % u64::from(self.cfg.channels)) as usize;
-        let local_chunk = chunk / u64::from(self.cfg.channels);
-        let local_addr =
-            local_chunk * self.cfg.interleave_bytes + addr.0 % self.cfg.interleave_bytes;
-        let row_span = self.cfg.row_bytes * u64::from(self.cfg.banks_per_channel);
-        let bank = ((local_addr / self.cfg.row_bytes) % u64::from(self.cfg.banks_per_channel)) as u32;
-        let row = local_addr / row_span;
+        let (chunk, in_chunk) = self.q_interleave.div_rem(addr.0);
+        let (local_chunk, channel) = self.q_channels.div_rem(chunk);
+        let channel = channel as usize;
+        let local_addr = local_chunk * self.cfg.interleave_bytes + in_chunk;
+        let bank = self.q_banks.rem(self.q_row.div(local_addr)) as u32;
+        let row = self.q_row_span.div(local_addr);
         let r = self.channels[channel].schedule(&self.cfg, bank, row, bytes, kind, now);
         self.counters.chunk_accesses += 1;
         if r.row_hit {
@@ -165,7 +182,7 @@ impl DramDevice {
     /// Resets timing state and counters (row buffers, bus availability).
     pub fn reset(&mut self) {
         for ch in &mut self.channels {
-            *ch = Channel::new(self.cfg.banks_per_channel);
+            *ch = Channel::new(&self.cfg);
         }
         self.counters = DeviceCounters::default();
         self.histograms = DeviceHistograms::new();

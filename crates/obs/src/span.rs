@@ -204,11 +204,29 @@ impl SpanTree {
     }
 }
 
+/// Sentinel for an empty [`LiveState`] node-cache slot.
+const NO_CACHE: u32 = u32::MAX;
+
 /// Live per-thread session state.
-#[derive(Default)]
 struct LiveState {
     tree: SpanTree,
     stack: Vec<(usize, Instant)>,
+    /// Per-phase memo of the last `(parent + 1, node)` resolved by
+    /// [`span`], so the steady-state hot loop (the same few phases
+    /// re-entered millions of times) skips the linear node scan.
+    /// `(parent, phase)` uniquely identifies a node, so a hit needs no
+    /// further validation; reset with the rest of the session state.
+    cache: [(u32, u32); Phase::ALL.len()],
+}
+
+impl Default for LiveState {
+    fn default() -> LiveState {
+        LiveState {
+            tree: SpanTree::default(),
+            stack: Vec::new(),
+            cache: [(NO_CACHE, NO_CACHE); Phase::ALL.len()],
+        }
+    }
 }
 
 thread_local! {
@@ -275,7 +293,15 @@ pub fn span(phase: Phase) -> SpanGuard {
     STATE.with(|s| {
         let state = &mut *s.borrow_mut();
         let parent = state.stack.last().map(|&(i, _)| i);
-        let idx = state.tree.find_or_create(parent, phase);
+        let pkey = parent.map_or(0, |p| p as u32 + 1);
+        let slot = &mut state.cache[phase as usize];
+        let idx = if slot.0 == pkey {
+            slot.1 as usize
+        } else {
+            let i = state.tree.find_or_create(parent, phase);
+            *slot = (pkey, i as u32);
+            i
+        };
         state.stack.push((idx, Instant::now()));
         state.tree.spans += 1;
     });

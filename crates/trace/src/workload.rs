@@ -21,11 +21,16 @@ const LINE_BYTES: u64 = 64;
 #[derive(Debug, Clone)]
 pub struct Workload {
     spec: WorkloadSpec,
+    /// Wrap modulus, clamped to ≥ 1 at construction.
     limit_bytes: u64,
     rng: SplitMix64,
     regions: u64,
     hot_regions: u64,
     perm_stride: u64,
+    /// `spec.insts_per_miss()`, hoisted out of the per-access path.
+    mean_gap: f64,
+    /// Mean run length in lines, hoisted out of the per-run path.
+    mean_lines: f64,
     run_remaining: u32,
     cursor: u64,
     accesses_emitted: u64,
@@ -47,13 +52,17 @@ impl Workload {
         while gcd(perm_stride, regions) != 1 {
             perm_stride += 1;
         }
+        let mean_gap = spec.insts_per_miss();
+        let mean_lines = (spec.mean_run_bytes / LINE_BYTES).max(1) as f64;
         Workload {
             spec,
-            limit_bytes,
+            limit_bytes: limit_bytes.max(1),
             rng: SplitMix64::seed_from_u64(seed),
             regions,
             hot_regions,
             perm_stride,
+            mean_gap,
+            mean_lines,
             run_remaining: 0,
             cursor: 0,
             accesses_emitted: 0,
@@ -82,16 +91,15 @@ impl Workload {
             self.start_run();
         }
         self.run_remaining -= 1;
-        let addr = Addr(self.cursor % self.limit_bytes.max(1));
+        let addr = Addr(self.cursor % self.limit_bytes);
         self.cursor += LINE_BYTES;
         let kind = if self.rng.gen_f64() < self.spec.write_fraction {
             AccessKind::Write
         } else {
             AccessKind::Read
         };
-        let mean_gap = self.spec.insts_per_miss();
         let u: f64 = self.rng.gen_f64().max(1e-12);
-        let gap = (-mean_gap * u.ln()).clamp(1.0, 4_000_000_000.0) as u32;
+        let gap = (-self.mean_gap * u.ln()).clamp(1.0, 4_000_000_000.0) as u32;
         self.accesses_emitted += 1;
         self.instructions_emitted += u64::from(gap);
         Access { addr, kind, insts: gap }
@@ -108,9 +116,8 @@ impl Workload {
         let region = (logical % self.regions).wrapping_mul(self.perm_stride) % self.regions;
         let line_in_region = self.rng.gen_below(REGION_BYTES / LINE_BYTES);
         self.cursor = region * REGION_BYTES + line_in_region * LINE_BYTES;
-        let mean_lines = (self.spec.mean_run_bytes / LINE_BYTES).max(1) as f64;
         let u: f64 = self.rng.gen_f64().max(1e-12);
-        self.run_remaining = (-mean_lines * u.ln()).clamp(1.0, 1e9) as u32;
+        self.run_remaining = (-self.mean_lines * u.ln()).clamp(1.0, 1e9) as u32;
     }
 }
 

@@ -13,13 +13,16 @@
 //!
 //! Pages are interleaved across sets (`set = index % num_sets`), matching the
 //! uniform-utilization argument of the paper. Page sizes need not be powers
-//! of two (the paper's design-space exploration includes 96 KB pages), so all
-//! page math uses division rather than masking. HBM pages that do not fill a
-//! complete set (possible with non-power-of-two page sizes) are left unused,
-//! exactly as real hardware would waste the tail of the stack.
+//! of two (the paper's design-space exploration includes 96 KB pages): each
+//! divisor caches a shift amount at build time, so the per-access index math
+//! runs as shift/mask in the power-of-two common case and falls back to real
+//! division otherwise — identical results either way. HBM pages that do not
+//! fill a complete set (possible with non-power-of-two page sizes) are left
+//! unused, exactly as real hardware would waste the tail of the stack.
 
 use crate::addr::{Addr, BlockIndex, PageIndex};
 use crate::error::GeometryError;
+use crate::fastdiv::QuickDiv;
 
 /// Where a page slot lives inside a remapping set.
 ///
@@ -49,6 +52,17 @@ pub struct Geometry {
     dram_pages: u64,
     usable_hbm_pages: u64,
     num_sets: u64,
+    // Derived hot-path caches (deterministic functions of the fields
+    // above, so the derived `PartialEq` stays meaningful). The QuickDiv
+    // fields strength-reduce the per-access div/mod to shift/mask when
+    // the divisor is a power of two — the common case — and fall back to
+    // real division otherwise (non-power-of-two page sizes are allowed).
+    flat_bytes: u64,
+    m_base: u64,
+    m_rem: u64,
+    page_div: QuickDiv,
+    block_div: QuickDiv,
+    set_div: QuickDiv,
 }
 
 impl Geometry {
@@ -139,15 +153,13 @@ impl Geometry {
     #[inline]
     pub fn dram_slots_in_set(&self, set: u64) -> u32 {
         debug_assert!(set < self.num_sets);
-        let base = self.dram_pages / self.num_sets;
-        let extra = u64::from(set < self.dram_pages % self.num_sets);
-        (base + extra) as u32
+        (self.m_base + u64::from(set < self.m_rem)) as u32
     }
 
     /// The largest `m` over all sets.
     #[inline]
     pub fn max_dram_slots(&self) -> u32 {
-        self.dram_pages.div_ceil(self.num_sets) as u32
+        (self.m_base + u64::from(self.m_rem != 0)) as u32
     }
 
     /// Total slots (`m + n`) in remapping set `set`.
@@ -168,13 +180,20 @@ impl Geometry {
     /// `[0, dram_pages)`; HBM addresses map to `[dram_pages, ..)`.
     #[inline]
     pub fn page_of(&self, addr: Addr) -> PageIndex {
-        PageIndex(addr.0 / self.page_bytes)
+        PageIndex(self.page_div.div(addr.0))
     }
 
     /// Block index of `addr` within its page.
     #[inline]
     pub fn block_of(&self, addr: Addr) -> BlockIndex {
-        BlockIndex(((addr.0 % self.page_bytes) / self.block_bytes) as u32)
+        let in_page = self.page_div.rem(addr.0);
+        BlockIndex(self.block_div.div(in_page) as u32)
+    }
+
+    /// 64-byte line index of `addr` within its cHBM block.
+    #[inline]
+    pub fn line_of(&self, addr: Addr) -> u64 {
+        self.block_div.rem(addr.0) / 64
     }
 
     /// First byte address of `page`.
@@ -198,7 +217,18 @@ impl Geometry {
     /// Total OS-visible bytes when HBM is part of memory (POM / hybrid).
     #[inline]
     pub fn flat_bytes(&self) -> u64 {
-        self.dram_bytes + self.usable_hbm_pages * self.page_bytes
+        self.flat_bytes
+    }
+
+    /// `addr` wrapped into the flat physical space (`addr % flat_bytes`),
+    /// with a branch fast path for the common already-in-range case.
+    #[inline]
+    pub fn wrap_flat(&self, addr: Addr) -> Addr {
+        if addr.0 < self.flat_bytes {
+            addr
+        } else {
+            Addr(addr.0 % self.flat_bytes)
+        }
     }
 
     /// Remapping set of `page`.
@@ -211,9 +241,9 @@ impl Geometry {
         if self.is_hbm_page(page) {
             let h = page.0 - self.dram_pages;
             debug_assert!(h < self.usable_hbm_pages, "HBM page out of range");
-            h % self.num_sets
+            self.set_div.rem(h)
         } else {
-            page.0 % self.num_sets
+            self.set_div.rem(page.0)
         }
     }
 
@@ -228,9 +258,9 @@ impl Geometry {
     pub fn slot_of_page(&self, page: PageIndex) -> PageSlot {
         if self.is_hbm_page(page) {
             let h = page.0 - self.dram_pages;
-            PageSlot::Hbm((h / self.num_sets) as u32)
+            PageSlot::Hbm(self.set_div.div(h) as u32)
         } else {
-            PageSlot::OffChip((page.0 / self.num_sets) as u32)
+            PageSlot::OffChip(self.set_div.div(page.0) as u32)
         }
     }
 
@@ -368,6 +398,7 @@ impl GeometryBuilder {
         if dram_pages < num_sets {
             return Err(GeometryError::DramTooSmall { dram_pages, num_sets });
         }
+        let usable_hbm_pages = num_sets * u64::from(hbm_ways);
         Ok(Geometry {
             block_bytes,
             page_bytes,
@@ -376,8 +407,14 @@ impl GeometryBuilder {
             hbm_ways,
             blocks_per_page: (page_bytes / block_bytes) as u32,
             dram_pages,
-            usable_hbm_pages: num_sets * u64::from(hbm_ways),
+            usable_hbm_pages,
             num_sets,
+            flat_bytes: dram_bytes + usable_hbm_pages * page_bytes,
+            m_base: dram_pages / num_sets,
+            m_rem: dram_pages % num_sets,
+            page_div: QuickDiv::new(page_bytes),
+            block_div: QuickDiv::new(block_bytes),
+            set_div: QuickDiv::new(num_sets),
         })
     }
 }

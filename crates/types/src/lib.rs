@@ -39,6 +39,7 @@
 pub mod addr;
 pub mod controller;
 pub mod error;
+pub mod fastdiv;
 pub mod geometry;
 pub mod metadata;
 pub mod plan;
@@ -47,6 +48,7 @@ pub mod stats;
 pub use addr::{Addr, BlockIndex, PageIndex};
 pub use controller::HybridMemoryController;
 pub use error::GeometryError;
+pub use fastdiv::QuickDiv;
 pub use geometry::{Geometry, GeometryBuilder, PageSlot};
 pub use metadata::MetadataModel;
 pub use plan::{Access, AccessKind, AccessPlan, Cause, DeviceOp, Mem, OpKind};

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Event counters shared by every hybrid-memory controller.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -101,9 +102,42 @@ impl fmt::Display for CtrlStats {
 /// assert_eq!(t.wasted_bytes(), 2048);
 /// assert!((t.overfetch_ratio() - 0.5).abs() < 1e-12);
 /// ```
+/// Deterministic integer hasher for the tracker's `u64` chunk keys.
+///
+/// The tracker's outputs are order-independent byte sums, so hash quality
+/// only affects speed, never results — and the default SipHash costs more
+/// than the rest of the [`used`](OverfetchTracker::used) call combined on
+/// the per-access demand-touch path. The splitmix64 finalizer gives full
+/// avalanche over block/line numbers at a few arithmetic ops.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkKeyHasher(u64);
+
+impl Hasher for ChunkKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; the map's keys are u64 so this is cold.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 pub struct OverfetchTracker {
-    resident: HashMap<u64, (u32, bool)>,
+    resident: HashMap<u64, (u32, bool), BuildHasherDefault<ChunkKeyHasher>>,
     fetched_bytes: u64,
     wasted_bytes: u64,
 }
