@@ -1,0 +1,11 @@
+//! Clean: a well-formed audited exception — rule id, `--` separator and a
+//! reason the report can carry.
+
+/// Counts distinct values; hash order is never observed.
+pub fn distinct(xs: &[u64]) -> usize {
+    let mut h = std::collections::HashMap::new(); // audit: allow(det-hashmap) -- fixture: only the count survives, iteration order unobservable
+    for &x in xs {
+        h.insert(x, ());
+    }
+    h.len()
+}

@@ -1,0 +1,6 @@
+//! Clean: simulated time derives from the engine's access counter.
+
+/// Returns the simulated timestamp of an access index.
+pub fn stamp(access_index: u64) -> u64 {
+    access_index * 4
+}

@@ -1,0 +1,6 @@
+//! Doctored: a wall-clock read feeding simulated state.
+
+/// Returns a "timestamp" that differs on every run.
+pub fn stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos() //~ det-clock
+}

@@ -1,0 +1,9 @@
+//! Clean: pseudo-randomness derives from the workload seed.
+
+/// SplitMix64 step: deterministic for a given seed.
+pub fn next(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,7 @@
+//! Doctored: ambient process entropy seeds simulated behaviour.
+
+/// Picks a "random" start offset — different on every run.
+pub fn start_offset(len: u64) -> u64 {
+    let r: u64 = thread_rng().gen(); //~ det-entropy
+    r % len
+}

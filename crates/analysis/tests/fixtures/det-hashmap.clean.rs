@@ -1,0 +1,11 @@
+//! Clean: an ordered map gives deterministic iteration for free.
+use std::collections::BTreeMap;
+
+/// Counts occurrences of each value.
+pub fn histogram(xs: &[u64]) -> BTreeMap<u64, u32> {
+    let mut h = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}

@@ -1,0 +1,10 @@
+//! Doctored: a RandomState-hashed map sneaks onto a results path.
+
+/// Counts distinct values.
+pub fn distinct(xs: &[u64]) -> usize {
+    let mut h = std::collections::HashMap::new(); //~ det-hashmap
+    for &x in xs {
+        h.insert(x, ());
+    }
+    h.len()
+}

@@ -1,0 +1,7 @@
+//! Clean: ordered container, iteration follows key order.
+use std::collections::BTreeMap;
+
+/// Sums all keys.
+pub fn key_sum(m: &BTreeMap<u64, u64>) -> u64 {
+    m.keys().sum()
+}

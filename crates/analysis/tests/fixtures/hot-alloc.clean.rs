@@ -1,0 +1,13 @@
+//! Clean: a caller-owned scratch buffer is reused across calls, so the
+//! steady-state access path never allocates.
+
+/// Appends the set's free frames into `scratch` (cleared first).
+// audit: hot-path
+pub fn free_frames(occupancy: &[bool], scratch: &mut Vec<u16>) {
+    scratch.clear();
+    for (f, &occ) in occupancy.iter().enumerate() {
+        if !occ {
+            scratch.push(f as u16);
+        }
+    }
+}

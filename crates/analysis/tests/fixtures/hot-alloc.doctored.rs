@@ -1,0 +1,13 @@
+//! Doctored: a fresh vector grown on every access.
+
+/// Collects the set's free frames into a brand-new vector.
+// audit: hot-path
+pub fn free_frames(occupancy: &[bool]) -> Vec<u16> {
+    let mut out = Vec::new();
+    for (f, &occ) in occupancy.iter().enumerate() {
+        if !occ {
+            out.push(f as u16); //~ hot-alloc
+        }
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! Doctored: the hot entry point calls an unannotated same-file helper,
+//! so nothing audits the helper's body.
+
+/// Frame index → HBM device address.
+fn frame_addr(frame: u64) -> u64 {
+    frame << 16
+}
+
+/// Hot entry point (the controller access flow).
+// audit: hot-path
+pub fn access(frame: u64) -> u64 {
+    frame_addr(frame) //~ hot-callee
+}

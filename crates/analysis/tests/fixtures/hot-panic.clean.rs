@@ -1,0 +1,7 @@
+//! Clean: the hot path propagates absence instead of panicking.
+
+/// Resolves a slot, handing absence to the caller.
+// audit: hot-path
+pub fn resolve(slots: &[u16], i: usize) -> Option<u16> {
+    slots.get(i).copied()
+}

@@ -1,0 +1,7 @@
+//! Doctored: a panic reachable from the controller access flow.
+
+/// Resolves a slot, panicking when out of range.
+// audit: hot-path
+pub fn resolve(slots: &[u16], i: usize) -> u16 {
+    *slots.get(i).unwrap() //~ hot-panic
+}

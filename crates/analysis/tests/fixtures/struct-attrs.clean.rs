@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! A well-guarded crate root.

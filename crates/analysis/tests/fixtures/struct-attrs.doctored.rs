@@ -1,0 +1,4 @@
+//! A crate root missing both guard attributes.
+
+/// Some public item.
+pub fn f() {}

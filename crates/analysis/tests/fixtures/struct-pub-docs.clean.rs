@@ -1,0 +1,9 @@
+//! Clean: every public item in a documented crate carries doc comments.
+
+/// The answer to a well-documented question.
+pub const ANSWER: u32 = 42;
+
+/// Doubles the answer.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}

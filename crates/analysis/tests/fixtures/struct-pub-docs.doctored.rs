@@ -1,0 +1,8 @@
+//! Doctored: a bare public item in a crate whose API must be documented.
+
+/// A documented neighbour, so the file's `//!` cannot cover for the fn.
+pub const OK: u32 = 1;
+
+pub fn double(x: u32) -> u32 { //~ struct-pub-docs
+    x * 2
+}

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! State-of-the-art hybrid-memory baselines.
 //!
 //! Mechanism-faithful reimplementations of every design the paper compares

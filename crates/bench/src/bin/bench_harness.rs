@@ -22,6 +22,7 @@
 //!
 //! Compare two outputs with `bench_tool compare BASE.json NEW.json`.
 
+use memsim_analysis::exitcode;
 use bumblebee_bench::perf::{BenchCase, BenchReport, Suite, BENCH_SCHEMA};
 use memsim_sim::{Engine, ExperimentMatrix, ResultSet};
 use std::path::PathBuf;
@@ -49,7 +50,7 @@ fn parse_args() -> Args {
         let mut value = |flag: &str| {
             it.next().unwrap_or_else(|| {
                 eprintln!("error: {flag} needs a value");
-                std::process::exit(2);
+                std::process::exit(exitcode::USAGE);
             })
         };
         match a.as_str() {
@@ -57,13 +58,13 @@ fn parse_args() -> Args {
             "--repeats" => {
                 args.repeats = Some(value("--repeats").parse().unwrap_or_else(|_| {
                     eprintln!("error: --repeats needs a positive number");
-                    std::process::exit(2);
+                    std::process::exit(exitcode::USAGE);
                 }));
             }
             "--jobs" => {
                 args.jobs = value("--jobs").parse().unwrap_or_else(|_| {
                     eprintln!("error: --jobs needs a positive number");
-                    std::process::exit(2);
+                    std::process::exit(exitcode::USAGE);
                 });
             }
             "--out" => args.out = PathBuf::from(value("--out")),
@@ -75,7 +76,7 @@ fn parse_args() -> Args {
                      usage: bench_harness [--quick] [--repeats N] [--jobs N] [--out DIR] \
                      [--sha SHA] [--name NAME]"
                 );
-                std::process::exit(2);
+                std::process::exit(exitcode::USAGE);
             }
         }
     }
@@ -132,7 +133,7 @@ fn main() {
         eprintln!("[bench] warm-up run {}/{}", w + 1, suite.warmup_runs);
         if let Err(e) = engine.run(&matrix) {
             eprintln!("error: warm-up run failed: {e}");
-            std::process::exit(1);
+            std::process::exit(exitcode::USAGE);
         }
     }
 
@@ -146,7 +147,7 @@ fn main() {
             Ok(rs) => rs,
             Err(e) => {
                 eprintln!("error: timed repeat failed: {e}");
-                std::process::exit(1);
+                std::process::exit(exitcode::USAGE);
             }
         };
         for (i, &nanos) in rs.engine_telemetry().cell_nanos.iter().enumerate() {
@@ -219,7 +220,7 @@ fn main() {
     let body = report.to_lines().join("\n") + "\n";
     if let Err(e) = std::fs::create_dir_all(&args.out).and_then(|()| std::fs::write(&path, body)) {
         eprintln!("error: cannot write {}: {e}", path.display());
-        std::process::exit(1);
+        std::process::exit(exitcode::USAGE);
     }
     eprintln!("wrote {}", path.display());
 }

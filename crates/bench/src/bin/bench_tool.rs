@@ -15,10 +15,11 @@
 //! gate.
 
 use bumblebee_bench::perf::{compare, BenchReport, Thresholds};
+use memsim_analysis::exitcode;
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    std::process::exit(2);
+    std::process::exit(exitcode::USAGE);
 }
 
 fn load(path: &str) -> BenchReport {
@@ -81,7 +82,7 @@ fn main() {
                     "FAIL: {regressions} regression(s) of {} vs baseline {}",
                     new_report.sha, base_report.sha
                 );
-                std::process::exit(1);
+                std::process::exit(exitcode::FINDINGS);
             }
             println!(
                 "ok: no regressions, {improvements} improvement(s) ({} vs baseline {}, \

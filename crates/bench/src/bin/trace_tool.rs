@@ -19,13 +19,14 @@
 use memsim_sim::report::render_table;
 use memsim_sim::{parse_flat, Design, JsonObj, JsonValue, SimParams, System};
 use memsim_trace::io::{read_trace, write_trace};
+use memsim_analysis::exitcode;
 use memsim_types::HybridMemoryController;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    std::process::exit(2);
+    std::process::exit(exitcode::USAGE);
 }
 
 /// Parses every line of a JSONL file, skipping unparsable lines with a
@@ -228,7 +229,7 @@ fn diff_key(row: &[(String, JsonValue)]) -> String {
 fn diff(a_path: &str, b_path: &str, threshold: f64) {
     let a_rows = read_jsonl(a_path);
     let b_rows = read_jsonl(b_path);
-    let mut b_index: std::collections::HashMap<String, &Vec<(String, JsonValue)>> =
+    let mut b_index: std::collections::BTreeMap<String, &Vec<(String, JsonValue)>> =
         b_rows.iter().map(|r| (diff_key(r), r)).collect();
     // metric -> (lines differing, max |delta|)
     let mut metrics: Vec<(String, u64, f64)> = Vec::new();
@@ -276,7 +277,7 @@ fn diff(a_path: &str, b_path: &str, threshold: f64) {
              {} unmatched line(s)",
             only_a + only_b
         );
-        std::process::exit(1);
+        std::process::exit(exitcode::FINDINGS);
     }
     println!("ok: no deltas over threshold {threshold}");
 }

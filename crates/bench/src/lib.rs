@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Shared harness plumbing for the figure/table binaries and the timing
 //! benches.
 //!
@@ -172,7 +174,7 @@ pub fn parse_env() -> HarnessOpts {
 /// the former Criterion harness, keeping `cargo bench` registry-free.
 pub fn bench_case<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) {
     std::hint::black_box(f());
-    let start = Instant::now();
+    let start = Instant::now(); // audit: allow(det-clock) -- bench timing is the product here, not simulated state
     for _ in 0..iters {
         std::hint::black_box(f());
     }

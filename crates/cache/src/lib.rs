@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! SRAM cache models for the core-side hierarchy.
 //!
 //! Replaces the gem5 cache substrate of the paper's evaluation: private

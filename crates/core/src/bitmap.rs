@@ -46,6 +46,7 @@ impl BlockBitmap {
     ///
     /// Debug-panics if `i ≥ 256`.
     #[inline]
+    // audit: hot-path
     pub fn set(&mut self, i: u32) {
         debug_assert!(i < MAX_BLOCKS);
         self.0[(i / 64) as usize] |= 1u64 << (i % 64);
@@ -53,6 +54,7 @@ impl BlockBitmap {
 
     /// Clears bit `i`.
     #[inline]
+    // audit: hot-path
     pub fn clear(&mut self, i: u32) {
         debug_assert!(i < MAX_BLOCKS);
         self.0[(i / 64) as usize] &= !(1u64 << (i % 64));
@@ -60,6 +62,7 @@ impl BlockBitmap {
 
     /// Reads bit `i`.
     #[inline]
+    // audit: hot-path
     pub fn get(&self, i: u32) -> bool {
         debug_assert!(i < MAX_BLOCKS);
         self.0[(i / 64) as usize] & (1u64 << (i % 64)) != 0
@@ -67,23 +70,27 @@ impl BlockBitmap {
 
     /// Number of set bits.
     #[inline]
+    // audit: hot-path
     pub fn count(&self) -> u32 {
         self.0.iter().map(|w| w.count_ones()).sum()
     }
 
     /// Clears every bit.
     #[inline]
+    // audit: hot-path
     pub fn clear_all(&mut self) {
         self.0 = [0; 4];
     }
 
     /// Whether no bit is set.
     #[inline]
+    // audit: hot-path
     pub fn is_empty(&self) -> bool {
         self.0 == [0; 4]
     }
 
     /// Whether every bit of `other` is also set in `self`.
+    // audit: hot-path
     pub fn contains_all(&self, other: &BlockBitmap) -> bool {
         self.0.iter().zip(&other.0).all(|(a, b)| a & b == *b)
     }

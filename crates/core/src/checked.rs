@@ -1,0 +1,116 @@
+//! Checked-build invariant sweeps (`--features checked`).
+//!
+//! The static auditor (`crates/analysis`) proves lexical properties of the
+//! hot path; this module is its dynamic complement. When the `checked`
+//! feature is enabled the controller periodically validates every
+//! remapping set's cross-structure invariants — PRT↔BLE bidirectional
+//! consistency, Occup bits vs the free-frame bitmap, hot-table queue
+//! lengths vs arena population, occupancy bounds — and panics with a
+//! precise diagnosis on the first violation. The sweep only *reads*
+//! controller state, so a checked run produces byte-identical results to
+//! an unchecked one (verified by `scripts/verify.sh`); it merely trades
+//! speed for fail-fast coverage. With the feature disabled this module is
+//! not compiled at all.
+//!
+//! Two environment variables, read **once** at controller construction so
+//! mid-run environment changes cannot desynchronise replicas:
+//!
+//! * `BUMBLEBEE_CHECKED=0` — disables the sweeps in a checked binary;
+//! * `BUMBLEBEE_CHECKED_INTERVAL=N` — accesses between sweeps
+//!   (default 4096; `0` also disables).
+
+/// Default accesses between two invariant sweeps.
+pub const DEFAULT_INTERVAL: u64 = 4096;
+
+/// Per-controller sweep schedule; see the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct CheckedSweep {
+    /// Accesses between sweeps; `0` means disabled.
+    interval: u64,
+    /// Accesses remaining until the next sweep.
+    countdown: u64,
+}
+
+impl CheckedSweep {
+    /// Builds the schedule from `BUMBLEBEE_CHECKED` /
+    /// `BUMBLEBEE_CHECKED_INTERVAL`, reading the environment exactly once.
+    pub fn from_env() -> CheckedSweep {
+        let enabled = std::env::var("BUMBLEBEE_CHECKED").ok();
+        let interval = std::env::var("BUMBLEBEE_CHECKED_INTERVAL").ok();
+        CheckedSweep::from_config(enabled.as_deref(), interval.as_deref())
+    }
+
+    /// Pure core of [`from_env`](Self::from_env): resolves the effective
+    /// interval from the two variable values (`None` = unset).
+    pub fn from_config(enabled: Option<&str>, interval: Option<&str>) -> CheckedSweep {
+        let interval = if enabled.is_some_and(|v| v.trim() == "0") {
+            0
+        } else {
+            interval
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(DEFAULT_INTERVAL)
+        };
+        CheckedSweep { interval, countdown: interval }
+    }
+
+    /// The effective interval (`0` when sweeps are disabled).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Counts one access; returns `true` when a sweep is due.
+    pub fn due(&mut self) -> bool {
+        if self.interval == 0 {
+            return false;
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.interval;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_interval_fires_every_4096() {
+        let mut s = CheckedSweep::from_config(None, None);
+        assert_eq!(s.interval(), DEFAULT_INTERVAL);
+        for _ in 0..DEFAULT_INTERVAL - 1 {
+            assert!(!s.due());
+        }
+        assert!(s.due(), "sweep due exactly at the interval");
+        assert!(!s.due(), "countdown restarts");
+    }
+
+    #[test]
+    fn explicit_interval_and_disable_forms() {
+        let mut s = CheckedSweep::from_config(None, Some("2"));
+        assert!(!s.due());
+        assert!(s.due());
+        assert_eq!(CheckedSweep::from_config(Some("0"), None).interval(), 0);
+        assert_eq!(CheckedSweep::from_config(Some("0"), Some("8")).interval(), 0);
+        assert_eq!(CheckedSweep::from_config(None, Some("0")).interval(), 0);
+        // BUMBLEBEE_CHECKED set to anything else keeps sweeps on.
+        assert_eq!(CheckedSweep::from_config(Some("1"), None).interval(), DEFAULT_INTERVAL);
+    }
+
+    #[test]
+    fn disabled_sweep_never_fires() {
+        let mut s = CheckedSweep::from_config(Some("0"), None);
+        for _ in 0..10_000 {
+            assert!(!s.due());
+        }
+    }
+
+    #[test]
+    fn garbage_interval_falls_back_to_default() {
+        assert_eq!(CheckedSweep::from_config(None, Some("soon")).interval(), DEFAULT_INTERVAL);
+        assert_eq!(CheckedSweep::from_config(None, Some("")).interval(), DEFAULT_INTERVAL);
+    }
+}

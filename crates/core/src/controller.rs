@@ -46,6 +46,9 @@ pub struct BumblebeeController {
     movement_credit: i64,
     accesses: u64,
     telemetry: Telemetry,
+    /// Invariant-sweep schedule; see [`crate::checked`].
+    #[cfg(feature = "checked")]
+    checked: crate::checked::CheckedSweep,
 }
 
 impl BumblebeeController {
@@ -76,6 +79,8 @@ impl BumblebeeController {
             movement_credit: MOVEMENT_CREDIT_CAP,
             accesses: 0,
             telemetry: Telemetry::default(),
+            #[cfg(feature = "checked")]
+            checked: crate::checked::CheckedSweep::from_env(),
             cfg,
         }
     }
@@ -86,6 +91,7 @@ impl BumblebeeController {
     }
 
     /// Instantaneous gauges for an epoch sample.
+    // audit: hot-path
     fn gauges(&self) -> EpochGauges {
         let mut occupancy = [0u32; OCC_BUCKETS];
         let mut rh_sum = 0.0;
@@ -136,6 +142,7 @@ impl BumblebeeController {
     }
 
     /// Current fraction of HBM frames operating as cHBM.
+    // audit: hot-path
     pub fn chbm_fraction(&self) -> f64 {
         let chbm: u32 = self.sets.iter().map(RemapSet::chbm_frames).sum();
         let total = self.geometry.hbm_pages();
@@ -147,6 +154,7 @@ impl BumblebeeController {
     }
 
     /// Current fraction of HBM frames operating as mHBM.
+    // audit: hot-path
     pub fn mhbm_fraction(&self) -> f64 {
         let mhbm: u32 = self.sets.iter().map(RemapSet::mhbm_frames).sum();
         let total = self.geometry.hbm_pages();
@@ -162,6 +170,7 @@ impl BumblebeeController {
         &self.sets[idx as usize]
     }
 
+    // audit: hot-path
     fn resolve(&self, addr: Addr) -> (u64, u16, u32, u32) {
         let wrapped = self.geometry.wrap_flat(addr);
         let page = self.geometry.page_of(wrapped);
@@ -174,6 +183,7 @@ impl BumblebeeController {
         (set, o, self.geometry.block_of(wrapped).0, line)
     }
 
+    // audit: hot-path
     fn maybe_pressure_flush(&mut self, addr: Addr, plan: &mut AccessPlan) {
         if !self.cfg.hmf_enabled {
             return;
@@ -209,7 +219,35 @@ impl BumblebeeController {
     }
 }
 
+/// Checked-build invariant sweeps (`--features checked`); see
+/// [`crate::checked`].
+#[cfg(feature = "checked")]
+impl BumblebeeController {
+    /// Validates every remapping set's cross-structure invariants
+    /// ([`RemapSet::validate`]), reporting the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (s, set) in self.sets.iter().enumerate() {
+            set.validate().map_err(|e| format!("set {s}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Counts one access against the sweep schedule and, when a sweep is
+    /// due, validates the whole controller — panicking with a precise
+    /// diagnosis on the first violation. Read-only: results are
+    /// byte-identical with and without the feature.
+    fn checked_tick(&mut self) {
+        if !self.checked.due() {
+            return;
+        }
+        if let Err(e) = self.validate() {
+            panic!("checked build: invariant violation after {} accesses: {e}", self.accesses);
+        }
+    }
+}
+
 impl HybridMemoryController for BumblebeeController {
+    // audit: hot-path
     fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
         self.accesses += 1;
         self.movement_credit =
@@ -233,6 +271,8 @@ impl HybridMemoryController for BumblebeeController {
             telemetry: self.telemetry.active(),
         };
         let _served: ServedFrom = set.access(o, block, line, req.kind, &mut ctx);
+        #[cfg(feature = "checked")]
+        self.checked_tick(); // audit: allow(hot-callee) -- compiled out unless --features checked; the sweep is read-only and off the per-access path
         if self.telemetry.tick() {
             let _sample = span::span(Phase::EpochSample);
             let gauges = self.gauges();

@@ -60,6 +60,7 @@ impl List {
 }
 
 /// Unlinks `idx` from `list` (the node stays allocated).
+// audit: hot-path
 fn unlink(nodes: &mut [Node], list: &mut List, idx: u16) {
     let (prev, next) = {
         let n = &nodes[idx as usize];
@@ -79,6 +80,7 @@ fn unlink(nodes: &mut [Node], list: &mut List, idx: u16) {
 }
 
 /// Links `idx` at the front (MRU end) of `list`.
+// audit: hot-path
 fn link_front(nodes: &mut [Node], list: &mut List, idx: u16) {
     let old = list.head;
     {
@@ -96,6 +98,7 @@ fn link_front(nodes: &mut [Node], list: &mut List, idx: u16) {
 }
 
 /// Links `idx` at the back (LRU end) of `list`.
+// audit: hot-path
 fn link_back(nodes: &mut [Node], list: &mut List, idx: u16) {
     let old = list.tail;
     {
@@ -161,6 +164,7 @@ impl HotTable {
     }
 
     /// Grows the slot maps to cover `ple` (no-op once warmed up).
+    // audit: hot-path
     fn ensure_ple(&mut self, ple: u16) {
         let need = ple as usize + 1;
         if self.hbm_slot.len() < need {
@@ -169,13 +173,14 @@ impl HotTable {
         }
     }
 
+    // audit: hot-path
     fn alloc(&mut self, entry: HotEntry) -> u16 {
         if let Some(i) = self.free.pop() {
             self.nodes[i as usize].entry = entry;
             i
         } else {
             let i = self.nodes.len();
-            assert!(i < NIL as usize, "hot-table arena overflow");
+            assert!(i < NIL as usize, "hot-table arena overflow"); // audit: allow(hot-panic) -- arena capacity is sized at construction; overflow means metadata corruption, fail fast
             self.nodes.push(Node { entry, prev: NIL, next: NIL });
             i as u16
         }
@@ -183,6 +188,7 @@ impl HotTable {
 
     /// Rescans the HBM queue for the minimum counter (rare: only when the
     /// last minimal entry left; the queue holds at most `hbm_cap` nodes).
+    // audit: hot-path
     fn recompute_hbm_min(&mut self) {
         self.hbm_min = u32::MAX;
         self.hbm_min_count = 0;
@@ -205,6 +211,7 @@ impl HotTable {
     }
 
     /// Min-tracking hook: an entry with counter `c` joined the HBM queue.
+    // audit: hot-path
     fn note_hbm_insert(&mut self, c: u32) {
         if self.hbm.len == 1 || c < self.hbm_min {
             self.hbm_min = c;
@@ -216,6 +223,7 @@ impl HotTable {
 
     /// Min-tracking hook: an entry that had counter `c` left the HBM queue
     /// (call after unlinking).
+    // audit: hot-path
     fn note_hbm_remove(&mut self, c: u32) {
         if self.hbm.len == 0 {
             self.hbm_min = 0;
@@ -232,6 +240,7 @@ impl HotTable {
     /// after the node holds the new counter). A counter can only grow, so
     /// the minimum needs attention only when the last `old == min` entry
     /// moved up.
+    // audit: hot-path
     fn note_hbm_increment(&mut self, old: u32) {
         if old == self.hbm_min {
             self.hbm_min_count -= 1;
@@ -242,6 +251,7 @@ impl HotTable {
     }
 
     /// Unlinks and frees the DRAM-queue LRU node, returning its entry.
+    // audit: hot-path
     fn pop_dram_lru(&mut self) -> Option<HotEntry> {
         let idx = self.dram.tail;
         if idx == NIL {
@@ -255,6 +265,7 @@ impl HotTable {
     }
 
     /// Unlinks and frees `ple`'s HBM node if present, with min upkeep.
+    // audit: hot-path
     fn take_hbm(&mut self, ple: u16) -> Option<HotEntry> {
         let idx = *self.hbm_slot.get(ple as usize)?;
         if idx == NIL {
@@ -269,6 +280,7 @@ impl HotTable {
     }
 
     /// Unlinks and frees `ple`'s DRAM node if present.
+    // audit: hot-path
     fn take_dram(&mut self, ple: u16) -> Option<HotEntry> {
         let idx = *self.dram_slot.get(ple as usize)?;
         if idx == NIL {
@@ -286,6 +298,7 @@ impl HotTable {
     /// touch while already at MRU does not increment (see [`HotEntry`]).
     /// A pre-existing entry keeps its counter; the LRU entry is silently
     /// dropped when the queue overflows.
+    // audit: hot-path
     pub fn touch_dram(&mut self, ple: u16) -> u32 {
         self.ensure_ple(ple);
         let idx = self.dram_slot[ple as usize];
@@ -312,6 +325,7 @@ impl HotTable {
     /// counter (re-reference counting, as for
     /// [`touch_dram`](Self::touch_dram)). Inserts the page if it is
     /// somehow untracked.
+    // audit: hot-path
     pub fn touch_hbm(&mut self, ple: u16) -> u32 {
         self.ensure_ple(ple);
         let idx = self.hbm_slot[ple as usize];
@@ -337,6 +351,7 @@ impl HotTable {
     /// carrying its counter — used when a page is cached or migrated into
     /// HBM. Returns the LRU HBM entry popped out if the HBM queue was full;
     /// per the paper that popped page must be evicted from HBM.
+    // audit: hot-path
     pub fn promote(&mut self, ple: u16) -> Option<HotEntry> {
         self.ensure_ple(ple);
         self.take_hbm(ple); // defensive: a promoted page is never HBM-tracked
@@ -352,6 +367,7 @@ impl HotTable {
     /// Removes `ple` from the HBM queue and pushes it onto the DRAM queue
     /// front (the paper's "popped-out HBM page entries are pushed back into
     /// the off-chip DRAM queue"). No-op if absent.
+    // audit: hot-path
     pub fn demote(&mut self, ple: u16) {
         if let Some(e) = self.take_hbm(ple) {
             self.take_dram(ple); // defensive: never tracked in both queues
@@ -367,6 +383,7 @@ impl HotTable {
     /// Re-inserts an entry at the MRU position of the HBM queue (used when
     /// a popped mHBM page takes the buffered cHBM second chance and thus
     /// stays resident in HBM).
+    // audit: hot-path
     pub fn push_hbm_front(&mut self, entry: HotEntry) {
         self.ensure_ple(entry.ple);
         self.take_hbm(entry.ple);
@@ -381,6 +398,7 @@ impl HotTable {
 
     /// Re-inserts an entry at the LRU end of the HBM queue (restoring an
     /// entry that was popped but could not be processed).
+    // audit: hot-path
     pub fn push_lru_hbm(&mut self, entry: HotEntry) {
         self.ensure_ple(entry.ple);
         self.take_hbm(entry.ple);
@@ -394,6 +412,7 @@ impl HotTable {
 
     /// Pushes an entry (typically one popped from the HBM queue) onto the
     /// DRAM queue front, dropping the DRAM LRU entry if full.
+    // audit: hot-path
     pub fn push_dram_front(&mut self, entry: HotEntry) {
         self.ensure_ple(entry.ple);
         self.take_dram(entry.ple);
@@ -406,12 +425,14 @@ impl HotTable {
     }
 
     /// Removes `ple` from both queues (page freed / swapped out).
+    // audit: hot-path
     pub fn remove(&mut self, ple: u16) {
         self.take_hbm(ple);
         self.take_dram(ple);
     }
 
     /// The hotness counter of `ple` in the DRAM queue (0 if untracked).
+    // audit: hot-path
     pub fn dram_hotness(&self, ple: u16) -> u32 {
         match self.dram_slot.get(ple as usize) {
             Some(&idx) if idx != NIL => self.nodes[idx as usize].entry.counter,
@@ -420,6 +441,7 @@ impl HotTable {
     }
 
     /// The hotness counter of `ple` in the HBM queue (0 if untracked).
+    // audit: hot-path
     pub fn hbm_hotness(&self, ple: u16) -> u32 {
         match self.hbm_slot.get(ple as usize) {
             Some(&idx) if idx != NIL => self.nodes[idx as usize].entry.counter,
@@ -428,17 +450,20 @@ impl HotTable {
     }
 
     /// Whether `ple` is tracked in the HBM queue.
+    // audit: hot-path
     pub fn in_hbm(&self, ple: u16) -> bool {
         matches!(self.hbm_slot.get(ple as usize), Some(&idx) if idx != NIL)
     }
 
     /// The paper's threshold `T`: the smallest counter among HBM entries
     /// (0 when the queue is empty). O(1): tracked incrementally.
+    // audit: hot-path
     pub fn threshold(&self) -> u32 {
         self.hbm_min
     }
 
     /// The LRU HBM entry (the next pop-out candidate), if any.
+    // audit: hot-path
     pub fn lru_hbm(&self) -> Option<HotEntry> {
         if self.hbm.tail == NIL {
             None
@@ -448,6 +473,7 @@ impl HotTable {
     }
 
     /// Pops the LRU HBM entry.
+    // audit: hot-path
     pub fn pop_lru_hbm(&mut self) -> Option<HotEntry> {
         let idx = self.hbm.tail;
         if idx == NIL {
@@ -462,11 +488,13 @@ impl HotTable {
     }
 
     /// Number of HBM entries.
+    // audit: hot-path
     pub fn hbm_len(&self) -> usize {
         self.hbm.len
     }
 
     /// Number of DRAM entries.
+    // audit: hot-path
     pub fn dram_len(&self) -> usize {
         self.dram.len
     }
@@ -485,6 +513,7 @@ impl HotTable {
     /// all-memory-used swap rule. Counter ties resolve to the least
     /// recently used entry (matching the original `max_by_key` over a
     /// MRU-first queue, which kept the last maximum).
+    // audit: hot-path
     pub fn hottest_dram(&self) -> Option<HotEntry> {
         let mut best: Option<HotEntry> = None;
         let mut cur = self.dram.head;
@@ -496,6 +525,123 @@ impl HotTable {
             cur = n.next;
         }
         best
+    }
+}
+
+/// Checked-build validation (`--features checked`); see [`crate::checked`].
+#[cfg(feature = "checked")]
+impl HotTable {
+    /// Verifies the table's structural invariants: both intrusive lists are
+    /// acyclic with consistent back-links and accurate lengths, every arena
+    /// node is on exactly one list or the free list, the PLE slot maps
+    /// mirror list membership exactly, queue lengths respect their
+    /// capacities, and the incremental `(min, multiplicity)` threshold
+    /// tracking agrees with a full rescan.
+    pub fn validate(&self) -> Result<(), String> {
+        // 0 = unlinked, 1 = HBM list, 2 = DRAM list.
+        let mut membership = vec![0u8; self.nodes.len()];
+        for (list, name, tag) in [(&self.hbm, "HBM", 1u8), (&self.dram, "DRAM", 2u8)] {
+            let mut cur = list.head;
+            let mut prev = NIL;
+            let mut count = 0usize;
+            while cur != NIL {
+                let Some(node) = self.nodes.get(usize::from(cur)) else {
+                    return Err(format!("{name} list links to node {cur} beyond the arena"));
+                };
+                if node.prev != prev {
+                    return Err(format!("{name} node {cur}: prev-link broken"));
+                }
+                if membership[usize::from(cur)] != 0 {
+                    return Err(format!("node {cur} linked more than once"));
+                }
+                membership[usize::from(cur)] = tag;
+                count += 1;
+                if count > self.nodes.len() {
+                    return Err(format!("{name} list cycles"));
+                }
+                prev = cur;
+                cur = node.next;
+            }
+            if list.tail != prev {
+                return Err(format!("{name} tail is {} but the walk ended at {prev}", list.tail));
+            }
+            if list.len != count {
+                return Err(format!("{name} len {} but the walk found {count} nodes", list.len));
+            }
+        }
+        if self.hbm.len > self.hbm_cap {
+            return Err(format!("HBM queue holds {} > cap {}", self.hbm.len, self.hbm_cap));
+        }
+        if self.dram.len > self.dram_cap {
+            return Err(format!("DRAM queue holds {} > cap {}", self.dram.len, self.dram_cap));
+        }
+        // Arena population: linked + free = allocated, with no overlap.
+        let mut freed = vec![false; self.nodes.len()];
+        for &i in &self.free {
+            let Some(slot) = freed.get_mut(usize::from(i)) else {
+                return Err(format!("free list holds node {i} beyond the arena"));
+            };
+            if membership[usize::from(i)] != 0 {
+                return Err(format!("node {i} is both linked and on the free list"));
+            }
+            if *slot {
+                return Err(format!("node {i} is on the free list twice"));
+            }
+            *slot = true;
+        }
+        if self.free.len() + self.hbm.len + self.dram.len != self.nodes.len() {
+            return Err(format!(
+                "arena population mismatch: {} free + {} HBM + {} DRAM != {} nodes",
+                self.free.len(),
+                self.hbm.len,
+                self.dram.len,
+                self.nodes.len()
+            ));
+        }
+        // Slot maps mirror list membership exactly (both directions, by
+        // counting: every non-NIL map entry hits a matching node of the
+        // right list, and entry counts equal list lengths).
+        for (maps, name, tag, len) in [
+            (&self.hbm_slot, "HBM", 1u8, self.hbm.len),
+            (&self.dram_slot, "DRAM", 2u8, self.dram.len),
+        ] {
+            let mut mapped = 0usize;
+            for (ple, &idx) in maps.iter().enumerate() {
+                if idx == NIL {
+                    continue;
+                }
+                mapped += 1;
+                if membership.get(usize::from(idx)) != Some(&tag) {
+                    return Err(format!("{name} slot map: PLE {ple} points at node {idx} not on the {name} list"));
+                }
+                let got = self.nodes[usize::from(idx)].entry.ple;
+                if usize::from(got) != ple {
+                    return Err(format!("{name} slot map: PLE {ple} points at a node for PLE {got}"));
+                }
+            }
+            if mapped != len {
+                return Err(format!("{name} slot map names {mapped} nodes but the list holds {len}"));
+            }
+        }
+        // Incremental threshold tracking vs a full rescan.
+        let (mut min, mut mult) = (u32::MAX, 0usize);
+        for e in self.iter_hbm() {
+            match e.counter.cmp(&min) {
+                std::cmp::Ordering::Less => (min, mult) = (e.counter, 1),
+                std::cmp::Ordering::Equal => mult += 1,
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        if self.hbm.len == 0 {
+            (min, mult) = (0, 0);
+        }
+        if (self.hbm_min, self.hbm_min_count) != (min, mult) {
+            return Err(format!(
+                "threshold tracking says (min {}, x{}) but the queue holds (min {min}, x{mult})",
+                self.hbm_min, self.hbm_min_count
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -668,5 +814,52 @@ mod tests {
         t.push_dram_front(HotEntry { ple: 2, counter: 5 });
         // Both carry counter 5; the LRU-most (ple 1) wins the tie.
         assert_eq!(t.hottest_dram().unwrap().ple, 1);
+    }
+
+    #[cfg(feature = "checked")]
+    #[test]
+    fn validate_accepts_a_worked_table() {
+        let mut t = HotTable::new(2, 2);
+        assert_eq!(t.validate(), Ok(()));
+        t.touch_dram(1);
+        t.touch_dram(2);
+        t.touch_dram(1);
+        t.promote(1);
+        t.promote(2);
+        t.promote(3); // pops LRU
+        t.touch_hbm(2);
+        t.demote(3);
+        t.remove(2);
+        assert_eq!(t.validate(), Ok(()));
+    }
+
+    #[cfg(feature = "checked")]
+    #[test]
+    fn validate_catches_corruption() {
+        // Broken back-link.
+        let mut t = HotTable::new(4, 4);
+        t.promote(1);
+        t.promote(2);
+        let head = t.hbm.head;
+        t.nodes[usize::from(head)].prev = head;
+        assert!(t.validate().unwrap_err().contains("prev-link"));
+
+        // Stale slot map entry.
+        let mut t = HotTable::new(4, 4);
+        t.touch_dram(3);
+        t.dram_slot[3] = NIL;
+        assert!(t.validate().unwrap_err().contains("slot map"));
+
+        // Length drift.
+        let mut t = HotTable::new(4, 4);
+        t.promote(1);
+        t.hbm.len = 2;
+        assert!(t.validate().unwrap_err().contains("the walk found"));
+
+        // Threshold tracking drift.
+        let mut t = HotTable::new(4, 4);
+        t.promote(1);
+        t.hbm_min = 7;
+        assert!(t.validate().unwrap_err().contains("threshold tracking"));
     }
 }

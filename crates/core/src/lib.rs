@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! The Bumblebee Hybrid Memory Management Controller (HMMC).
 //!
 //! This crate implements the paper's contribution: a hybrid memory
@@ -37,6 +39,8 @@
 
 pub mod bitmap;
 pub mod ble;
+#[cfg(feature = "checked")]
+pub mod checked;
 pub mod config;
 pub mod controller;
 pub mod hot_table;

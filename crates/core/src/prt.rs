@@ -32,6 +32,7 @@ pub struct Prt {
 }
 
 #[inline]
+// audit: hot-path
 fn word_bit(p: u16) -> (usize, u64) {
     (usize::from(p) / 64, 1u64 << (p % 64))
 }
@@ -57,21 +58,25 @@ impl Prt {
     }
 
     /// Total slots `m + n`.
+    // audit: hot-path
     pub fn slots(&self) -> u16 {
         self.new_ple.len() as u16
     }
 
     /// The set's off-chip slot count `m`.
+    // audit: hot-path
     pub fn m(&self) -> u16 {
         self.m
     }
 
     /// Whether original page `o` has been allocated.
+    // audit: hot-path
     pub fn is_allocated(&self, o: u16) -> bool {
         self.new_ple[usize::from(o)] != UNALLOCATED
     }
 
     /// Physical slot where original page `o` lives (`None` if unallocated).
+    // audit: hot-path
     pub fn location(&self, o: u16) -> Option<u16> {
         let p = self.new_ple[usize::from(o)];
         (p != UNALLOCATED).then_some(p)
@@ -79,17 +84,20 @@ impl Prt {
 
     /// Whether physical slot `p` is occupied.
     #[inline]
+    // audit: hot-path
     pub fn occupied(&self, p: u16) -> bool {
         let (w, b) = word_bit(p);
         self.occup[w] & b != 0
     }
 
     /// Whether physical slot `p` is an HBM frame.
+    // audit: hot-path
     pub fn is_hbm_slot(&self, p: u16) -> bool {
         p >= self.m
     }
 
     /// Sets slot `p`'s Occup bit, maintaining the counts.
+    // audit: hot-path
     fn mark(&mut self, p: u16) {
         let (w, b) = word_bit(p);
         self.occup[w] |= b;
@@ -100,6 +108,7 @@ impl Prt {
     }
 
     /// Clears slot `p`'s Occup bit, maintaining the counts.
+    // audit: hot-path
     fn unmark(&mut self, p: u16) {
         let (w, b) = word_bit(p);
         self.occup[w] &= !b;
@@ -114,9 +123,10 @@ impl Prt {
     /// # Panics
     ///
     /// Panics if `o` is already allocated or `p` already occupied.
+    // audit: hot-path
     pub fn allocate(&mut self, o: u16, p: u16) {
-        assert!(!self.is_allocated(o), "page {o} already allocated");
-        assert!(!self.occupied(p), "slot {p} already occupied");
+        assert!(!self.is_allocated(o), "page {o} already allocated"); // audit: allow(hot-panic) -- PRT corruption guard: double allocation must fail fast
+        assert!(!self.occupied(p), "slot {p} already occupied"); // audit: allow(hot-panic) -- PRT corruption guard: slot collision must fail fast
         self.new_ple[usize::from(o)] = p;
         self.mark(p);
     }
@@ -127,9 +137,10 @@ impl Prt {
     /// # Panics
     ///
     /// Panics if `o` is unallocated or `p` occupied.
+    // audit: hot-path
     pub fn relocate(&mut self, o: u16, p: u16) {
-        let old = self.location(o).expect("relocating unallocated page");
-        assert!(!self.occupied(p), "slot {p} already occupied");
+        let old = self.location(o).expect("relocating unallocated page"); // audit: allow(hot-panic) -- PRT corruption guard: relocating an unallocated page must fail fast
+        assert!(!self.occupied(p), "slot {p} already occupied"); // audit: allow(hot-panic) -- PRT corruption guard: slot collision must fail fast
         self.unmark(old);
         self.mark(p);
         self.new_ple[usize::from(o)] = p;
@@ -141,9 +152,10 @@ impl Prt {
     /// # Panics
     ///
     /// Panics if either page is unallocated.
+    // audit: hot-path
     pub fn swap(&mut self, a: u16, b: u16) {
-        let pa = self.location(a).expect("swap of unallocated page");
-        let pb = self.location(b).expect("swap of unallocated page");
+        let pa = self.location(a).expect("swap of unallocated page"); // audit: allow(hot-panic) -- PRT corruption guard: swap of unallocated page must fail fast
+        let pb = self.location(b).expect("swap of unallocated page"); // audit: allow(hot-panic) -- PRT corruption guard: swap of unallocated page must fail fast
         self.new_ple[usize::from(a)] = pb;
         self.new_ple[usize::from(b)] = pa;
     }
@@ -153,13 +165,15 @@ impl Prt {
     /// # Panics
     ///
     /// Panics if `o` is unallocated.
+    // audit: hot-path
     pub fn free(&mut self, o: u16) {
-        let p = self.location(o).expect("freeing unallocated page");
+        let p = self.location(o).expect("freeing unallocated page"); // audit: allow(hot-panic) -- PRT corruption guard: double free must fail fast
         self.unmark(p);
         self.new_ple[usize::from(o)] = UNALLOCATED;
     }
 
     /// First free off-chip physical slot, preferring `prefer` when free.
+    // audit: hot-path
     pub fn find_free_dram(&self, prefer: u16) -> Option<u16> {
         if prefer < self.m && !self.occupied(prefer) {
             return Some(prefer);
@@ -182,6 +196,7 @@ impl Prt {
     }
 
     /// First free HBM physical slot.
+    // audit: hot-path
     pub fn find_free_hbm(&self) -> Option<u16> {
         let m = usize::from(self.m);
         let slots = usize::from(self.slots());
@@ -205,12 +220,14 @@ impl Prt {
     }
 
     /// Number of occupied HBM slots. O(1): tracked incrementally.
+    // audit: hot-path
     pub fn occupied_hbm(&self) -> u16 {
         self.n_occupied_hbm
     }
 
     /// Whether every physical slot is occupied (all memory in the set used
     /// by the OS — the paper's swap-mode condition). O(1).
+    // audit: hot-path
     pub fn all_occupied(&self) -> bool {
         usize::from(self.n_occupied) == self.new_ple.len()
     }
@@ -218,8 +235,70 @@ impl Prt {
     /// The original page currently living at physical slot `p`, if any.
     ///
     /// Linear scan — used only on slow paths (eviction candidate lookup).
+    // audit: hot-path
     pub fn resident_of(&self, p: u16) -> Option<u16> {
         (0..self.slots()).find(|&o| self.new_ple[usize::from(o)] == p)
+    }
+}
+
+/// Checked-build validation (`--features checked`); see [`crate::checked`].
+#[cfg(feature = "checked")]
+impl Prt {
+    /// Verifies the table's structural invariants: `new_ple` restricted to
+    /// allocated pages is injective and in range, Occup bits match the
+    /// mapping exactly (including the packed words' unused tail bits), and
+    /// the incremental occupancy counters agree with a full recount.
+    pub fn validate(&self) -> Result<(), String> {
+        let slots = usize::from(self.slots());
+        let mut seen = vec![false; slots];
+        for o in 0..slots {
+            let p = self.new_ple[o];
+            if p == UNALLOCATED {
+                continue;
+            }
+            if usize::from(p) >= slots {
+                return Err(format!("page {o} maps to out-of-range slot {p}"));
+            }
+            if seen[usize::from(p)] {
+                return Err(format!("two pages map to physical slot {p}"));
+            }
+            seen[usize::from(p)] = true;
+            if !self.occupied(p) {
+                return Err(format!("page {o} maps to slot {p} but its Occup bit is clear"));
+            }
+        }
+        let (mut occupied, mut occupied_hbm) = (0u16, 0u16);
+        for p in 0..self.slots() {
+            if self.occupied(p) {
+                occupied += 1;
+                if p >= self.m {
+                    occupied_hbm += 1;
+                }
+                if !seen[usize::from(p)] {
+                    return Err(format!("Occup bit {p} set but no page maps there"));
+                }
+            }
+        }
+        for (w, &word) in self.occup.iter().enumerate() {
+            let live = slots.saturating_sub(w * 64).min(64);
+            let tail = if live == 64 { 0 } else { word >> live };
+            if tail != 0 {
+                return Err(format!("Occup word {w} has bits set beyond slot {slots}"));
+            }
+        }
+        if occupied != self.n_occupied {
+            return Err(format!(
+                "occupancy counter {} but {occupied} Occup bits set",
+                self.n_occupied
+            ));
+        }
+        if occupied_hbm != self.n_occupied_hbm {
+            return Err(format!(
+                "HBM occupancy counter {} but {occupied_hbm} HBM Occup bits set",
+                self.n_occupied_hbm
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -343,5 +422,45 @@ mod tests {
         let mut prt = Prt::new(2, 1);
         prt.allocate(0, 0);
         prt.allocate(1, 0);
+    }
+
+    #[cfg(feature = "checked")]
+    #[test]
+    fn validate_accepts_legal_histories() {
+        let mut prt = Prt::new(4, 2);
+        assert_eq!(prt.validate(), Ok(()));
+        prt.allocate(0, 0);
+        prt.allocate(1, 4);
+        prt.relocate(0, 5);
+        prt.swap(0, 1);
+        prt.free(1);
+        assert_eq!(prt.validate(), Ok(()));
+    }
+
+    #[cfg(feature = "checked")]
+    #[test]
+    fn validate_catches_corruption() {
+        // A stray Occup bit with no mapped page.
+        let mut prt = Prt::new(4, 2);
+        prt.occup[0] |= 1 << 3;
+        prt.n_occupied += 1;
+        assert!(prt.validate().unwrap_err().contains("no page maps there"));
+
+        // Two pages mapped to the same slot.
+        let mut prt = Prt::new(4, 2);
+        prt.allocate(0, 1);
+        prt.new_ple[2] = 1;
+        assert!(prt.validate().unwrap_err().contains("two pages"));
+
+        // Counter drift.
+        let mut prt = Prt::new(4, 2);
+        prt.allocate(0, 4);
+        prt.n_occupied_hbm = 0;
+        assert!(prt.validate().unwrap_err().contains("HBM occupancy counter"));
+
+        // Tail bits beyond the slot space.
+        let mut prt = Prt::new(4, 2);
+        prt.occup[0] |= 1 << 60;
+        assert!(prt.validate().unwrap_err().contains("beyond slot"));
     }
 }

@@ -77,6 +77,7 @@ impl Channel {
     /// # Panics
     ///
     /// Panics if `bank` is out of range.
+    // audit: hot-path
     pub fn schedule(
         &mut self,
         cfg: &DeviceConfig,

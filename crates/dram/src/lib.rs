@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Event-based DRAM/HBM device timing and energy model.
 //!
 //! Replaces the paper's DRAMSim2 substrate. Each [`DramDevice`] models a

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Observability for the simulator: epoch time-series, structured event
 //! tracing and power-of-two histograms.
 //!

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! A minimal, dependency-free property-testing harness exposing the subset
 //! of the `proptest` API this workspace's property tests use.
 //!
@@ -526,7 +528,7 @@ mod tests {
         let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
         let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_eq!(va, vb);
-        let distinct: std::collections::HashSet<_> = va.iter().collect();
+        let distinct: std::collections::BTreeSet<_> = va.iter().collect();
         assert_eq!(distinct.len(), 8);
     }
 

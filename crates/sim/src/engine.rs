@@ -16,7 +16,7 @@ use crate::report::SimReport;
 use crate::run::{run_design_with, RunObservations};
 use memsim_obs::{span, MetricsConfig, Pow2Histogram, SpanTree};
 use memsim_types::GeometryError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -140,12 +140,12 @@ impl Engine {
         let busy_nanos = AtomicU64::new(0);
         let accesses_done = AtomicU64::new(0);
         let last_beat = AtomicU64::new(0);
-        let wall = Instant::now();
+        let wall = Instant::now(); // audit: allow(det-clock) -- engine wall-time telemetry, excluded from determinism diffs
         let results = self.par_map(matrix.cells(), |cell| {
             if self.spans {
                 span::enable();
             }
-            let start = Instant::now();
+            let start = Instant::now(); // audit: allow(det-clock) -- per-cell wall-time telemetry, excluded from determinism diffs
             let outcome =
                 run_design_with(cell.design, &cell.cfg, &cell.profile, self.metrics.as_ref());
             let nanos = start.elapsed().as_nanos() as u64;
@@ -284,7 +284,7 @@ pub struct ResultSet {
     reports: Vec<SimReport>,
     observations: Option<Vec<RunObservations>>,
     engine: EngineTelemetry,
-    index: HashMap<(String, &'static str, String), usize>,
+    index: BTreeMap<(String, &'static str, String), usize>,
 }
 
 impl ResultSet {
@@ -296,7 +296,7 @@ impl ResultSet {
         engine: EngineTelemetry,
     ) -> ResultSet {
         let cells = matrix.cells().to_vec();
-        let mut index = HashMap::with_capacity(cells.len());
+        let mut index = BTreeMap::new();
         for c in &cells {
             index.insert((c.tag.clone(), c.design.label(), c.profile.name.to_string()), c.id);
         }

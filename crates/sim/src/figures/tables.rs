@@ -90,7 +90,7 @@ pub fn table2(cfg: &RunConfig) -> Vec<Table2Row> {
 pub fn table2_with(engine: &Engine, cfg: &RunConfig) -> Vec<Table2Row> {
     engine.par_map(&SpecProfile::table2(), |p| {
         let mut w = cfg.workload(p);
-            let mut pages = std::collections::HashSet::new();
+            let mut pages = std::collections::BTreeSet::new();
             for _ in 0..cfg.accesses {
                 let a = w.next_access();
                 pages.insert(a.addr.0 >> 12);

@@ -120,7 +120,7 @@ impl Iterator for MixWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn two_mix() -> MixWorkload {
         MixWorkload::new(&[SpecProfile::mcf(), SpecProfile::named("lbm")], 64, 1 << 28, 7)
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn single_constituent_mix_behaves_like_workload() {
         let mut m = MixWorkload::new(&[SpecProfile::mcf()], 64, 1 << 28, 7);
-        let addrs: HashSet<u64> = (0..1000).map(|_| m.next_access().addr.0).collect();
+        let addrs: BTreeSet<u64> = (0..1000).map(|_| m.next_access().addr.0).collect();
         assert!(addrs.len() > 10);
     }
 

@@ -141,7 +141,7 @@ impl Iterator for Workload {
 mod tests {
     use super::*;
     use crate::spec::SpecProfile;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn stream(name: &str, n: usize) -> (Workload, Vec<Access>) {
         let spec = SpecProfile::named(name).spec(16);
@@ -200,8 +200,8 @@ mod tests {
         // Fraction of 64 KB page touched per visit: xz (strong) ≫ wrf (weak).
         let coverage = |name: &str| {
             let (_, v) = stream(name, 40_000);
-            let mut lines = HashSet::new();
-            let mut pages = HashSet::new();
+            let mut lines = BTreeSet::new();
+            let mut pages = BTreeSet::new();
             for a in &v {
                 lines.insert(a.addr.0 / 64);
                 pages.insert(a.addr.0 / 65536);
@@ -217,7 +217,7 @@ mod tests {
     fn strong_temporal_reuses_lines_more_than_weak() {
         let reuse = |name: &str| {
             let (_, v) = stream(name, 40_000);
-            let distinct: HashSet<u64> = v.iter().map(|a| a.addr.0 / 64).collect();
+            let distinct: BTreeSet<u64> = v.iter().map(|a| a.addr.0 / 64).collect();
             v.len() as f64 / distinct.len() as f64
         };
         let strong = reuse("wrf");

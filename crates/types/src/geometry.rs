@@ -505,7 +505,7 @@ mod tests {
     #[test]
     fn hbm_frames_are_distinct_and_in_range() {
         let g = small();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for set in 0..g.num_sets() {
             for way in 0..g.hbm_ways() {
                 let f = g.hbm_frame(set, way);

@@ -135,6 +135,10 @@ impl Hasher for ChunkKeyHasher {
     }
 }
 
+/// Measures over-fetch: the fraction of bytes brought into HBM that were
+/// evicted without a single use (the paper's §IV-E metric). Keys are any
+/// stable chunk id the controller chooses; hashing is the deterministic
+/// in-repo SplitMix64 mix, not `RandomState`.
 #[derive(Debug, Clone, Default)]
 pub struct OverfetchTracker {
     resident: HashMap<u64, (u32, bool), BuildHasherDefault<ChunkKeyHasher>>,
@@ -180,6 +184,7 @@ impl OverfetchTracker {
 
     /// Drains every resident chunk as if evicted (end-of-run accounting).
     pub fn evict_all(&mut self) {
+        // audit: allow(det-unordered-iter) -- order-insensitive reduction; only summed counters survive
         let keys: Vec<u64> = self.resident.keys().copied().collect();
         for k in keys {
             self.evicted(k);

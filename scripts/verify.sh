@@ -19,6 +19,32 @@ cargo test -q
 echo "== lint: cargo clippy --workspace --all-targets -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== audit: static determinism & hot-path pass (audit_tool check) =="
+# Hard gate: the lexical auditor (crates/analysis) must report zero
+# findings across the workspace. Audited exceptions are allowed only via
+# `// audit: allow(<rule>) -- <reason>` directives, which the report counts.
+cargo run --release -q -p memsim-analysis --bin audit_tool -- check
+
+echo "== audit: self-test — doctored file must be caught =="
+audit_smoke="$(mktemp -d)"
+mkdir -p "$audit_smoke/crates/sim/src"
+cat > "$audit_smoke/crates/sim/src/doctored.rs" <<'RS'
+//! Doctored self-test input: the injected `HashMap::new` below must trip
+//! det-hashmap, proving the verify gate actually runs the auditor.
+fn doctored() -> usize {
+    std::collections::HashMap::<u64, u64>::new().len()
+}
+RS
+if cargo run --release -q -p memsim-analysis --bin audit_tool -- \
+  check --root "$audit_smoke" "$audit_smoke/crates/sim/src/doctored.rs" \
+  >/dev/null 2>&1; then
+  echo "FAIL: audit_tool did not flag an injected HashMap::new" >&2
+  rm -rf "$audit_smoke"
+  exit 1
+fi
+rm -rf "$audit_smoke"
+echo "ok: workspace audit clean, doctored input exits nonzero"
+
 echo "== property tests (in-repo proptest shim) =="
 cargo test -q --workspace \
   --features memsim-types/proptest,memsim-cache/proptest,memsim-baselines/proptest,memsim-dram/proptest,bumblebee-core/proptest
@@ -51,6 +77,21 @@ done
 cargo run --release -q -p bumblebee-bench --bin trace_tool -- \
   summarize "$smoke/metrics/fig6.trace.jsonl" >/dev/null
 echo "ok: epochs/trace/metrics JSONL written and summarizable"
+
+echo "== smoke: checked-invariant build must be byte-identical =="
+# Same fig6 run compiled with --features checked: cross-structure invariant
+# sweeps fire every 4096 accesses (BUMBLEBEE_CHECKED_INTERVAL default) and
+# panic on the first violation. The sweeps are read-only, so the JSONL
+# output must match the unchecked run byte for byte.
+cargo run --release -q -p bumblebee-bench --features checked --bin fig6 -- \
+  --scale 256 --accesses 20000 --workloads mcf --jobs 2 --metrics \
+  --out "$smoke/checked" >/dev/null
+if ! cmp -s "$smoke/metrics/fig6.jsonl" "$smoke/checked/fig6.jsonl"; then
+  echo "FAIL: fig6.jsonl differs between unchecked and --features checked" >&2
+  diff "$smoke/metrics/fig6.jsonl" "$smoke/checked/fig6.jsonl" | head >&2
+  exit 1
+fi
+echo "ok: invariant sweeps passed and output is byte-identical"
 
 echo "== smoke: trace_tool diff — self clean, doctored caught =="
 cargo run --release -q -p bumblebee-bench --bin trace_tool -- \
