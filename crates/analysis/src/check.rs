@@ -61,6 +61,10 @@ impl AuditReport {
 pub struct FileClass {
     /// Inside crates/obs — the one crate allowed to read wall clocks.
     pub in_obs: bool,
+    /// One of the two audited parallelism modules (the engine's matrix
+    /// executor and the set-shard worker pipeline) — the only places
+    /// allowed to touch `std::thread`.
+    pub threads_allowed: bool,
     /// Inside crates/core or crates/types — pub items must be documented.
     pub docs_required: bool,
     /// A crate root (src/lib.rs) — must carry the structure attributes.
@@ -73,6 +77,8 @@ impl FileClass {
         let unix = rel.replace('\\', "/");
         FileClass {
             in_obs: unix.starts_with("crates/obs/"),
+            threads_allowed: unix == "crates/sim/src/engine.rs"
+                || unix == "crates/sim/src/shard.rs",
             docs_required: unix.starts_with("crates/core/src/")
                 || unix.starts_with("crates/types/src/"),
             is_crate_root: unix.ends_with("src/lib.rs"),
@@ -106,6 +112,7 @@ pub fn check_source(rel: &str, src: &str) -> (Vec<Finding>, FileStructure) {
     det_clock(rel, class, &toks, &st, &mut raw);
     det_entropy(rel, &toks, &st, &mut raw);
     det_unordered_iter(rel, &toks, &st, &mut raw);
+    det_thread(rel, class, &toks, &st, &mut raw);
     hot_rules(rel, &toks, &st, &mut raw);
     if class.is_crate_root {
         struct_attrs(rel, &toks, &mut raw);
@@ -309,6 +316,61 @@ fn det_unordered_iter(
                     format!("iteration over hash-based collection `{}`", t.text),
                 ),
             ));
+        }
+    }
+}
+
+fn det_thread(
+    rel: &str,
+    class: FileClass,
+    toks: &[Token],
+    st: &FileStructure,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    if class.threads_allowed {
+        return;
+    }
+    let mut flagged_lines = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || st.in_test(i) {
+            continue;
+        }
+        let path_to = |j: usize, name: &str| {
+            toks.get(j).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|t| t.is_ident(name))
+        };
+        // `std::thread`, `thread::spawn`/`thread::scope`, and the
+        // external thread-pool crates this workspace must not grow.
+        let hit = if t.is_ident("std") && path_to(i + 1, "thread") {
+            Some("std::thread")
+        } else if t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("spawn") || t.is_ident("scope"))
+        {
+            Some("thread::spawn/scope")
+        } else if t.is_ident("rayon") || t.is_ident("crossbeam") {
+            Some("thread-pool crate")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            if !flagged_lines.contains(&t.line) {
+                flagged_lines.push(t.line);
+                out.push((
+                    i,
+                    finding(
+                        "det-thread",
+                        rel,
+                        t.line,
+                        format!(
+                            "{what} outside the engine/shard modules (route parallelism \
+                             through the engine's cell executor or shard workers)"
+                        ),
+                    ),
+                ));
+            }
         }
     }
 }
@@ -711,6 +773,32 @@ mod tests {
     fn allow_suppresses_and_is_reported() {
         let src = "fn f() { let t = Instant::now(); } // audit: allow(det-clock) -- telemetry only\n";
         let (findings, st) = check_source("crates/sim/src/e.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(st.allows.len(), 1);
+    }
+
+    #[test]
+    fn thread_primitives_scoped_to_engine_and_shard() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(rules_hit("crates/core/src/x.rs", spawn), vec![("det-thread", 1)]);
+        let scope = "use std::thread;\nfn f() { thread::scope(|s| {}); }";
+        assert_eq!(
+            rules_hit("crates/trace/src/x.rs", scope),
+            vec![("det-thread", 1), ("det-thread", 2)]
+        );
+        // The two audited parallelism modules are exempt.
+        assert!(rules_hit("crates/sim/src/engine.rs", spawn).is_empty());
+        assert!(rules_hit("crates/sim/src/shard.rs", scope).is_empty());
+        // Thread-pool crates are flagged anywhere.
+        let pool = "fn f() { rayon::join(|| {}, || {}); }";
+        assert_eq!(rules_hit("crates/sim/src/other.rs", pool), vec![("det-thread", 1)]);
+        // Tests may thread freely.
+        let test = "#[cfg(test)]\nmod tests {\n  fn f() { std::thread::spawn(|| {}); }\n}";
+        assert!(rules_hit("crates/core/src/x.rs", test).is_empty());
+        // An allow with a reason suppresses and is recorded.
+        let allowed =
+            "fn f() { std::thread::spawn(|| {}); } // audit: allow(det-thread) -- one-shot helper\n";
+        let (findings, st) = check_source("crates/core/src/x.rs", allowed);
         assert!(findings.is_empty(), "{findings:?}");
         assert_eq!(st.allows.len(), 1);
     }

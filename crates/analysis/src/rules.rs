@@ -87,6 +87,28 @@ reductions like sums — justify with\n\
 `// audit: allow(det-unordered-iter) -- <reason>`.",
     },
     Rule {
+        id: "det-thread",
+        summary: "thread::spawn/std::thread outside the engine and shard modules",
+        explain: "\
+All parallelism in this workspace flows through two audited modules:\n\
+crates/sim/src/engine.rs (the shared-cursor matrix executor behind\n\
+--jobs) and crates/sim/src/shard.rs (the set-sharded worker pipeline\n\
+behind --shards). Both were designed so that thread scheduling cannot\n\
+reach the output: cells land in a slot-indexed result vector, shard\n\
+partials merge in deterministic set order. A thread spawned anywhere\n\
+else has no such merge discipline — whatever it computes reaches the\n\
+results in completion order, which varies run to run and silently\n\
+breaks the byte-identical JSONL contract.\n\
+\n\
+Flagged outside those two files: `thread::spawn`, any `std::thread`\n\
+path (scope, spawn, available_parallelism via the module), and\n\
+`rayon`/`crossbeam` idents. Not flagged: `#[cfg(test)]` code.\n\
+\n\
+Fix: express the parallelism as engine cells or shard workers so the\n\
+existing merge discipline applies, or justify with\n\
+`// audit: allow(det-thread) -- <reason>`.",
+    },
+    Rule {
         id: "hot-panic",
         summary: "panic/unwrap/expect/assert in an audited hot-path fn",
         explain: "\

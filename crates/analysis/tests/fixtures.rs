@@ -37,6 +37,7 @@ const RULES: &[&str] = &[
     "det-clock",
     "det-entropy",
     "det-unordered-iter",
+    "det-thread",
     "hot-panic",
     "hot-alloc",
     "hot-callee",

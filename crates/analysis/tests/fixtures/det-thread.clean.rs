@@ -1,0 +1,15 @@
+//! Clean: parallel work is expressed as experiment cells and handed to
+//! the engine, whose slot-indexed merge keeps scheduling out of the
+//! output bytes.
+
+/// Describes one unit of parallel work for the engine to schedule.
+pub struct Cell {
+    /// Deterministic seed of the cell.
+    pub seed: u64,
+}
+
+/// Builds the cell list; the engine (crates/sim/src/engine.rs) owns the
+/// threads.
+pub fn cells(n: u64) -> Vec<Cell> {
+    (0..n).map(|seed| Cell { seed }).collect()
+}

@@ -1,0 +1,9 @@
+//! Doctored: an ad-hoc worker thread outside the engine/shard modules.
+//! Whatever it computes reaches the results in completion order — a
+//! determinism hazard the merge-disciplined modules exist to prevent.
+
+/// Computes a partial result on a thread the engine knows nothing about.
+pub fn sneaky_parallelism(work: Vec<u64>) -> u64 {
+    let handle = std::thread::spawn(move || work.iter().sum()); //~ det-thread
+    handle.join().unwrap_or(0)
+}

@@ -5,8 +5,8 @@
 //! cycle-domain invariants, and the span-profiler phase breakdown.
 //!
 //! ```text
-//! bench_harness [--quick] [--repeats N] [--jobs N] [--out DIR]
-//!               [--sha SHA] [--name NAME]
+//! bench_harness [--quick] [--repeats N] [--jobs N] [--shards N]
+//!               [--out DIR] [--sha SHA] [--name NAME]
 //! ```
 //!
 //! * `--quick` — the CI smoke suite (tiny scale, 1 repeat) instead of the
@@ -14,6 +14,12 @@
 //! * `--repeats N` — override the suite's timed repeat count;
 //! * `--jobs N` — engine width (default 1: serial timing is the most
 //!   stable);
+//! * `--shards N` — set-sharded workers inside every cell. Restricts the
+//!   suite to the designs that support sharding (the baselines would
+//!   silently fall back to the serial path and dilute the measurement),
+//!   and records the width in the BENCH header so `bench_tool compare`
+//!   between `--shards 1` and `--shards N` turns the intra-run speedup
+//!   into a diffable artifact;
 //! * `--sha SHA` — override the `git rev-parse --short HEAD` stamp;
 //! * `--name NAME` — output file stem (default `BENCH_<sha>`), e.g.
 //!   `--name bench_baseline` for the committed baseline;
@@ -31,6 +37,7 @@ struct Args {
     quick: bool,
     repeats: Option<usize>,
     jobs: usize,
+    shards: Option<usize>,
     out: PathBuf,
     sha: Option<String>,
     name: Option<String>,
@@ -41,6 +48,7 @@ fn parse_args() -> Args {
         quick: false,
         repeats: None,
         jobs: 1,
+        shards: None,
         out: memsim_sim::results_dir(),
         sha: None,
         name: None,
@@ -67,14 +75,22 @@ fn parse_args() -> Args {
                     std::process::exit(exitcode::USAGE);
                 });
             }
+            "--shards" => {
+                args.shards = Some(value("--shards").parse().ok().filter(|&s| s > 0).unwrap_or_else(
+                    || {
+                        eprintln!("error: --shards needs a positive number");
+                        std::process::exit(exitcode::USAGE);
+                    },
+                ));
+            }
             "--out" => args.out = PathBuf::from(value("--out")),
             "--sha" => args.sha = Some(value("--sha")),
             "--name" => args.name = Some(value("--name")),
             other => {
                 eprintln!(
                     "error: unknown argument {other}\n\
-                     usage: bench_harness [--quick] [--repeats N] [--jobs N] [--out DIR] \
-                     [--sha SHA] [--name NAME]"
+                     usage: bench_harness [--quick] [--repeats N] [--jobs N] [--shards N] \
+                     [--out DIR] [--sha SHA] [--name NAME]"
                 );
                 std::process::exit(exitcode::USAGE);
             }
@@ -117,16 +133,25 @@ fn main() {
     if let Some(r) = args.repeats {
         suite.repeats = r.max(1);
     }
+    if args.shards.is_some() {
+        // A sharded timing run measures the sharded pipeline; designs
+        // that would fall back to the serial path only dilute it.
+        suite.designs.retain(memsim_sim::Design::supports_sharding);
+    }
     let matrix =
         ExperimentMatrix::cross("bench", &suite.designs, &suite.profiles, &suite.cfg);
-    let engine = Engine::new(args.jobs).with_progress(true).with_spans(true);
+    let engine = Engine::new(args.jobs)
+        .with_shards(args.shards)
+        .with_progress(true)
+        .with_spans(true);
     eprintln!(
-        "[bench] suite {}: {} cells, {} warm-up run(s), median of {} repeat(s), jobs {}",
+        "[bench] suite {}: {} cells, {} warm-up run(s), median of {} repeat(s), jobs {}, {}",
         suite.name,
         matrix.len(),
         suite.warmup_runs,
         suite.repeats,
-        args.jobs
+        args.jobs,
+        args.shards.map_or("serial cells".to_string(), |s| format!("{s} shard(s) per cell")),
     );
 
     for w in 0..suite.warmup_runs {
@@ -193,6 +218,7 @@ fn main() {
         suite: suite.name.to_string(),
         repeats: suite.repeats as u64,
         jobs: args.jobs as u64,
+        shards: args.shards.map(|s| s as u64),
         scale: suite.cfg.scale,
         accesses: suite.cfg.accesses,
         workloads: suite
@@ -213,6 +239,12 @@ fn main() {
         "phase self-times cover {:.1}% of {:.0} ms measured cell wall time",
         report.self_coverage * 100.0,
         report.busy_ms
+    );
+    println!(
+        "suite wall {:.1} ms at {} — {:.0} accesses/sec aggregate",
+        report.suite_wall_ms(),
+        report.shards_label(),
+        report.suite_accesses_per_sec()
     );
 
     let name = args.name.unwrap_or_else(|| format!("BENCH_{sha}"));

@@ -44,8 +44,15 @@ fn main() {
             let r = load(path);
             println!(
                 "BENCH {} — suite {} (scale {}, {} accesses, workloads {}), \
-                 median of {} repeat(s) at {} job(s)",
-                r.sha, r.suite, r.scale, r.accesses, r.workloads, r.repeats, r.jobs
+                 median of {} repeat(s) at {} job(s), {}",
+                r.sha,
+                r.suite,
+                r.scale,
+                r.accesses,
+                r.workloads,
+                r.repeats,
+                r.jobs,
+                r.shards_label()
             );
             println!("{}", r.case_table());
             println!("{}", r.phase_table());
@@ -53,6 +60,12 @@ fn main() {
                 "phase self-times cover {:.1}% of {:.0} ms measured cell wall time",
                 r.self_coverage * 100.0,
                 r.busy_ms
+            );
+            println!(
+                "suite wall {:.1} ms at {} — {:.0} accesses/sec aggregate",
+                r.suite_wall_ms(),
+                r.shards_label(),
+                r.suite_accesses_per_sec()
             );
         }
         Some("compare") => {
@@ -69,6 +82,16 @@ fn main() {
             let cmp = compare(&base_report, &new_report, th)
                 .unwrap_or_else(|e| fail(&e));
             print!("{}", cmp.render());
+            println!(
+                "suite wall: {:.1} ms at {} → {:.1} ms at {} \
+                 ({:.0} → {:.0} accesses/sec aggregate)",
+                base_report.suite_wall_ms(),
+                base_report.shards_label(),
+                new_report.suite_wall_ms(),
+                new_report.shards_label(),
+                base_report.suite_accesses_per_sec(),
+                new_report.suite_accesses_per_sec()
+            );
             let regressions = cmp.regressions();
             let improvements = cmp.improvements();
             if improvements > 0 {

@@ -11,6 +11,9 @@
 //! * `--workloads a,b,c` — subset of Table II benchmarks (default: all 14);
 //! * `--jobs N` — parallel experiment cells (default: `BUMBLEBEE_JOBS`
 //!   or the machine's available parallelism; `1` = serial);
+//! * `--shards N` — set-sharded workers *within* each cell for designs
+//!   that support it (default: `BUMBLEBEE_SHARDS` or the serial
+//!   single-controller path); composes multiplicatively with `--jobs`;
 //! * `--metrics` — record per-run observability (epoch time-series, event
 //!   trace, device histograms) and write `<figure>.epochs.jsonl`,
 //!   `<figure>.trace.jsonl` and `<figure>.metrics.jsonl` alongside the
@@ -37,6 +40,8 @@ pub struct HarnessOpts {
     pub profiles: Vec<SpecProfile>,
     /// Explicit `--jobs` width, if given.
     pub jobs: Option<usize>,
+    /// Explicit `--shards` width, if given (set-sharded workers per cell).
+    pub shards: Option<usize>,
     /// Whether `--metrics` observability recording is on.
     pub metrics: bool,
     /// Whether `--spans` wall-clock phase profiling is on.
@@ -50,14 +55,18 @@ pub struct HarnessOpts {
 impl HarnessOpts {
     /// The experiment engine these options select: `--jobs` if given,
     /// the environment otherwise, with progress lines enabled and metrics
-    /// recording when `--metrics` was passed.
+    /// recording when `--metrics` was passed. An explicit `--shards`
+    /// overrides `BUMBLEBEE_SHARDS`; without either the cells run serial.
     pub fn engine(&self) -> Engine {
-        let engine = match self.jobs {
+        let mut engine = match self.jobs {
             Some(j) => Engine::new(j),
             None => Engine::from_env(),
         }
         .with_progress(true)
         .with_spans(self.spans);
+        if self.shards.is_some() {
+            engine = engine.with_shards(self.shards);
+        }
         if self.metrics {
             engine.with_metrics(MetricsConfig::default())
         } else {
@@ -104,6 +113,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
     let mut accesses: Option<u64> = None;
     let mut names: Option<Vec<String>> = None;
     let mut jobs: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut metrics = false;
     let mut spans = false;
     let mut out: Option<PathBuf> = None;
@@ -137,6 +147,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
                         .unwrap_or_else(|| panic!("--jobs needs a positive number")),
                 );
             }
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&s| s > 0)
+                        .unwrap_or_else(|| panic!("--shards needs a positive number")),
+                );
+            }
             "--metrics" => metrics = true,
             "--spans" => spans = true,
             "--out" => {
@@ -157,6 +175,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
         cfg,
         profiles,
         jobs,
+        shards,
         metrics,
         spans,
         out: out.unwrap_or_else(memsim_sim::results_dir),
@@ -201,6 +220,7 @@ mod tests {
         assert_eq!(o.cfg.accesses, 400_000);
         assert_eq!(o.profiles.len(), 14);
         assert_eq!(o.jobs, None);
+        assert_eq!(o.shards, None);
         assert!(!o.metrics);
         assert!(!o.spans);
         assert!(o.rest.is_empty());
@@ -254,5 +274,19 @@ mod tests {
     #[should_panic(expected = "--jobs needs a positive number")]
     fn zero_jobs_panics() {
         opts(&["--jobs", "0"]);
+    }
+
+    #[test]
+    fn shards_flag_reaches_the_engine() {
+        let o = opts(&["--shards", "4", "--jobs", "2"]);
+        assert_eq!(o.shards, Some(4));
+        assert_eq!(o.engine().shards(), Some(4));
+        assert_eq!(o.engine().jobs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "--shards needs a positive number")]
+    fn zero_shards_panics() {
+        opts(&["--shards", "0"]);
     }
 }

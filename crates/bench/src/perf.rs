@@ -148,6 +148,12 @@ pub struct BenchReport {
     pub repeats: u64,
     /// Engine width the run used.
     pub jobs: u64,
+    /// Set-shard width per cell (`--shards`), or `None` for the serial
+    /// single-controller path. Sharded harness runs restrict the suite to
+    /// the designs that support sharding, so their case lists line up
+    /// only against other sharded runs — `compare` flags the rest as
+    /// missing cases.
+    pub shards: Option<u64>,
     /// Capacity divisor of the suite geometry.
     pub scale: u64,
     /// Measured accesses per cell.
@@ -175,6 +181,7 @@ impl BenchReport {
             .str("suite", &self.suite)
             .u64("repeats", self.repeats)
             .u64("jobs", self.jobs)
+            .opt_u64("shards", self.shards)
             .u64("scale", self.scale)
             .u64("accesses", self.accesses)
             .str("workloads", &self.workloads)
@@ -244,6 +251,7 @@ impl BenchReport {
                         suite: text("suite"),
                         repeats: int("repeats"),
                         jobs: int("jobs"),
+                        shards: get("shards").and_then(JsonValue::as_u64),
                         scale: int("scale"),
                         accesses: int("accesses"),
                         workloads: text("workloads"),
@@ -305,6 +313,33 @@ impl BenchReport {
             merged.self_nanos_sum() as f64 / busy_nanos as f64
         };
         (phases, coverage)
+    }
+
+    /// `"serial"` or `"N shard(s)"` — the run's intra-cell parallelism,
+    /// for headers and compare footers.
+    pub fn shards_label(&self) -> String {
+        match self.shards {
+            Some(s) => format!("{s} shard(s)"),
+            None => "serial".to_string(),
+        }
+    }
+
+    /// Total suite wall time — the sum of the per-case medians, in ms.
+    /// This is the number the `--shards` speedup gate compares.
+    pub fn suite_wall_ms(&self) -> f64 {
+        self.cases.iter().map(|c| c.wall_ms).sum()
+    }
+
+    /// Suite-aggregate throughput: total simulated accesses over the
+    /// summed case wall time (each case weighted by its own wall share).
+    pub fn suite_accesses_per_sec(&self) -> f64 {
+        let wall_s = self.suite_wall_ms() / 1e3;
+        if wall_s <= 0.0 {
+            return 0.0;
+        }
+        let accesses: f64 =
+            self.cases.iter().map(|c| c.accesses_per_sec * c.wall_ms / 1e3).sum();
+        accesses / wall_s
     }
 
     /// Renders the per-case table (wall time, throughput, invariants).
@@ -637,6 +672,7 @@ mod tests {
             suite: "quick".to_string(),
             repeats: 1,
             jobs: 1,
+            shards: None,
             scale: 256,
             accesses: 20_000,
             workloads: "mcf,xz".to_string(),
@@ -659,8 +695,32 @@ mod tests {
     fn bench_report_round_trips_through_jsonl() {
         let r = report();
         let body = r.to_lines().join("\n");
+        assert!(body.contains("\"shards\":null"), "serial runs record shards as null");
         let parsed = BenchReport::parse(&body).unwrap();
         assert_eq!(parsed, r);
+        // A sharded run round-trips its width too.
+        let mut sharded = report();
+        sharded.shards = Some(4);
+        let body = sharded.to_lines().join("\n");
+        assert!(body.contains("\"shards\":4"));
+        assert_eq!(BenchReport::parse(&body).unwrap(), sharded);
+    }
+
+    #[test]
+    fn suite_aggregates_and_shard_labels() {
+        let r = report();
+        assert_eq!(r.shards_label(), "serial");
+        // 50 ms + 70 ms of case medians.
+        assert!((r.suite_wall_ms() - 120.0).abs() < 1e-9);
+        // Both cases pin 1e6 accesses (aps = 1e6 / wall_ms with wall in
+        // ms-as-seconds units cancels out): 2e3 accesses over 0.12 s.
+        let aps = r.suite_accesses_per_sec();
+        assert!((aps - 2e3 / 0.12).abs() < 1e-6, "{aps}");
+        let mut sharded = r.clone();
+        sharded.shards = Some(8);
+        assert_eq!(sharded.shards_label(), "8 shard(s)");
+        let empty = BenchReport { cases: Vec::new(), ..r };
+        assert_eq!(empty.suite_accesses_per_sec(), 0.0);
     }
 
     #[test]

@@ -11,14 +11,14 @@ use memsim_types::{
 };
 
 /// Accesses between two global pressure-flush rounds (rule 5 batching).
-const PRESSURE_COOLDOWN: u64 = 8192;
+pub(crate) const PRESSURE_COOLDOWN: u64 = 8192;
 
 /// Bandwidth credit in bytes granted to the asynchronous data-movement
 /// module per demand access (a finite mover, not an infinite DMA engine).
-const MOVEMENT_CREDIT_PER_ACCESS: i64 = 512;
+pub(crate) const MOVEMENT_CREDIT_PER_ACCESS: i64 = 512;
 
 /// Credit accumulation cap (idle phases cannot bank unlimited bandwidth).
-const MOVEMENT_CREDIT_CAP: i64 = 8 << 20;
+pub(crate) const MOVEMENT_CREDIT_CAP: i64 = 8 << 20;
 
 /// The Bumblebee hybrid memory management controller (paper §III).
 ///

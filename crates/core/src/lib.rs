@@ -47,6 +47,7 @@ pub mod hot_table;
 pub mod metadata;
 pub mod prt;
 pub mod set;
+pub mod shard;
 
 pub use bitmap::BlockBitmap;
 pub use ble::{Ble, FrameMode};
@@ -56,3 +57,4 @@ pub use hot_table::{HotEntry, HotTable};
 pub use metadata::MetadataBreakdown;
 pub use prt::Prt;
 pub use set::RemapSet;
+pub use shard::{ControllerShard, EpochPartial};

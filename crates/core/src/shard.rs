@@ -1,0 +1,449 @@
+//! A shard-local view of the Bumblebee controller for set-sharded runs.
+//!
+//! A [`ControllerShard`] owns a **contiguous range of remapping sets**
+//! `[set_lo, set_hi)` and nothing else. Because every per-access decision
+//! the full [`BumblebeeController`](crate::BumblebeeController) makes is a
+//! function of the accessed set's own metadata (PRT, BLE array, hot
+//! table), a run can be partitioned by set ownership across N shards and
+//! merged afterwards — with two deliberate semantic differences from the
+//! serial controller, both *per-set* reformulations of what is global
+//! state there:
+//!
+//! * **Movement credit** accrues per set (each set banks credit only for
+//!   its own accesses) instead of into one global pool. The cap and
+//!   per-access grant are unchanged.
+//! * **Pressure flush** (rule 5) flushes only the accessed set, with a
+//!   per-set cooldown measured in *global* access indices, instead of a
+//!   round-robin batch over all sets.
+//!
+//! Both reformulations are deterministic functions of the (global index,
+//! access) stream restricted to the owned sets, so output is byte-identical
+//! at any shard count — which is the property the shard pipeline promises.
+//! Shard-mode output is *not* promised to match the serial controller.
+//!
+//! Metadata lookups use [`MetadataModel::lookup_at`] keyed by the global
+//! access index, which reproduces the serial spill schedule exactly
+//! without shared mutable state.
+
+use crate::config::BumblebeeConfig;
+use crate::controller::{MOVEMENT_CREDIT_CAP, MOVEMENT_CREDIT_PER_ACCESS, PRESSURE_COOLDOWN};
+use crate::metadata::MetadataBreakdown;
+use crate::set::{RemapSet, SetCtx};
+use memsim_obs::span::{self, Phase};
+use memsim_obs::{EpochGauges, Telemetry, OCC_BUCKETS};
+use memsim_types::{
+    Access, AccessPlan, Addr, CtrlStats, Geometry, Mem, MetadataModel, OverfetchTracker, PageSlot,
+};
+
+/// Shard-local integer accumulators for one epoch boundary.
+///
+/// Everything an [`EpochGauges`] needs is carried as exact integers so
+/// that summing partials across shards is associative and the merged
+/// gauge values are independent of the shard count (summing the per-set
+/// `f64` quotients the serial controller averages would not be).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochPartial {
+    /// Cumulative controller counters of this shard at the boundary.
+    pub ctrl: CtrlStats,
+    /// HBM frames currently in cHBM mode across owned sets.
+    pub chbm: u64,
+    /// HBM frames currently in mHBM mode across owned sets.
+    pub mhbm: u64,
+    /// Sum of per-set hot-table thresholds.
+    pub threshold_sum: u64,
+    /// Per-set occupancy histogram (bucket of each owned set's Rh).
+    pub occupancy: [u32; OCC_BUCKETS],
+    /// Cumulative bytes fetched into HBM (overfetch tracking, else 0).
+    pub fetched: u64,
+    /// Cumulative bytes evicted unused (overfetch tracking, else 0).
+    pub wasted: u64,
+}
+
+impl EpochPartial {
+    /// Adds `other` into `self` field-wise (commutative and associative).
+    pub fn absorb(&mut self, other: &EpochPartial) {
+        self.ctrl.merge(&other.ctrl);
+        self.chbm += other.chbm;
+        self.mhbm += other.mhbm;
+        self.threshold_sum += other.threshold_sum;
+        for (a, b) in self.occupancy.iter_mut().zip(other.occupancy.iter()) {
+            *a += b;
+        }
+        self.fetched += other.fetched;
+        self.wasted += other.wasted;
+    }
+
+    /// Instantaneous gauges of the fully merged partial.
+    ///
+    /// Must only be called on the sum over *all* shards: fractions are
+    /// taken against the whole geometry, not a shard's slice of it.
+    pub fn gauges(&self, geometry: &Geometry) -> EpochGauges {
+        let hbm_pages = geometry.hbm_pages();
+        let frac = |frames: u64| {
+            if hbm_pages == 0 {
+                0.0
+            } else {
+                frames as f64 / hbm_pages as f64
+            }
+        };
+        let ways_total = u64::from(geometry.hbm_ways()) * geometry.num_sets();
+        let n = geometry.num_sets().max(1) as f64;
+        EpochGauges {
+            chbm_fraction: frac(self.chbm),
+            mhbm_fraction: frac(self.mhbm),
+            rh: if ways_total == 0 {
+                0.0
+            } else {
+                (self.chbm + self.mhbm) as f64 / ways_total as f64
+            },
+            threshold: self.threshold_sum as f64 / n,
+            overfetch_ratio: if self.fetched == 0 {
+                0.0
+            } else {
+                self.wasted as f64 / self.fetched as f64
+            },
+            occupancy: self.occupancy,
+        }
+    }
+}
+
+/// One shard of a set-sharded Bumblebee run: the controller state for a
+/// contiguous set range, with shard-local stats, overfetch tracking and
+/// telemetry. See the [module docs](self) for the semantic model.
+#[derive(Debug)]
+pub struct ControllerShard {
+    geometry: Geometry,
+    cfg: BumblebeeConfig,
+    set_lo: u64,
+    set_hi: u64,
+    sets: Box<[RemapSet]>,
+    /// Per-owned-set movement credit, indexed by `set - set_lo`.
+    credit: Box<[i64]>,
+    /// Per-owned-set pressure-flush cooldown, in global access indices
+    /// (compared against `gi + 1`, matching the serial controller's
+    /// 1-based access counter arithmetic).
+    next_flush_ok: Box<[u64]>,
+    metadata: MetadataModel,
+    metadata_breakdown: MetadataBreakdown,
+    stats: CtrlStats,
+    overfetch: Option<OverfetchTracker>,
+    mode_switch_bytes: u64,
+    metadata_spill_bytes: u64,
+    telemetry: Telemetry,
+}
+
+impl ControllerShard {
+    /// Creates the shard owning sets `[set_lo, set_hi)` of `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// If the range is empty or extends past `geometry.num_sets()`.
+    pub fn new(geometry: Geometry, cfg: BumblebeeConfig, set_lo: u64, set_hi: u64) -> Self {
+        assert!(
+            set_lo < set_hi && set_hi <= geometry.num_sets(),
+            "shard set range [{set_lo}, {set_hi}) invalid for {} sets",
+            geometry.num_sets()
+        );
+        let breakdown = MetadataBreakdown::compute(&geometry, &cfg);
+        let metadata = if cfg.metadata_in_hbm {
+            MetadataModel::all_in_memory(breakdown.total(), Mem::Hbm, 64)
+        } else {
+            MetadataModel::new(breakdown.total(), cfg.sram_budget, Mem::Hbm, 64)
+        };
+        let n = (set_hi - set_lo) as usize;
+        let sets: Box<[RemapSet]> = (set_lo..set_hi)
+            .map(|s| {
+                RemapSet::new(geometry.dram_slots_in_set(s) as u16, geometry.hbm_ways() as u16, &cfg)
+            })
+            .collect();
+        ControllerShard {
+            geometry,
+            sets,
+            credit: vec![MOVEMENT_CREDIT_CAP; n].into_boxed_slice(),
+            next_flush_ok: vec![0u64; n].into_boxed_slice(),
+            metadata,
+            metadata_breakdown: breakdown,
+            stats: CtrlStats::new(),
+            overfetch: cfg.track_overfetch.then(OverfetchTracker::new),
+            mode_switch_bytes: 0,
+            metadata_spill_bytes: 0,
+            telemetry: Telemetry::default(),
+            cfg,
+            set_lo,
+            set_hi,
+        }
+    }
+
+    /// The set of `addr`, i.e. which shard an access belongs to.
+    pub fn set_of(geometry: &Geometry, addr: Addr) -> u64 {
+        geometry.set_of_page(geometry.page_of(geometry.wrap_flat(addr)))
+    }
+
+    /// Whether this shard owns `set`.
+    pub fn owns(&self, set: u64) -> bool {
+        (self.set_lo..self.set_hi).contains(&set)
+    }
+
+    /// The owned set range `[lo, hi)`.
+    pub fn set_range(&self) -> (u64, u64) {
+        (self.set_lo, self.set_hi)
+    }
+
+    /// The shard's telemetry handle (install/remove a recorder).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Shard-local cumulative counters.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// Total metadata bytes of the *whole* controller (same in every
+    /// shard — the metadata model is global).
+    pub fn metadata_bytes(&self) -> u64 {
+        self.metadata_breakdown.total()
+    }
+
+    /// Bytes moved by mode switches in owned sets.
+    pub fn mode_switch_bytes(&self) -> u64 {
+        self.mode_switch_bytes
+    }
+
+    /// Metadata bytes spilled to memory by lookups this shard performed.
+    pub fn metadata_spill_bytes(&self) -> u64 {
+        self.metadata_spill_bytes
+    }
+
+    /// Page faults absorbed by owned sets.
+    pub fn page_faults(&self) -> u64 {
+        self.sets.iter().map(RemapSet::page_faults).sum()
+    }
+
+    /// mHBM frames currently held by owned sets (for the merged
+    /// OS-visible byte count).
+    pub fn mhbm_frames(&self) -> u64 {
+        self.sets.iter().map(|s| u64::from(s.mhbm_frames())).sum()
+    }
+
+    /// `(fetched, wasted)` overfetch bytes, when tracking is enabled.
+    pub fn overfetch_bytes(&self) -> Option<(u64, u64)> {
+        self.overfetch.as_ref().map(|t| (t.fetched_bytes(), t.wasted_bytes()))
+    }
+
+    // Mirrors `BumblebeeController::resolve`.
+    fn resolve(&self, addr: Addr) -> (u64, u16, u32, u32) {
+        let wrapped = self.geometry.wrap_flat(addr);
+        let page = self.geometry.page_of(wrapped);
+        let set = self.geometry.set_of_page(page);
+        let o = match self.geometry.slot_of_page(page) {
+            PageSlot::OffChip(i) => i as u16,
+            PageSlot::Hbm(i) => self.geometry.dram_slots_in_set(set) as u16 + i as u16,
+        };
+        let line = self.geometry.line_of(wrapped) as u32;
+        (set, o, self.geometry.block_of(wrapped).0, line)
+    }
+
+    /// Processes the owned access with global index `gi` (0-based position
+    /// in the full workload stream), appending device work to `plan`.
+    ///
+    /// The caller must feed every owned access exactly once, in global
+    /// order, and no access of a foreign set (checked).
+    pub fn access_at(&mut self, gi: u64, req: &Access, plan: &mut AccessPlan) {
+        let (set_id, o, block, line) = self.resolve(req.addr);
+        assert!(self.owns(set_id), "access to set {set_id} outside [{}, {})", self.set_lo, self.set_hi);
+        let i = (set_id - self.set_lo) as usize;
+        // Events emitted during this access carry the global index, exactly
+        // as the serial controller's end-of-access tick arithmetic stamps
+        // them. Epoch sampling is the merge step's job, never ours.
+        self.telemetry.sync_accesses(gi);
+        self.credit[i] = (self.credit[i] + MOVEMENT_CREDIT_PER_ACCESS).min(MOVEMENT_CREDIT_CAP);
+        let spills_before = plan.background.len();
+        plan.metadata_cycles += self.metadata.lookup_at(gi, plan, req.addr);
+        self.metadata_spill_bytes +=
+            plan.background[spills_before..].iter().map(|op| u64::from(op.bytes)).sum::<u64>();
+        self.maybe_pressure_flush(gi, req.addr, i, plan);
+        let set = &mut self.sets[i];
+        let mut ctx = SetCtx {
+            geometry: &self.geometry,
+            cfg: &self.cfg,
+            set_id,
+            plan,
+            stats: &mut self.stats,
+            overfetch: self.overfetch.as_mut(),
+            mode_switch_bytes: &mut self.mode_switch_bytes,
+            movement_credit: &mut self.credit[i],
+            telemetry: self.telemetry.active(),
+        };
+        set.access(o, block, line, req.kind, &mut ctx);
+    }
+
+    // Set-local rule-5 flush: same trigger address test and cooldown span
+    // as the serial controller (using the 1-based global index), but the
+    // flushed set is the accessed one, so the decision depends only on
+    // owned state.
+    fn maybe_pressure_flush(&mut self, gi: u64, addr: Addr, i: usize, plan: &mut AccessPlan) {
+        if !self.cfg.hmf_enabled {
+            return;
+        }
+        let wrapped = self.geometry.wrap_flat(addr).0;
+        let k = gi + 1;
+        if wrapped < self.geometry.dram_bytes() || k < self.next_flush_ok[i] {
+            return;
+        }
+        let _swap = span::span(Phase::MigrationSwap);
+        self.next_flush_ok[i] = k + PRESSURE_COOLDOWN;
+        let set = &mut self.sets[i];
+        let mut ctx = SetCtx {
+            geometry: &self.geometry,
+            cfg: &self.cfg,
+            set_id: self.set_lo + i as u64,
+            plan,
+            stats: &mut self.stats,
+            overfetch: self.overfetch.as_mut(),
+            mode_switch_bytes: &mut self.mode_switch_bytes,
+            movement_credit: &mut self.credit[i],
+            telemetry: self.telemetry.active(),
+        };
+        set.pressure_flush(&mut ctx);
+    }
+
+    /// This shard's integer accumulators for an epoch boundary; sum the
+    /// partials of every shard with [`EpochPartial::absorb`] and convert
+    /// with [`EpochPartial::gauges`].
+    pub fn epoch_partial(&self) -> EpochPartial {
+        let mut p = EpochPartial { ctrl: self.stats.clone(), ..EpochPartial::default() };
+        for s in &self.sets {
+            p.chbm += u64::from(s.chbm_frames());
+            p.mhbm += u64::from(s.mhbm_frames());
+            p.threshold_sum += u64::from(s.hot().threshold());
+            p.occupancy[EpochGauges::occ_bucket(s.rh())] += 1;
+        }
+        if let Some((f, w)) = self.overfetch_bytes() {
+            p.fetched = f;
+            p.wasted = w;
+        }
+        p
+    }
+
+    /// End-of-run drain of one owned set (global id), appending its
+    /// writebacks to `plan` so the caller can execute them in that set's
+    /// device time domain.
+    pub fn finish_set(&mut self, set: u64, plan: &mut AccessPlan) {
+        assert!(self.owns(set));
+        let _swap = span::span(Phase::MigrationSwap);
+        let i = (set - self.set_lo) as usize;
+        let s = &mut self.sets[i];
+        let mut ctx = SetCtx {
+            geometry: &self.geometry,
+            cfg: &self.cfg,
+            set_id: set,
+            plan,
+            stats: &mut self.stats,
+            overfetch: self.overfetch.as_mut(),
+            mode_switch_bytes: &mut self.mode_switch_bytes,
+            movement_credit: &mut self.credit[i],
+            telemetry: self.telemetry.active(),
+        };
+        s.finish(&mut ctx);
+    }
+
+    /// End-of-run overfetch drain; call once after every
+    /// [`finish_set`](Self::finish_set).
+    pub fn finish_overfetch(&mut self) {
+        if let Some(t) = self.overfetch.as_mut() {
+            t.evict_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_types::AccessKind;
+
+    fn tiny_geometry() -> Geometry {
+        Geometry::builder()
+            .block_bytes(2 << 10)
+            .page_bytes(64 << 10)
+            .hbm_bytes(2 << 20) // 32 frames → 4 sets
+            .dram_bytes(20 << 20)
+            .hbm_ways(8)
+            .build()
+            .unwrap()
+    }
+
+    /// Drives the same access stream through one full-range shard and
+    /// through two half-range shards; every merged counter must agree.
+    #[test]
+    fn sharding_is_width_invariant() {
+        let g = tiny_geometry();
+        let cfg = BumblebeeConfig::default();
+        let stream: Vec<Access> = (0..256u64)
+            .map(|i| Access {
+                addr: Addr(((i * 37 % 640) * 64) << 10),
+                kind: if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read },
+                insts: 10,
+            })
+            .collect();
+        let run = |ranges: &[(u64, u64)]| {
+            let mut shards: Vec<ControllerShard> =
+                ranges.iter().map(|&(lo, hi)| ControllerShard::new(g, cfg.clone(), lo, hi)).collect();
+            let mut plan = AccessPlan::new();
+            for (gi, req) in stream.iter().enumerate() {
+                let set = ControllerShard::set_of(&g, req.addr);
+                let sh = shards.iter_mut().find(|s| s.owns(set)).unwrap();
+                plan.clear();
+                sh.access_at(gi as u64, req, &mut plan);
+            }
+            for sh in &mut shards {
+                let (lo, hi) = sh.set_range();
+                for s in lo..hi {
+                    plan.clear();
+                    sh.finish_set(s, &mut plan);
+                }
+                sh.finish_overfetch();
+            }
+            let mut total = EpochPartial::default();
+            for sh in &shards {
+                total.absorb(&sh.epoch_partial());
+            }
+            (total.clone(), total.gauges(&g), shards.iter().map(|s| s.page_faults()).sum::<u64>())
+        };
+        let one = run(&[(0, 4)]);
+        let two = run(&[(0, 2), (2, 4)]);
+        let four = run(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(one.0, two.0);
+        assert_eq!(one.0, four.0);
+        assert_eq!(one.1, two.1);
+        assert_eq!(one.2, four.2);
+        assert!(one.0.ctrl.total_accesses() > 0);
+    }
+
+    #[test]
+    fn foreign_set_access_is_rejected() {
+        let g = tiny_geometry();
+        let mut sh = ControllerShard::new(g, BumblebeeConfig::default(), 0, 1);
+        let addr = Addr(g.page_bytes()); // set 1
+        assert!(!sh.owns(ControllerShard::set_of(&g, addr)));
+        let mut plan = AccessPlan::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sh.access_at(0, &Access::read(addr), &mut plan);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn set_local_pressure_flush_fires() {
+        let g = tiny_geometry();
+        let mut sh = ControllerShard::new(g, BumblebeeConfig::default(), 0, 4);
+        let mut plan = AccessPlan::new();
+        for i in 0..16u64 {
+            plan.clear();
+            sh.access_at(i, &Access::read(Addr(i * g.page_bytes())), &mut plan);
+        }
+        plan.clear();
+        sh.access_at(16, &Access::read(Addr(g.dram_bytes())), &mut plan);
+        assert!(sh.stats().pressure_flushes > 0);
+    }
+}

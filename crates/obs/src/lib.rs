@@ -61,7 +61,7 @@ pub mod recorder;
 pub mod snapshot;
 pub mod span;
 
-pub use event::{EventRing, TimedEvent, TraceEvent};
+pub use event::{merge_shard_events, EventRing, TimedEvent, TraceEvent};
 pub use hist::{DeviceHistograms, Pow2Histogram};
 pub use recorder::{MetricsConfig, MetricsRecorder, NoopRecorder, RunRecorder, Telemetry};
 pub use snapshot::{EpochGauges, EpochSnapshot, OCC_BUCKETS};

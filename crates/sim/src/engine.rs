@@ -14,6 +14,7 @@ use crate::jsonl::JsonObj;
 use crate::matrix::{Cell, ExperimentMatrix};
 use crate::report::SimReport;
 use crate::run::{run_design_with, RunObservations};
+use crate::shard::run_design_sharded;
 use memsim_obs::{span, MetricsConfig, Pow2Histogram, SpanTree};
 use memsim_types::GeometryError;
 use std::collections::BTreeMap;
@@ -29,6 +30,7 @@ const DEFAULT_HEARTBEAT_NANOS: u64 = 5_000_000_000;
 #[derive(Debug, Clone)]
 pub struct Engine {
     jobs: usize,
+    shards: Option<usize>,
     progress: bool,
     heartbeat_nanos: u64,
     metrics: Option<MetricsConfig>,
@@ -37,10 +39,11 @@ pub struct Engine {
 
 impl Engine {
     /// An engine running `jobs` cells concurrently (clamped to ≥ 1),
-    /// without progress output or metrics recording.
+    /// without intra-run sharding, progress output or metrics recording.
     pub fn new(jobs: usize) -> Engine {
         Engine {
             jobs: jobs.max(1),
+            shards: None,
             progress: false,
             heartbeat_nanos: DEFAULT_HEARTBEAT_NANOS,
             metrics: None,
@@ -48,11 +51,37 @@ impl Engine {
         }
     }
 
-    /// Width from the environment: `BUMBLEBEE_JOBS` if set, else the
-    /// machine's available parallelism. An unusable `BUMBLEBEE_JOBS`
-    /// (unparsable or zero) is ignored with a one-line stderr warning.
+    /// Widths from the environment: `BUMBLEBEE_JOBS` (cells run
+    /// concurrently; defaults to the machine's available parallelism) and
+    /// `BUMBLEBEE_SHARDS` (set-shards within each cell; defaults to none,
+    /// i.e. the serial per-cell pipeline).
+    ///
+    /// # Panics
+    ///
+    /// A set-but-unusable value (zero or non-numeric) of either variable
+    /// panics with a message naming it — a silent fallback would run the
+    /// wrong experiment shape without anyone noticing.
     pub fn from_env() -> Engine {
-        Engine::new(jobs_from_env(std::env::var("BUMBLEBEE_JOBS").ok().as_deref()))
+        let jobs = positive_env("BUMBLEBEE_JOBS", std::env::var("BUMBLEBEE_JOBS").ok().as_deref())
+            .unwrap_or_else(available_parallelism);
+        let shards =
+            positive_env("BUMBLEBEE_SHARDS", std::env::var("BUMBLEBEE_SHARDS").ok().as_deref());
+        Engine::new(jobs).with_shards(shards)
+    }
+
+    /// Sets the intra-run shard count: every cell whose design supports
+    /// set-sharding ([`Design::supports_sharding`](crate::Design::supports_sharding))
+    /// runs as `Some(n)` deterministic sub-runs plus a merge
+    /// ([`run_design_sharded`]); other designs keep the serial pipeline.
+    /// `None` (the default) keeps the serial pipeline everywhere.
+    pub fn with_shards(mut self, shards: Option<usize>) -> Engine {
+        self.shards = shards;
+        self
+    }
+
+    /// The configured intra-run shard count, if sharding is enabled.
+    pub fn shards(&self) -> Option<usize> {
+        self.shards
     }
 
     /// Enables or disables per-cell progress lines on stderr. With
@@ -146,8 +175,16 @@ impl Engine {
                 span::enable();
             }
             let start = Instant::now(); // audit: allow(det-clock) -- per-cell wall-time telemetry, excluded from determinism diffs
-            let outcome =
-                run_design_with(cell.design, &cell.cfg, &cell.profile, self.metrics.as_ref());
+            let outcome = match self.shards {
+                Some(n) if cell.design.supports_sharding() => run_design_sharded(
+                    cell.design,
+                    &cell.cfg,
+                    &cell.profile,
+                    self.metrics.as_ref(),
+                    n,
+                ),
+                _ => run_design_with(cell.design, &cell.cfg, &cell.profile, self.metrics.as_ref()),
+            };
             let nanos = start.elapsed().as_nanos() as u64;
             let tree = if self.spans { Some(span::collect()) } else { None };
             if self.progress {
@@ -195,7 +232,13 @@ impl Engine {
             reports.push(report);
             cell_nanos.push(nanos);
         }
-        let telemetry = EngineTelemetry { jobs: self.jobs, wall_nanos, cell_nanos, cell_spans };
+        let telemetry = EngineTelemetry {
+            jobs: self.jobs,
+            shards: self.shards,
+            wall_nanos,
+            cell_nanos,
+            cell_spans,
+        };
         Ok(ResultSet::new(matrix, self.jobs, reports, observations, telemetry))
     }
 }
@@ -224,21 +267,24 @@ fn heartbeat_line(
     )
 }
 
-/// Parses a `BUMBLEBEE_JOBS` override; unusable values fall back to the
-/// machine's available parallelism after a stderr warning naming the value.
-fn jobs_from_env(var: Option<&str>) -> usize {
-    let fallback =
-        || std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
-    let Some(raw) = var else { return fallback() };
+/// The machine's available parallelism (≥ 1).
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Parses a width override (`BUMBLEBEE_JOBS` / `BUMBLEBEE_SHARDS`).
+/// `None` means the variable is unset and the caller's default applies.
+///
+/// # Panics
+///
+/// A set-but-unusable value (zero or non-numeric) panics with a message
+/// naming the variable: silently substituting a different width would run
+/// a differently-shaped experiment than the one the user asked for.
+fn positive_env(name: &str, var: Option<&str>) -> Option<usize> {
+    let raw = var?;
     match raw.trim().parse::<usize>() {
-        Ok(jobs) if jobs > 0 => jobs,
-        _ => {
-            eprintln!(
-                "warning: ignoring BUMBLEBEE_JOBS={raw:?}: expected a positive integer, \
-                 using available parallelism"
-            );
-            fallback()
-        }
+        Ok(v) if v > 0 => Some(v),
+        _ => panic!("{name}={raw:?}: expected a positive integer (unset it to use the default)"),
     }
 }
 
@@ -251,6 +297,8 @@ fn jobs_from_env(var: Option<&str>) -> usize {
 pub struct EngineTelemetry {
     /// Worker width the run used.
     pub jobs: usize,
+    /// Intra-run shard count, when set-sharding was enabled.
+    pub shards: Option<usize>,
     /// Wall time of the whole matrix, in nanoseconds.
     pub wall_nanos: u64,
     /// Per-cell wall time, in cell order, in nanoseconds.
@@ -523,6 +571,7 @@ impl ResultSet {
                 .str("kind", "engine")
                 .str("figure", &self.name)
                 .u64("jobs", self.engine.jobs as u64)
+                .opt_u64("shards", self.engine.shards.map(|s| s as u64))
                 .f64("wall_ms", self.engine.wall_nanos as f64 / 1e6)
                 .f64("utilization", self.engine.utilization())
                 .finish(),
@@ -554,14 +603,28 @@ mod tests {
     }
 
     #[test]
-    fn jobs_from_env_accepts_positive_and_warns_otherwise() {
-        assert_eq!(jobs_from_env(Some("3")), 3);
-        assert_eq!(jobs_from_env(Some(" 8 ")), 8, "whitespace tolerated");
-        // Unusable values fall back to available parallelism (≥ 1).
-        assert!(jobs_from_env(Some("zero")) >= 1);
-        assert!(jobs_from_env(Some("0")) >= 1);
-        assert!(jobs_from_env(Some("")) >= 1);
-        assert!(jobs_from_env(None) >= 1);
+    fn positive_env_accepts_positive_and_defers_when_unset() {
+        assert_eq!(positive_env("BUMBLEBEE_JOBS", Some("3")), Some(3));
+        assert_eq!(positive_env("BUMBLEBEE_SHARDS", Some(" 8 ")), Some(8), "whitespace tolerated");
+        assert_eq!(positive_env("BUMBLEBEE_JOBS", None), None, "unset means default");
+    }
+
+    #[test]
+    #[should_panic(expected = "BUMBLEBEE_JOBS=\"zero\": expected a positive integer")]
+    fn positive_env_rejects_non_numeric() {
+        positive_env("BUMBLEBEE_JOBS", Some("zero"));
+    }
+
+    #[test]
+    #[should_panic(expected = "BUMBLEBEE_SHARDS=\"0\": expected a positive integer")]
+    fn positive_env_rejects_zero() {
+        positive_env("BUMBLEBEE_SHARDS", Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "BUMBLEBEE_JOBS=\"\": expected a positive integer")]
+    fn positive_env_rejects_empty() {
+        positive_env("BUMBLEBEE_JOBS", Some(""));
     }
 
     fn metrics_matrix() -> ExperimentMatrix {
@@ -585,6 +648,40 @@ mod tests {
         assert_eq!(serial.jsonl_lines(), wide.jsonl_lines());
         assert_eq!(serial.epochs_jsonl_lines(), wide.epochs_jsonl_lines());
         assert_eq!(serial.trace_jsonl_lines(), wide.trace_jsonl_lines());
+    }
+
+    #[test]
+    fn sharded_engine_output_is_byte_identical_at_any_shard_count() {
+        // A shardable-only matrix: every cell takes the sharded pipeline.
+        let profiles = [SpecProfile::mcf()];
+        let m = ExperimentMatrix::cross(
+            "shards",
+            &[Design::Bumblebee, Design::Ablation("M-Only")],
+            &profiles,
+            &RunConfig::tiny(),
+        );
+        let cfg = MetricsConfig { epoch_interval: 1000, event_capacity: 128 };
+        let one = Engine::new(2).with_metrics(cfg).with_shards(Some(1)).run(&m).unwrap();
+        for shards in [2usize, 8] {
+            let n = Engine::new(2).with_metrics(cfg).with_shards(Some(shards)).run(&m).unwrap();
+            assert_eq!(one.jsonl_lines(), n.jsonl_lines(), "{shards} shards");
+            assert_eq!(one.epochs_jsonl_lines(), n.epochs_jsonl_lines(), "{shards} shards");
+            assert_eq!(one.trace_jsonl_lines(), n.trace_jsonl_lines(), "{shards} shards");
+        }
+        // Non-shardable designs fall back to the serial pipeline untouched.
+        let mixed = ExperimentMatrix::cross(
+            "fallback",
+            &[Design::NoHbm, Design::Alloy],
+            &profiles,
+            &RunConfig::tiny(),
+        );
+        let serial = Engine::new(1).run(&mixed).unwrap();
+        let sharded = Engine::new(1).with_shards(Some(4)).run(&mixed).unwrap();
+        assert_eq!(serial.jsonl_lines(), sharded.jsonl_lines());
+        // The engine telemetry line records the shard count.
+        let last = sharded.metrics_jsonl_lines().pop().unwrap();
+        assert!(last.contains("\"shards\":4"), "{last}");
+        assert!(serial.metrics_jsonl_lines().pop().unwrap().contains("\"shards\":null"));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod jsonl;
 pub mod matrix;
 pub mod report;
 pub mod run;
+pub mod shard;
 pub mod system;
 
 pub use designs::Design;
@@ -55,4 +56,5 @@ pub use run::{
     geomean, geomean_diag, run_design, run_design_with, run_reference, Geomean, RunConfig,
     RunObservations,
 };
+pub use shard::{run_design_sharded, ShardPlan};
 pub use system::{SimParams, System};

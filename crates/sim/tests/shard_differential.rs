@@ -1,0 +1,53 @@
+//! Differential property suite for set-sharded runs: for randomly drawn
+//! run configurations on two workload profiles (mcf, xz), the sharded
+//! pipeline must produce byte-identical output at shard widths
+//! {1, 2, 3, 8} — the `SimReport` JSONL line (which carries `CtrlStats`
+//! and every cycle-domain invariant: cycles, IPC, hit rate, migrations,
+//! over-fetch), the epoch time-series JSONL, and the event-trace JSONL.
+//!
+//! Runs only with `--features proptest` (the in-repo shim), like the other
+//! differential suites.
+
+use memsim_sim::{Design, Engine, ExperimentMatrix, MetricsConfig, RunConfig};
+use memsim_trace::SpecProfile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sharded_runs_are_byte_identical_across_widths(
+        xz in proptest::bool::ANY,
+        ablation in proptest::bool::ANY,
+        accesses in 4_000u64..16_000,
+        interval in 500u64..2_000,
+    ) {
+        let profile = if xz { SpecProfile::named("xz") } else { SpecProfile::mcf() };
+        let design = if ablation { Design::Ablation("M-Only") } else { Design::Bumblebee };
+        let cfg = RunConfig::at_scale(256, accesses);
+        let m = ExperimentMatrix::cross("shard_diff", &[design], &[profile], &cfg);
+        let metrics = MetricsConfig { epoch_interval: interval, event_capacity: 256 };
+
+        let reference =
+            Engine::new(1).with_metrics(metrics).with_shards(Some(1)).run(&m).unwrap();
+        // The reference must actually carry the invariants being compared.
+        prop_assert!(!reference.jsonl_lines().is_empty());
+        prop_assert!(!reference.epochs_jsonl_lines().is_empty());
+        prop_assert!(!reference.trace_jsonl_lines().is_empty());
+        let report = &reference.reports()[0];
+        prop_assert!(report.cycles > 0);
+        prop_assert_eq!(report.stats.total_accesses(), cfg.warmup + cfg.accesses);
+
+        for shards in [2usize, 3, 8] {
+            let n = Engine::new(1).with_metrics(metrics).with_shards(Some(shards)).run(&m).unwrap();
+            // SimReport line: CtrlStats + cycle-domain invariants.
+            prop_assert_eq!(reference.jsonl_lines(), n.jsonl_lines());
+            // Epoch time-series, byte for byte.
+            prop_assert_eq!(reference.epochs_jsonl_lines(), n.epochs_jsonl_lines());
+            // Event trace, byte for byte.
+            prop_assert_eq!(reference.trace_jsonl_lines(), n.trace_jsonl_lines());
+            // The merged CtrlStats struct itself, not just its rendering.
+            prop_assert_eq!(&n.reports()[0].stats, &report.stats);
+        }
+    }
+}

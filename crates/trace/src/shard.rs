@@ -1,0 +1,126 @@
+//! Set-ownership partitioning of the deterministic workload stream.
+//!
+//! A sharded run gives every worker its **own** [`Workload`] generator
+//! seeded identically: each worker regenerates the full SplitMix64 access
+//! stream and keeps only the accesses whose remapping set it owns, paired
+//! with the access's **global index** (its 0-based position in the full
+//! stream). Regeneration costs each worker one pass of cheap RNG work but
+//! buys exactness for free: every shard observes the same global stream,
+//! so global-index-derived schedules (warm-up boundary, epoch boundaries,
+//! metadata spill cadence, event timestamps) agree across shards without
+//! any cross-thread coordination.
+
+use crate::workload::Workload;
+use memsim_types::{Access, Addr, Geometry};
+
+/// An iterator over the accesses of one set-shard: every access of the
+/// underlying full stream whose set falls in `[set_lo, set_hi)`, yielded
+/// as `(global_index, access)` in global order.
+#[derive(Debug, Clone)]
+pub struct ShardStream {
+    workload: Workload,
+    geometry: Geometry,
+    set_lo: u64,
+    set_hi: u64,
+    next_index: u64,
+    limit: u64,
+}
+
+impl ShardStream {
+    /// Wraps `workload`, keeping the first `limit` global accesses and of
+    /// those only the sets in `[set_lo, set_hi)` of `geometry`.
+    pub fn new(
+        workload: Workload,
+        geometry: Geometry,
+        set_lo: u64,
+        set_hi: u64,
+        limit: u64,
+    ) -> ShardStream {
+        ShardStream { workload, geometry, set_lo, set_hi, next_index: 0, limit }
+    }
+
+    /// The remapping set an address routes to (the ownership key).
+    pub fn set_of(geometry: &Geometry, addr: Addr) -> u64 {
+        geometry.set_of_page(geometry.page_of(geometry.wrap_flat(addr)))
+    }
+
+    /// Global accesses generated so far (owned or not).
+    pub fn position(&self) -> u64 {
+        self.next_index
+    }
+}
+
+impl Iterator for ShardStream {
+    type Item = (u64, Access);
+
+    fn next(&mut self) -> Option<(u64, Access)> {
+        while self.next_index < self.limit {
+            let gi = self.next_index;
+            self.next_index += 1;
+            let access = self.workload.next_access();
+            let set = Self::set_of(&self.geometry, access.addr);
+            if (self.set_lo..self.set_hi).contains(&set) {
+                return Some((gi, access));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecProfile;
+
+    fn geometry() -> Geometry {
+        Geometry::paper(256)
+    }
+
+    fn full_stream(n: u64) -> Vec<Access> {
+        let spec = SpecProfile::mcf().spec(256);
+        Workload::new(spec, geometry().flat_bytes(), 7).take(n as usize).collect()
+    }
+
+    fn shard(lo: u64, hi: u64, n: u64) -> Vec<(u64, Access)> {
+        let spec = SpecProfile::mcf().spec(256);
+        let w = Workload::new(spec, geometry().flat_bytes(), 7);
+        ShardStream::new(w, geometry(), lo, hi, n).collect()
+    }
+
+    #[test]
+    fn shards_partition_the_stream_exactly() {
+        let g = geometry();
+        let n = 5_000u64;
+        let full = full_stream(n);
+        let sets = g.num_sets();
+        let mid = sets / 2;
+        let lo = shard(0, mid, n);
+        let hi = shard(mid, sets, n);
+        assert_eq!(lo.len() + hi.len(), full.len(), "no access lost or duplicated");
+        // Interleave back by global index: must reproduce the full stream.
+        let mut merged: Vec<(u64, Access)> = lo.into_iter().chain(hi).collect();
+        merged.sort_by_key(|&(gi, _)| gi);
+        for (gi, (idx, access)) in merged.into_iter().enumerate() {
+            assert_eq!(gi as u64, idx);
+            assert_eq!(access, full[gi]);
+            assert!(ShardStream::set_of(&g, access.addr) < sets);
+        }
+    }
+
+    #[test]
+    fn ownership_filter_matches_set_of() {
+        let g = geometry();
+        for (_, a) in shard(0, 2, 2_000) {
+            assert!(ShardStream::set_of(&g, a.addr) < 2);
+        }
+    }
+
+    #[test]
+    fn position_tracks_global_progress() {
+        let spec = SpecProfile::mcf().spec(256);
+        let w = Workload::new(spec, geometry().flat_bytes(), 7);
+        let mut s = ShardStream::new(w, geometry(), 0, 1, 100);
+        while s.next().is_some() {}
+        assert_eq!(s.position(), 100, "the full stream was consumed");
+    }
+}

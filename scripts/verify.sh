@@ -47,7 +47,7 @@ echo "ok: workspace audit clean, doctored input exits nonzero"
 
 echo "== property tests (in-repo proptest shim) =="
 cargo test -q --workspace \
-  --features memsim-types/proptest,memsim-cache/proptest,memsim-baselines/proptest,memsim-dram/proptest,bumblebee-core/proptest
+  --features memsim-types/proptest,memsim-cache/proptest,memsim-baselines/proptest,memsim-dram/proptest,bumblebee-core/proptest,memsim-sim/proptest
 
 echo "== smoke: fig8 serial vs parallel must be byte-identical =="
 smoke="$(mktemp -d)"
@@ -63,6 +63,27 @@ if ! cmp -s "$smoke/serial/fig8.jsonl" "$smoke/parallel/fig8.jsonl"; then
   exit 1
 fi
 echo "ok: $(wc -l < "$smoke/serial/fig8.jsonl") JSONL lines identical at both widths"
+
+echo "== smoke: fig6 set-sharded runs must be byte-identical at any width =="
+# The --shards tentpole invariant as a CI artifact: one fig6 sweep (which
+# mixes shardable Bumblebee cells with serial-fallback No-HBM cells) run
+# at shard widths 1, 2 and 8 must produce identical results, epoch
+# time-series and event-trace JSONL, byte for byte.
+for n in 1 2 8; do
+  cargo run --release -q -p bumblebee-bench --bin fig6 -- \
+    --scale 256 --accesses 20000 --workloads mcf --jobs 2 --metrics \
+    --shards "$n" --out "$smoke/shards$n" >/dev/null
+done
+for f in fig6.jsonl fig6.epochs.jsonl fig6.trace.jsonl; do
+  for n in 2 8; do
+    if ! cmp -s "$smoke/shards1/$f" "$smoke/shards$n/$f"; then
+      echo "FAIL: $f differs between --shards 1 and --shards $n" >&2
+      diff "$smoke/shards1/$f" "$smoke/shards$n/$f" | head >&2
+      exit 1
+    fi
+  done
+done
+echo "ok: fig6 results/epochs/trace identical at --shards 1, 2 and 8"
 
 echo "== smoke: fig6 --metrics writes observability artifacts =="
 cargo run --release -q -p bumblebee-bench --bin fig6 -- \
@@ -153,6 +174,38 @@ if cargo run --release -q -p bumblebee-bench --bin bench_tool -- \
 else
   echo "WARN: wall time regressed >30% vs the committed baseline" \
        "(invariants are clean; treat as noise unless it persists)" >&2
+fi
+
+echo "== bench: --shards intra-run speedup (warn-only) =="
+# Sharded quick suites at widths 1 and 4 (Bumblebee cells only — the
+# harness restricts a sharded suite to shardable designs). The invariant
+# comparison is a hard gate: sharding must not change a single simulated
+# number. The >= 2x suite-wall speedup is warn-only — it needs 4 real
+# cores and a quiet machine — and both BENCH files record their shard
+# width for later inspection.
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$cores" -lt 4 ]; then
+  echo "skip: host has $cores core(s), speedup check needs >= 4"
+else
+  cargo run --release -q -p bumblebee-bench --bin bench_harness -- \
+    --quick --shards 1 --out "$smoke/bench" --sha shards1 >/dev/null
+  cargo run --release -q -p bumblebee-bench --bin bench_harness -- \
+    --quick --shards 4 --out "$smoke/bench" --sha shards4 >/dev/null
+  cargo run --release -q -p bumblebee-bench --bin bench_tool -- \
+    compare "$smoke/bench/BENCH_shards1.json" "$smoke/bench/BENCH_shards4.json" \
+    --time-threshold-pct 1000000 >/dev/null
+  echo "ok: cycle-domain invariants identical at --shards 1 and --shards 4"
+  suite_wall() {
+    grep -o '"wall_ms":[0-9.eE+-]*' "$1" | cut -d: -f2 | awk '{s+=$1} END {print s}'
+  }
+  wall1="$(suite_wall "$smoke/bench/BENCH_shards1.json")"
+  wall4="$(suite_wall "$smoke/bench/BENCH_shards4.json")"
+  if awk -v a="$wall1" -v b="$wall4" 'BEGIN { exit !(b > 0 && a / b >= 2.0) }'; then
+    echo "ok: suite wall ${wall1} ms at 1 shard vs ${wall4} ms at 4 shards (>= 2x)"
+  else
+    echo "WARN: --shards 4 suite wall ${wall4} ms is < 2x faster than" \
+         "--shards 1 (${wall1} ms); expected on loaded or small hosts" >&2
+  fi
 fi
 
 echo "== verify.sh: all gates passed =="
