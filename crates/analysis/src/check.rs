@@ -503,10 +503,16 @@ fn hot_callee(
         let call = match prev {
             Some((_, p)) if p.is_ident("fn") => None, // a nested fn's own signature
             Some((k, p)) if p.is_punct('.') => {
-                if CALLEE_SKIP.contains(&t.text.as_str()) {
+                let receiver = prev_code(toks, k);
+                // A `self.` receiver always resolves to this file's impl, so
+                // even skip-listed ubiquitous names (push, clear, …) stay in
+                // the closure — that is how ring-buffer samplers named like
+                // std collections (`LatRing::push`) keep hot-* coverage.
+                let own_method = matches!(&receiver, Some((_, r)) if r.is_ident("self"));
+                if CALLEE_SKIP.contains(&t.text.as_str()) && !own_method {
                     None
                 } else {
-                    Some(match prev_code(toks, k) {
+                    Some(match receiver {
                         Some((_, r)) if r.kind == TokKind::Ident => format!("{}.{}", r.text, t.text),
                         _ => format!(".{}", t.text),
                     })

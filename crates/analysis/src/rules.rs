@@ -159,8 +159,11 @@ escape the hot-* rules.\n\
 Matched call shapes: `name(…)`, `self.name(…)`, `recv.name(…)` and\n\
 `Self::name(…)` where `name` is a fn defined in the same file. A small\n\
 list of ubiquitous std method names (len, push, get, iter, …) is\n\
-skipped to avoid false positives on std receivers; cross-file calls are\n\
-out of scope (annotate the callee in its own file).\n\
+skipped to avoid false positives on std receivers — except on a `self.`\n\
+receiver, which always resolves to this file's impl, so hot-path ring\n\
+buffers and samplers whose methods shadow std names (`push`, `clear`)\n\
+stay inside the closure. Cross-file calls are out of scope (annotate\n\
+the callee in its own file).\n\
 \n\
 Fix: annotate the callee `// audit: hot-path`, or justify the edge with\n\
 `// audit: allow(hot-callee) -- <reason>` (e.g. a cold error branch).",

@@ -1,5 +1,7 @@
 //! Clean: everything reachable from the hot entry point is annotated,
-//! keeping the hot-path closure honest.
+//! keeping the hot-path closure honest — `self.` methods with ubiquitous
+//! std names included, while calls to std receivers (`buf.push`) stay
+//! exempt.
 
 /// Frame index → HBM device address.
 // audit: hot-path
@@ -11,4 +13,25 @@ fn frame_addr(frame: u64) -> u64 {
 // audit: hot-path
 pub fn access(frame: u64) -> u64 {
     frame_addr(frame)
+}
+
+/// A sampler ring whose method names shadow std collections.
+pub struct Ring {
+    buf: Vec<usize>,
+}
+
+impl Ring {
+    /// Evict-oldest append, annotated into the closure.
+    // audit: hot-path
+    pub fn push(&mut self, v: usize) {
+        // A std receiver keeps the skip-list exemption even though a
+        // same-file fn shares the name.
+        self.buf.push(v);
+    }
+
+    /// Hot record path calling the annotated `self.push`.
+    // audit: hot-path
+    pub fn record(&mut self, v: usize) {
+        self.push(v);
+    }
 }

@@ -1,5 +1,7 @@
 //! Doctored: the hot entry point calls an unannotated same-file helper,
-//! so nothing audits the helper's body.
+//! so nothing audits the helper's body — including a `self.` method whose
+//! ubiquitous std name (`push`) would be skip-listed on any other
+//! receiver.
 
 /// Frame index → HBM device address.
 fn frame_addr(frame: u64) -> u64 {
@@ -10,4 +12,23 @@ fn frame_addr(frame: u64) -> u64 {
 // audit: hot-path
 pub fn access(frame: u64) -> u64 {
     frame_addr(frame) //~ hot-callee
+}
+
+/// A sampler ring whose method names shadow std collections.
+pub struct Ring {
+    head: usize,
+}
+
+impl Ring {
+    /// Evict-oldest append; on the access flow but not annotated.
+    pub fn push(&mut self, v: usize) {
+        self.head = v;
+    }
+
+    /// Hot record path: `self.push` resolves to this file's impl, so the
+    /// skip list must not hide it from the closure.
+    // audit: hot-path
+    pub fn record(&mut self, v: usize) {
+        self.push(v); //~ hot-callee
+    }
 }

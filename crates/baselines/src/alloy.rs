@@ -12,7 +12,7 @@
 use crate::common::FaultModel;
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
+    Access, AccessKind, AccessPath, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
     HybridMemoryController, Mem, OpKind, OverfetchTracker, QuickDiv,
 };
 
@@ -132,6 +132,7 @@ impl AlloyCache {
             }
             self.lines[idx].dirty |= !is_read;
             self.stats.hbm_hits += 1;
+            plan.path = AccessPath::ChbmHit;
             self.overfetch.used(line_addr);
             self.map.train(addr.0, true);
             return;

@@ -10,7 +10,7 @@
 use crate::common::FaultModel;
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
+    Access, AccessKind, AccessPath, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
     HybridMemoryController, Mem, OpKind, OverfetchTracker, QuickDiv,
 };
 
@@ -111,6 +111,7 @@ impl Banshee {
                 plan.background.push(op);
             }
             self.stats.hbm_hits += 1;
+            plan.path = AccessPath::ChbmHit;
             self.overfetch.used(page * 64 + offset / 64);
             return;
         }
@@ -154,6 +155,7 @@ impl Banshee {
         let should_fill = !vs.valid || cand_count > vs.counter + REPLACE_MARGIN;
         if !should_fill {
             self.stats.threshold_rejections += 1;
+            plan.path = AccessPath::SlBypass;
             return;
         }
         // Evict the victim (lazy writeback: whole page if dirty).

@@ -10,7 +10,7 @@
 
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
+    Access, AccessKind, AccessPath, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
     HybridMemoryController, Mem, MetadataModel, OpKind, QuickDiv,
 };
 
@@ -120,6 +120,8 @@ impl HybridMemoryController for Chameleon {
 
         let target = if in_hbm {
             self.stats.hbm_hits += 1;
+            // POM: the resident sector is OS-visible memory, not a cache.
+            plan.path = AccessPath::MhbmHit;
             DeviceOp {
                 mem: Mem::Hbm,
                 addr: Addr(self.hbm_sector_addr(group).0 + (offset & !63)),
@@ -170,6 +172,7 @@ impl HybridMemoryController for Chameleon {
             g.counters[member as usize] = 1;
             self.swaps += 1;
             self.stats.page_migrations += 1;
+            plan.path = AccessPath::Migration;
         }
         crate::common::tick_epoch(&mut self.telemetry, &self.stats, EpochGauges::default);
     }

@@ -14,7 +14,7 @@
 use crate::common::{FaultModel, LruRanks};
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
+    Access, AccessKind, AccessPath, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
     HybridMemoryController, Mem, MetadataModel, OpKind, OverfetchTracker, QuickDiv,
 };
 
@@ -179,6 +179,7 @@ impl Hybrid2 {
                 };
                 self.serve(plan, op, is_read);
                 self.stats.hbm_hits += 1;
+                plan.path = AccessPath::MhbmHit;
                 return;
             }
         }
@@ -208,6 +209,7 @@ impl Hybrid2 {
                     self.cache[base + w].dirty |= 1 << block;
                 }
                 self.stats.hbm_hits += 1;
+                plan.path = AccessPath::ChbmHit;
                 self.overfetch.used(line_key(group, block, addr));
             } else {
                 // Block miss within a cached group: fetch the block.
@@ -410,6 +412,12 @@ impl Hybrid2 {
         g.counters[member as usize] = 1;
         self.stats.switch_to_mhbm += 1;
         self.stats.page_migrations += 1;
+        // Promotion can fire from a cHBM-hit-served access too; only an
+        // off-chip-served access reclassifies (keeps the hit/off-chip
+        // partition exact for reconciliation).
+        if plan.path == AccessPath::MissFill {
+            plan.path = AccessPath::Migration;
+        }
     }
 }
 

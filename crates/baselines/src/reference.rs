@@ -3,7 +3,8 @@
 use crate::common::FaultModel;
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPlan, CtrlStats, DeviceOp, Geometry, HybridMemoryController, Mem,
+    Access, AccessKind, AccessPath, AccessPlan, CtrlStats, DeviceOp, Geometry,
+    HybridMemoryController, Mem,
 };
 
 /// A system with off-chip DRAM only — HBM absent. Every result in the
@@ -44,6 +45,7 @@ impl HybridMemoryController for OffChipOnly {
         let addr = self.faults.translate(req.addr, plan);
         let addr = addr.align_down(64);
         self.stats.offchip_serves += 1;
+        plan.path = AccessPath::MissFill; // no HBM: every access is the miss path
         match req.kind {
             AccessKind::Read => plan.critical.push(DeviceOp::demand_read(Mem::OffChip, addr, 64)),
             AccessKind::Write => {

@@ -10,7 +10,7 @@
 use crate::common::{FaultModel, LruRanks};
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
+    Access, AccessKind, AccessPath, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
     HybridMemoryController, Mem, OpKind, OverfetchTracker, QuickDiv,
 };
 
@@ -207,6 +207,7 @@ impl UnisonCache {
                     self.ways[idx].dirty |= 1 << block;
                 }
                 self.stats.hbm_hits += 1;
+                plan.path = AccessPath::ChbmHit;
                 self.overfetch.used(page * 64 + u64::from(block));
                 return;
             }

@@ -30,8 +30,15 @@
 
 use memsim_analysis::exitcode;
 use bumblebee_bench::perf::{BenchCase, BenchReport, Suite, BENCH_SCHEMA};
-use memsim_sim::{Engine, ExperimentMatrix, ResultSet};
+use memsim_obs::LatCollector;
+use memsim_sim::{Engine, ExperimentMatrix, MetricsConfig, ResultSet};
+use memsim_types::AccessPath;
 use std::path::PathBuf;
+
+/// Sampling rate of the untimed latency-attribution pass: coarse enough
+/// to stay cheap, fine enough that every suite volume (the quick suite
+/// runs 20 k accesses per cell) still lands hundreds of records.
+const LAT_SAMPLE_RATE: u64 = 64;
 
 struct Args {
     quick: bool,
@@ -184,8 +191,44 @@ fn main() {
     }
     let first = first.expect("at least one repeat");
 
+    // One extra UNTIMED instrumented run harvests the per-path tail
+    // latencies: the timed repeats above stay sampling-free, so the
+    // disabled-sampling wall-time baseline is unaffected. A failure here
+    // only costs the optional tail fields, never the BENCH report.
+    eprintln!("[bench] untimed latency-attribution pass (sample rate {LAT_SAMPLE_RATE})");
+    let lat_engine = Engine::new(args.jobs).with_shards(args.shards).with_metrics(
+        MetricsConfig { sample_rate: LAT_SAMPLE_RATE, ..MetricsConfig::default() },
+    );
+    type CellTails = ([Option<u64>; 5], [Option<u64>; 5]);
+    let tails: Option<Vec<CellTails>> = match lat_engine.run(&matrix) {
+        Ok(rs) => rs.observations().map(|all| {
+            all.iter()
+                .map(|obs| {
+                    let mut coll = LatCollector::new(MetricsConfig::default().epoch_interval);
+                    for r in &obs.records {
+                        coll.push(r);
+                    }
+                    let mut p95 = [None; 5];
+                    let mut p99 = [None; 5];
+                    for (i, path) in AccessPath::ALL.iter().enumerate() {
+                        let p = coll.path(*path);
+                        if p.count > 0 {
+                            p95[i] = Some(p.hist.percentile(0.95));
+                            p99[i] = Some(p.hist.percentile(0.99));
+                        }
+                    }
+                    (p95, p99)
+                })
+                .collect()
+        }),
+        Err(e) => {
+            eprintln!("warning: latency pass failed ({e}); BENCH file omits tail fields");
+            None
+        }
+    };
+
     let accesses_per_cell = suite.cfg.warmup + suite.cfg.accesses;
-    let cases: Vec<BenchCase> = matrix
+    let mut cases: Vec<BenchCase> = matrix
         .cells()
         .iter()
         .zip(&mut per_cell)
@@ -206,9 +249,17 @@ fn main() {
                 hit_rate: report.stats.hbm_hit_rate(),
                 migrations: report.stats.page_migrations,
                 overfetch: report.overfetch,
+                lat_p95: [None; 5],
+                lat_p99: [None; 5],
             }
         })
         .collect();
+    if let Some(tails) = tails {
+        for (c, (p95, p99)) in cases.iter_mut().zip(tails) {
+            c.lat_p95 = p95;
+            c.lat_p99 = p99;
+        }
+    }
     let (phases, self_coverage) = BenchReport::fold_phases(&trees, busy_nanos);
 
     let sha = args.sha.unwrap_or_else(git_short_sha);

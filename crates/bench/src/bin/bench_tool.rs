@@ -4,15 +4,19 @@
 //! bench_tool show    A.json
 //! bench_tool compare BASE.json NEW.json [--time-threshold-pct N]
 //!                                       [--invariant-tolerance-pct N]
+//!                                       [--tail-threshold-pct N]
 //! ```
 //!
+//! `show` appends per-path p95 latency columns when the BENCH file
+//! carries the folded tail fields; older files render without them.
 //! `compare` prints the per-metric deltas of the candidate against the
 //! baseline and exits `1` when any regression gate trips: wall time up by
-//! more than the time threshold (default 30%), or any cycle-domain
+//! more than the time threshold (default 30%), any cycle-domain
 //! invariant (cycles, IPC, hit rate, migrations, over-fetch) drifting at
-//! all. Parse/usage problems exit `2`. A report compared against itself
-//! always exits `0` — `scripts/verify.sh` relies on that as its self-diff
-//! gate.
+//! all, or a per-path sampled tail latency (p95/p99) growing past the
+//! tail threshold when both files carry it. Parse/usage problems exit
+//! `2`. A report compared against itself always exits `0` —
+//! `scripts/verify.sh` relies on that as its self-diff gate.
 
 use bumblebee_bench::perf::{compare, BenchReport, Thresholds};
 use memsim_analysis::exitcode;
@@ -78,6 +82,9 @@ fn main() {
             if let Some(t) = pct_flag(&args, "--invariant-tolerance-pct") {
                 th.invariant_pct = t;
             }
+            if let Some(t) = pct_flag(&args, "--tail-threshold-pct") {
+                th.tail_pct = t;
+            }
             let (base_report, new_report) = (load(base), load(new));
             let cmp = compare(&base_report, &new_report, th)
                 .unwrap_or_else(|e| fail(&e));
@@ -117,7 +124,8 @@ fn main() {
             fail(
                 "usage: bench_tool show A.json\n\
                  \x20      bench_tool compare BASE.json NEW.json \
-                 [--time-threshold-pct N] [--invariant-tolerance-pct N]",
+                 [--time-threshold-pct N] [--invariant-tolerance-pct N] \
+                 [--tail-threshold-pct N]",
             );
         }
     }

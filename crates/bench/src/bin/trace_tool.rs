@@ -7,6 +7,7 @@
 //! trace_tool summarize <file.jsonl>           # line/event-kind counts
 //! trace_tool timeline  <file.epochs.jsonl> [--cell N]
 //! trace_tool histo     <file.epochs.jsonl>    # device latency/queue histograms
+//! trace_tool latency   <file.lat.jsonl>       # per-path tails + breakdown
 //! trace_tool diff      <a.epochs.jsonl> <b.epochs.jsonl> [--threshold X]
 //! ```
 //!
@@ -84,6 +85,10 @@ fn summarize(rows: &[Vec<(String, JsonValue)>]) {
     let mut spans = 0u64;
     let mut span_overhead_ms = 0.0f64;
     let mut span_cells = 0u64;
+    let mut lat_cells = 0u64;
+    let mut lat_records = 0u64;
+    let mut lat_dropped = 0u64;
+    let mut lat_empty_cells = 0u64;
     for row in rows {
         let kind = get_str(row, "kind");
         bump(&mut kinds, kind);
@@ -97,6 +102,14 @@ fn summarize(rows: &[Vec<(String, JsonValue)>]) {
                 span_cells += 1;
                 spans += get_u64(row, "spans");
                 span_overhead_ms += get_f64(row, "overhead_ms");
+            }
+            "lat_summary" => {
+                lat_cells += 1;
+                lat_records += get_u64(row, "records");
+                lat_dropped += get_u64(row, "dropped");
+                if get_u64(row, "sample_rate") > 0 && get_u64(row, "records") == 0 {
+                    lat_empty_cells += 1;
+                }
             }
             _ => {}
         }
@@ -121,6 +134,19 @@ fn summarize(rows: &[Vec<(String, JsonValue)>]) {
             "span profiler: {spans} spans across {span_cells} cell(s), \
              ~{span_overhead_ms:.1} ms estimated timer overhead"
         );
+    }
+    if lat_cells > 0 {
+        println!(
+            "sampled latency records: {lat_records} across {lat_cells} cell(s), \
+             {lat_dropped} dropped by full rings{}",
+            if lat_dropped > 0 { "  (stream is TRUNCATED — raise record_capacity)" } else { "" }
+        );
+        if lat_empty_cells > 0 {
+            fail(&format!(
+                "{lat_empty_cells} cell(s) enabled sampling but recorded zero latency \
+                 records — the sampler never fired (rate too coarse for the run length?)"
+            ));
+        }
     }
 }
 
@@ -198,6 +224,100 @@ fn histo(path: &str, rows: &[Vec<(String, JsonValue)>]) {
     if !any {
         fail(&format!("no histogram lines in {path} (histograms come from --metrics runs)"));
     }
+}
+
+/// `latency`: per-path tail latencies (p50/p95/p99), the critical-path
+/// breakdown (mean lookup / queue wait / bank service / migration stall
+/// per sampled access), and an exact reconciliation of the per-path
+/// counts against the controller's hit/miss/bypass counters. Exits `1`
+/// when any cell's paths do not reconcile — the sampled taxonomy then
+/// disagrees with the simulation it claims to describe.
+fn latency(path: &str, rows: &[Vec<(String, JsonValue)>]) {
+    let mut tails = vec![
+        ["cell", "design", "workload", "path", "samples", "p50", "p95", "p99"]
+            .map(str::to_string)
+            .to_vec(),
+    ];
+    let mut breakdown = vec![
+        ["cell", "design", "workload", "path", "lookup", "queue", "service", "stall", "total"]
+            .map(str::to_string)
+            .to_vec(),
+    ];
+    for row in rows {
+        if get_str(row, "kind") != "lat_hist" {
+            continue;
+        }
+        let coords = [
+            get_u64(row, "cell").to_string(),
+            get_str(row, "design").to_string(),
+            get_str(row, "workload").to_string(),
+            get_str(row, "path").to_string(),
+        ];
+        let count = get_u64(row, "count").max(1);
+        tails.push(
+            coords
+                .iter()
+                .cloned()
+                .chain([
+                    get_u64(row, "count").to_string(),
+                    get_u64(row, "p50").to_string(),
+                    get_u64(row, "p95").to_string(),
+                    get_u64(row, "p99").to_string(),
+                ])
+                .collect(),
+        );
+        let per = |k: &str| get_u64(row, k) as f64 / count as f64;
+        let total = per("lookup") + per("queue") + per("service") + per("stall");
+        breakdown.push(
+            coords
+                .into_iter()
+                .chain([
+                    format!("{:.1}", per("lookup")),
+                    format!("{:.1}", per("queue")),
+                    format!("{:.1}", per("service")),
+                    format!("{:.1}", per("stall")),
+                    format!("{total:.1}"),
+                ])
+                .collect(),
+        );
+    }
+    if tails.len() == 1 {
+        fail(&format!(
+            "no lat_hist lines in {path} (latency records come from --trace-sample runs)"
+        ));
+    }
+    println!("per-path latency tails (cycles):");
+    println!("{}", render_table(&tails));
+    println!("critical-path breakdown (mean cycles per sampled access):");
+    println!("{}", render_table(&breakdown));
+    let mut cells = 0u64;
+    let mut bad = 0u64;
+    for row in rows {
+        if get_str(row, "kind") != "lat_summary" {
+            continue;
+        }
+        cells += 1;
+        let hits = get_u64(row, "mhbm_hit") + get_u64(row, "chbm_hit");
+        let off = get_u64(row, "miss_fill") + get_u64(row, "sl_bypass") + get_u64(row, "migration");
+        let ok = hits == get_u64(row, "hbm_hits") && off == get_u64(row, "offchip_serves");
+        if !ok {
+            bad += 1;
+            eprintln!(
+                "cell {} {} {}: path counts ({hits} hit / {off} off-chip) do NOT match \
+                 controller counters ({} / {})",
+                get_u64(row, "cell"),
+                get_str(row, "design"),
+                get_str(row, "workload"),
+                get_u64(row, "hbm_hits"),
+                get_u64(row, "offchip_serves"),
+            );
+        }
+    }
+    if bad > 0 {
+        eprintln!("FAIL: {bad} of {cells} cell(s) do not reconcile");
+        std::process::exit(exitcode::FINDINGS);
+    }
+    println!("ok: path counts reconcile with controller counters in all {cells} cell(s)");
 }
 
 /// Identity fields that name a diffable line rather than measure it.
@@ -356,6 +476,7 @@ fn main() -> std::io::Result<()> {
             timeline(&path, &read_jsonl(&path), flag_value(&opts.rest, "--cell"));
         }
         ("histo", Some(path)) => histo(&path, &read_jsonl(&path)),
+        ("latency", Some(path)) => latency(&path, &read_jsonl(&path)),
         ("diff", Some(a)) => {
             let b = rest
                 .next()
@@ -365,7 +486,7 @@ fn main() -> std::io::Result<()> {
         _ => {
             fail(
                 "usage: trace_tool record|replay|info <file> [--workloads w] [--accesses N] [--scale N]\n\
-                 \x20      trace_tool summarize|timeline|histo <file.jsonl> [--cell N]\n\
+                 \x20      trace_tool summarize|timeline|histo|latency <file.jsonl> [--cell N]\n\
                  \x20      trace_tool diff <a.jsonl> <b.jsonl> [--threshold X]",
             );
         }

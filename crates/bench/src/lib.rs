@@ -18,6 +18,9 @@
 //!   trace, device histograms) and write `<figure>.epochs.jsonl`,
 //!   `<figure>.trace.jsonl` and `<figure>.metrics.jsonl` alongside the
 //!   results;
+//! * `--trace-sample N` — deterministically sample one in ~N accesses for
+//!   full-lifecycle latency attribution (implies `--metrics`) and write the
+//!   path-tagged records to `<figure>.lat.jsonl`;
 //! * `--spans` — profile wall-clock phase spans per cell (trace-gen,
 //!   controller lookup, migration/swap, DRAM service, epoch sampling) and
 //!   write them as `kind=span` lines into `<figure>.metrics.jsonl`;
@@ -44,6 +47,9 @@ pub struct HarnessOpts {
     pub shards: Option<usize>,
     /// Whether `--metrics` observability recording is on.
     pub metrics: bool,
+    /// `--trace-sample N`: sampled latency attribution at rate one in ~N
+    /// accesses (implies `--metrics`); `None` disables the record stream.
+    pub trace_sample: Option<u64>,
     /// Whether `--spans` wall-clock phase profiling is on.
     pub spans: bool,
     /// Directory for JSONL artifacts.
@@ -68,7 +74,10 @@ impl HarnessOpts {
             engine = engine.with_shards(self.shards);
         }
         if self.metrics {
-            engine.with_metrics(MetricsConfig::default())
+            engine.with_metrics(MetricsConfig {
+                sample_rate: self.trace_sample.unwrap_or(0),
+                ..MetricsConfig::default()
+            })
         } else {
             engine
         }
@@ -76,13 +85,17 @@ impl HarnessOpts {
 
     /// Writes the observability artifacts of `results`: with `--metrics`,
     /// `<figure>.epochs.jsonl` and `<figure>.trace.jsonl` (deterministic,
-    /// cycle-domain); with `--metrics` or `--spans`,
-    /// `<figure>.metrics.jsonl` (wall-clock engine telemetry and span
-    /// phase trees).
+    /// cycle-domain); with `--trace-sample`, `<figure>.lat.jsonl` (sampled
+    /// latency-attribution records, also deterministic); with `--metrics`
+    /// or `--spans`, `<figure>.metrics.jsonl` (wall-clock engine telemetry
+    /// and span phase trees).
     pub fn write_telemetry(&self, figure: &str, results: &ResultSet) {
         if self.metrics {
             self.write_jsonl(&format!("{figure}.epochs"), &results.epochs_jsonl_lines());
             self.write_jsonl(&format!("{figure}.trace"), &results.trace_jsonl_lines());
+        }
+        if self.trace_sample.is_some() {
+            self.write_jsonl(&format!("{figure}.lat"), &results.lat_jsonl_lines());
         }
         if self.metrics || self.spans {
             self.write_jsonl(&format!("{figure}.metrics"), &results.metrics_jsonl_lines());
@@ -115,6 +128,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
     let mut jobs: Option<usize> = None;
     let mut shards: Option<usize> = None;
     let mut metrics = false;
+    let mut trace_sample: Option<u64> = None;
     let mut spans = false;
     let mut out: Option<PathBuf> = None;
     let mut rest = Vec::new();
@@ -156,6 +170,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
                 );
             }
             "--metrics" => metrics = true,
+            "--trace-sample" => {
+                trace_sample = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&r| r > 0)
+                        .unwrap_or_else(|| panic!("--trace-sample needs a positive rate")),
+                );
+                metrics = true; // records ride on the metrics pipeline
+            }
             "--spans" => spans = true,
             "--out" => {
                 out = Some(PathBuf::from(
@@ -177,6 +200,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
         jobs,
         shards,
         metrics,
+        trace_sample,
         spans,
         out: out.unwrap_or_else(memsim_sim::results_dir),
         rest,
@@ -222,8 +246,22 @@ mod tests {
         assert_eq!(o.jobs, None);
         assert_eq!(o.shards, None);
         assert!(!o.metrics);
+        assert_eq!(o.trace_sample, None);
         assert!(!o.spans);
         assert!(o.rest.is_empty());
+    }
+
+    #[test]
+    fn trace_sample_implies_metrics() {
+        let o = opts(&["--trace-sample", "64"]);
+        assert_eq!(o.trace_sample, Some(64));
+        assert!(o.metrics, "--trace-sample rides on the metrics pipeline");
+    }
+
+    #[test]
+    #[should_panic(expected = "--trace-sample needs a positive rate")]
+    fn zero_trace_sample_panics() {
+        opts(&["--trace-sample", "0"]);
     }
 
     #[test]

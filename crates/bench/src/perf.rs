@@ -20,6 +20,7 @@
 use memsim_sim::report::render_table;
 use memsim_sim::{parse_flat, Design, JsonValue, RunConfig, SpanTree};
 use memsim_trace::SpecProfile;
+use memsim_types::AccessPath;
 
 /// Version stamp written into every BENCH file; bump whenever the line
 /// schema changes so `compare` refuses mismatched files instead of
@@ -113,6 +114,14 @@ pub struct BenchCase {
     pub migrations: u64,
     /// Over-fetch ratio, where the design tracks one.
     pub overfetch: Option<f64>,
+    /// Per-path p95 of sampled total latency in cycles (indexed like
+    /// [`AccessPath::ALL`]), harvested by the harness's untimed
+    /// instrumented pass. `None` where a path saw no samples — and for
+    /// every path of a BENCH file written before latency folding, which
+    /// parses null-safely without a schema bump.
+    pub lat_p95: [Option<u64>; 5],
+    /// Per-path p99 of sampled total latency, same provenance.
+    pub lat_p99: [Option<u64>; 5],
 }
 
 impl BenchCase {
@@ -189,7 +198,7 @@ impl BenchReport {
             .f64("self_coverage", self.self_coverage)
             .finish()];
         for c in &self.cases {
-            let obj = memsim_sim::JsonObj::new()
+            let mut obj = memsim_sim::JsonObj::new()
                 .str("kind", "bench_case")
                 .str("design", &c.design)
                 .str("workload", &c.workload)
@@ -200,6 +209,11 @@ impl BenchReport {
                 .f64("hit_rate", c.hit_rate)
                 .u64("migrations", c.migrations)
                 .opt_f64("overfetch", c.overfetch);
+            for (path, (p95, p99)) in AccessPath::ALL.iter().zip(c.lat_p95.iter().zip(&c.lat_p99)) {
+                obj = obj
+                    .opt_u64(&format!("p95_{}", path.label()), *p95)
+                    .opt_u64(&format!("p99_{}", path.label()), *p99);
+            }
             lines.push(obj.finish());
         }
         for p in &self.phases {
@@ -271,6 +285,12 @@ impl BenchReport {
                     hit_rate: num("hit_rate"),
                     migrations: int("migrations"),
                     overfetch: get("overfetch").and_then(JsonValue::as_f64),
+                    lat_p95: AccessPath::ALL.map(|p| {
+                        get(&format!("p95_{}", p.label())).and_then(JsonValue::as_u64)
+                    }),
+                    lat_p99: AccessPath::ALL.map(|p| {
+                        get(&format!("p99_{}", p.label())).and_then(JsonValue::as_u64)
+                    }),
                 }),
                 "bench_phase" => phases.push(BenchPhase {
                     path: text("path"),
@@ -343,14 +363,20 @@ impl BenchReport {
     }
 
     /// Renders the per-case table (wall time, throughput, invariants).
+    /// When any case carries folded tail latencies, a per-path p95 column
+    /// block is appended; for older BENCH files without the fields the
+    /// columns are silently omitted.
     pub fn case_table(&self) -> String {
-        let mut rows = vec![
-            ["case", "wall ms", "acc/s", "cycles", "ipc", "hit%", "migr", "overfetch"]
-                .map(str::to_string)
-                .to_vec(),
-        ];
+        let with_tails = self.cases.iter().any(|c| c.lat_p95.iter().any(Option::is_some));
+        let mut header = ["case", "wall ms", "acc/s", "cycles", "ipc", "hit%", "migr", "overfetch"]
+            .map(str::to_string)
+            .to_vec();
+        if with_tails {
+            header.extend(AccessPath::ALL.map(|p| format!("p95 {}", p.label())));
+        }
+        let mut rows = vec![header];
         for c in &self.cases {
-            rows.push(vec![
+            let mut row = vec![
                 c.key(),
                 format!("{:.1}", c.wall_ms),
                 format!("{:.0}", c.accesses_per_sec),
@@ -359,7 +385,13 @@ impl BenchReport {
                 format!("{:.1}", c.hit_rate * 100.0),
                 c.migrations.to_string(),
                 c.overfetch.map_or("-".to_string(), |o| format!("{o:.3}")),
-            ]);
+            ];
+            if with_tails {
+                row.extend(
+                    c.lat_p95.iter().map(|p| p.map_or("-".to_string(), |v| v.to_string())),
+                );
+            }
+            rows.push(row);
         }
         render_table(&rows)
     }
@@ -396,11 +428,17 @@ pub struct Thresholds {
     /// Maximum tolerated relative drift of a cycle-domain invariant, in
     /// percent (the defaults demand an exact match up to float noise).
     pub invariant_pct: f64,
+    /// Maximum tolerated increase of a per-path sampled tail latency
+    /// (p95/p99), in percent. Tails are cycle-domain but quantized to
+    /// power-of-two histogram buckets, so the default tolerates one
+    /// bucket-edge wobble rather than demanding exactness; only gates
+    /// when both reports carry the latency fields.
+    pub tail_pct: f64,
 }
 
 impl Default for Thresholds {
     fn default() -> Thresholds {
-        Thresholds { time_pct: 30.0, invariant_pct: 1e-6 }
+        Thresholds { time_pct: 30.0, invariant_pct: 1e-6, tail_pct: 110.0 }
     }
 }
 
@@ -515,6 +553,13 @@ impl Comparison {
     }
 }
 
+/// Delta metric names for the per-path tail gates, indexed like
+/// [`AccessPath::ALL`] (the names mirror the BENCH field names).
+const TAIL_P95_METRICS: [&str; 5] =
+    ["p95_mhbm_hit", "p95_chbm_hit", "p95_miss_fill", "p95_sl_bypass", "p95_migration"];
+const TAIL_P99_METRICS: [&str; 5] =
+    ["p99_mhbm_hit", "p99_chbm_hit", "p99_miss_fill", "p99_sl_bypass", "p99_migration"];
+
 fn rel_pct(before: f64, after: f64) -> f64 {
     if before == after {
         return 0.0;
@@ -600,6 +645,26 @@ pub fn compare(base: &BenchReport, new: &BenchReport, th: Thresholds) -> Result<
                 improvement: false,
             });
         }
+        // Sampled tail latencies gate only when both runs folded them in —
+        // a baseline from before latency folding parses them as None and
+        // is skipped silently, so old BENCH files keep working.
+        for (names, before, after) in
+            [(TAIL_P95_METRICS, &b.lat_p95, &n.lat_p95), (TAIL_P99_METRICS, &b.lat_p99, &n.lat_p99)]
+        {
+            for (metric, (before, after)) in names.into_iter().zip(before.iter().zip(after)) {
+                let (Some(before), Some(after)) = (*before, *after) else { continue };
+                let pct = rel_pct(before as f64, after as f64);
+                cmp.deltas.push(Delta {
+                    case: key.clone(),
+                    metric,
+                    before: before as f64,
+                    after: after as f64,
+                    pct,
+                    regression: pct > th.tail_pct,
+                    improvement: false,
+                });
+            }
+        }
         // Over-fetch only exists for tracking designs; appearing or
         // disappearing is itself behavior drift.
         match (b.overfetch, n.overfetch) {
@@ -662,7 +727,15 @@ mod tests {
             hit_rate: 0.75,
             migrations: 42,
             overfetch: (design == "Bumblebee").then_some(0.25),
+            lat_p95: [None; 5],
+            lat_p99: [None; 5],
         }
+    }
+
+    fn with_tails(mut c: BenchCase) -> BenchCase {
+        c.lat_p95 = [Some(30), Some(120), Some(900), Some(700), Some(2000)];
+        c.lat_p99 = [Some(40), Some(160), Some(1500), Some(1100), Some(4000)];
+        c
     }
 
     fn report() -> BenchReport {
@@ -792,6 +865,50 @@ mod tests {
         assert!(table.contains("wall %"));
         // cell/ctrl_lookup: 80 ms of 120 ms busy → 66.7% both ways.
         assert!(table.contains("66.7"));
+    }
+
+    #[test]
+    fn tail_latencies_round_trip_and_gate_only_when_present() {
+        let mut base = report();
+        base.cases[0] = with_tails(base.cases[0].clone());
+        // Round trip keeps every per-path field, including the None gaps.
+        let body = base.to_lines().join("\n");
+        assert!(body.contains("\"p95_mhbm_hit\":30"));
+        assert!(body.contains("\"p99_migration\":4000"));
+        let parsed = BenchReport::parse(&body).unwrap();
+        assert_eq!(parsed, base);
+        // An old-schema body without the fields parses as all-None …
+        let old = report();
+        assert!(old.cases.iter().all(|c| c.lat_p95 == [None; 5] && c.lat_p99 == [None; 5]));
+        // … and never gates against a tail-carrying candidate.
+        let cmp = compare(&old, &base, Thresholds::default()).unwrap();
+        assert_eq!(cmp.regressions(), 0, "missing baseline tails skip silently");
+        assert!(!cmp.deltas.iter().any(|d| d.metric.starts_with("p9")));
+        // Matching tails below threshold stay clean; a blow-up past the
+        // tail gate is a regression with its own metric name.
+        let mut slow = base.clone();
+        slow.cases[0].lat_p95[2] = Some(1800); // doubled, < default 110%
+        assert_eq!(compare(&base, &slow, Thresholds::default()).unwrap().regressions(), 0);
+        slow.cases[0].lat_p95[2] = Some(2000); // +122%
+        let cmp = compare(&base, &slow, Thresholds::default()).unwrap();
+        assert_eq!(cmp.regressions(), 1);
+        assert!(cmp.deltas.iter().any(|d| d.regression && d.metric == "p95_miss_fill"));
+        // A tighter explicit gate catches smaller drift.
+        slow.cases[0].lat_p95[2] = Some(1000);
+        let tight = Thresholds { tail_pct: 5.0, ..Thresholds::default() };
+        assert_eq!(compare(&base, &slow, tight).unwrap().regressions(), 1);
+    }
+
+    #[test]
+    fn case_table_adds_p95_columns_only_with_tails() {
+        let plain = report();
+        assert!(!plain.case_table().contains("p95"));
+        let mut tailed = report();
+        tailed.cases[0] = with_tails(tailed.cases[0].clone());
+        let table = tailed.case_table();
+        assert!(table.contains("p95 mhbm_hit"));
+        assert!(table.contains("2000"), "migration p95 rendered");
+        assert!(table.contains('-'), "tail-less case renders dashes");
     }
 
     #[test]

@@ -452,6 +452,7 @@ mod tests {
         c.telemetry_mut().install(Box::new(RunRecorder::new(&MetricsConfig {
             epoch_interval: 4,
             event_capacity: 64,
+            ..MetricsConfig::default()
         })));
         let mut plan = AccessPlan::new();
         for i in 0..10u64 {

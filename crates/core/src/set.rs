@@ -14,8 +14,8 @@ use crate::hot_table::{HotEntry, HotTable};
 use crate::prt::Prt;
 use memsim_obs::{Telemetry, TraceEvent};
 use memsim_types::{
-    AccessKind, AccessPlan, Addr, BlockIndex, Cause, CtrlStats, DeviceOp, Geometry, Mem, OpKind,
-    OverfetchTracker, PageSlot,
+    AccessKind, AccessPath, AccessPlan, Addr, BlockIndex, Cause, CtrlStats, DeviceOp, Geometry,
+    Mem, OpKind, OverfetchTracker, PageSlot,
 };
 
 /// Where a demand request was served from.
@@ -353,6 +353,12 @@ impl RemapSet {
         ctx: &mut SetCtx<'_>,
     ) -> ServedFrom {
         self.accesses += 1;
+        // Path classification baselines: off-chip serves are classified by
+        // which side effects this access produced (migration/swap vs
+        // T-gate rejection vs plain miss). HBM hits set their path at the
+        // serving site instead and never touch these counters.
+        let migr0 = ctx.stats.page_migrations;
+        let rej0 = ctx.stats.threshold_rejections;
         if !self.prt.is_allocated(o) {
             self.allocate(o, ctx);
         }
@@ -362,6 +368,15 @@ impl RemapSet {
         } else {
             self.access_offchip_home(o, p, block, line, kind, ctx)
         };
+        if served == ServedFrom::OffChip {
+            ctx.plan.path = if ctx.stats.page_migrations > migr0 {
+                AccessPath::Migration
+            } else if ctx.stats.threshold_rejections > rej0 {
+                AccessPath::SlBypass
+            } else {
+                AccessPath::MissFill
+            };
+        }
         if ctx.cfg.hmf_enabled {
             self.zombie_tick(ctx);
         }
@@ -392,6 +407,7 @@ impl RemapSet {
         ctx.push(kind == AccessKind::Read, op);
         self.hot.touch_hbm(o);
         ctx.stats.hbm_hits += 1;
+        ctx.plan.path = AccessPath::MhbmHit;
         let set = ctx.set_id;
         ctx.emit(|| TraceEvent::BleHit { set, page: o, block });
         ctx.of_used(o, block, line);
@@ -425,6 +441,7 @@ impl RemapSet {
                 }
                 self.hot.touch_hbm(o);
                 ctx.stats.hbm_hits += 1;
+                ctx.plan.path = AccessPath::ChbmHit;
                 let set = ctx.set_id;
                 ctx.emit(|| TraceEvent::BleHit { set, page: o, block });
                 ctx.of_used(o, block, line);

@@ -89,6 +89,26 @@ impl Pow2Histogram {
         }
     }
 
+    /// The value at quantile `q` (e.g. `0.95`), resolved to the *upper*
+    /// bound of the power-of-two bucket holding that rank (clamped to the
+    /// recorded [`max`](Self::max)) — a deterministic, conservative
+    /// estimate whose error is bounded by the bucket width. Returns 0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bounds(k).1.saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// `(bucket, lo, count)` for every non-empty bucket, low to high.
     pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
         self.buckets
@@ -178,5 +198,24 @@ mod tests {
         assert_eq!(h.total(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.nonzero().count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentiles_walk_buckets_and_clamp_to_max() {
+        let mut h = Pow2Histogram::new();
+        for _ in 0..90 {
+            h.record(3); // bucket 1: [2,4)
+        }
+        for _ in 0..10 {
+            h.record(700); // bucket 9: [512,1024)
+        }
+        assert_eq!(h.percentile(0.5), 3, "bucket upper bound, bucket 1");
+        assert_eq!(h.percentile(0.9), 3);
+        assert_eq!(h.percentile(0.95), 700, "top bucket clamps to max");
+        assert_eq!(h.percentile(1.0), 700);
+        let mut one = Pow2Histogram::new();
+        one.record(5);
+        assert_eq!(one.percentile(0.0), 5, "q=0 still resolves rank 1");
     }
 }

@@ -22,6 +22,11 @@
 //! * [`recorder::Telemetry`] — the controller-side handle. With no
 //!   recorder installed (the default) the fast path costs a single
 //!   `Option` discriminant check and **zero** virtual calls;
+//! * [`lat`] — sampled per-access request tracing: a deterministic
+//!   SplitMix64 sampler over the global access sequence, cycle-domain
+//!   [`lat::AccessRecord`]s (path + lookup/queue/service/stall), a bounded
+//!   [`lat::LatRing`] with shard-merge, and the [`lat::LatCollector`]
+//!   report aggregator;
 //! * [`span`] — a scoped wall-clock span profiler (thread-local RAII
 //!   guards aggregated into a per-phase tree), answering *where simulator
 //!   wall time goes*; disabled it costs one thread-local flag check.
@@ -43,6 +48,7 @@
 //! t.install(Box::new(RunRecorder::new(&MetricsConfig {
 //!     epoch_interval: 2,
 //!     event_capacity: 16,
+//!     ..MetricsConfig::default()
 //! })));
 //! let mut stats = CtrlStats::new();
 //! for _ in 0..4 {
@@ -57,12 +63,16 @@
 
 pub mod event;
 pub mod hist;
+pub mod lat;
 pub mod recorder;
 pub mod snapshot;
 pub mod span;
 
 pub use event::{merge_shard_events, EventRing, TimedEvent, TraceEvent};
 pub use hist::{DeviceHistograms, Pow2Histogram};
+pub use lat::{
+    merge_shard_records, sampled, AccessRecord, LatCollector, LatRing, PathLatency, QueueGauge,
+};
 pub use recorder::{MetricsConfig, MetricsRecorder, NoopRecorder, RunRecorder, Telemetry};
 pub use snapshot::{EpochGauges, EpochSnapshot, OCC_BUCKETS};
 pub use span::{Phase, SpanNode, SpanTree};

@@ -12,11 +12,23 @@ pub struct MetricsConfig {
     pub epoch_interval: u64,
     /// Newest events kept in the trace ring.
     pub event_capacity: usize,
+    /// Latency-trace sampling rate: roughly one access in `sample_rate`
+    /// gets a full [`AccessRecord`](crate::lat::AccessRecord) (0 disables
+    /// request tracing entirely — the hot path reduces to one integer
+    /// compare).
+    pub sample_rate: u64,
+    /// Newest sampled records kept in the latency ring.
+    pub record_capacity: usize,
 }
 
 impl Default for MetricsConfig {
     fn default() -> MetricsConfig {
-        MetricsConfig { epoch_interval: 8192, event_capacity: 4096 }
+        MetricsConfig {
+            epoch_interval: 8192,
+            event_capacity: 4096,
+            sample_rate: 0,
+            record_capacity: 65536,
+        }
     }
 }
 
@@ -233,6 +245,7 @@ mod tests {
         t.install(Box::new(RunRecorder::new(&MetricsConfig {
             epoch_interval: 3,
             event_capacity: 2,
+            ..MetricsConfig::default()
         })));
         let mut stats = CtrlStats::new();
         for i in 0..7u64 {
@@ -259,6 +272,7 @@ mod tests {
         t.install(Box::new(RunRecorder::new(&MetricsConfig {
             epoch_interval: 1,
             event_capacity: 1,
+            ..MetricsConfig::default()
         })));
         let mut stats = CtrlStats::new();
         stats.hbm_hits = 4;

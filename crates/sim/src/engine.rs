@@ -15,8 +15,8 @@ use crate::matrix::{Cell, ExperimentMatrix};
 use crate::report::SimReport;
 use crate::run::{run_design_with, RunObservations};
 use crate::shard::run_design_sharded;
-use memsim_obs::{span, MetricsConfig, Pow2Histogram, SpanTree};
-use memsim_types::GeometryError;
+use memsim_obs::{span, LatCollector, MetricsConfig, Pow2Histogram, SpanTree};
+use memsim_types::{AccessPath, GeometryError};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -239,7 +239,7 @@ impl Engine {
             cell_nanos,
             cell_spans,
         };
-        Ok(ResultSet::new(matrix, self.jobs, reports, observations, telemetry))
+        Ok(ResultSet::new(matrix, self.jobs, reports, observations, telemetry, self.metrics))
     }
 }
 
@@ -332,6 +332,7 @@ pub struct ResultSet {
     reports: Vec<SimReport>,
     observations: Option<Vec<RunObservations>>,
     engine: EngineTelemetry,
+    metrics: Option<MetricsConfig>,
     index: BTreeMap<(String, &'static str, String), usize>,
 }
 
@@ -342,13 +343,23 @@ impl ResultSet {
         reports: Vec<SimReport>,
         observations: Option<Vec<RunObservations>>,
         engine: EngineTelemetry,
+        metrics: Option<MetricsConfig>,
     ) -> ResultSet {
         let cells = matrix.cells().to_vec();
         let mut index = BTreeMap::new();
         for c in &cells {
             index.insert((c.tag.clone(), c.design.label(), c.profile.name.to_string()), c.id);
         }
-        ResultSet { name: matrix.name().to_string(), jobs, cells, reports, observations, engine, index }
+        ResultSet {
+            name: matrix.name().to_string(),
+            jobs,
+            cells,
+            reports,
+            observations,
+            engine,
+            metrics,
+            index,
+        }
     }
 
     /// The matrix name this set came from.
@@ -514,6 +525,90 @@ impl ResultSet {
         lines
     }
 
+    /// The sampled latency-attribution stream as JSONL, per cell:
+    /// one `kind=lat` line per sampled [`AccessRecord`](memsim_obs::AccessRecord)
+    /// (cycle-domain `lookup`/`queue`/`service`/`stall` decomposition tagged
+    /// with its serve path), `kind=lat_epoch` queue-depth gauges,
+    /// `kind=lat_hist` per-path latency histograms with p50/p95/p99, and a
+    /// closing `kind=lat_summary` line whose per-path totals reconcile
+    /// exactly against the cell's controller counters. Purely cycle-domain —
+    /// byte-identical across `--jobs` and `--shards` widths. Empty when the
+    /// run recorded no metrics or sampling was disabled (`sample_rate` 0).
+    pub fn lat_jsonl_lines(&self) -> Vec<String> {
+        let Some(all) = self.observations.as_deref() else { return Vec::new() };
+        let interval = self.metrics.map_or_else(
+            || MetricsConfig::default().epoch_interval,
+            |m| m.epoch_interval,
+        );
+        let mut lines = Vec::new();
+        for (c, obs) in self.cells.iter().zip(all) {
+            if obs.sample_rate == 0 {
+                continue;
+            }
+            let mut coll = LatCollector::new(interval);
+            for r in &obs.records {
+                lines.push(
+                    self.cell_obj("lat", c)
+                        .u64("seq", r.seq)
+                        .str("path", r.path.label())
+                        .u64("lookup", r.lookup)
+                        .u64("queue", r.queue)
+                        .u64("service", r.service)
+                        .u64("stall", r.stall)
+                        .u64("total", r.total)
+                        .finish(),
+                );
+                coll.push(r);
+            }
+            for g in coll.epochs() {
+                lines.push(
+                    self.cell_obj("lat_epoch", c)
+                        .u64("epoch", g.epoch)
+                        .u64("samples", g.samples)
+                        .u64("queue_sum", g.queue_sum)
+                        .u64("queue_max", g.queue_max)
+                        .finish(),
+                );
+            }
+            for path in AccessPath::ALL {
+                let p = coll.path(path);
+                if p.count == 0 {
+                    continue;
+                }
+                let mut obj = self
+                    .cell_obj("lat_hist", c)
+                    .str("path", path.label())
+                    .u64("count", p.count)
+                    .u64("lookup", p.lookup)
+                    .u64("queue", p.queue)
+                    .u64("service", p.service)
+                    .u64("stall", p.stall)
+                    .u64("p50", p.hist.percentile(0.50))
+                    .u64("p95", p.hist.percentile(0.95))
+                    .u64("p99", p.hist.percentile(0.99));
+                for (k, _, count) in p.hist.nonzero() {
+                    obj = obj.u64(&format!("b{k}"), count);
+                }
+                lines.push(obj.finish());
+            }
+            let stats = &self.reports[c.id].stats;
+            let mut sum = self
+                .cell_obj("lat_summary", c)
+                .u64("records", obs.records.len() as u64)
+                .u64("dropped", obs.dropped_records)
+                .u64("sample_rate", obs.sample_rate);
+            for (path, &n) in AccessPath::ALL.iter().zip(&obs.path_counts) {
+                sum = sum.u64(path.label(), n);
+            }
+            lines.push(
+                sum.u64("hbm_hits", stats.hbm_hits)
+                    .u64("offchip_serves", stats.offchip_serves)
+                    .finish(),
+            );
+        }
+        lines
+    }
+
     /// Wall-clock engine telemetry as JSONL: one `kind=cell_metrics` line
     /// per cell (wall ms, accesses/sec), per-cell `kind=span` phase-tree
     /// lines and a `kind=span_summary` line when the run profiled spans,
@@ -639,15 +734,64 @@ mod tests {
 
     #[test]
     fn observability_output_is_byte_identical_at_any_width() {
-        let cfg = MetricsConfig { epoch_interval: 1000, event_capacity: 256 };
+        let cfg = MetricsConfig {
+            epoch_interval: 1000,
+            event_capacity: 256,
+            sample_rate: 32,
+            ..MetricsConfig::default()
+        };
         let m = metrics_matrix();
         let serial = Engine::new(1).with_metrics(cfg).run(&m).unwrap();
         assert!(!serial.epochs_jsonl_lines().is_empty());
         assert!(!serial.trace_jsonl_lines().is_empty());
+        assert!(!serial.lat_jsonl_lines().is_empty());
         let wide = Engine::new(8).with_metrics(cfg).run(&m).unwrap();
         assert_eq!(serial.jsonl_lines(), wide.jsonl_lines());
         assert_eq!(serial.epochs_jsonl_lines(), wide.epochs_jsonl_lines());
         assert_eq!(serial.trace_jsonl_lines(), wide.trace_jsonl_lines());
+        assert_eq!(serial.lat_jsonl_lines(), wide.lat_jsonl_lines());
+    }
+
+    #[test]
+    fn lat_jsonl_carries_every_record_kind_and_reconciles() {
+        use crate::jsonl::parse_flat;
+        let cfg = MetricsConfig {
+            epoch_interval: 1000,
+            event_capacity: 256,
+            sample_rate: 16,
+            ..MetricsConfig::default()
+        };
+        let m = metrics_matrix();
+        let rs = Engine::new(2).with_metrics(cfg).run(&m).unwrap();
+        let lines = rs.lat_jsonl_lines();
+        for kind in ["\"kind\":\"lat\"", "\"kind\":\"lat_epoch\"", "\"kind\":\"lat_hist\"", "\"kind\":\"lat_summary\""] {
+            assert!(lines.iter().any(|l| l.contains(kind)), "missing {kind}");
+        }
+        let summaries: Vec<_> =
+            lines.iter().filter(|l| l.contains("\"kind\":\"lat_summary\"")).collect();
+        assert_eq!(summaries.len(), m.len(), "one summary per cell");
+        for line in summaries {
+            let row = parse_flat(line).unwrap();
+            let get = |k: &str| {
+                row.iter()
+                    .find(|(key, _)| key == k)
+                    .and_then(|(_, v)| v.as_u64())
+                    .unwrap_or_else(|| panic!("field {k} in {line}"))
+            };
+            // Path-count totals reconcile EXACTLY against the controller's
+            // hit/miss/bypass counters — the tentpole acceptance invariant.
+            assert_eq!(get("mhbm_hit") + get("chbm_hit"), get("hbm_hits"), "{line}");
+            assert_eq!(
+                get("miss_fill") + get("sl_bypass") + get("migration"),
+                get("offchip_serves"),
+                "{line}"
+            );
+            assert!(get("records") > 0, "sampling enabled yet no records: {line}");
+            assert_eq!(get("sample_rate"), 16);
+        }
+        // Disabled sampling compiles the whole stream away.
+        let off = Engine::new(2).with_metrics(MetricsConfig::default()).run(&m).unwrap();
+        assert!(off.lat_jsonl_lines().is_empty());
     }
 
     #[test]
@@ -660,13 +804,20 @@ mod tests {
             &profiles,
             &RunConfig::tiny(),
         );
-        let cfg = MetricsConfig { epoch_interval: 1000, event_capacity: 128 };
+        let cfg = MetricsConfig {
+            epoch_interval: 1000,
+            event_capacity: 128,
+            sample_rate: 16,
+            ..MetricsConfig::default()
+        };
         let one = Engine::new(2).with_metrics(cfg).with_shards(Some(1)).run(&m).unwrap();
+        assert!(!one.lat_jsonl_lines().is_empty());
         for shards in [2usize, 8] {
             let n = Engine::new(2).with_metrics(cfg).with_shards(Some(shards)).run(&m).unwrap();
             assert_eq!(one.jsonl_lines(), n.jsonl_lines(), "{shards} shards");
             assert_eq!(one.epochs_jsonl_lines(), n.epochs_jsonl_lines(), "{shards} shards");
             assert_eq!(one.trace_jsonl_lines(), n.trace_jsonl_lines(), "{shards} shards");
+            assert_eq!(one.lat_jsonl_lines(), n.lat_jsonl_lines(), "{shards} shards");
         }
         // Non-shardable designs fall back to the serial pipeline untouched.
         let mixed = ExperimentMatrix::cross(
@@ -707,7 +858,11 @@ mod tests {
     #[test]
     fn epoch_jsonl_round_trips_through_parse_flat() {
         use crate::jsonl::parse_flat;
-        let cfg = MetricsConfig { epoch_interval: 1000, event_capacity: 256 };
+        let cfg = MetricsConfig {
+            epoch_interval: 1000,
+            event_capacity: 256,
+            ..MetricsConfig::default()
+        };
         let m = metrics_matrix();
         let rs = Engine::new(1).with_metrics(cfg).run(&m).unwrap();
         let lines = rs.epochs_jsonl_lines();

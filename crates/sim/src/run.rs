@@ -2,11 +2,14 @@
 
 use crate::designs::Design;
 use crate::report::SimReport;
-use crate::system::{SimParams, System};
+use crate::system::{SimParams, StepProbe, System};
 use memsim_obs::span::{self, Phase};
-use memsim_obs::{DeviceHistograms, EpochSnapshot, MetricsConfig, RunRecorder, TimedEvent};
+use memsim_obs::{
+    sampled, AccessRecord, DeviceHistograms, EpochSnapshot, LatRing, MetricsConfig, RunRecorder,
+    TimedEvent,
+};
 use memsim_trace::{SpecProfile, Workload};
-use memsim_types::{Geometry, GeometryError, HybridMemoryController};
+use memsim_types::{Access, Geometry, GeometryError, HybridMemoryController};
 
 /// Scale, geometry, SRAM budget and access volume of one experiment.
 #[derive(Debug, Clone)]
@@ -109,6 +112,17 @@ pub struct RunObservations {
     pub events: Vec<TimedEvent>,
     /// Events dropped because the ring was full.
     pub dropped_events: u64,
+    /// Sampled per-access latency records, seq order (empty when
+    /// `sample_rate` is 0).
+    pub records: Vec<AccessRecord>,
+    /// Sampled records dropped because the latency ring was full.
+    pub dropped_records: u64,
+    /// The sampling rate the records were taken at (0 = tracing disabled).
+    pub sample_rate: u64,
+    /// Full (unsampled) per-path access counts over the whole run
+    /// (warm-up included), indexed by `AccessPath::index` — these
+    /// reconcile exactly against `CtrlStats` hit/off-chip counters.
+    pub path_counts: [u64; 5],
     /// HBM device distributions.
     pub hbm: DeviceHistograms,
     /// Off-chip DRAM device distributions.
@@ -153,14 +167,23 @@ pub fn run_design_with(
     }
     let mut system = System::new(controller, &cfg.geometry, cfg.params, design.uses_hbm());
     let mut workload = cfg.workload(profile);
+    let sample_rate = metrics.map_or(0, |m| m.sample_rate);
+    let mut lat_ring = metrics
+        .filter(|m| m.sample_rate > 0)
+        .map(|m| LatRing::new(m.record_capacity));
 
     // Warm-up: run, then reset instruction/cycle accounting by snapshotting.
+    // `seq` is the 0-based global access index — the same timeline the
+    // sharded path's ShardStream produces, so the sampler selects
+    // identical accesses in both modes.
+    let mut seq: u64 = 0;
     for _ in 0..cfg.warmup {
         let access = {
             let _gen = span::span(Phase::TraceGen);
             workload.next_access()
         };
-        system.step(access);
+        step_sampled(&mut system, lat_ring.as_mut(), sample_rate, seq, access);
+        seq += 1;
     }
     let warm_cycles = system.now();
     let warm = *system.counters();
@@ -169,7 +192,8 @@ pub fn run_design_with(
             let _gen = span::span(Phase::TraceGen);
             workload.next_access()
         };
-        system.step(access);
+        step_sampled(&mut system, lat_ring.as_mut(), sample_rate, seq, access);
+        seq += 1;
     }
     let instructions = system.counters().instructions - warm.instructions;
     let cycles = system.now() - warm_cycles;
@@ -178,13 +202,25 @@ pub fn run_design_with(
     let (hbm, dram) = system.finish();
     let (hbm_counters, dram_counters) = (*hbm.counters(), *dram.counters());
     let (hbm_hist, dram_hist) = (hbm.histograms().clone(), dram.histograms().clone());
+    let path_counts = *system.path_counts();
 
     let observations = system.controller_mut().take_recorder().and_then(|rec| {
         let (epochs, events, dropped_events) = rec.into_run()?.into_parts();
+        let (records, dropped_records) = match lat_ring.take() {
+            Some(ring) => {
+                let dropped = ring.dropped();
+                (ring.into_vec(), dropped)
+            }
+            None => (Vec::new(), 0),
+        };
         Some(RunObservations {
             epochs,
             events,
             dropped_events,
+            records,
+            dropped_records,
+            sample_rate,
+            path_counts,
             hbm: hbm_hist,
             dram: dram_hist,
         })
@@ -212,6 +248,37 @@ pub fn run_design_with(
         stats: controller.stats().clone(),
     };
     Ok((report, observations))
+}
+
+/// Advances the system by one access, recording a latency record when the
+/// deterministic sampler selects global index `seq`. With sampling off
+/// (`ring` = `None`) this is exactly [`System::step`].
+// audit: hot-path
+fn step_sampled<C: HybridMemoryController>(
+    system: &mut System<C>,
+    ring: Option<&mut LatRing>,
+    rate: u64,
+    seq: u64,
+    access: Access,
+) {
+    match ring {
+        Some(ring) if sampled(seq, rate) => {
+            let mut p = StepProbe::default();
+            system.step_probed(access, Some(&mut p));
+            ring.push(AccessRecord {
+                seq,
+                path: p.path,
+                lookup: p.lookup,
+                queue: p.queue,
+                service: p.service,
+                stall: p.stall,
+                total: p.total,
+            });
+        }
+        _ => {
+            system.step(access);
+        }
+    }
 }
 
 /// Runs the no-HBM reference on `profile` (the normalization denominator).
@@ -328,13 +395,17 @@ mod tests {
     #[test]
     fn instrumented_run_harvests_observations() {
         let cfg = RunConfig::tiny();
-        let metrics = MetricsConfig { epoch_interval: 1000, event_capacity: 128 };
+        let metrics =
+            MetricsConfig { epoch_interval: 1000, event_capacity: 128, ..MetricsConfig::default() };
         let (report, obs) =
             run_design_with(Design::Bumblebee, &cfg, &SpecProfile::mcf(), Some(&metrics)).unwrap();
         let obs = obs.expect("metrics requested");
         // Epochs cover warm-up + measured accesses.
         assert_eq!(obs.epochs.len() as u64, (cfg.warmup + cfg.accesses) / 1000);
         assert!(!obs.events.is_empty());
+        assert!(obs.records.is_empty(), "sampling off by default");
+        assert_eq!(obs.sample_rate, 0);
+        assert_eq!(obs.path_counts.iter().sum::<u64>(), cfg.warmup + cfg.accesses);
         assert!(obs.hbm.latency.total() > 0, "HBM saw traffic");
         assert!(obs.dram.latency.total() > 0, "DRAM saw traffic");
         // Instrumentation does not perturb the simulation itself.
@@ -345,6 +416,40 @@ mod tests {
         let (_, none) =
             run_design_with(Design::Bumblebee, &cfg, &SpecProfile::mcf(), None).unwrap();
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn sampled_tracing_records_and_reconciles() {
+        let cfg = RunConfig::tiny();
+        let metrics = MetricsConfig {
+            epoch_interval: 1000,
+            event_capacity: 128,
+            sample_rate: 64,
+            record_capacity: 65536,
+        };
+        let (report, obs) =
+            run_design_with(Design::Bumblebee, &cfg, &SpecProfile::mcf(), Some(&metrics)).unwrap();
+        let obs = obs.expect("metrics requested");
+        assert_eq!(obs.sample_rate, 64);
+        assert!(!obs.records.is_empty(), "rate 64 over 24k accesses must sample");
+        assert_eq!(obs.dropped_records, 0, "capacity covers the whole run");
+        // Records are seq-sorted, components partition the total, and the
+        // full path counts reconcile against the controller's counters.
+        for w in obs.records.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        for r in &obs.records {
+            assert_eq!(r.lookup + r.queue + r.service + r.stall, r.total);
+        }
+        assert_eq!(obs.path_counts[0] + obs.path_counts[1], report.stats.hbm_hits);
+        assert_eq!(
+            obs.path_counts[2] + obs.path_counts[3] + obs.path_counts[4],
+            report.stats.offchip_serves
+        );
+        // Probing on sampled accesses never perturbs the cycle domain.
+        let plain = run_design(Design::Bumblebee, &cfg, &SpecProfile::mcf()).unwrap();
+        assert_eq!(report.cycles, plain.cycles);
+        assert_eq!(report.hbm_bytes, plain.hbm_bytes);
     }
 
     #[test]

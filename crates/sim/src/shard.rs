@@ -39,8 +39,8 @@ use memsim_dram::{
 };
 use memsim_obs::span::{self, Phase};
 use memsim_obs::{
-    merge_shard_events, DeviceHistograms, EpochSnapshot, MetricsConfig, RunRecorder, SpanTree,
-    TimedEvent,
+    merge_shard_events, merge_shard_records, sampled, AccessRecord, DeviceHistograms,
+    EpochSnapshot, LatRing, MetricsConfig, RunRecorder, SpanTree, TimedEvent,
 };
 use memsim_trace::{ShardStream, SpecProfile};
 use memsim_types::{AccessKind, AccessPlan, Cause, CtrlStats, GeometryError, Mem};
@@ -117,6 +117,8 @@ struct WorkerOut {
     hbm_hist: DeviceHistograms,
     dram_hist: DeviceHistograms,
     events: Option<(Vec<TimedEvent>, u64)>,
+    records: Option<(Vec<AccessRecord>, u64)>,
+    path_counts: [u64; 5],
     mhbm_frames: u64,
     page_faults: u64,
     mode_switch_bytes: u64,
@@ -158,6 +160,11 @@ fn shard_worker(
     let mut counters = SystemCounters::default();
     let mut warm: Option<(SystemCounters, u64)> = None;
     let mut plan = AccessPlan::new();
+    let sample_rate = metrics.map_or(0, |m| m.sample_rate);
+    let mut lat_ring = metrics
+        .filter(|m| m.sample_rate > 0)
+        .map(|m| LatRing::new(m.record_capacity));
+    let mut path_counts = [0u64; 5];
     let mut stream = ShardStream::new(cfg.workload(profile), geometry, lo, hi, total);
     loop {
         let item = {
@@ -182,19 +189,45 @@ fn shard_worker(
         }
         counters.accesses += 1;
         counters.instructions += u64::from(access.insts);
+        path_counts[plan.path.index()] += 1;
         let d = &mut domains[(ShardStream::set_of(&geometry, access.addr) - lo) as usize];
         let service = span::span(Phase::DramService);
+        // Same sampler, same global index, same probe discipline as the
+        // serial path (`step_probed`): the record stream merges
+        // byte-identically at any shard width.
+        let sample_this = lat_ring.is_some() && sampled(gi, sample_rate);
         let mut t = d.now + u64::from(plan.metadata_cycles);
         let mut mal = u64::from(plan.metadata_cycles);
+        let mut queue = 0u64;
         for i in 0..plan.critical.len() {
             let op = plan.critical[i];
             let start = t;
+            let q0 = if sample_this && op.cause != Cause::Metadata {
+                d.device(op.mem).histograms().queue_wait.sum()
+            } else {
+                0
+            };
             t = d.device(op.mem).access(op.addr, op.bytes, op.kind, t);
             if op.cause == Cause::Metadata {
                 mal += t - start;
+            } else if sample_this {
+                queue += d.device(op.mem).histograms().queue_wait.sum() - q0;
             }
         }
         let raw_latency = t - d.now;
+        if sample_this {
+            if let Some(ring) = lat_ring.as_mut() {
+                ring.push(AccessRecord {
+                    seq: gi,
+                    path: plan.path,
+                    lookup: mal,
+                    queue,
+                    service: raw_latency - mal - queue,
+                    stall: plan.stall_cycles,
+                    total: raw_latency + plan.stall_cycles,
+                });
+            }
+        }
         let background_at = d.now;
         for i in 0..plan.background.len() {
             let op = plan.background[i];
@@ -256,6 +289,10 @@ fn shard_worker(
         debug_assert!(epochs.is_empty(), "shards never sample epochs themselves");
         Some((events, dropped))
     });
+    let records = lat_ring.map(|r| {
+        let dropped = r.dropped();
+        (r.into_vec(), dropped)
+    });
     WorkerOut {
         stats: shard.stats().clone(),
         partials,
@@ -268,6 +305,8 @@ fn shard_worker(
         hbm_hist,
         dram_hist,
         events,
+        records,
+        path_counts,
         mhbm_frames: shard.mhbm_frames(),
         page_faults: shard.page_faults(),
         mode_switch_bytes: shard.mode_switch_bytes(),
@@ -415,7 +454,32 @@ pub fn run_design_sharded(
             .map(|o| o.events.clone().expect("metrics requested, so every shard records"))
             .collect();
         let (events, dropped_events) = merge_shard_events(parts, m.event_capacity);
-        RunObservations { epochs, events, dropped_events, hbm: hbm_hist, dram: dram_hist }
+        let (records, dropped_records) = if m.sample_rate > 0 {
+            let parts: Vec<(Vec<AccessRecord>, u64)> = outs
+                .iter()
+                .map(|o| o.records.clone().expect("sampling on, so every shard records"))
+                .collect();
+            merge_shard_records(parts, m.record_capacity)
+        } else {
+            (Vec::new(), 0)
+        };
+        let mut path_counts = [0u64; 5];
+        for o in &outs {
+            for (sum, c) in path_counts.iter_mut().zip(&o.path_counts) {
+                *sum += c;
+            }
+        }
+        RunObservations {
+            epochs,
+            events,
+            dropped_events,
+            records,
+            dropped_records,
+            sample_rate: m.sample_rate,
+            path_counts,
+            hbm: hbm_hist,
+            dram: dram_hist,
+        }
     });
     Ok((report, observations))
 }
@@ -454,7 +518,12 @@ mod tests {
     #[test]
     fn sharded_run_is_byte_identical_at_widths_one_two_eight() {
         let cfg = RunConfig::tiny();
-        let metrics = MetricsConfig { epoch_interval: 1000, event_capacity: 128 };
+        let metrics = MetricsConfig {
+            epoch_interval: 1000,
+            event_capacity: 128,
+            sample_rate: 16,
+            ..MetricsConfig::default()
+        };
         let profile = SpecProfile::mcf();
         let run = |shards| {
             run_design_sharded(Design::Bumblebee, &cfg, &profile, Some(&metrics), shards).unwrap()
@@ -463,6 +532,14 @@ mod tests {
         let o1 = o1.unwrap();
         assert_eq!(o1.epochs.len() as u64, (cfg.warmup + cfg.accesses) / 1000);
         assert!(r1.cycles > 1 && r1.instructions > 0 && r1.hbm_bytes > 0);
+        assert!(!o1.records.is_empty(), "sample_rate 16 must select some accesses");
+        assert!(o1.records.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(o1.path_counts.iter().sum::<u64>(), cfg.warmup + cfg.accesses);
+        assert_eq!(o1.path_counts[0] + o1.path_counts[1], r1.stats.hbm_hits);
+        assert_eq!(
+            o1.path_counts[2] + o1.path_counts[3] + o1.path_counts[4],
+            r1.stats.offchip_serves
+        );
         for shards in [2usize, 8] {
             let (r, o) = run(shards);
             let o = o.unwrap();
@@ -470,6 +547,9 @@ mod tests {
             assert_eq!(o1.epochs, o.epochs, "epochs at {shards} shards");
             assert_eq!(o1.events, o.events, "events at {shards} shards");
             assert_eq!(o1.dropped_events, o.dropped_events);
+            assert_eq!(o1.records, o.records, "lat records at {shards} shards");
+            assert_eq!(o1.dropped_records, o.dropped_records);
+            assert_eq!(o1.path_counts, o.path_counts, "path counts at {shards} shards");
             assert_eq!(o1.hbm, o.hbm, "hbm histograms at {shards} shards");
             assert_eq!(o1.dram, o.dram, "dram histograms at {shards} shards");
         }

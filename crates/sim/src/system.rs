@@ -4,8 +4,31 @@
 use memsim_dram::{presets, DramDevice};
 use memsim_obs::span::{self, Phase};
 use memsim_types::{
-    Access, AccessKind, AccessPlan, Cause, Geometry, HybridMemoryController, Mem,
+    Access, AccessKind, AccessPath, AccessPlan, Cause, Geometry, HybridMemoryController, Mem,
 };
+
+/// Cycle-domain decomposition of one access, filled by
+/// [`System::step_probed`] for sampled request tracing.
+///
+/// The components partition the charged time exactly:
+/// `lookup + queue + service` equals the raw critical-path latency and
+/// `total` adds the non-device `stall`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepProbe {
+    /// Serve-path classification the controller put on the plan.
+    pub path: AccessPath,
+    /// Metadata cycles: SRAM lookup plus the full device time of
+    /// `Cause::Metadata` critical ops.
+    pub lookup: u64,
+    /// Channel bus-queue wait of the non-metadata critical ops.
+    pub queue: u64,
+    /// Remaining device service time of the critical path.
+    pub service: u64,
+    /// Non-device stall cycles (OS page faults, swap penalties).
+    pub stall: u64,
+    /// `lookup + queue + service + stall`.
+    pub total: u64,
+}
 
 /// Core-side timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +77,7 @@ pub struct System<C> {
     plan: AccessPlan,
     now: u64,
     counters: SystemCounters,
+    path_counts: [u64; 5],
     uses_hbm: bool,
 }
 
@@ -70,6 +94,7 @@ impl<C: HybridMemoryController> System<C> {
             plan: AccessPlan::new(),
             now: 0,
             counters: SystemCounters::default(),
+            path_counts: [0; 5],
             uses_hbm,
         }
     }
@@ -94,9 +119,28 @@ impl<C: HybridMemoryController> System<C> {
         &self.counters
     }
 
+    /// Full (unsampled) per-path access counts, indexed by
+    /// [`AccessPath::index`] — every access is counted, so these reconcile
+    /// exactly against the controller's hit/off-chip counters at any
+    /// sampling rate.
+    pub fn path_counts(&self) -> &[u64; 5] {
+        &self.path_counts
+    }
+
     /// Runs one LLC-miss access through the controller and the devices,
     /// returning the exposed latency in cycles.
+    // audit: hot-path
     pub fn step(&mut self, access: Access) -> u64 {
+        self.step_probed(access, None)
+    }
+
+    /// [`step`](Self::step) with an optional cycle-domain probe: when
+    /// `probe` is `Some`, the critical-path time is decomposed into
+    /// lookup / queue-wait / service / stall (the latency-attribution
+    /// record of a sampled access). With `None` the extra accounting
+    /// compiles down to dead branches on the hot path.
+    // audit: hot-path
+    pub fn step_probed(&mut self, access: Access, probe: Option<&mut StepProbe>) -> u64 {
         self.plan.clear();
         {
             let _lookup = span::span(Phase::CtrlLookup);
@@ -104,20 +148,41 @@ impl<C: HybridMemoryController> System<C> {
         }
         self.counters.accesses += 1;
         self.counters.instructions += u64::from(access.insts);
+        self.path_counts[self.plan.path.index()] += 1;
 
         let service = span::span(Phase::DramService);
         // Critical path: metadata, then each op in order.
         let mut t = self.now + u64::from(self.plan.metadata_cycles);
         let mut mal = u64::from(self.plan.metadata_cycles);
+        // Bus-queue wait of non-metadata critical ops, measured only for
+        // sampled accesses by snapshotting the device's exact running
+        // queue-wait sum around each op (zero extra device state).
+        let mut queue = 0u64;
+        let probing = probe.is_some();
         for i in 0..self.plan.critical.len() {
             let op = self.plan.critical[i];
             let start = t;
+            let q0 = if probing && op.cause != Cause::Metadata {
+                self.device(op.mem).histograms().queue_wait.sum()
+            } else {
+                0
+            };
             t = self.device(op.mem).access(op.addr, op.bytes, op.kind, t);
             if op.cause == Cause::Metadata {
                 mal += t - start;
+            } else if probing {
+                queue += self.device(op.mem).histograms().queue_wait.sum() - q0;
             }
         }
         let raw_latency = t - self.now;
+        if let Some(p) = probe {
+            p.path = self.plan.path;
+            p.lookup = mal;
+            p.queue = queue;
+            p.service = raw_latency - mal - queue;
+            p.stall = self.plan.stall_cycles;
+            p.total = raw_latency + self.plan.stall_cycles;
+        }
         // Background movement consumes bandwidth/energy but does not stall
         // this request. It is issued at the current clock (not at the raw
         // completion time): the clock advances by the MLP-overlapped
@@ -148,6 +213,7 @@ impl<C: HybridMemoryController> System<C> {
         raw_latency
     }
 
+    // audit: hot-path
     fn device(&mut self, mem: Mem) -> &mut DramDevice {
         match mem {
             Mem::Hbm => &mut self.hbm,
@@ -261,6 +327,36 @@ mod tests {
         }
         assert!(s.dynamic_energy_pj() > 0.0);
         assert!(s.background_energy_pj() > 0.0);
+    }
+
+    #[test]
+    fn probe_decomposition_is_exact_and_paths_reconcile() {
+        let mut s = system();
+        for i in 0..200u64 {
+            let mut p = StepProbe::default();
+            let raw = s.step_probed(Access::read(Addr((i % 40) * 64)), Some(&mut p));
+            assert_eq!(p.lookup + p.queue + p.service, raw, "decomposition partitions raw");
+            assert_eq!(p.total, raw + p.stall);
+        }
+        assert_eq!(s.path_counts().iter().sum::<u64>(), s.counters().accesses);
+        let st = s.controller().stats().clone();
+        assert_eq!(s.path_counts()[0] + s.path_counts()[1], st.hbm_hits);
+        assert_eq!(
+            s.path_counts()[2] + s.path_counts()[3] + s.path_counts()[4],
+            st.offchip_serves
+        );
+    }
+
+    #[test]
+    fn probed_and_plain_steps_agree() {
+        let mut a = system();
+        let mut b = system();
+        for i in 0..50u64 {
+            let addr = Addr((i % 16) * 4096);
+            let mut p = StepProbe::default();
+            assert_eq!(a.step(Access::read(addr)), b.step_probed(Access::read(addr), Some(&mut p)));
+        }
+        assert_eq!(a.now(), b.now(), "probing never perturbs the clock");
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! pipeline must produce byte-identical output at shard widths
 //! {1, 2, 3, 8} — the `SimReport` JSONL line (which carries `CtrlStats`
 //! and every cycle-domain invariant: cycles, IPC, hit rate, migrations,
-//! over-fetch), the epoch time-series JSONL, and the event-trace JSONL.
+//! over-fetch), the epoch time-series JSONL, the event-trace JSONL, and
+//! the sampled latency-attribution stream (`AccessRecord`s plus per-path
+//! histograms and reconciling summaries).
 //!
 //! Runs only with `--features proptest` (the in-repo shim), like the other
 //! differential suites.
@@ -26,7 +28,12 @@ proptest! {
         let design = if ablation { Design::Ablation("M-Only") } else { Design::Bumblebee };
         let cfg = RunConfig::at_scale(256, accesses);
         let m = ExperimentMatrix::cross("shard_diff", &[design], &[profile], &cfg);
-        let metrics = MetricsConfig { epoch_interval: interval, event_capacity: 256 };
+        let metrics = MetricsConfig {
+            epoch_interval: interval,
+            event_capacity: 256,
+            sample_rate: 16,
+            ..MetricsConfig::default()
+        };
 
         let reference =
             Engine::new(1).with_metrics(metrics).with_shards(Some(1)).run(&m).unwrap();
@@ -34,9 +41,25 @@ proptest! {
         prop_assert!(!reference.jsonl_lines().is_empty());
         prop_assert!(!reference.epochs_jsonl_lines().is_empty());
         prop_assert!(!reference.trace_jsonl_lines().is_empty());
+        prop_assert!(!reference.lat_jsonl_lines().is_empty());
         let report = &reference.reports()[0];
         prop_assert!(report.cycles > 0);
         prop_assert_eq!(report.stats.total_accesses(), cfg.warmup + cfg.accesses);
+        // Sampled records reconcile against the controller counters.
+        let obs = &reference.observations().unwrap()[0];
+        prop_assert_eq!(obs.path_counts.iter().sum::<u64>(), cfg.warmup + cfg.accesses);
+        prop_assert_eq!(obs.path_counts[0] + obs.path_counts[1], report.stats.hbm_hits);
+        prop_assert_eq!(
+            obs.path_counts[2] + obs.path_counts[3] + obs.path_counts[4],
+            report.stats.offchip_serves
+        );
+        prop_assert!(!obs.records.is_empty());
+        for w in obs.records.windows(2) {
+            prop_assert!(w[0].seq < w[1].seq, "records seq-sorted");
+        }
+        for r in &obs.records {
+            prop_assert_eq!(r.lookup + r.queue + r.service + r.stall, r.total);
+        }
 
         for shards in [2usize, 3, 8] {
             let n = Engine::new(1).with_metrics(metrics).with_shards(Some(shards)).run(&m).unwrap();
@@ -46,8 +69,16 @@ proptest! {
             prop_assert_eq!(reference.epochs_jsonl_lines(), n.epochs_jsonl_lines());
             // Event trace, byte for byte.
             prop_assert_eq!(reference.trace_jsonl_lines(), n.trace_jsonl_lines());
+            // Sampled latency stream, byte for byte — and the underlying
+            // record vector, not just its rendering.
+            prop_assert_eq!(reference.lat_jsonl_lines(), n.lat_jsonl_lines());
+            prop_assert_eq!(&n.observations().unwrap()[0].records, &obs.records);
             // The merged CtrlStats struct itself, not just its rendering.
             prop_assert_eq!(&n.reports()[0].stats, &report.stats);
         }
+
+        // The record stream is also invariant across --jobs widths.
+        let wide = Engine::new(4).with_metrics(metrics).with_shards(Some(2)).run(&m).unwrap();
+        prop_assert_eq!(reference.lat_jsonl_lines(), wide.lat_jsonl_lines());
     }
 }

@@ -115,6 +115,81 @@ impl DeviceOp {
     }
 }
 
+/// Which serve path an access took through the hybrid-memory hierarchy —
+/// the request-tracing taxonomy of the paper's §III access rules.
+///
+/// The five variants partition every access exactly: HBM-served requests
+/// are [`MhbmHit`](AccessPath::MhbmHit) or [`ChbmHit`](AccessPath::ChbmHit)
+/// (they sum to `CtrlStats::hbm_hits`); off-chip-served requests are
+/// [`MissFill`](AccessPath::MissFill), [`SlBypass`](AccessPath::SlBypass)
+/// or [`Migration`](AccessPath::Migration) (they sum to
+/// `CtrlStats::offchip_serves`). `trace_tool latency` checks that
+/// reconciliation on every run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AccessPath {
+    /// Served from an mHBM (memory-mode / part-of-memory) HBM frame.
+    MhbmHit,
+    /// Served from a cHBM (cache-mode) HBM frame.
+    ChbmHit,
+    /// Served off-chip; the plain miss path (any fill traffic rides in the
+    /// background). The default classification until a controller refines
+    /// it.
+    #[default]
+    MissFill,
+    /// Served off-chip and *not* cached: the service-level / hotness
+    /// threshold rejected the fill (Bumblebee's T-gate, Banshee's
+    /// frequency margin).
+    SlBypass,
+    /// Served off-chip and the access triggered a page migration or swap
+    /// into HBM (rule 3/4 movement, frequency-won promotions).
+    Migration,
+}
+
+impl AccessPath {
+    /// Every path, in the canonical report order.
+    pub const ALL: [AccessPath; 5] = [
+        AccessPath::MhbmHit,
+        AccessPath::ChbmHit,
+        AccessPath::MissFill,
+        AccessPath::SlBypass,
+        AccessPath::Migration,
+    ];
+
+    /// Stable snake_case label used in JSONL artifacts and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessPath::MhbmHit => "mhbm_hit",
+            AccessPath::ChbmHit => "chbm_hit",
+            AccessPath::MissFill => "miss_fill",
+            AccessPath::SlBypass => "sl_bypass",
+            AccessPath::Migration => "migration",
+        }
+    }
+
+    /// The dense index of this path within [`AccessPath::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            AccessPath::MhbmHit => 0,
+            AccessPath::ChbmHit => 1,
+            AccessPath::MissFill => 2,
+            AccessPath::SlBypass => 3,
+            AccessPath::Migration => 4,
+        }
+    }
+
+    /// Whether the request was served from HBM (either mode).
+    #[inline]
+    pub fn is_hbm(self) -> bool {
+        matches!(self, AccessPath::MhbmHit | AccessPath::ChbmHit)
+    }
+
+    /// Parses a [`label`](AccessPath::label) back into the path.
+    pub fn from_label(label: &str) -> Option<AccessPath> {
+        AccessPath::ALL.into_iter().find(|p| p.label() == label)
+    }
+}
+
 /// The controller's answer to one [`Access`]: what the memory system must do.
 ///
 /// Plans are designed for reuse — the simulator calls [`AccessPlan::clear`]
@@ -132,6 +207,9 @@ pub struct AccessPlan {
     /// Extra stall cycles outside the memory devices (e.g. the OS
     /// page-fault/swap penalty when a footprint exceeds OS-visible memory).
     pub stall_cycles: u64,
+    /// How the demand was served (set by the controller alongside the
+    /// device ops; [`AccessPath::MissFill`] until classified).
+    pub path: AccessPath,
 }
 
 impl AccessPlan {
@@ -146,6 +224,7 @@ impl AccessPlan {
         self.background.clear();
         self.metadata_cycles = 0;
         self.stall_cycles = 0;
+        self.path = AccessPath::default();
     }
 
     /// Total bytes moved on `mem` (critical + background).
@@ -220,11 +299,25 @@ mod tests {
         plan.critical.push(DeviceOp::demand_read(Mem::Hbm, Addr(0), 64));
         plan.metadata_cycles = 3;
         plan.stall_cycles = 99;
+        plan.path = AccessPath::ChbmHit;
         let cap = plan.critical.capacity();
         plan.clear();
         assert!(plan.is_empty());
         assert_eq!(plan.metadata_cycles, 0);
         assert_eq!(plan.stall_cycles, 0);
+        assert_eq!(plan.path, AccessPath::MissFill);
         assert_eq!(plan.critical.capacity(), cap);
+    }
+
+    #[test]
+    fn access_paths_round_trip_labels_and_partition() {
+        for (i, p) in AccessPath::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(AccessPath::from_label(p.label()), Some(p));
+        }
+        assert_eq!(AccessPath::from_label("nope"), None);
+        assert!(AccessPath::MhbmHit.is_hbm() && AccessPath::ChbmHit.is_hbm());
+        assert!(!AccessPath::MissFill.is_hbm());
+        assert_eq!(AccessPath::default(), AccessPath::MissFill);
     }
 }

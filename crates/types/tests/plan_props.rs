@@ -35,7 +35,7 @@ fn ops() -> impl Strategy<Value = Vec<DeviceOp>> {
 proptest! {
     #[test]
     fn bytes_on_partitions_by_device(critical in ops(), background in ops()) {
-        let plan = AccessPlan { critical, background, metadata_cycles: 0, stall_cycles: 0 };
+        let plan = AccessPlan { critical, background, metadata_cycles: 0, stall_cycles: 0, ..AccessPlan::default() };
         let total: u64 = plan
             .critical
             .iter()
@@ -47,7 +47,7 @@ proptest! {
 
     #[test]
     fn bytes_for_partitions_by_cause(critical in ops(), background in ops()) {
-        let plan = AccessPlan { critical, background, metadata_cycles: 0, stall_cycles: 0 };
+        let plan = AccessPlan { critical, background, metadata_cycles: 0, stall_cycles: 0, ..AccessPlan::default() };
         let total: u64 = plan
             .critical
             .iter()
