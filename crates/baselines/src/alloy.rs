@@ -12,7 +12,7 @@
 use crate::common::FaultModel;
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPath, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
+    Access, AccessKind, AccessPath, AccessPlan, Addr, CtrlStats, DeviceOp, Geometry, TrafficCause,
     HybridMemoryController, Mem, OpKind, OverfetchTracker, QuickDiv,
 };
 
@@ -123,7 +123,8 @@ impl AlloyCache {
                 addr: hbm_addr,
                 bytes: TAD_BYTES,
                 kind: if is_read { OpKind::Read } else { OpKind::Write },
-                cause: Cause::Demand,
+                cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+                mhbm: false,
             };
             if is_read {
                 plan.critical.push(op);
@@ -147,7 +148,8 @@ impl AlloyCache {
             addr: hbm_addr,
             bytes: TAD_BYTES,
             kind: OpKind::Read,
-            cause: Cause::Metadata,
+            cause: TrafficCause::Metadata,
+            mhbm: false,
         };
         if predicted_hit {
             plan.critical.push(probe);
@@ -159,7 +161,8 @@ impl AlloyCache {
             addr: dram_addr,
             bytes: LINE_BYTES as u32,
             kind: if is_read { OpKind::Read } else { OpKind::Write },
-            cause: Cause::Demand,
+            cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+            mhbm: false,
         };
         if is_read {
             plan.critical.push(op);
@@ -177,7 +180,8 @@ impl AlloyCache {
                     addr: Addr(victim_line * LINE_BYTES),
                     bytes: LINE_BYTES as u32,
                     kind: OpKind::Write,
-                    cause: Cause::Writeback,
+                    cause: TrafficCause::Writeback,
+                    mhbm: false,
                 });
             }
             self.overfetch.evicted(victim_line);
@@ -188,7 +192,8 @@ impl AlloyCache {
             addr: hbm_addr,
             bytes: TAD_BYTES,
             kind: OpKind::Write,
-            cause: Cause::Fill,
+            cause: TrafficCause::MissFill,
+            mhbm: false,
         });
         self.lines[idx] = Line { tag, valid: true, dirty: !is_read };
         self.stats.block_fills += 1;
@@ -283,7 +288,7 @@ mod tests {
         assert!(plan
             .background
             .iter()
-            .any(|o| o.cause == Cause::Writeback && o.mem == Mem::OffChip));
+            .any(|o| o.cause == TrafficCause::Writeback && o.mem == Mem::OffChip));
     }
 
     #[test]

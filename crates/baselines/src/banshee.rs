@@ -10,7 +10,7 @@
 use crate::common::FaultModel;
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPath, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
+    Access, AccessKind, AccessPath, AccessPlan, Addr, CtrlStats, DeviceOp, Geometry, TrafficCause,
     HybridMemoryController, Mem, OpKind, OverfetchTracker, QuickDiv,
 };
 
@@ -103,7 +103,8 @@ impl Banshee {
                 addr: self.hbm_addr(set, w as u32, offset & !63),
                 bytes: 64,
                 kind: if is_read { OpKind::Read } else { OpKind::Write },
-                cause: Cause::Demand,
+                cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+                mhbm: false,
             };
             if is_read {
                 plan.critical.push(op);
@@ -122,7 +123,8 @@ impl Banshee {
             addr: Addr(addr.0 & !63),
             bytes: 64,
             kind: if is_read { OpKind::Read } else { OpKind::Write },
-            cause: Cause::Demand,
+            cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+            mhbm: false,
         };
         if is_read {
             plan.critical.push(op);
@@ -167,14 +169,16 @@ impl Banshee {
                     addr: self.hbm_addr(set, victim as u32, 0),
                     bytes: PAGE_BYTES as u32,
                     kind: OpKind::Read,
-                    cause: Cause::Writeback,
+                    cause: TrafficCause::Writeback,
+                    mhbm: false,
                 });
                 plan.background.push(DeviceOp {
                     mem: Mem::OffChip,
                     addr: Addr(vpage * PAGE_BYTES),
                     bytes: PAGE_BYTES as u32,
                     kind: OpKind::Write,
-                    cause: Cause::Writeback,
+                    cause: TrafficCause::Writeback,
+                    mhbm: false,
                 });
             }
             for l in 0..64u64 {
@@ -188,14 +192,16 @@ impl Banshee {
             addr: Addr(page * PAGE_BYTES),
             bytes: PAGE_BYTES as u32,
             kind: OpKind::Read,
-            cause: Cause::Fill,
+            cause: TrafficCause::MissFill,
+            mhbm: false,
         });
         plan.background.push(DeviceOp {
             mem: Mem::Hbm,
             addr: self.hbm_addr(set, victim as u32, 0),
             bytes: PAGE_BYTES as u32,
             kind: OpKind::Write,
-            cause: Cause::Fill,
+            cause: TrafficCause::MissFill,
+            mhbm: false,
         });
         self.ways[base + victim] =
             WayState { tag, valid: true, dirty: !is_read, counter: cand_count };
@@ -315,7 +321,7 @@ mod tests {
                 .critical
                 .iter()
                 .chain(&plan.background)
-                .all(|o| o.cause != Cause::Metadata));
+                .all(|o| o.cause != TrafficCause::Metadata));
             assert!(plan.metadata_cycles > 0);
         }
     }
@@ -332,6 +338,6 @@ mod tests {
             plan.clear();
             c.access(&Access::read(Addr(4 * sets * 4096)), &mut plan);
         }
-        assert!(plan.background.iter().all(|o| o.cause != Cause::Writeback));
+        assert!(plan.background.iter().all(|o| o.cause != TrafficCause::Writeback));
     }
 }

@@ -10,8 +10,8 @@
 
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPath, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
-    HybridMemoryController, Mem, MetadataModel, OpKind, QuickDiv,
+    Access, AccessKind, AccessPath, AccessPlan, Addr, CtrlStats, DeviceOp, Geometry,
+    HybridMemoryController, Mem, MetadataModel, OpKind, QuickDiv, TrafficCause,
 };
 
 const SECTOR_BYTES: u64 = 4096;
@@ -127,7 +127,9 @@ impl HybridMemoryController for Chameleon {
                 addr: Addr(self.hbm_sector_addr(group).0 + (offset & !63)),
                 bytes: 64,
                 kind: if is_read { OpKind::Read } else { OpKind::Write },
-                cause: Cause::Demand,
+                cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+                // POM: the HBM sector is OS-visible (memory-mode) residency.
+                mhbm: true,
             }
         } else {
             self.stats.offchip_serves += 1;
@@ -136,7 +138,8 @@ impl HybridMemoryController for Chameleon {
                 addr: Addr(self.dram_member_addr(group, member).0 + (offset & !63)),
                 bytes: 64,
                 kind: if is_read { OpKind::Read } else { OpKind::Write },
-                cause: Cause::Demand,
+                cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+                mhbm: false,
             }
         };
         if is_read {
@@ -151,18 +154,22 @@ impl HybridMemoryController for Chameleon {
             let hbm = self.hbm_sector_addr(group);
             let dram_new = self.dram_member_addr(group, member);
             let dram_old = self.dram_member_addr(group, old_resident);
-            for (mem, a, kind) in [
-                (Mem::Hbm, hbm, OpKind::Read),
-                (Mem::OffChip, dram_new, OpKind::Read),
-                (Mem::Hbm, hbm, OpKind::Write),
-                (Mem::OffChip, dram_old, OpKind::Write),
+            // Swap legs: reading the old resident out of HBM and writing it
+            // off-chip is the demotion; pulling the hot sector in is the
+            // promotion (the HBM write lands in the OS-visible sector).
+            for (mem, a, kind, cause, mhbm) in [
+                (Mem::Hbm, hbm, OpKind::Read, TrafficCause::MigrationDemote, true),
+                (Mem::OffChip, dram_new, OpKind::Read, TrafficCause::MigrationPromote, false),
+                (Mem::Hbm, hbm, OpKind::Write, TrafficCause::MigrationPromote, true),
+                (Mem::OffChip, dram_old, OpKind::Write, TrafficCause::MigrationDemote, false),
             ] {
                 plan.background.push(DeviceOp {
                     mem,
                     addr: a,
                     bytes: SECTOR_BYTES as u32,
                     kind,
-                    cause: Cause::Migration,
+                    cause,
+                    mhbm,
                 });
             }
             let g = &mut self.groups[group];
@@ -229,13 +236,22 @@ mod tests {
         assert_eq!(c.swaps(), 1);
         // Swap traffic: 4 sector ops.
         assert_eq!(
-            plan.background.iter().filter(|o| o.cause == Cause::Migration).count(),
+            plan.background
+                .iter()
+                .filter(|o| matches!(
+                    o.cause,
+                    TrafficCause::MigrationPromote | TrafficCause::MigrationDemote
+                ))
+                .count(),
             4
         );
         // Now the sector serves from HBM.
         plan.clear();
         c.access(&Access::read(Addr(0)), &mut plan);
-        assert!(plan.critical.iter().any(|o| o.mem == Mem::Hbm && o.cause == Cause::Demand));
+        assert!(plan
+            .critical
+            .iter()
+            .any(|o| o.mem == Mem::Hbm && o.cause == TrafficCause::DemandRead));
     }
 
     #[test]
@@ -278,7 +294,7 @@ mod tests {
             plan.clear();
             c.access(&Access::read(Addr(i * 8192)), &mut plan);
             metadata_ops +=
-                plan.background.iter().filter(|o| o.cause == Cause::Metadata).count();
+                plan.background.iter().filter(|o| o.cause == TrafficCause::Metadata).count();
         }
         // With the ×8 locality boost the SRAM covers ~74% of lookups; the
         // remaining quarter pays the in-HBM remap read.

@@ -1,7 +1,7 @@
 //! Helpers shared by every baseline.
 
 use memsim_obs::{EpochGauges, Telemetry};
-use memsim_types::{AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Mem, OpKind};
+use memsim_types::{AccessPlan, Addr, CtrlStats, DeviceOp, Mem, OpKind, TrafficCause};
 
 /// OS page size used for fault accounting.
 pub const OS_PAGE_BYTES: u64 = 4096;
@@ -67,7 +67,8 @@ impl FaultModel {
                 addr: resident,
                 bytes: OS_PAGE_BYTES as u32,
                 kind: OpKind::Write,
-                cause: Cause::Fill,
+                cause: TrafficCause::MissFill,
+                mhbm: false,
             });
         }
         Addr(addr.0 % self.os_visible_bytes)

@@ -14,7 +14,7 @@
 use crate::common::{FaultModel, LruRanks};
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPath, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
+    Access, AccessKind, AccessPath, AccessPlan, Addr, CtrlStats, DeviceOp, Geometry, TrafficCause,
     HybridMemoryController, Mem, MetadataModel, OpKind, OverfetchTracker, QuickDiv,
 };
 
@@ -175,7 +175,8 @@ impl Hybrid2 {
                     addr: Addr(base.0 + ((addr.0 % GROUP_BYTES) & !63)),
                     bytes: 64,
                     kind: if is_read { OpKind::Read } else { OpKind::Write },
-                    cause: Cause::Demand,
+                    cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+                    mhbm: true,
                 };
                 self.serve(plan, op, is_read);
                 self.stats.hbm_hits += 1;
@@ -202,7 +203,8 @@ impl Hybrid2 {
                     addr: self.cache_hbm_addr(set, w as u32, block),
                     bytes: 64,
                     kind: if is_read { OpKind::Read } else { OpKind::Write },
-                    cause: Cause::Demand,
+                    cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+                    mhbm: false,
                 };
                 self.serve(plan, op, is_read);
                 if !is_read {
@@ -218,7 +220,8 @@ impl Hybrid2 {
                     addr: Addr(self.dram_div.rem(addr.0 & !63)),
                     bytes: 64,
                     kind: if is_read { OpKind::Read } else { OpKind::Write },
-                    cause: Cause::Demand,
+                    cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+                    mhbm: false,
                 };
                 self.serve(plan, op, is_read);
                 self.stats.offchip_serves += 1;
@@ -227,14 +230,16 @@ impl Hybrid2 {
                     addr: self.dram_group_addr(Addr(addr.0 & !(BLOCK_BYTES - 1))),
                     bytes: BLOCK_BYTES as u32,
                     kind: OpKind::Read,
-                    cause: Cause::Fill,
+                    cause: TrafficCause::MissFill,
+                    mhbm: false,
                 });
                 plan.background.push(DeviceOp {
                     mem: Mem::Hbm,
                     addr: self.cache_hbm_addr(set, w as u32, block),
                     bytes: BLOCK_BYTES as u32,
                     kind: OpKind::Write,
-                    cause: Cause::Fill,
+                    cause: TrafficCause::MissFill,
+                    mhbm: false,
                 });
                 self.cache[base + w].valid |= 1 << block;
                 self.stats.block_fills += 1;
@@ -256,7 +261,8 @@ impl Hybrid2 {
             addr: Addr(self.dram_div.rem(addr.0 & !63)),
             bytes: 64,
             kind: if is_read { OpKind::Read } else { OpKind::Write },
-            cause: Cause::Demand,
+            cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+            mhbm: false,
         };
         self.serve(plan, op, is_read);
         self.stats.offchip_serves += 1;
@@ -273,14 +279,16 @@ impl Hybrid2 {
                     addr: self.cache_hbm_addr(set, victim, 0),
                     bytes: dirty * BLOCK_BYTES as u32,
                     kind: OpKind::Read,
-                    cause: Cause::Writeback,
+                    cause: TrafficCause::Writeback,
+                    mhbm: false,
                 });
                 plan.background.push(DeviceOp {
                     mem: Mem::OffChip,
                     addr: Addr(self.dram_div.rem(vgroup * GROUP_BYTES)),
                     bytes: dirty * BLOCK_BYTES as u32,
                     kind: OpKind::Write,
-                    cause: Cause::Writeback,
+                    cause: TrafficCause::Writeback,
+                    mhbm: false,
                 });
             }
             for b in 0..BLOCKS_PER_GROUP {
@@ -293,14 +301,16 @@ impl Hybrid2 {
             addr: self.dram_group_addr(Addr(addr.0 & !(BLOCK_BYTES - 1))),
             bytes: BLOCK_BYTES as u32,
             kind: OpKind::Read,
-            cause: Cause::Fill,
+            cause: TrafficCause::MissFill,
+            mhbm: false,
         });
         plan.background.push(DeviceOp {
             mem: Mem::Hbm,
             addr: self.cache_hbm_addr(set, victim, block),
             bytes: BLOCK_BYTES as u32,
             kind: OpKind::Write,
-            cause: Cause::Fill,
+            cause: TrafficCause::MissFill,
+            mhbm: false,
         });
         self.cache[vidx] = CacheWay {
             tag,
@@ -384,20 +394,21 @@ impl Hybrid2 {
         );
         // 1. Write the cached group back to DRAM (separate spaces).
         // 2. Swap: displaced resident → DRAM, promoted group DRAM → mHBM.
-        for (mem, a, kind) in [
-            (Mem::Hbm, hbm_cache, OpKind::Read),
-            (Mem::OffChip, dram, OpKind::Write),
-            (Mem::Hbm, hbm_pom, OpKind::Read),
-            (Mem::OffChip, dram_old, OpKind::Write),
-            (Mem::OffChip, dram, OpKind::Read),
-            (Mem::Hbm, hbm_pom, OpKind::Write),
+        for (mem, a, kind, cause, mhbm) in [
+            (Mem::Hbm, hbm_cache, OpKind::Read, TrafficCause::MigrationDemote, false),
+            (Mem::OffChip, dram, OpKind::Write, TrafficCause::MigrationDemote, false),
+            (Mem::Hbm, hbm_pom, OpKind::Read, TrafficCause::MigrationDemote, true),
+            (Mem::OffChip, dram_old, OpKind::Write, TrafficCause::MigrationDemote, false),
+            (Mem::OffChip, dram, OpKind::Read, TrafficCause::MigrationPromote, false),
+            (Mem::Hbm, hbm_pom, OpKind::Write, TrafficCause::MigrationPromote, true),
         ] {
             plan.background.push(DeviceOp {
                 mem,
                 addr: a,
                 bytes: GROUP_BYTES as u32,
                 kind,
-                cause: Cause::ModeSwitch,
+                cause,
+                mhbm,
             });
             self.mode_switch_bytes += GROUP_BYTES;
         }
@@ -507,7 +518,10 @@ mod tests {
         // Served from mHBM afterwards.
         plan.clear();
         c.access(&Access::read(Addr(0)), &mut plan);
-        assert!(plan.critical.iter().any(|o| o.mem == Mem::Hbm && o.cause == Cause::Demand));
+        assert!(plan
+            .critical
+            .iter()
+            .any(|o| o.mem == Mem::Hbm && o.cause == TrafficCause::DemandRead));
     }
 
     #[test]

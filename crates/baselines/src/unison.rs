@@ -10,7 +10,7 @@
 use crate::common::{FaultModel, LruRanks};
 use memsim_obs::{EpochGauges, Telemetry};
 use memsim_types::{
-    Access, AccessKind, AccessPath, AccessPlan, Addr, Cause, CtrlStats, DeviceOp, Geometry,
+    Access, AccessKind, AccessPath, AccessPlan, Addr, CtrlStats, DeviceOp, Geometry, TrafficCause,
     HybridMemoryController, Mem, OpKind, OverfetchTracker, QuickDiv,
 };
 
@@ -97,7 +97,7 @@ impl UnisonCache {
         set: usize,
         way: u32,
         mask: u64,
-        cause: Cause,
+        cause: TrafficCause,
     ) {
         let count = mask.count_ones();
         if count == 0 {
@@ -110,6 +110,7 @@ impl UnisonCache {
             bytes,
             kind: OpKind::Read,
             cause,
+            mhbm: false,
         });
         plan.background.push(DeviceOp {
             mem: Mem::Hbm,
@@ -117,6 +118,7 @@ impl UnisonCache {
             bytes,
             kind: OpKind::Write,
             cause,
+            mhbm: false,
         });
         self.stats.block_fills += u64::from(count);
         for b in 0..LINES_PER_PAGE {
@@ -141,14 +143,16 @@ impl UnisonCache {
                 addr: self.hbm_page_addr(set, way),
                 bytes: dirty * LINE_BYTES as u32,
                 kind: OpKind::Read,
-                cause: Cause::Writeback,
+                cause: TrafficCause::Writeback,
+                mhbm: false,
             });
             plan.background.push(DeviceOp {
                 mem: Mem::OffChip,
                 addr: Addr(page * PAGE_BYTES),
                 bytes: dirty * LINE_BYTES as u32,
                 kind: OpKind::Write,
-                cause: Cause::Writeback,
+                cause: TrafficCause::Writeback,
+                mhbm: false,
             });
         }
         self.train(page, w.touched);
@@ -196,7 +200,8 @@ impl UnisonCache {
                     addr: Addr(self.hbm_page_addr(set, w).0 + u64::from(block) * LINE_BYTES),
                     bytes: LINE_BYTES as u32,
                     kind: if is_read { OpKind::Read } else { OpKind::Write },
-                    cause: Cause::Demand,
+                    cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+                    mhbm: false,
                 };
                 if is_read {
                     plan.critical.push(op);
@@ -217,7 +222,8 @@ impl UnisonCache {
                 addr: Addr(page * PAGE_BYTES + u64::from(block) * LINE_BYTES),
                 bytes: LINE_BYTES as u32,
                 kind: if is_read { OpKind::Read } else { OpKind::Write },
-                cause: Cause::Demand,
+                cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+                mhbm: false,
             };
             if is_read {
                 plan.critical.push(op);
@@ -225,7 +231,7 @@ impl UnisonCache {
                 plan.background.push(op);
             }
             self.stats.offchip_serves += 1;
-            self.fetch_blocks(plan, page, set, w, 1 << block, Cause::Fill);
+            self.fetch_blocks(plan, page, set, w, 1 << block, TrafficCause::MissFill);
             self.ways[idx].present |= 1 << block;
             self.overfetch.used(page * 64 + u64::from(block));
             return;
@@ -239,14 +245,16 @@ impl UnisonCache {
             addr: self.hbm_page_addr(set, 0),
             bytes: 64,
             kind: OpKind::Read,
-            cause: Cause::Metadata,
+            cause: TrafficCause::Metadata,
+            mhbm: false,
         });
         let op = DeviceOp {
             mem: Mem::OffChip,
             addr: Addr(page * PAGE_BYTES + u64::from(block) * LINE_BYTES),
             bytes: LINE_BYTES as u32,
             kind: if is_read { OpKind::Read } else { OpKind::Write },
-            cause: Cause::Demand,
+            cause: if is_read { TrafficCause::DemandRead } else { TrafficCause::DemandWrite },
+            mhbm: false,
         };
         if is_read {
             plan.critical.push(op);
@@ -258,7 +266,7 @@ impl UnisonCache {
         let victim = self.lru.lru(set);
         self.evict(plan, set, victim);
         let mask = self.predict(page) | (1u64 << block);
-        self.fetch_blocks(plan, page, set, victim, mask, Cause::Fill);
+        self.fetch_blocks(plan, page, set, victim, mask, TrafficCause::MissFill);
         let idx = set * WAYS as usize + victim as usize;
         self.ways[idx] = Way {
             tag,
@@ -338,7 +346,7 @@ mod tests {
         let metas = plan
             .background
             .iter()
-            .filter(|o| o.cause == Cause::Metadata && o.mem == Mem::Hbm)
+            .filter(|o| o.cause == TrafficCause::Metadata && o.mem == Mem::Hbm)
             .count();
         assert_eq!(metas, 1, "page miss pays the probe");
         plan.clear();
@@ -347,7 +355,7 @@ mod tests {
             .critical
             .iter()
             .chain(&plan.background)
-            .filter(|o| o.cause == Cause::Metadata)
+            .filter(|o| o.cause == TrafficCause::Metadata)
             .count();
         assert_eq!(metas, 0, "way-predicted hits stream tag with data");
         assert!(plan.metadata_cycles > 0);
@@ -406,7 +414,7 @@ mod tests {
         let wb: u64 = plan
             .background
             .iter()
-            .filter(|o| o.cause == Cause::Writeback && o.mem == Mem::OffChip)
+            .filter(|o| o.cause == TrafficCause::Writeback && o.mem == Mem::OffChip)
             .map(|o| u64::from(o.bytes))
             .sum();
         assert_eq!(wb, 64, "exactly one dirty line written back");

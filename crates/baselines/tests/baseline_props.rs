@@ -2,7 +2,8 @@
 
 use memsim_baselines::{AlloyCache, Banshee, Chameleon, Hybrid2, OffChipOnly, UnisonCache};
 use memsim_types::{
-    Access, AccessKind, AccessPlan, Addr, Cause, Geometry, HybridMemoryController, Mem, OpKind,
+    Access, AccessKind, AccessPlan, Addr, Geometry, HybridMemoryController, Mem, OpKind,
+    TrafficCause,
 };
 use proptest::prelude::*;
 
@@ -72,7 +73,10 @@ proptest! {
                     .critical
                     .iter()
                     .chain(&plan.background)
-                    .filter(|o| o.cause == Cause::Demand)
+                    .filter(|o| matches!(
+                        o.cause,
+                        TrafficCause::DemandRead | TrafficCause::DemandWrite
+                    ))
                     .count();
                 prop_assert_eq!(demands, 1, "{} demand count", name);
             }
@@ -93,7 +97,13 @@ proptest! {
                 plan.clear();
                 c.access(a, &mut plan);
                 let crit_demands =
-                    plan.critical.iter().filter(|o| o.cause == Cause::Demand).count();
+                    plan.critical
+                        .iter()
+                        .filter(|o| matches!(
+                            o.cause,
+                            TrafficCause::DemandRead | TrafficCause::DemandWrite
+                        ))
+                        .count();
                 match a.kind {
                     AccessKind::Read => prop_assert_eq!(
                         crit_demands, 1, "{} read must be critical", name
@@ -119,7 +129,7 @@ proptest! {
                     .critical
                     .iter()
                     .chain(&plan.background)
-                    .filter(|o| o.cause == Cause::Fill && o.kind == OpKind::Write)
+                    .filter(|o| o.cause == TrafficCause::MissFill && o.kind == OpKind::Write)
                     .map(|o| u64::from(o.bytes))
                     .sum();
                 let reads: u64 = plan

@@ -30,9 +30,10 @@
 
 use memsim_analysis::exitcode;
 use bumblebee_bench::perf::{BenchCase, BenchReport, Suite, BENCH_SCHEMA};
+use memsim_dram::presets;
 use memsim_obs::LatCollector;
 use memsim_sim::{Engine, ExperimentMatrix, MetricsConfig, ResultSet};
-use memsim_types::AccessPath;
+use memsim_types::{AccessPath, TrafficDevice};
 use std::path::PathBuf;
 
 /// Sampling rate of the untimed latency-attribution pass: coarse enough
@@ -192,18 +193,26 @@ fn main() {
     let first = first.expect("at least one repeat");
 
     // One extra UNTIMED instrumented run harvests the per-path tail
-    // latencies: the timed repeats above stay sampling-free, so the
-    // disabled-sampling wall-time baseline is unaffected. A failure here
-    // only costs the optional tail fields, never the BENCH report.
-    eprintln!("[bench] untimed latency-attribution pass (sample rate {LAT_SAMPLE_RATE})");
+    // latencies and the cause-attributed traffic invariants: the timed
+    // repeats above stay instrumentation-free, so the disabled-accounting
+    // wall-time baseline is unaffected. A failure here only costs the
+    // optional fields, never the BENCH report.
+    eprintln!("[bench] untimed instrumented pass (sample rate {LAT_SAMPLE_RATE})");
     let lat_engine = Engine::new(args.jobs).with_shards(args.shards).with_metrics(
         MetricsConfig { sample_rate: LAT_SAMPLE_RATE, ..MetricsConfig::default() },
     );
-    type CellTails = ([Option<u64>; 5], [Option<u64>; 5]);
-    let tails: Option<Vec<CellTails>> = match lat_engine.run(&matrix) {
+    let accesses_per_cell = suite.cfg.warmup + suite.cfg.accesses;
+    struct CellHarvest {
+        p95: [Option<u64>; 5],
+        p99: [Option<u64>; 5],
+        traffic_pa: Option<f64>,
+        peak_util_pct: Option<f64>,
+    }
+    let harvest: Option<Vec<CellHarvest>> = match lat_engine.run(&matrix) {
         Ok(rs) => rs.observations().map(|all| {
             all.iter()
-                .map(|obs| {
+                .zip(rs.cells())
+                .map(|(obs, cell)| {
                     let mut coll = LatCollector::new(MetricsConfig::default().epoch_interval);
                     for r in &obs.records {
                         coll.push(r);
@@ -217,17 +226,52 @@ fn main() {
                             p99[i] = Some(p.hist.percentile(0.99));
                         }
                     }
-                    (p95, p99)
+                    let traffic_pa = obs.traffic.matrix.total_bytes() as f64
+                        / accesses_per_cell.max(1) as f64;
+                    // Worst per-epoch utilization of either device against
+                    // its Table I theoretical peak.
+                    let hbm_peak = presets::hbm2(cell.cfg.geometry.hbm_bytes())
+                        .peak_bytes_per_cpu_cycle();
+                    let dram_peak = presets::ddr4_3200(cell.cfg.geometry.dram_bytes())
+                        .peak_bytes_per_cpu_cycle();
+                    let (mhbm, chbm, off) = (
+                        TrafficDevice::MHbm.index(),
+                        TrafficDevice::CHbm.index(),
+                        TrafficDevice::OffChip.index(),
+                    );
+                    let mut peak = 0.0f64;
+                    let mut prev_bytes = [0u64; 3];
+                    let mut prev_cycles = 0u64;
+                    for p in &obs.bw_points {
+                        let cycles = p.cycles - prev_cycles;
+                        if cycles > 0 {
+                            let hbm = (p.class_bytes[mhbm] + p.class_bytes[chbm])
+                                - (prev_bytes[mhbm] + prev_bytes[chbm]);
+                            let dram = p.class_bytes[off] - prev_bytes[off];
+                            peak = peak.max(100.0 * (hbm as f64 / cycles as f64) / hbm_peak);
+                            peak = peak.max(100.0 * (dram as f64 / cycles as f64) / dram_peak);
+                        }
+                        prev_bytes = p.class_bytes;
+                        prev_cycles = p.cycles;
+                    }
+                    CellHarvest {
+                        p95,
+                        p99,
+                        traffic_pa: Some(traffic_pa),
+                        peak_util_pct: Some(peak),
+                    }
                 })
                 .collect()
         }),
         Err(e) => {
-            eprintln!("warning: latency pass failed ({e}); BENCH file omits tail fields");
+            eprintln!(
+                "warning: instrumented pass failed ({e}); BENCH file omits tail and \
+                 traffic fields"
+            );
             None
         }
     };
 
-    let accesses_per_cell = suite.cfg.warmup + suite.cfg.accesses;
     let mut cases: Vec<BenchCase> = matrix
         .cells()
         .iter()
@@ -251,13 +295,17 @@ fn main() {
                 overfetch: report.overfetch,
                 lat_p95: [None; 5],
                 lat_p99: [None; 5],
+                traffic_pa: None,
+                peak_util_pct: None,
             }
         })
         .collect();
-    if let Some(tails) = tails {
-        for (c, (p95, p99)) in cases.iter_mut().zip(tails) {
-            c.lat_p95 = p95;
-            c.lat_p99 = p99;
+    if let Some(harvest) = harvest {
+        for (c, h) in cases.iter_mut().zip(harvest) {
+            c.lat_p95 = h.p95;
+            c.lat_p99 = h.p99;
+            c.traffic_pa = h.traffic_pa;
+            c.peak_util_pct = h.peak_util_pct;
         }
     }
     let (phases, self_coverage) = BenchReport::fold_phases(&trees, busy_nanos);

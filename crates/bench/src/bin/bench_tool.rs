@@ -5,6 +5,7 @@
 //! bench_tool compare BASE.json NEW.json [--time-threshold-pct N]
 //!                                       [--invariant-tolerance-pct N]
 //!                                       [--tail-threshold-pct N]
+//!                                       [--traffic-threshold-pct N]
 //! ```
 //!
 //! `show` appends per-path p95 latency columns when the BENCH file
@@ -13,8 +14,10 @@
 //! baseline and exits `1` when any regression gate trips: wall time up by
 //! more than the time threshold (default 30%), any cycle-domain
 //! invariant (cycles, IPC, hit rate, migrations, over-fetch) drifting at
-//! all, or a per-path sampled tail latency (p95/p99) growing past the
-//! tail threshold when both files carry it. Parse/usage problems exit
+//! all, a per-path sampled tail latency (p95/p99) growing past the
+//! tail threshold when both files carry it, or a cause-attributed
+//! traffic invariant (`traffic_pa`, `peak_util_pct`) drifting past the
+//! traffic threshold when both files carry it. Parse/usage problems exit
 //! `2`. A report compared against itself always exits `0` —
 //! `scripts/verify.sh` relies on that as its self-diff gate.
 
@@ -85,6 +88,9 @@ fn main() {
             if let Some(t) = pct_flag(&args, "--tail-threshold-pct") {
                 th.tail_pct = t;
             }
+            if let Some(t) = pct_flag(&args, "--traffic-threshold-pct") {
+                th.traffic_pct = t;
+            }
             let (base_report, new_report) = (load(base), load(new));
             let cmp = compare(&base_report, &new_report, th)
                 .unwrap_or_else(|e| fail(&e));
@@ -125,7 +131,7 @@ fn main() {
                 "usage: bench_tool show A.json\n\
                  \x20      bench_tool compare BASE.json NEW.json \
                  [--time-threshold-pct N] [--invariant-tolerance-pct N] \
-                 [--tail-threshold-pct N]",
+                 [--tail-threshold-pct N] [--traffic-threshold-pct N]",
             );
         }
     }

@@ -8,6 +8,7 @@
 //! trace_tool timeline  <file.epochs.jsonl> [--cell N]
 //! trace_tool histo     <file.epochs.jsonl>    # device latency/queue histograms
 //! trace_tool latency   <file.lat.jsonl>       # per-path tails + breakdown
+//! trace_tool bandwidth <file.bw.jsonl>        # per-cause traffic + utilization
 //! trace_tool diff      <a.epochs.jsonl> <b.epochs.jsonl> [--threshold X]
 //! ```
 //!
@@ -15,7 +16,9 @@
 //! empty, or non-matching input instead of printing an empty table. `diff`
 //! exits `1` when any matched metric differs by more than `--threshold`
 //! (default 0 — the epoch time-series is deterministic, so any delta means
-//! the simulation changed behavior).
+//! the simulation changed behavior). `bandwidth` exits `1` when any
+//! cell's cause-attributed byte sums do not reconcile exactly against the
+//! devices' undifferentiated counters.
 
 use memsim_sim::report::render_table;
 use memsim_sim::{parse_flat, Design, JsonObj, JsonValue, SimParams, System};
@@ -320,6 +323,158 @@ fn latency(path: &str, rows: &[Vec<(String, JsonValue)>]) {
     println!("ok: path counts reconcile with controller counters in all {cells} cell(s)");
 }
 
+
+/// Every [`TrafficCause`](memsim_types::TrafficCause) label, in emission
+/// order, paired with the short column header `bandwidth` prints.
+const CAUSE_COLUMNS: [(&str, &str); 9] = [
+    ("demand_read", "dem_rd"),
+    ("demand_write", "dem_wr"),
+    ("miss_fill", "fill"),
+    ("writeback", "wb"),
+    ("migration_promote", "promote"),
+    ("migration_demote", "demote"),
+    ("zombie_evict", "zombie"),
+    ("pressure_flush", "flush"),
+    ("metadata", "meta"),
+];
+
+/// `bandwidth`: the cause-attributed traffic breakdown (bytes per device
+/// class per cause), the peak bandwidth-utilization table (worst epoch's
+/// achieved bytes/cycle against the Table I theoretical peak), and a hard
+/// exact reconciliation of the per-cause byte sums against the devices'
+/// undifferentiated counters. Exits `1` when any cell does not reconcile
+/// — an unclassified or double-counted transaction means the taxonomy
+/// disagrees with the simulation it claims to describe.
+fn bandwidth(path: &str, rows: &[Vec<(String, JsonValue)>]) {
+    let mut breakdown = vec![
+        ["cell", "design", "workload", "device"]
+            .into_iter()
+            .chain(CAUSE_COLUMNS.iter().map(|&(_, short)| short))
+            .chain(["bytes", "ops"])
+            .map(str::to_string)
+            .collect::<Vec<_>>(),
+    ];
+    for row in rows {
+        if get_str(row, "kind") != "bw" {
+            continue;
+        }
+        breakdown.push(
+            [
+                get_u64(row, "cell").to_string(),
+                get_str(row, "design").to_string(),
+                get_str(row, "workload").to_string(),
+                get_str(row, "device").to_string(),
+            ]
+            .into_iter()
+            .chain(CAUSE_COLUMNS.iter().map(|&(label, _)| get_u64(row, label).to_string()))
+            .chain([get_u64(row, "bytes").to_string(), get_u64(row, "ops").to_string()])
+            .collect(),
+        );
+    }
+    if breakdown.len() == 1 {
+        fail(&format!("no bw lines in {path} (traffic accounting comes from --metrics runs)"));
+    }
+    println!("cause-attributed traffic (bytes per device class):");
+    println!("{}", render_table(&breakdown));
+
+    // Peak utilization: the worst epoch of each (cell, device) series.
+    struct Peak {
+        coords: [String; 4],
+        peak_bpc: f64,
+        util_pct: f64,
+        busy_pct: f64,
+        epochs: u64,
+    }
+    let mut peaks: Vec<Peak> = Vec::new();
+    for row in rows {
+        if get_str(row, "kind") != "bw_epoch" {
+            continue;
+        }
+        let coords = [
+            get_u64(row, "cell").to_string(),
+            get_str(row, "design").to_string(),
+            get_str(row, "workload").to_string(),
+            get_str(row, "device").to_string(),
+        ];
+        let util = get_f64(row, "util_pct");
+        let busy = get_f64(row, "busy_pct");
+        match peaks.iter_mut().find(|p| p.coords == coords) {
+            Some(p) => {
+                p.util_pct = p.util_pct.max(util);
+                p.busy_pct = p.busy_pct.max(busy);
+                p.epochs += 1;
+            }
+            None => peaks.push(Peak {
+                coords,
+                peak_bpc: get_f64(row, "peak_bpc"),
+                util_pct: util,
+                busy_pct: busy,
+                epochs: 1,
+            }),
+        }
+    }
+    if !peaks.is_empty() {
+        let mut table = vec![
+            ["cell", "design", "workload", "device", "epochs", "peak B/cyc", "peak util%", "peak busy%"]
+                .map(str::to_string)
+                .to_vec(),
+        ];
+        for p in &peaks {
+            table.push(
+                p.coords
+                    .iter()
+                    .cloned()
+                    .chain([
+                        p.epochs.to_string(),
+                        format!("{:.2}", p.peak_bpc),
+                        format!("{:.1}", p.util_pct),
+                        format!("{:.1}", p.busy_pct),
+                    ])
+                    .collect(),
+            );
+        }
+        println!("peak bandwidth utilization (worst epoch per device):");
+        println!("{}", render_table(&table));
+    }
+
+    // Hard reconciliation: cause sums vs the devices' own byte counters.
+    let mut cells = 0u64;
+    let mut bad = 0u64;
+    for row in rows {
+        if get_str(row, "kind") != "bw_summary" {
+            continue;
+        }
+        cells += 1;
+        let hbm = get_u64(row, "mhbm_bytes") + get_u64(row, "chbm_bytes");
+        let off = get_u64(row, "offchip_bytes");
+        let cause_sum: u64 = CAUSE_COLUMNS.iter().map(|&(label, _)| get_u64(row, label)).sum();
+        let ok = hbm == get_u64(row, "hbm_bytes")
+            && off == get_u64(row, "dram_bytes")
+            && cause_sum == get_u64(row, "total_bytes");
+        if !ok {
+            bad += 1;
+            eprintln!(
+                "cell {} {} {}: cause-attributed bytes ({hbm} hbm / {off} off-chip, \
+                 {cause_sum} by cause) do NOT match device counters ({} / {}, total {})",
+                get_u64(row, "cell"),
+                get_str(row, "design"),
+                get_str(row, "workload"),
+                get_u64(row, "hbm_bytes"),
+                get_u64(row, "dram_bytes"),
+                get_u64(row, "total_bytes"),
+            );
+        }
+    }
+    if cells == 0 {
+        fail(&format!("no bw_summary lines in {path} — cannot reconcile"));
+    }
+    if bad > 0 {
+        eprintln!("FAIL: {bad} of {cells} cell(s) do not reconcile");
+        std::process::exit(exitcode::FINDINGS);
+    }
+    println!("ok: cause-attributed bytes reconcile with device counters in all {cells} cell(s)");
+}
+
 /// Identity fields that name a diffable line rather than measure it.
 const DIFF_KEY_FIELDS: [&str; 9] =
     ["kind", "figure", "tag", "cell", "design", "workload", "epoch", "device", "metric"];
@@ -477,6 +632,7 @@ fn main() -> std::io::Result<()> {
         }
         ("histo", Some(path)) => histo(&path, &read_jsonl(&path)),
         ("latency", Some(path)) => latency(&path, &read_jsonl(&path)),
+        ("bandwidth", Some(path)) => bandwidth(&path, &read_jsonl(&path)),
         ("diff", Some(a)) => {
             let b = rest
                 .next()
@@ -486,7 +642,7 @@ fn main() -> std::io::Result<()> {
         _ => {
             fail(
                 "usage: trace_tool record|replay|info <file> [--workloads w] [--accesses N] [--scale N]\n\
-                 \x20      trace_tool summarize|timeline|histo|latency <file.jsonl> [--cell N]\n\
+                 \x20      trace_tool summarize|timeline|histo|latency|bandwidth <file.jsonl> [--cell N]\n\
                  \x20      trace_tool diff <a.jsonl> <b.jsonl> [--threshold X]",
             );
         }

@@ -20,7 +20,11 @@
 //!   results;
 //! * `--trace-sample N` — deterministically sample one in ~N accesses for
 //!   full-lifecycle latency attribution (implies `--metrics`) and write the
-//!   path-tagged records to `<figure>.lat.jsonl`;
+//!   path-tagged records to `<figure>.lat.jsonl`; defaults to
+//!   `BUMBLEBEE_TRACE_SAMPLE` when the flag is absent (the variable obeys
+//!   the same strict positive-integer contract as `BUMBLEBEE_JOBS` /
+//!   `BUMBLEBEE_SHARDS` — empty, zero or non-numeric values are hard
+//!   configuration errors);
 //! * `--spans` — profile wall-clock phase spans per cell (trace-gen,
 //!   controller lookup, migration/swap, DRAM service, epoch sampling) and
 //!   write them as `kind=span` lines into `<figure>.metrics.jsonl`;
@@ -84,15 +88,19 @@ impl HarnessOpts {
     }
 
     /// Writes the observability artifacts of `results`: with `--metrics`,
-    /// `<figure>.epochs.jsonl` and `<figure>.trace.jsonl` (deterministic,
-    /// cycle-domain); with `--trace-sample`, `<figure>.lat.jsonl` (sampled
-    /// latency-attribution records, also deterministic); with `--metrics`
-    /// or `--spans`, `<figure>.metrics.jsonl` (wall-clock engine telemetry
-    /// and span phase trees).
+    /// `<figure>.epochs.jsonl`, `<figure>.trace.jsonl` and
+    /// `<figure>.bw.jsonl` (deterministic, cycle-domain — the bw stream
+    /// carries the cause-attributed traffic matrix and per-epoch
+    /// bandwidth-utilization gauges); with `--trace-sample`,
+    /// `<figure>.lat.jsonl` (sampled latency-attribution records, also
+    /// deterministic); with `--metrics` or `--spans`,
+    /// `<figure>.metrics.jsonl` (wall-clock engine telemetry and span
+    /// phase trees).
     pub fn write_telemetry(&self, figure: &str, results: &ResultSet) {
         if self.metrics {
             self.write_jsonl(&format!("{figure}.epochs"), &results.epochs_jsonl_lines());
             self.write_jsonl(&format!("{figure}.trace"), &results.trace_jsonl_lines());
+            self.write_jsonl(&format!("{figure}.bw"), &results.bw_jsonl_lines());
         }
         if self.trace_sample.is_some() {
             self.write_jsonl(&format!("{figure}.lat"), &results.lat_jsonl_lines());
@@ -188,6 +196,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
             other => rest.push(other.to_string()),
         }
     }
+    if trace_sample.is_none() {
+        trace_sample = trace_sample_env(std::env::var("BUMBLEBEE_TRACE_SAMPLE").ok().as_deref());
+        if trace_sample.is_some() {
+            metrics = true; // same implication as the --trace-sample flag
+        }
+    }
     let default_accesses = if scale == 1 { 2_000_000 } else { 400_000 };
     let cfg = RunConfig::at_scale(scale, accesses.unwrap_or(default_accesses));
     let profiles = match names {
@@ -204,6 +218,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
         spans,
         out: out.unwrap_or_else(memsim_sim::results_dir),
         rest,
+    }
+}
+
+/// Strict `BUMBLEBEE_TRACE_SAMPLE` parsing: unset defers to the
+/// `--trace-sample` flag (`None`); anything else must be a positive
+/// integer. Empty, zero or non-numeric values are hard configuration
+/// errors, the same contract `BUMBLEBEE_JOBS` / `BUMBLEBEE_SHARDS`
+/// enforce — a silently ignored typo would silently disable tracing.
+///
+/// # Panics
+///
+/// Panics with the offending value on empty, zero or non-numeric input.
+fn trace_sample_env(value: Option<&str>) -> Option<u64> {
+    let v = value?;
+    match v.trim().parse::<u64>() {
+        Ok(r) if r > 0 => Some(r),
+        _ => panic!("BUMBLEBEE_TRACE_SAMPLE={v:?}: expected a positive integer sampling rate"),
     }
 }
 
@@ -262,6 +293,31 @@ mod tests {
     #[should_panic(expected = "--trace-sample needs a positive rate")]
     fn zero_trace_sample_panics() {
         opts(&["--trace-sample", "0"]);
+    }
+
+    #[test]
+    fn trace_sample_env_parses_strictly() {
+        assert_eq!(trace_sample_env(None), None, "unset defers to the flag");
+        assert_eq!(trace_sample_env(Some("64")), Some(64));
+        assert_eq!(trace_sample_env(Some(" 8 ")), Some(8), "whitespace tolerated");
+    }
+
+    #[test]
+    #[should_panic(expected = "BUMBLEBEE_TRACE_SAMPLE=\"0\": expected a positive integer")]
+    fn trace_sample_env_rejects_zero() {
+        trace_sample_env(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "BUMBLEBEE_TRACE_SAMPLE=\"\": expected a positive integer")]
+    fn trace_sample_env_rejects_empty() {
+        trace_sample_env(Some(""));
+    }
+
+    #[test]
+    #[should_panic(expected = "BUMBLEBEE_TRACE_SAMPLE=\"often\": expected a positive integer")]
+    fn trace_sample_env_rejects_non_numeric() {
+        trace_sample_env(Some("often"));
     }
 
     #[test]

@@ -122,6 +122,15 @@ pub struct BenchCase {
     pub lat_p95: [Option<u64>; 5],
     /// Per-path p99 of sampled total latency, same provenance.
     pub lat_p99: [Option<u64>; 5],
+    /// Cause-attributed DRAM traffic per simulated access, in bytes
+    /// (cycle-domain invariant), harvested from the instrumented pass's
+    /// traffic matrix. `None` for BENCH files written before traffic
+    /// folding — parses null-safely without a schema bump.
+    pub traffic_pa: Option<f64>,
+    /// Worst per-epoch bandwidth utilization across both physical
+    /// devices, in percent of the Table I theoretical peak (cycle-domain
+    /// invariant, same provenance and null-safety).
+    pub peak_util_pct: Option<f64>,
 }
 
 impl BenchCase {
@@ -214,6 +223,9 @@ impl BenchReport {
                     .opt_u64(&format!("p95_{}", path.label()), *p95)
                     .opt_u64(&format!("p99_{}", path.label()), *p99);
             }
+            obj = obj
+                .opt_f64("traffic_pa", c.traffic_pa)
+                .opt_f64("peak_util_pct", c.peak_util_pct);
             lines.push(obj.finish());
         }
         for p in &self.phases {
@@ -291,6 +303,8 @@ impl BenchReport {
                     lat_p99: AccessPath::ALL.map(|p| {
                         get(&format!("p99_{}", p.label())).and_then(JsonValue::as_u64)
                     }),
+                    traffic_pa: get("traffic_pa").and_then(JsonValue::as_f64),
+                    peak_util_pct: get("peak_util_pct").and_then(JsonValue::as_f64),
                 }),
                 "bench_phase" => phases.push(BenchPhase {
                     path: text("path"),
@@ -364,16 +378,25 @@ impl BenchReport {
 
     /// Renders the per-case table (wall time, throughput, invariants).
     /// When any case carries folded tail latencies, a per-path p95 column
-    /// block is appended; for older BENCH files without the fields the
-    /// columns are silently omitted.
+    /// block is appended, and when any case carries the traffic
+    /// invariants, `B/acc` and `peak util%` columns follow; for older
+    /// BENCH files without the fields the columns are silently omitted.
+    /// Cases missing an optional value in a mixed suite render `-` so
+    /// every row stays aligned with the header.
     pub fn case_table(&self) -> String {
         let with_tails = self.cases.iter().any(|c| c.lat_p95.iter().any(Option::is_some));
+        let with_traffic =
+            self.cases.iter().any(|c| c.traffic_pa.is_some() || c.peak_util_pct.is_some());
         let mut header = ["case", "wall ms", "acc/s", "cycles", "ipc", "hit%", "migr", "overfetch"]
             .map(str::to_string)
             .to_vec();
         if with_tails {
             header.extend(AccessPath::ALL.map(|p| format!("p95 {}", p.label())));
         }
+        if with_traffic {
+            header.extend(["B/acc".to_string(), "peak util%".to_string()]);
+        }
+        let width = header.len();
         let mut rows = vec![header];
         for c in &self.cases {
             let mut row = vec![
@@ -391,6 +414,13 @@ impl BenchReport {
                     c.lat_p95.iter().map(|p| p.map_or("-".to_string(), |v| v.to_string())),
                 );
             }
+            if with_traffic {
+                row.push(c.traffic_pa.map_or("-".to_string(), |t| format!("{t:.1}")));
+                row.push(c.peak_util_pct.map_or("-".to_string(), |u| format!("{u:.1}")));
+            }
+            // Every row must line up under the header even if an optional
+            // block above ever grows unevenly.
+            row.resize(width, "-".to_string());
             rows.push(row);
         }
         render_table(&rows)
@@ -434,11 +464,17 @@ pub struct Thresholds {
     /// bucket-edge wobble rather than demanding exactness; only gates
     /// when both reports carry the latency fields.
     pub tail_pct: f64,
+    /// Maximum tolerated relative drift of the cause-attributed traffic
+    /// invariants (`traffic_pa`, `peak_util_pct`), in percent, either
+    /// direction. Traffic is a deterministic function of the access
+    /// stream, so the default demands an exact match up to float noise;
+    /// only gates when both reports carry the fields.
+    pub traffic_pct: f64,
 }
 
 impl Default for Thresholds {
     fn default() -> Thresholds {
-        Thresholds { time_pct: 30.0, invariant_pct: 1e-6, tail_pct: 110.0 }
+        Thresholds { time_pct: 30.0, invariant_pct: 1e-6, tail_pct: 110.0, traffic_pct: 1e-6 }
     }
 }
 
@@ -665,6 +701,25 @@ pub fn compare(base: &BenchReport, new: &BenchReport, th: Thresholds) -> Result<
                 });
             }
         }
+        // Traffic invariants gate only when both runs folded them in —
+        // older baselines parse them as None and skip silently.
+        let traffic: [(&'static str, Option<f64>, Option<f64>); 2] = [
+            ("traffic_pa", b.traffic_pa, n.traffic_pa),
+            ("peak_util_pct", b.peak_util_pct, n.peak_util_pct),
+        ];
+        for (metric, before, after) in traffic {
+            let (Some(before), Some(after)) = (before, after) else { continue };
+            let pct = rel_pct(before, after);
+            cmp.deltas.push(Delta {
+                case: key.clone(),
+                metric,
+                before,
+                after,
+                pct,
+                regression: pct.abs() > th.traffic_pct,
+                improvement: false,
+            });
+        }
         // Over-fetch only exists for tracking designs; appearing or
         // disappearing is itself behavior drift.
         match (b.overfetch, n.overfetch) {
@@ -729,7 +784,15 @@ mod tests {
             overfetch: (design == "Bumblebee").then_some(0.25),
             lat_p95: [None; 5],
             lat_p99: [None; 5],
+            traffic_pa: None,
+            peak_util_pct: None,
         }
+    }
+
+    fn with_traffic(mut c: BenchCase) -> BenchCase {
+        c.traffic_pa = Some(96.5);
+        c.peak_util_pct = Some(12.25);
+        c
     }
 
     fn with_tails(mut c: BenchCase) -> BenchCase {
@@ -897,6 +960,61 @@ mod tests {
         slow.cases[0].lat_p95[2] = Some(1000);
         let tight = Thresholds { tail_pct: 5.0, ..Thresholds::default() };
         assert_eq!(compare(&base, &slow, tight).unwrap().regressions(), 1);
+    }
+
+
+    #[test]
+    fn traffic_invariants_round_trip_and_gate_only_when_present() {
+        let mut base = report();
+        base.cases[0] = with_traffic(base.cases[0].clone());
+        let body = base.to_lines().join("\n");
+        assert!(body.contains("\"traffic_pa\":96.5"));
+        assert!(body.contains("\"peak_util_pct\":12.25"));
+        let parsed = BenchReport::parse(&body).unwrap();
+        assert_eq!(parsed, base);
+        // An old-schema body without the fields parses as None …
+        let old = report();
+        assert!(old.cases.iter().all(|c| c.traffic_pa.is_none() && c.peak_util_pct.is_none()));
+        // … and never gates against a traffic-carrying candidate.
+        let cmp = compare(&old, &base, Thresholds::default()).unwrap();
+        assert_eq!(cmp.regressions(), 0, "missing baseline traffic skips silently");
+        assert!(!cmp.deltas.iter().any(|d| d.metric == "traffic_pa"));
+        // Traffic is deterministic: any drift regresses, either direction.
+        assert_eq!(compare(&base, &base, Thresholds::default()).unwrap().regressions(), 0);
+        let mut drift = base.clone();
+        drift.cases[0].traffic_pa = Some(97.0);
+        let cmp = compare(&base, &drift, Thresholds::default()).unwrap();
+        assert_eq!(cmp.regressions(), 1);
+        assert!(cmp.deltas.iter().any(|d| d.regression && d.metric == "traffic_pa"));
+        let mut less = base.clone();
+        less.cases[0].peak_util_pct = Some(10.0);
+        let cmp = compare(&base, &less, Thresholds::default()).unwrap();
+        assert_eq!(cmp.regressions(), 1, "lower utilization is still behavior drift");
+        assert!(cmp.deltas.iter().any(|d| d.regression && d.metric == "peak_util_pct"));
+        // An explicit loose gate tolerates the drift.
+        let loose = Thresholds { traffic_pct: 50.0, ..Thresholds::default() };
+        assert_eq!(compare(&base, &less, loose).unwrap().regressions(), 0);
+    }
+
+    #[test]
+    fn mixed_suite_case_table_stays_aligned() {
+        // One case with every optional column, one with none: every data
+        // row must still line up under the header.
+        let mut r = report();
+        r.cases[0] = with_traffic(with_tails(r.cases[0].clone()));
+        let table = r.case_table();
+        assert!(table.contains("p95 mhbm_hit"));
+        assert!(table.contains("B/acc"));
+        assert!(table.contains("peak util%"));
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines.len() >= 4, "header, separator, two cases");
+        let width = lines[0].len();
+        for line in &lines {
+            assert_eq!(line.len(), width, "mis-aligned row: {line:?}");
+        }
+        // The traffic-less case renders dashes in the optional columns.
+        let bare = lines.iter().find(|l| l.starts_with("AC/mcf")).unwrap();
+        assert!(bare.trim_end().ends_with('-'), "{bare:?}");
     }
 
     #[test]

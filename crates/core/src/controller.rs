@@ -387,7 +387,7 @@ mod tests {
         assert!(
             plan.background
                 .iter()
-                .any(|op| op.cause == memsim_types::Cause::Metadata && op.mem == Mem::Hbm),
+                .any(|op| op.cause == memsim_types::TrafficCause::Metadata && op.mem == Mem::Hbm),
             "Meta-H must read metadata from HBM"
         );
         assert!(

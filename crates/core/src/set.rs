@@ -14,8 +14,8 @@ use crate::hot_table::{HotEntry, HotTable};
 use crate::prt::Prt;
 use memsim_obs::{Telemetry, TraceEvent};
 use memsim_types::{
-    AccessKind, AccessPath, AccessPlan, Addr, BlockIndex, Cause, CtrlStats, DeviceOp, Geometry,
-    Mem, OpKind, OverfetchTracker, PageSlot,
+    AccessKind, AccessPath, AccessPlan, Addr, BlockIndex, CtrlStats, DeviceOp, Geometry, Mem,
+    OpKind, OverfetchTracker, PageSlot, TrafficCause,
 };
 
 /// Where a demand request was served from.
@@ -401,8 +401,8 @@ impl RemapSet {
         self.bles[f].valid.set(block); // accessed-block tracking
         let addr = ctx.hbm_addr(u32::from(frame), block);
         let op = match kind {
-            AccessKind::Read => DeviceOp::demand_read(Mem::Hbm, addr, 64),
-            AccessKind::Write => DeviceOp::demand_write(Mem::Hbm, addr, 64),
+            AccessKind::Read => DeviceOp::demand_read(Mem::Hbm, addr, 64).with_mhbm(),
+            AccessKind::Write => DeviceOp::demand_write(Mem::Hbm, addr, 64).with_mhbm(),
         };
         ctx.push(kind == AccessKind::Read, op);
         self.hot.touch_hbm(o);
@@ -637,14 +637,16 @@ impl RemapSet {
             addr: ctx.dram_addr(home, 0),
             bytes: page_bytes,
             kind: OpKind::Read,
-            cause: Cause::Migration,
+            cause: TrafficCause::MigrationPromote,
+            mhbm: false,
         });
         ctx.push(false, DeviceOp {
             mem: Mem::Hbm,
             addr: ctx.hbm_addr(u32::from(f), 0),
             bytes: page_bytes,
             kind: OpKind::Write,
-            cause: Cause::Migration,
+            cause: TrafficCause::MigrationPromote,
+            mhbm: true,
         });
         for b in 0..bpp {
             ctx.of_fetched_block(o, b);
@@ -697,14 +699,16 @@ impl RemapSet {
             addr: ctx.dram_addr(home, block),
             bytes: block_bytes,
             kind: OpKind::Read,
-            cause: Cause::Fill,
+            cause: TrafficCause::MissFill,
+            mhbm: false,
         });
         ctx.push(false, DeviceOp {
             mem: Mem::Hbm,
             addr: ctx.hbm_addr(u32::from(fi), block),
             bytes: block_bytes,
             kind: OpKind::Write,
-            cause: Cause::Fill,
+            cause: TrafficCause::MissFill,
+            mhbm: false,
         });
         let _ = block_bytes;
         self.bles[f].valid.set(block);
@@ -738,14 +742,16 @@ impl RemapSet {
                 addr: ctx.dram_addr(home, b),
                 bytes: block_bytes,
                 kind: OpKind::Read,
-                cause: Cause::ModeSwitch,
+                cause: TrafficCause::MigrationPromote,
+                mhbm: false,
             });
             ctx.push(false, DeviceOp {
                 mem: Mem::Hbm,
                 addr: ctx.hbm_addr(u32::from(fi), b),
                 bytes: block_bytes,
                 kind: OpKind::Write,
-                cause: Cause::ModeSwitch,
+                cause: TrafficCause::MigrationPromote,
+                mhbm: true,
             });
             *ctx.mode_switch_bytes += 2 * u64::from(block_bytes);
             ctx.of_fetched_block(o, b);
@@ -754,11 +760,11 @@ impl RemapSet {
             // No-Multi: separate cHBM/mHBM spaces force the page through
             // off-chip DRAM and back (eviction + re-migration).
             let page_bytes = ctx.geometry.page_bytes() as u32;
-            for (mem, kind) in [
-                (Mem::Hbm, OpKind::Read),
-                (Mem::OffChip, OpKind::Write),
-                (Mem::OffChip, OpKind::Read),
-                (Mem::Hbm, OpKind::Write),
+            for (mem, kind, cause, mhbm) in [
+                (Mem::Hbm, OpKind::Read, TrafficCause::MigrationDemote, false),
+                (Mem::OffChip, OpKind::Write, TrafficCause::MigrationDemote, false),
+                (Mem::OffChip, OpKind::Read, TrafficCause::MigrationPromote, false),
+                (Mem::Hbm, OpKind::Write, TrafficCause::MigrationPromote, true),
             ] {
                 ctx.push(false, DeviceOp {
                     mem,
@@ -769,7 +775,8 @@ impl RemapSet {
                     },
                     bytes: page_bytes,
                     kind,
-                    cause: Cause::ModeSwitch,
+                    cause,
+                    mhbm,
                 });
                 *ctx.mode_switch_bytes += u64::from(page_bytes);
             }
@@ -850,7 +857,7 @@ impl RemapSet {
         let ple = entry.ple;
         if let Some(fi) = self.cached_in[usize::from(ple)] {
             // Rule 1: a popped cHBM page is evicted to off-chip DRAM.
-            self.evict_chbm_frame(fi, ctx);
+            self.evict_chbm_frame(fi, TrafficCause::Writeback, ctx);
             self.hot.push_dram_front(entry);
             return true;
         }
@@ -880,7 +887,7 @@ impl RemapSet {
                 if !ctx.cfg.multiplexed {
                     // Separate spaces: the page must actually be copied out.
                     let page_bytes = ctx.geometry.page_bytes() as u32;
-                    self.page_copy(frame, dram_slot, page_bytes, Cause::ModeSwitch, ctx);
+                    self.page_copy(frame, dram_slot, page_bytes, TrafficCause::MigrationDemote, true, ctx);
                     *ctx.mode_switch_bytes += 2 * u64::from(page_bytes);
                     // And the cHBM copy is now clean.
                     self.bles[usize::from(frame)].dirty.clear_all();
@@ -897,7 +904,7 @@ impl RemapSet {
             return false;
         };
         let page_bytes = ctx.geometry.page_bytes() as u32;
-        self.page_copy(frame, dram_slot, page_bytes, Cause::Writeback, ctx);
+        self.page_copy(frame, dram_slot, page_bytes, TrafficCause::Writeback, true, ctx);
         self.prt.relocate(ple, dram_slot);
         for b in 0..ctx.geometry.blocks_per_page() {
             ctx.of_evicted_block(ple, b);
@@ -910,15 +917,25 @@ impl RemapSet {
         true
     }
 
-    /// HBM→DRAM page copy helper.
+    /// HBM→DRAM page copy helper. `mhbm` records whether the HBM frame
+    /// being read out is a memory-mode frame (traffic accounting only).
     // audit: hot-path
-    fn page_copy(&self, frame: u16, dram_slot: u16, bytes: u32, cause: Cause, ctx: &mut SetCtx<'_>) {
+    fn page_copy(
+        &self,
+        frame: u16,
+        dram_slot: u16,
+        bytes: u32,
+        cause: TrafficCause,
+        mhbm: bool,
+        ctx: &mut SetCtx<'_>,
+    ) {
         ctx.push(false, DeviceOp {
             mem: Mem::Hbm,
             addr: ctx.hbm_addr(u32::from(frame), 0),
             bytes,
             kind: OpKind::Read,
             cause,
+            mhbm,
         });
         ctx.push(false, DeviceOp {
             mem: Mem::OffChip,
@@ -926,12 +943,18 @@ impl RemapSet {
             bytes,
             kind: OpKind::Write,
             cause,
+            mhbm: false,
         });
     }
 
     /// Writes back a cHBM frame's dirty blocks and frees the frame.
+    /// `cause` names the §III-E rule that triggered the eviction (rule-1
+    /// LRU pop → writeback, rule-3 → zombie_evict, rule-5 →
+    /// pressure_flush, capacity eviction on allocation → writeback), so
+    /// the traffic breakdown attributes the same bytes to the right
+    /// mechanism.
     // audit: hot-path
-    fn evict_chbm_frame(&mut self, fi: u8, ctx: &mut SetCtx<'_>) {
+    fn evict_chbm_frame(&mut self, fi: u8, cause: TrafficCause, ctx: &mut SetCtx<'_>) {
         let f = usize::from(fi);
         debug_assert_eq!(self.bles[f].mode, FrameMode::Chbm);
         let o = self.bles[f].ple;
@@ -947,14 +970,16 @@ impl RemapSet {
                 addr: ctx.hbm_addr(u32::from(fi), b),
                 bytes: block_bytes,
                 kind: OpKind::Read,
-                cause: Cause::Writeback,
+                cause,
+                mhbm: false,
             });
             ctx.push(false, DeviceOp {
                 mem: Mem::OffChip,
                 addr: ctx.dram_addr(home, b),
                 bytes: block_bytes,
                 kind: OpKind::Write,
-                cause: Cause::Writeback,
+                cause,
+                mhbm: false,
             });
         }
         for b in 0..bpp {
@@ -979,7 +1004,7 @@ impl RemapSet {
                 // Zombies get no buffered second chance: force a real
                 // eviction by taking the non-HMF path explicitly.
                 if let Some(fi) = self.cached_in[usize::from(ple)] {
-                    self.evict_chbm_frame(fi, ctx);
+                    self.evict_chbm_frame(fi, TrafficCause::ZombieEvict, ctx);
                 } else if let Some(p) = self.prt.location(ple) {
                     if self.prt.is_hbm_slot(p) {
                         if let Some(slot) =
@@ -987,7 +1012,14 @@ impl RemapSet {
                         {
                             let frame = p - self.m();
                             let page_bytes = ctx.geometry.page_bytes() as u32;
-                            self.page_copy(frame, slot, page_bytes, Cause::Writeback, ctx);
+                            self.page_copy(
+                                frame,
+                                slot,
+                                page_bytes,
+                                TrafficCause::ZombieEvict,
+                                true,
+                                ctx,
+                            );
                             self.prt.relocate(ple, slot);
                             self.ble_reset(usize::from(frame));
                             ctx.stats.evictions += 1;
@@ -1044,34 +1076,39 @@ impl RemapSet {
         let frame = vp - self.m();
         let home = self.prt.location(o).expect("allocated"); // audit: allow(hot-panic) -- swap candidates come from the hot table, which only holds allocated pages
         let page_bytes = ctx.geometry.page_bytes() as u32;
-        // Full 2-page swap: read both, write both crosswise.
+        // Full 2-page swap: read both, write both crosswise. The incoming
+        // page's legs are promotion traffic, the victim's legs demotion.
         ctx.push(false, DeviceOp {
             mem: Mem::OffChip,
             addr: ctx.dram_addr(home, 0),
             bytes: page_bytes,
             kind: OpKind::Read,
-            cause: Cause::Migration,
+            cause: TrafficCause::MigrationPromote,
+            mhbm: false,
         });
         ctx.push(false, DeviceOp {
             mem: Mem::Hbm,
             addr: ctx.hbm_addr(u32::from(frame), 0),
             bytes: page_bytes,
             kind: OpKind::Read,
-            cause: Cause::Migration,
+            cause: TrafficCause::MigrationDemote,
+            mhbm: true,
         });
         ctx.push(false, DeviceOp {
             mem: Mem::Hbm,
             addr: ctx.hbm_addr(u32::from(frame), 0),
             bytes: page_bytes,
             kind: OpKind::Write,
-            cause: Cause::Migration,
+            cause: TrafficCause::MigrationPromote,
+            mhbm: true,
         });
         ctx.push(false, DeviceOp {
             mem: Mem::OffChip,
             addr: ctx.dram_addr(home, 0),
             bytes: page_bytes,
             kind: OpKind::Write,
-            cause: Cause::Migration,
+            cause: TrafficCause::MigrationDemote,
+            mhbm: false,
         });
         self.prt.swap(o, victim.ple);
         self.ble_begin_mhbm(usize::from(frame), o, Some(block));
@@ -1091,7 +1128,7 @@ impl RemapSet {
         for fi in 0..self.bles.len() {
             if self.bles[fi].mode == FrameMode::Chbm {
                 let o = self.bles[fi].ple;
-                self.evict_chbm_frame(fi as u8, ctx);
+                self.evict_chbm_frame(fi as u8, TrafficCause::PressureFlush, ctx);
                 self.hot.demote(o);
             }
         }
@@ -1233,7 +1270,7 @@ impl RemapSet {
         });
         let Some(v) = victim else { return };
         if let Some(fi) = self.cached_in[usize::from(v)] {
-            self.evict_chbm_frame(fi, ctx);
+            self.evict_chbm_frame(fi, TrafficCause::Writeback, ctx);
         }
         let p = self.prt.location(v).expect("victim allocated"); // audit: allow(hot-panic) -- eviction victims come from the hot table, which only holds allocated pages
         self.prt.free(v);

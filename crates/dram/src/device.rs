@@ -174,6 +174,14 @@ impl DramDevice {
         self.channels.iter().map(Channel::busy_cycles).sum()
     }
 
+    /// Data-bus busy cycles per channel, in channel order — the
+    /// per-channel bandwidth-utilization gauge source. Deterministic for
+    /// a given access stream (channel assignment is pure address math),
+    /// and integer, so per-set device instances sum commutatively.
+    pub fn channel_busy_cycles(&self) -> Vec<u64> {
+        self.channels.iter().map(Channel::busy_cycles).collect()
+    }
+
     /// Resets timing state and counters (row buffers, bus availability).
     pub fn reset(&mut self) {
         for ch in &mut self.channels {

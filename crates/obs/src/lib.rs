@@ -27,6 +27,11 @@
 //!   [`lat::AccessRecord`]s (path + lookup/queue/service/stall), a bounded
 //!   [`lat::LatRing`] with shard-merge, and the [`lat::LatCollector`]
 //!   report aggregator;
+//! * [`bw`] — cause-attributed traffic accounting: the per-device-class
+//!   per-cause [`bw::TrafficMatrix`], the [`bw::TrafficAccum`] op-size /
+//!   MLP histograms, cumulative [`bw::BwPoint`] epoch snapshots with a
+//!   commutative shard merge, and the hard [`bw::reconcile`] check
+//!   against the devices' undifferentiated byte totals;
 //! * [`span`] — a scoped wall-clock span profiler (thread-local RAII
 //!   guards aggregated into a per-phase tree), answering *where simulator
 //!   wall time goes*; disabled it costs one thread-local flag check.
@@ -61,6 +66,7 @@
 //! assert_eq!(run.epochs().len(), 2);
 //! ```
 
+pub mod bw;
 pub mod event;
 pub mod hist;
 pub mod lat;
@@ -68,6 +74,7 @@ pub mod recorder;
 pub mod snapshot;
 pub mod span;
 
+pub use bw::{reconcile, BwPoint, TrafficAccum, TrafficMatrix};
 pub use event::{merge_shard_events, EventRing, TimedEvent, TraceEvent};
 pub use hist::{DeviceHistograms, Pow2Histogram};
 pub use lat::{

@@ -15,8 +15,9 @@ use crate::matrix::{Cell, ExperimentMatrix};
 use crate::report::SimReport;
 use crate::run::{run_design_with, RunObservations};
 use crate::shard::run_design_sharded;
-use memsim_obs::{span, LatCollector, MetricsConfig, Pow2Histogram, SpanTree};
-use memsim_types::{AccessPath, GeometryError};
+use memsim_dram::presets;
+use memsim_obs::{span, BwPoint, LatCollector, MetricsConfig, Pow2Histogram, SpanTree};
+use memsim_types::{AccessPath, GeometryError, TrafficCause, TrafficDevice};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -609,6 +610,179 @@ impl ResultSet {
         lines
     }
 
+    /// One physical device's `kind=bw_epoch` line: the per-epoch byte and
+    /// busy-cycle deltas between two cumulative [`BwPoint`]s plus the
+    /// derived achieved-vs-peak utilization gauges.
+    #[allow(clippy::too_many_arguments)]
+    fn bw_epoch_line(
+        &self,
+        c: &Cell,
+        epoch: u64,
+        device: &str,
+        bytes: u64,
+        cycles: u64,
+        peak_bpc: f64,
+        prev_busy: &[u64],
+        busy: &[u64],
+    ) -> String {
+        let bpc = if cycles == 0 { 0.0 } else { bytes as f64 / cycles as f64 };
+        let util_pct = if peak_bpc == 0.0 { 0.0 } else { 100.0 * bpc / peak_bpc };
+        let busy_sum: u64 = busy.iter().zip(prev_busy).map(|(b, p)| b - p).sum();
+        let span = cycles * busy.len() as u64;
+        let busy_pct = if span == 0 { 0.0 } else { 100.0 * busy_sum as f64 / span as f64 };
+        let mut obj = self
+            .cell_obj("bw_epoch", c)
+            .u64("epoch", epoch)
+            .str("device", device)
+            .u64("bytes", bytes)
+            .u64("cycles", cycles)
+            .f64("bpc", bpc)
+            .f64("peak_bpc", peak_bpc)
+            .f64("util_pct", util_pct)
+            .f64("busy_pct", busy_pct);
+        for (ch, (b, p)) in busy.iter().zip(prev_busy).enumerate() {
+            obj = obj.u64(&format!("ch{ch}"), b - p);
+        }
+        obj.finish()
+    }
+
+    /// The cause-attributed traffic accounting as JSONL, per cell: one
+    /// `kind=bw` line per device class (mHBM / cHBM / off-chip) with
+    /// per-[`TrafficCause`] byte counters, `kind=bw_epoch`
+    /// bandwidth-utilization gauges per epoch per physical device
+    /// (achieved bytes/cycle against the Table I theoretical peak, with
+    /// per-channel data-bus busy cycles), `kind=bw_hist` op-size and
+    /// plan-fan-out (MLP) histograms, and a closing `kind=bw_summary`
+    /// line whose per-cause sums reconcile exactly against the report's
+    /// `hbm_bytes` / `dram_bytes` device totals (`trace_tool bandwidth`
+    /// enforces this). All counters are integers in the simulated cycle
+    /// domain and every float is derived from them at emit time, so the
+    /// stream is byte-identical across `--jobs` and `--shards` widths.
+    /// Empty when the run recorded no metrics.
+    pub fn bw_jsonl_lines(&self) -> Vec<String> {
+        let Some(all) = self.observations.as_deref() else { return Vec::new() };
+        let mut lines = Vec::new();
+        for (c, obs) in self.cells.iter().zip(all) {
+            let m = &obs.traffic.matrix;
+            for device in TrafficDevice::ALL {
+                let mut obj = self.cell_obj("bw", c).str("device", device.label());
+                for cause in TrafficCause::ALL {
+                    obj = obj.u64(cause.label(), m.bytes(device, cause));
+                }
+                lines.push(
+                    obj.u64("bytes", m.device_bytes(device))
+                        .u64("ops", m.device_ops(device))
+                        .finish(),
+                );
+            }
+            let hbm_cfg = presets::hbm2(c.cfg.geometry.hbm_bytes());
+            let dram_cfg = presets::ddr4_3200(c.cfg.geometry.dram_bytes());
+            let hbm_peak = hbm_cfg.peak_bytes_per_cpu_cycle();
+            let dram_peak = dram_cfg.peak_bytes_per_cpu_cycle();
+            let mut prev =
+                BwPoint::zeroed(hbm_cfg.channels as usize, dram_cfg.channels as usize);
+            for (e, p) in obs.bw_points.iter().enumerate() {
+                let mhbm = TrafficDevice::MHbm.index();
+                let chbm = TrafficDevice::CHbm.index();
+                let off = TrafficDevice::OffChip.index();
+                let hbm_bytes = (p.class_bytes[mhbm] + p.class_bytes[chbm])
+                    - (prev.class_bytes[mhbm] + prev.class_bytes[chbm]);
+                let off_bytes = p.class_bytes[off] - prev.class_bytes[off];
+                let cycles = p.cycles - prev.cycles;
+                lines.push(self.bw_epoch_line(
+                    c,
+                    e as u64,
+                    "hbm",
+                    hbm_bytes,
+                    cycles,
+                    hbm_peak,
+                    &prev.hbm_busy,
+                    &p.hbm_busy,
+                ));
+                lines.push(self.bw_epoch_line(
+                    c,
+                    e as u64,
+                    "dram",
+                    off_bytes,
+                    cycles,
+                    dram_peak,
+                    &prev.dram_busy,
+                    &p.dram_busy,
+                ));
+                prev = p.clone();
+            }
+            for device in TrafficDevice::ALL {
+                let h = &obs.traffic.size[device.index()];
+                if h.total() == 0 {
+                    continue;
+                }
+                let mut obj = self
+                    .cell_obj("bw_hist", c)
+                    .str("metric", "op_size")
+                    .str("device", device.label())
+                    .u64("total", h.total())
+                    .f64("mean", h.mean())
+                    .u64("max", h.max());
+                for (k, _, count) in h.nonzero() {
+                    obj = obj.u64(&format!("b{k}"), count);
+                }
+                lines.push(obj.finish());
+            }
+            let mlp = &obs.traffic.mlp;
+            let mut obj = self
+                .cell_obj("bw_hist", c)
+                .str("metric", "mlp")
+                .str("device", "all")
+                .u64("total", mlp.total())
+                .f64("mean", mlp.mean())
+                .u64("max", mlp.max())
+                .u64("p50", mlp.percentile(0.50))
+                .u64("p95", mlp.percentile(0.95));
+            for (k, _, count) in mlp.nonzero() {
+                obj = obj.u64(&format!("b{k}"), count);
+            }
+            lines.push(obj.finish());
+            let r = &self.reports[c.id];
+            let accesses = c.cfg.warmup + c.cfg.accesses;
+            let total = m.total_bytes();
+            let per_access =
+                if accesses == 0 { 0.0 } else { total as f64 / accesses as f64 };
+            let (hbm_util, dram_util) = obs.bw_points.last().map_or((0.0, 0.0), |p| {
+                let mhbm = TrafficDevice::MHbm.index();
+                let chbm = TrafficDevice::CHbm.index();
+                let hbm_bpc = if p.cycles == 0 {
+                    0.0
+                } else {
+                    (p.class_bytes[mhbm] + p.class_bytes[chbm]) as f64 / p.cycles as f64
+                };
+                let dram_bpc = if p.cycles == 0 {
+                    0.0
+                } else {
+                    p.class_bytes[TrafficDevice::OffChip.index()] as f64 / p.cycles as f64
+                };
+                (100.0 * hbm_bpc / hbm_peak, 100.0 * dram_bpc / dram_peak)
+            });
+            let mut sum = self.cell_obj("bw_summary", c);
+            for device in TrafficDevice::ALL {
+                sum = sum.u64(&format!("{}_bytes", device.label()), m.device_bytes(device));
+            }
+            for cause in TrafficCause::ALL {
+                sum = sum.u64(cause.label(), m.cause_bytes(cause));
+            }
+            lines.push(
+                sum.u64("total_bytes", total)
+                    .u64("hbm_bytes", r.hbm_bytes)
+                    .u64("dram_bytes", r.dram_bytes)
+                    .u64("accesses", accesses)
+                    .f64("bytes_per_access", per_access)
+                    .f64("hbm_util_pct", hbm_util)
+                    .f64("dram_util_pct", dram_util)
+                    .finish(),
+            );
+        }
+        lines
+    }
+
     /// Wall-clock engine telemetry as JSONL: one `kind=cell_metrics` line
     /// per cell (wall ms, accesses/sec), per-cell `kind=span` phase-tree
     /// lines and a `kind=span_summary` line when the run profiled spans,
@@ -745,11 +919,13 @@ mod tests {
         assert!(!serial.epochs_jsonl_lines().is_empty());
         assert!(!serial.trace_jsonl_lines().is_empty());
         assert!(!serial.lat_jsonl_lines().is_empty());
+        assert!(!serial.bw_jsonl_lines().is_empty());
         let wide = Engine::new(8).with_metrics(cfg).run(&m).unwrap();
         assert_eq!(serial.jsonl_lines(), wide.jsonl_lines());
         assert_eq!(serial.epochs_jsonl_lines(), wide.epochs_jsonl_lines());
         assert_eq!(serial.trace_jsonl_lines(), wide.trace_jsonl_lines());
         assert_eq!(serial.lat_jsonl_lines(), wide.lat_jsonl_lines());
+        assert_eq!(serial.bw_jsonl_lines(), wide.bw_jsonl_lines());
     }
 
     #[test]
@@ -795,6 +971,66 @@ mod tests {
     }
 
     #[test]
+    fn bw_jsonl_carries_every_record_kind_and_reconciles() {
+        use crate::jsonl::parse_flat;
+        let cfg = MetricsConfig {
+            epoch_interval: 1000,
+            event_capacity: 256,
+            ..MetricsConfig::default()
+        };
+        let m = metrics_matrix();
+        // Sampling disabled (`sample_rate` 0): traffic accounting is
+        // independent of the latency sampler and still emits.
+        let rs = Engine::new(2).with_metrics(cfg).run(&m).unwrap();
+        assert!(rs.lat_jsonl_lines().is_empty());
+        let lines = rs.bw_jsonl_lines();
+        for kind in
+            ["\"kind\":\"bw\"", "\"kind\":\"bw_epoch\"", "\"kind\":\"bw_hist\"", "\"kind\":\"bw_summary\""]
+        {
+            assert!(lines.iter().any(|l| l.contains(kind)), "missing {kind}");
+        }
+        let summaries: Vec<_> =
+            lines.iter().filter(|l| l.contains("\"kind\":\"bw_summary\"")).collect();
+        assert_eq!(summaries.len(), m.len(), "one summary per cell");
+        for line in summaries {
+            let row = parse_flat(line).unwrap();
+            let get = |k: &str| {
+                row.iter()
+                    .find(|(key, _)| key == k)
+                    .and_then(|(_, v)| v.as_u64())
+                    .unwrap_or_else(|| panic!("field {k} in {line}"))
+            };
+            // The tentpole acceptance invariant: cause-attributed byte
+            // sums reconcile EXACTLY against the devices' counters.
+            assert_eq!(get("mhbm_bytes") + get("chbm_bytes"), get("hbm_bytes"), "{line}");
+            assert_eq!(get("offchip_bytes"), get("dram_bytes"), "{line}");
+            let cause_sum: u64 = [
+                "demand_read",
+                "demand_write",
+                "miss_fill",
+                "writeback",
+                "migration_promote",
+                "migration_demote",
+                "zombie_evict",
+                "pressure_flush",
+                "metadata",
+            ]
+            .iter()
+            .map(|c| get(c))
+            .sum();
+            assert_eq!(cause_sum, get("total_bytes"), "{line}");
+            assert!(get("total_bytes") > 0, "no traffic recorded: {line}");
+        }
+        // The per-epoch series covers every physical device each epoch.
+        let epochs: Vec<_> =
+            lines.iter().filter(|l| l.contains("\"kind\":\"bw_epoch\"")).collect();
+        assert!(epochs.iter().any(|l| l.contains("\"device\":\"hbm\"")));
+        assert!(epochs.iter().any(|l| l.contains("\"device\":\"dram\"")));
+        // No metrics, no stream.
+        assert!(Engine::new(2).run(&m).unwrap().bw_jsonl_lines().is_empty());
+    }
+
+    #[test]
     fn sharded_engine_output_is_byte_identical_at_any_shard_count() {
         // A shardable-only matrix: every cell takes the sharded pipeline.
         let profiles = [SpecProfile::mcf()];
@@ -812,12 +1048,14 @@ mod tests {
         };
         let one = Engine::new(2).with_metrics(cfg).with_shards(Some(1)).run(&m).unwrap();
         assert!(!one.lat_jsonl_lines().is_empty());
+        assert!(!one.bw_jsonl_lines().is_empty());
         for shards in [2usize, 8] {
             let n = Engine::new(2).with_metrics(cfg).with_shards(Some(shards)).run(&m).unwrap();
             assert_eq!(one.jsonl_lines(), n.jsonl_lines(), "{shards} shards");
             assert_eq!(one.epochs_jsonl_lines(), n.epochs_jsonl_lines(), "{shards} shards");
             assert_eq!(one.trace_jsonl_lines(), n.trace_jsonl_lines(), "{shards} shards");
             assert_eq!(one.lat_jsonl_lines(), n.lat_jsonl_lines(), "{shards} shards");
+            assert_eq!(one.bw_jsonl_lines(), n.bw_jsonl_lines(), "{shards} shards");
         }
         // Non-shardable designs fall back to the serial pipeline untouched.
         let mixed = ExperimentMatrix::cross(

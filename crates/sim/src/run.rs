@@ -5,8 +5,8 @@ use crate::report::SimReport;
 use crate::system::{SimParams, StepProbe, System};
 use memsim_obs::span::{self, Phase};
 use memsim_obs::{
-    sampled, AccessRecord, DeviceHistograms, EpochSnapshot, LatRing, MetricsConfig, RunRecorder,
-    TimedEvent,
+    sampled, AccessRecord, BwPoint, DeviceHistograms, EpochSnapshot, LatRing, MetricsConfig,
+    RunRecorder, TimedEvent, TrafficAccum,
 };
 use memsim_trace::{SpecProfile, Workload};
 use memsim_types::{Access, Geometry, GeometryError, HybridMemoryController};
@@ -127,6 +127,14 @@ pub struct RunObservations {
     pub hbm: DeviceHistograms,
     /// Off-chip DRAM device distributions.
     pub dram: DeviceHistograms,
+    /// Cause-attributed traffic accounting over the whole run (warm-up,
+    /// measurement and end-of-run drain): the per-device-class per-cause
+    /// matrix plus op-size / MLP histograms. Reconciles exactly against
+    /// the report's `hbm_bytes` / `dram_bytes` device totals.
+    pub traffic: TrafficAccum,
+    /// Cumulative bandwidth snapshots at each epoch boundary, epoch
+    /// order (the `bw_epoch` utilization series source).
+    pub bw_points: Vec<BwPoint>,
 }
 
 /// Runs `design` on `profile` under `cfg` and reports.
@@ -166,11 +174,20 @@ pub fn run_design_with(
         controller.install_recorder(Box::new(RunRecorder::new(m)));
     }
     let mut system = System::new(controller, &cfg.geometry, cfg.params, design.uses_hbm());
+    if metrics.is_some() {
+        system.enable_traffic_accounting();
+    }
     let mut workload = cfg.workload(profile);
     let sample_rate = metrics.map_or(0, |m| m.sample_rate);
     let mut lat_ring = metrics
         .filter(|m| m.sample_rate > 0)
         .map(|m| LatRing::new(m.record_capacity));
+    // Epoch-boundary bandwidth snapshots: boundary B captures the state
+    // after accesses 0..B — the same discipline as the sharded path's
+    // boundary catch-up, so the two series line up epoch for epoch.
+    let interval = metrics.map_or(0, |m| m.epoch_interval);
+    let mut next_boundary = if interval > 0 { interval } else { u64::MAX };
+    let mut bw_points: Vec<BwPoint> = Vec::new();
 
     // Warm-up: run, then reset instruction/cycle accounting by snapshotting.
     // `seq` is the 0-based global access index — the same timeline the
@@ -178,6 +195,10 @@ pub fn run_design_with(
     // identical accesses in both modes.
     let mut seq: u64 = 0;
     for _ in 0..cfg.warmup {
+        while next_boundary <= seq {
+            bw_points.push(system.bw_point());
+            next_boundary += interval;
+        }
         let access = {
             let _gen = span::span(Phase::TraceGen);
             workload.next_access()
@@ -188,12 +209,20 @@ pub fn run_design_with(
     let warm_cycles = system.now();
     let warm = *system.counters();
     for _ in 0..cfg.accesses {
+        while next_boundary <= seq {
+            bw_points.push(system.bw_point());
+            next_boundary += interval;
+        }
         let access = {
             let _gen = span::span(Phase::TraceGen);
             workload.next_access()
         };
         step_sampled(&mut system, lat_ring.as_mut(), sample_rate, seq, access);
         seq += 1;
+    }
+    while next_boundary <= seq {
+        bw_points.push(system.bw_point());
+        next_boundary += interval;
     }
     let instructions = system.counters().instructions - warm.instructions;
     let cycles = system.now() - warm_cycles;
@@ -203,6 +232,7 @@ pub fn run_design_with(
     let (hbm_counters, dram_counters) = (*hbm.counters(), *dram.counters());
     let (hbm_hist, dram_hist) = (hbm.histograms().clone(), dram.histograms().clone());
     let path_counts = *system.path_counts();
+    let traffic = system.take_traffic();
 
     let observations = system.controller_mut().take_recorder().and_then(|rec| {
         let (epochs, events, dropped_events) = rec.into_run()?.into_parts();
@@ -223,6 +253,8 @@ pub fn run_design_with(
             path_counts,
             hbm: hbm_hist,
             dram: dram_hist,
+            traffic: traffic.expect("metrics on, so traffic accounting was enabled"),
+            bw_points,
         })
     });
 

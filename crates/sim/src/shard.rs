@@ -39,11 +39,13 @@ use memsim_dram::{
 };
 use memsim_obs::span::{self, Phase};
 use memsim_obs::{
-    merge_shard_events, merge_shard_records, sampled, AccessRecord, DeviceHistograms,
-    EpochSnapshot, LatRing, MetricsConfig, RunRecorder, SpanTree, TimedEvent,
+    merge_shard_events, merge_shard_records, sampled, AccessRecord, BwPoint, DeviceHistograms,
+    EpochSnapshot, LatRing, MetricsConfig, RunRecorder, SpanTree, TimedEvent, TrafficAccum,
 };
 use memsim_trace::{ShardStream, SpecProfile};
-use memsim_types::{AccessKind, AccessPlan, Cause, CtrlStats, GeometryError, Mem};
+use memsim_types::{
+    AccessKind, AccessPlan, CtrlStats, GeometryError, Mem, TrafficCause, TrafficDevice,
+};
 
 /// A partition of the remapping sets into contiguous, balanced,
 /// gap-free worker ranges.
@@ -125,6 +127,34 @@ struct WorkerOut {
     overfetch: Option<(u64, u64)>,
     metadata_bytes: u64,
     spans: Option<SpanTree>,
+    traffic: Option<TrafficAccum>,
+    bw_points: Vec<BwPoint>,
+}
+
+/// This shard's cumulative contribution to the bandwidth snapshot at an
+/// epoch boundary: its attributed class bytes plus the per-channel busy
+/// cycles and clocks of every set domain it owns. Same-boundary partials
+/// from different shards [`absorb`](BwPoint::absorb) into the exact
+/// global snapshot.
+fn bw_partial(acc: &TrafficAccum, domains: &[SetDomain]) -> BwPoint {
+    let mut class_bytes = [0u64; 3];
+    for d in TrafficDevice::ALL {
+        class_bytes[d.index()] = acc.matrix.device_bytes(d);
+    }
+    let first = domains.first().expect("every shard owns at least one set");
+    let mut hbm_busy = vec![0u64; first.hbm.config().channels as usize];
+    let mut dram_busy = vec![0u64; first.dram.config().channels as usize];
+    let mut cycles = 0u64;
+    for d in domains {
+        for (sum, c) in hbm_busy.iter_mut().zip(d.hbm.channel_busy_cycles()) {
+            *sum += c;
+        }
+        for (sum, c) in dram_busy.iter_mut().zip(d.dram.channel_busy_cycles()) {
+            *sum += c;
+        }
+        cycles += d.now;
+    }
+    BwPoint { class_bytes, cycles, hbm_busy, dram_busy }
 }
 
 // audit: allow(det-thread) -- shard workers are the deterministic-by-merge parallel engine
@@ -165,6 +195,8 @@ fn shard_worker(
         .filter(|m| m.sample_rate > 0)
         .map(|m| LatRing::new(m.record_capacity));
     let mut path_counts = [0u64; 5];
+    let mut traffic = metrics.map(|_| TrafficAccum::new());
+    let mut bw_points: Vec<BwPoint> = Vec::new();
     let mut stream = ShardStream::new(cfg.workload(profile), geometry, lo, hi, total);
     loop {
         let item = {
@@ -177,6 +209,9 @@ fn shard_worker(
         // exactly its contribution at B.
         while next_boundary <= gi {
             partials.push(shard.epoch_partial());
+            if let Some(acc) = traffic.as_ref() {
+                bw_points.push(bw_partial(acc, &domains));
+            }
             next_boundary += interval;
         }
         if warm.is_none() && gi >= cfg.warmup {
@@ -186,6 +221,9 @@ fn shard_worker(
         {
             let _lookup = span::span(Phase::CtrlLookup);
             shard.access_at(gi, &access, &mut plan);
+        }
+        if let Some(acc) = traffic.as_mut() {
+            acc.record_plan(&plan);
         }
         counters.accesses += 1;
         counters.instructions += u64::from(access.insts);
@@ -202,13 +240,13 @@ fn shard_worker(
         for i in 0..plan.critical.len() {
             let op = plan.critical[i];
             let start = t;
-            let q0 = if sample_this && op.cause != Cause::Metadata {
+            let q0 = if sample_this && op.cause != TrafficCause::Metadata {
                 d.device(op.mem).histograms().queue_wait.sum()
             } else {
                 0
             };
             t = d.device(op.mem).access(op.addr, op.bytes, op.kind, t);
-            if op.cause == Cause::Metadata {
+            if op.cause == TrafficCause::Metadata {
                 mal += t - start;
             } else if sample_this {
                 queue += d.device(op.mem).histograms().queue_wait.sum() - q0;
@@ -251,6 +289,9 @@ fn shard_worker(
     // point... which is its share at all later points too).
     while next_boundary <= total {
         partials.push(shard.epoch_partial());
+        if let Some(acc) = traffic.as_ref() {
+            bw_points.push(bw_partial(acc, &domains));
+        }
         next_boundary += interval;
     }
     let (counters_warm, cycles_warm) =
@@ -263,6 +304,9 @@ fn shard_worker(
     for set in lo..hi {
         plan.clear();
         shard.finish_set(set, &mut plan);
+        if let Some(acc) = traffic.as_mut() {
+            acc.record_drain(&plan);
+        }
         let d = &mut domains[(set - lo) as usize];
         let at = d.now;
         for i in 0..plan.background.len() {
@@ -313,6 +357,8 @@ fn shard_worker(
         overfetch: shard.overfetch_bytes(),
         metadata_bytes: shard.metadata_bytes(),
         spans: profile_spans.then(span::collect),
+        traffic,
+        bw_points,
     }
 }
 
@@ -469,6 +515,22 @@ pub fn run_design_sharded(
                 *sum += c;
             }
         }
+        let mut traffic = TrafficAccum::new();
+        for o in &outs {
+            traffic
+                .merge(o.traffic.as_ref().expect("metrics requested, so every shard accounts"));
+        }
+        // Same-boundary partials sum into the global snapshot; every
+        // shard produced the same boundary count (it derives from
+        // `total / interval` alone).
+        let mut bw_points: Vec<BwPoint> = Vec::new();
+        for b in 0..outs[0].bw_points.len() {
+            let mut point = outs[0].bw_points[b].clone();
+            for o in &outs[1..] {
+                point.absorb(&o.bw_points[b]);
+            }
+            bw_points.push(point);
+        }
         RunObservations {
             epochs,
             events,
@@ -479,6 +541,8 @@ pub fn run_design_sharded(
             path_counts,
             hbm: hbm_hist,
             dram: dram_hist,
+            traffic,
+            bw_points,
         }
     });
     Ok((report, observations))

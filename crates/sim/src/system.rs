@@ -3,8 +3,10 @@
 
 use memsim_dram::{presets, DramDevice};
 use memsim_obs::span::{self, Phase};
+use memsim_obs::{BwPoint, TrafficAccum};
 use memsim_types::{
-    Access, AccessKind, AccessPath, AccessPlan, Cause, Geometry, HybridMemoryController, Mem,
+    Access, AccessKind, AccessPath, AccessPlan, Geometry, HybridMemoryController, Mem,
+    TrafficCause,
 };
 
 /// Cycle-domain decomposition of one access, filled by
@@ -18,7 +20,7 @@ pub struct StepProbe {
     /// Serve-path classification the controller put on the plan.
     pub path: AccessPath,
     /// Metadata cycles: SRAM lookup plus the full device time of
-    /// `Cause::Metadata` critical ops.
+    /// `TrafficCause::Metadata` critical ops.
     pub lookup: u64,
     /// Channel bus-queue wait of the non-metadata critical ops.
     pub queue: u64,
@@ -79,6 +81,7 @@ pub struct System<C> {
     counters: SystemCounters,
     path_counts: [u64; 5],
     uses_hbm: bool,
+    traffic: Option<Box<TrafficAccum>>,
 }
 
 impl<C: HybridMemoryController> System<C> {
@@ -96,6 +99,43 @@ impl<C: HybridMemoryController> System<C> {
             counters: SystemCounters::default(),
             path_counts: [0; 5],
             uses_hbm,
+            traffic: None,
+        }
+    }
+
+    /// Turns on cause-attributed traffic accounting: every subsequent
+    /// device transaction is folded into a [`TrafficAccum`]. Off by
+    /// default — the disabled path costs one `Option` discriminant check
+    /// per access.
+    pub fn enable_traffic_accounting(&mut self) {
+        self.traffic = Some(Box::default());
+    }
+
+    /// The traffic accumulator, when accounting is enabled.
+    pub fn traffic(&self) -> Option<&TrafficAccum> {
+        self.traffic.as_deref()
+    }
+
+    /// Takes the traffic accumulator out (end-of-run harvest).
+    pub fn take_traffic(&mut self) -> Option<TrafficAccum> {
+        self.traffic.take().map(|b| *b)
+    }
+
+    /// The cumulative bandwidth snapshot right now: attributed class
+    /// bytes, the clock, and per-channel data-bus busy cycles. Epoch
+    /// boundaries sample this to build the `bw_epoch` series.
+    pub fn bw_point(&self) -> BwPoint {
+        BwPoint {
+            class_bytes: self.traffic.as_deref().map_or([0; 3], |t| {
+                let mut bytes = [0u64; 3];
+                for d in memsim_types::TrafficDevice::ALL {
+                    bytes[d.index()] = t.matrix.device_bytes(d);
+                }
+                bytes
+            }),
+            cycles: self.now,
+            hbm_busy: self.hbm.channel_busy_cycles(),
+            dram_busy: self.dram.channel_busy_cycles(),
         }
     }
 
@@ -149,6 +189,9 @@ impl<C: HybridMemoryController> System<C> {
         self.counters.accesses += 1;
         self.counters.instructions += u64::from(access.insts);
         self.path_counts[self.plan.path.index()] += 1;
+        if let Some(acc) = self.traffic.as_deref_mut() {
+            acc.record_plan(&self.plan);
+        }
 
         let service = span::span(Phase::DramService);
         // Critical path: metadata, then each op in order.
@@ -162,13 +205,13 @@ impl<C: HybridMemoryController> System<C> {
         for i in 0..self.plan.critical.len() {
             let op = self.plan.critical[i];
             let start = t;
-            let q0 = if probing && op.cause != Cause::Metadata {
+            let q0 = if probing && op.cause != TrafficCause::Metadata {
                 self.device(op.mem).histograms().queue_wait.sum()
             } else {
                 0
             };
             t = self.device(op.mem).access(op.addr, op.bytes, op.kind, t);
-            if op.cause == Cause::Metadata {
+            if op.cause == TrafficCause::Metadata {
                 mal += t - start;
             } else if probing {
                 queue += self.device(op.mem).histograms().queue_wait.sum() - q0;
@@ -226,6 +269,9 @@ impl<C: HybridMemoryController> System<C> {
     pub fn finish(&mut self) -> (&DramDevice, &DramDevice) {
         self.plan.clear();
         self.controller.finish(&mut self.plan);
+        if let Some(acc) = self.traffic.as_deref_mut() {
+            acc.record_drain(&self.plan);
+        }
         let t = self.now;
         for i in 0..self.plan.background.len() {
             let op = self.plan.background[i];

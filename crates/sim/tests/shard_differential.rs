@@ -3,9 +3,11 @@
 //! pipeline must produce byte-identical output at shard widths
 //! {1, 2, 3, 8} — the `SimReport` JSONL line (which carries `CtrlStats`
 //! and every cycle-domain invariant: cycles, IPC, hit rate, migrations,
-//! over-fetch), the epoch time-series JSONL, the event-trace JSONL, and
-//! the sampled latency-attribution stream (`AccessRecord`s plus per-path
-//! histograms and reconciling summaries).
+//! over-fetch), the epoch time-series JSONL, the event-trace JSONL, the
+//! sampled latency-attribution stream (`AccessRecord`s plus per-path
+//! histograms and reconciling summaries), and the cause-attributed
+//! traffic/bandwidth stream (`bw.jsonl` — whose per-device cause sums
+//! must also reconcile exactly against the report's device byte totals).
 //!
 //! Runs only with `--features proptest` (the in-repo shim), like the other
 //! differential suites.
@@ -42,6 +44,7 @@ proptest! {
         prop_assert!(!reference.epochs_jsonl_lines().is_empty());
         prop_assert!(!reference.trace_jsonl_lines().is_empty());
         prop_assert!(!reference.lat_jsonl_lines().is_empty());
+        prop_assert!(!reference.bw_jsonl_lines().is_empty());
         let report = &reference.reports()[0];
         prop_assert!(report.cycles > 0);
         prop_assert_eq!(report.stats.total_accesses(), cfg.warmup + cfg.accesses);
@@ -60,6 +63,11 @@ proptest! {
         for r in &obs.records {
             prop_assert_eq!(r.lookup + r.queue + r.service + r.stall, r.total);
         }
+        // The cause-attributed byte sums reconcile exactly against the
+        // devices' undifferentiated counters — no transaction escapes the
+        // taxonomy, none is double-counted.
+        memsim_obs::reconcile(&obs.traffic.matrix, report.hbm_bytes, report.dram_bytes)
+            .map_err(|e| TestCaseError::fail(e))?;
 
         for shards in [2usize, 3, 8] {
             let n = Engine::new(1).with_metrics(metrics).with_shards(Some(shards)).run(&m).unwrap();
@@ -73,12 +81,18 @@ proptest! {
             // record vector, not just its rendering.
             prop_assert_eq!(reference.lat_jsonl_lines(), n.lat_jsonl_lines());
             prop_assert_eq!(&n.observations().unwrap()[0].records, &obs.records);
+            // Traffic/bandwidth stream, byte for byte — and the underlying
+            // merged matrix, not just its rendering.
+            prop_assert_eq!(reference.bw_jsonl_lines(), n.bw_jsonl_lines());
+            prop_assert_eq!(&n.observations().unwrap()[0].traffic, &obs.traffic);
             // The merged CtrlStats struct itself, not just its rendering.
             prop_assert_eq!(&n.reports()[0].stats, &report.stats);
         }
 
-        // The record stream is also invariant across --jobs widths.
+        // The record and traffic streams are also invariant across --jobs
+        // widths.
         let wide = Engine::new(4).with_metrics(metrics).with_shards(Some(2)).run(&m).unwrap();
         prop_assert_eq!(reference.lat_jsonl_lines(), wide.lat_jsonl_lines());
+        prop_assert_eq!(reference.bw_jsonl_lines(), wide.bw_jsonl_lines());
     }
 }

@@ -53,5 +53,7 @@ pub use error::GeometryError;
 pub use fastdiv::QuickDiv;
 pub use geometry::{Geometry, GeometryBuilder, PageSlot};
 pub use metadata::MetadataModel;
-pub use plan::{Access, AccessKind, AccessPath, AccessPlan, Cause, DeviceOp, Mem, OpKind};
+pub use plan::{
+    Access, AccessKind, AccessPath, AccessPlan, DeviceOp, Mem, OpKind, TrafficCause, TrafficDevice,
+};
 pub use stats::{CtrlStats, OverfetchTracker};

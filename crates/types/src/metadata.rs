@@ -8,7 +8,7 @@
 //! metadata access, the paper's "metadata access latency" (MAL).
 
 use crate::addr::Addr;
-use crate::plan::{AccessPlan, Cause, DeviceOp, Mem, OpKind};
+use crate::plan::{AccessPlan, DeviceOp, Mem, OpKind, TrafficCause};
 
 /// Models where a design's metadata lives and what each lookup costs.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,7 +129,8 @@ impl MetadataModel {
                 addr: around.align_down(64.max(u64::from(self.entry_bytes.max(1)))),
                 bytes: self.entry_bytes.max(64),
                 kind: OpKind::Read,
-                cause: Cause::Metadata,
+                cause: TrafficCause::Metadata,
+                mhbm: false,
             });
             return Self::IN_MEMORY_LOOKUP_CYCLES;
         }
@@ -160,7 +161,8 @@ impl MetadataModel {
                 addr: around.align_down(64.max(u64::from(self.entry_bytes.max(1)))),
                 bytes: self.entry_bytes.max(64),
                 kind: OpKind::Read,
-                cause: Cause::Metadata,
+                cause: TrafficCause::Metadata,
+                mhbm: false,
             });
             return Self::IN_MEMORY_LOOKUP_CYCLES;
         }
@@ -201,7 +203,7 @@ mod tests {
         let ratio = plan.background.len() as f64 / 10_000.0;
         assert!((ratio - 0.875).abs() < 0.01, "spill ratio {ratio}");
         assert_eq!(slow, plan.background.len());
-        assert!(plan.background.iter().all(|o| o.cause == Cause::Metadata && o.mem == Mem::Hbm));
+        assert!(plan.background.iter().all(|o| o.cause == TrafficCause::Metadata && o.mem == Mem::Hbm));
     }
 
     #[test]

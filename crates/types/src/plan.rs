@@ -70,22 +70,141 @@ pub enum OpKind {
     Write,
 }
 
-/// Why an operation was issued — drives the traffic breakdown of Fig. 8(b/c)
-/// and the mode-switch/metadata analyses of §IV-D.
+/// Why an operation was issued — the traffic taxonomy behind Fig. 8(b/c)
+/// and the §IV-D mode-switch/metadata analyses. Every DRAM transaction in
+/// the workspace is tagged with exactly one cause at its issue site, so
+/// per-device cause sums reconcile exactly against the raw
+/// `DeviceCounters` byte totals (checked by `trace_tool bandwidth`).
+///
+/// Mapping to the paper's §III-E mechanisms: [`Writeback`]
+/// (TrafficCause::Writeback) covers rule-1/2 buffered evictions and plain
+/// dirty-data writebacks, [`ZombieEvict`](TrafficCause::ZombieEvict) rule
+/// 3, [`MigrationPromote`](TrafficCause::MigrationPromote) /
+/// [`MigrationDemote`](TrafficCause::MigrationDemote) the rule-4 swaps
+/// and cHBM→mHBM mode switches, and
+/// [`PressureFlush`](TrafficCause::PressureFlush) the rule-5 batched
+/// flush.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Cause {
-    /// Serving the demand request itself.
-    Demand,
-    /// Filling a cache block/page on a miss.
-    Fill,
-    /// Writing back dirty data.
+pub enum TrafficCause {
+    /// Serving a demand read (LLC load/ifetch miss) itself.
+    DemandRead,
+    /// Serving a demand write (dirty LLC writeback) itself.
+    DemandWrite,
+    /// Filling a cache block/page into HBM on a miss (including the
+    /// off-chip read side of the fill and OS swap-ins).
+    MissFill,
+    /// Writing back dirty data (rule-1/2 buffered evictions, victim and
+    /// capacity writebacks, lazy dirty-block flushes).
     Writeback,
-    /// Migrating a page between off-chip DRAM and mHBM.
-    Migration,
-    /// Moving blocks for a cHBM↔mHBM mode switch.
-    ModeSwitch,
-    /// Metadata structures stored in memory (tags, remap tables).
+    /// Data moving *toward* HBM residency: rule-4 swap-ins, frequency-won
+    /// promotions, cHBM→mHBM upgrades fetching missing blocks.
+    MigrationPromote,
+    /// Data moving *away* from HBM residency: rule-4 swap-outs, mHBM→cHBM
+    /// downgrade copies, POM demotion legs.
+    MigrationDemote,
+    /// Rule-3 zombie-page eviction traffic.
+    ZombieEvict,
+    /// Rule-5 batched cHBM pressure-flush traffic.
+    PressureFlush,
+    /// Metadata structures stored in memory (tags, remap tables, SRAM
+    /// spill reads).
     Metadata,
+}
+
+impl TrafficCause {
+    /// Every cause, in the canonical report order.
+    pub const ALL: [TrafficCause; 9] = [
+        TrafficCause::DemandRead,
+        TrafficCause::DemandWrite,
+        TrafficCause::MissFill,
+        TrafficCause::Writeback,
+        TrafficCause::MigrationPromote,
+        TrafficCause::MigrationDemote,
+        TrafficCause::ZombieEvict,
+        TrafficCause::PressureFlush,
+        TrafficCause::Metadata,
+    ];
+
+    /// Stable snake_case label used in JSONL artifacts and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficCause::DemandRead => "demand_read",
+            TrafficCause::DemandWrite => "demand_write",
+            TrafficCause::MissFill => "miss_fill",
+            TrafficCause::Writeback => "writeback",
+            TrafficCause::MigrationPromote => "migration_promote",
+            TrafficCause::MigrationDemote => "migration_demote",
+            TrafficCause::ZombieEvict => "zombie_evict",
+            TrafficCause::PressureFlush => "pressure_flush",
+            TrafficCause::Metadata => "metadata",
+        }
+    }
+
+    /// The dense index of this cause within [`TrafficCause::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TrafficCause::DemandRead => 0,
+            TrafficCause::DemandWrite => 1,
+            TrafficCause::MissFill => 2,
+            TrafficCause::Writeback => 3,
+            TrafficCause::MigrationPromote => 4,
+            TrafficCause::MigrationDemote => 5,
+            TrafficCause::ZombieEvict => 6,
+            TrafficCause::PressureFlush => 7,
+            TrafficCause::Metadata => 8,
+        }
+    }
+
+    /// Parses a [`label`](TrafficCause::label) back into the cause.
+    pub fn from_label(label: &str) -> Option<TrafficCause> {
+        TrafficCause::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+/// The traffic-accounting device class an operation lands on. HBM splits
+/// by residency mode — mHBM (memory-mode / part-of-memory) frames versus
+/// cHBM (cache-mode) frames — because the paper's bandwidth argument is
+/// exactly about shifting traffic between the two; off-chip DRAM is one
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficDevice {
+    /// Memory-mode (part-of-memory) HBM frames.
+    MHbm,
+    /// Cache-mode HBM frames.
+    CHbm,
+    /// Off-chip DRAM.
+    OffChip,
+}
+
+impl TrafficDevice {
+    /// Every device class, in the canonical report order.
+    pub const ALL: [TrafficDevice; 3] =
+        [TrafficDevice::MHbm, TrafficDevice::CHbm, TrafficDevice::OffChip];
+
+    /// Stable snake_case label used in JSONL artifacts and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficDevice::MHbm => "mhbm",
+            TrafficDevice::CHbm => "chbm",
+            TrafficDevice::OffChip => "offchip",
+        }
+    }
+
+    /// The dense index of this class within [`TrafficDevice::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TrafficDevice::MHbm => 0,
+            TrafficDevice::CHbm => 1,
+            TrafficDevice::OffChip => 2,
+        }
+    }
+
+    /// Parses a [`label`](TrafficDevice::label) back into the class.
+    pub fn from_label(label: &str) -> Option<TrafficDevice> {
+        TrafficDevice::ALL.into_iter().find(|d| d.label() == label)
+    }
 }
 
 /// A single device operation.
@@ -100,18 +219,44 @@ pub struct DeviceOp {
     /// Direction.
     pub kind: OpKind,
     /// Reason this traffic exists.
-    pub cause: Cause,
+    pub cause: TrafficCause,
+    /// Whether an HBM-side operation touches an mHBM (memory-mode) frame
+    /// rather than a cHBM (cache-mode) frame. Meaningless (and `false`)
+    /// for [`Mem::OffChip`] operations and for pure-cache designs.
+    pub mhbm: bool,
 }
 
 impl DeviceOp {
-    /// A demand read of `bytes` at `addr` on `mem`.
+    /// A demand read of `bytes` at `addr` on `mem` (cHBM when on HBM; use
+    /// [`with_mhbm`](DeviceOp::with_mhbm) for memory-mode frames).
+    // audit: hot-path
     pub fn demand_read(mem: Mem, addr: Addr, bytes: u32) -> DeviceOp {
-        DeviceOp { mem, addr, bytes, kind: OpKind::Read, cause: Cause::Demand }
+        DeviceOp { mem, addr, bytes, kind: OpKind::Read, cause: TrafficCause::DemandRead, mhbm: false }
     }
 
-    /// A demand write of `bytes` at `addr` on `mem`.
+    /// A demand write of `bytes` at `addr` on `mem` (cHBM when on HBM).
+    // audit: hot-path
     pub fn demand_write(mem: Mem, addr: Addr, bytes: u32) -> DeviceOp {
-        DeviceOp { mem, addr, bytes, kind: OpKind::Write, cause: Cause::Demand }
+        DeviceOp { mem, addr, bytes, kind: OpKind::Write, cause: TrafficCause::DemandWrite, mhbm: false }
+    }
+
+    /// Marks the operation as targeting a memory-mode (mHBM) HBM frame.
+    #[must_use]
+    // audit: hot-path
+    pub fn with_mhbm(mut self) -> DeviceOp {
+        self.mhbm = true;
+        self
+    }
+
+    /// The traffic-accounting device class this operation lands on.
+    #[inline]
+    // audit: hot-path
+    pub fn device(&self) -> TrafficDevice {
+        match self.mem {
+            Mem::OffChip => TrafficDevice::OffChip,
+            Mem::Hbm if self.mhbm => TrafficDevice::MHbm,
+            Mem::Hbm => TrafficDevice::CHbm,
+        }
     }
 }
 
@@ -238,7 +383,7 @@ impl AccessPlan {
     }
 
     /// Total bytes attributed to `cause` (critical + background).
-    pub fn bytes_for(&self, cause: Cause) -> u64 {
+    pub fn bytes_for(&self, cause: TrafficCause) -> u64 {
         self.critical
             .iter()
             .chain(&self.background)
@@ -276,20 +421,49 @@ mod tests {
             addr: Addr(128),
             bytes: 2048,
             kind: OpKind::Read,
-            cause: Cause::Fill,
+            cause: TrafficCause::MissFill,
+            mhbm: false,
         });
         plan.background.push(DeviceOp {
             mem: Mem::Hbm,
             addr: Addr(0),
             bytes: 2048,
             kind: OpKind::Write,
-            cause: Cause::Fill,
+            cause: TrafficCause::MissFill,
+            mhbm: false,
         });
         assert_eq!(plan.bytes_on(Mem::Hbm), 64 + 2048);
         assert_eq!(plan.bytes_on(Mem::OffChip), 2048);
-        assert_eq!(plan.bytes_for(Cause::Demand), 64);
-        assert_eq!(plan.bytes_for(Cause::Fill), 4096);
+        assert_eq!(plan.bytes_for(TrafficCause::DemandRead), 64);
+        assert_eq!(plan.bytes_for(TrafficCause::MissFill), 4096);
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn traffic_causes_and_devices_round_trip_labels() {
+        for (i, c) in TrafficCause::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(TrafficCause::from_label(c.label()), Some(c));
+        }
+        assert_eq!(TrafficCause::from_label("nope"), None);
+        for (i, d) in TrafficDevice::ALL.into_iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(TrafficDevice::from_label(d.label()), Some(d));
+        }
+        assert_eq!(TrafficDevice::from_label("nope"), None);
+    }
+
+    #[test]
+    fn device_class_splits_hbm_by_residency_mode() {
+        let chbm = DeviceOp::demand_read(Mem::Hbm, Addr(0), 64);
+        assert!(!chbm.mhbm);
+        assert_eq!(chbm.device(), TrafficDevice::CHbm);
+        let mhbm = DeviceOp::demand_write(Mem::Hbm, Addr(0), 64).with_mhbm();
+        assert_eq!(mhbm.cause, TrafficCause::DemandWrite);
+        assert_eq!(mhbm.device(), TrafficDevice::MHbm);
+        // The mHBM flag never reclassifies off-chip traffic.
+        let off = DeviceOp::demand_read(Mem::OffChip, Addr(0), 64).with_mhbm();
+        assert_eq!(off.device(), TrafficDevice::OffChip);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for plan accounting and the metadata model.
 
 use memsim_types::{
-    AccessPlan, Addr, Cause, DeviceOp, Mem, MetadataModel, OpKind, OverfetchTracker,
+    AccessPlan, Addr, DeviceOp, Mem, MetadataModel, OpKind, OverfetchTracker, TrafficCause,
 };
 use proptest::prelude::*;
 
@@ -12,21 +12,16 @@ fn ops() -> impl Strategy<Value = Vec<DeviceOp>> {
             0u64..(1 << 30),
             1u32..65536,
             prop::bool::ANY,
-            prop_oneof![
-                Just(Cause::Demand),
-                Just(Cause::Fill),
-                Just(Cause::Writeback),
-                Just(Cause::Migration),
-                Just(Cause::ModeSwitch),
-                Just(Cause::Metadata),
-            ],
+            0usize..TrafficCause::ALL.len(),
+            prop::bool::ANY,
         )
-            .prop_map(|(mem, addr, bytes, write, cause)| DeviceOp {
+            .prop_map(|(mem, addr, bytes, write, cause, mhbm)| DeviceOp {
                 mem,
                 addr: Addr(addr),
                 bytes,
                 kind: if write { OpKind::Write } else { OpKind::Read },
-                cause,
+                cause: TrafficCause::ALL[cause],
+                mhbm,
             }),
         0..64,
     )
@@ -54,18 +49,21 @@ proptest! {
             .chain(&plan.background)
             .map(|o| u64::from(o.bytes))
             .sum();
-        let by_cause: u64 = [
-            Cause::Demand,
-            Cause::Fill,
-            Cause::Writeback,
-            Cause::Migration,
-            Cause::ModeSwitch,
-            Cause::Metadata,
-        ]
-        .into_iter()
-        .map(|c| plan.bytes_for(c))
-        .sum();
+        let by_cause: u64 = TrafficCause::ALL.into_iter().map(|c| plan.bytes_for(c)).sum();
         prop_assert_eq!(by_cause, total);
+        // The three traffic-device classes partition the same total.
+        let by_device: u64 = memsim_types::TrafficDevice::ALL
+            .into_iter()
+            .map(|d| {
+                plan.critical
+                    .iter()
+                    .chain(&plan.background)
+                    .filter(|o| o.device() == d)
+                    .map(|o| u64::from(o.bytes))
+                    .sum::<u64>()
+            })
+            .sum();
+        prop_assert_eq!(by_device, total);
     }
 
     #[test]

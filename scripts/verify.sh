@@ -74,7 +74,7 @@ for n in 1 2 8; do
     --scale 256 --accesses 20000 --workloads mcf --jobs 2 --metrics \
     --trace-sample 64 --shards "$n" --out "$smoke/shards$n" >/dev/null
 done
-for f in fig6.jsonl fig6.epochs.jsonl fig6.trace.jsonl fig6.lat.jsonl; do
+for f in fig6.jsonl fig6.epochs.jsonl fig6.trace.jsonl fig6.lat.jsonl fig6.bw.jsonl; do
   if [ ! -s "$smoke/shards1/$f" ]; then
     echo "FAIL: sharded smoke did not produce a non-empty $f" >&2
     exit 1
@@ -87,7 +87,7 @@ for f in fig6.jsonl fig6.epochs.jsonl fig6.trace.jsonl fig6.lat.jsonl; do
     fi
   done
 done
-echo "ok: fig6 results/epochs/trace/lat identical at --shards 1, 2 and 8"
+echo "ok: fig6 results/epochs/trace/lat/bw identical at --shards 1, 2 and 8"
 
 echo "== smoke: trace_tool latency — per-path tails reconcile exactly =="
 # Hard gate on the latency-attribution acceptance criterion: the per-path
@@ -97,6 +97,16 @@ echo "== smoke: trace_tool latency — per-path tails reconcile exactly =="
 cargo run --release -q -p bumblebee-bench --bin trace_tool -- \
   latency "$smoke/shards1/fig6.lat.jsonl" >/dev/null
 echo "ok: path counts reconcile against CtrlStats for every design"
+
+echo "== smoke: trace_tool bandwidth — cause bytes reconcile exactly =="
+# Hard gate on the traffic-accounting acceptance criterion: per device,
+# the cause-attributed byte sums in fig6.bw.jsonl must reconcile EXACTLY
+# against the DRAM devices' own total_bytes counters (trace_tool
+# bandwidth exits nonzero on any unclassified, dropped or double-counted
+# transaction), for Bumblebee and every baseline in the shard matrix.
+cargo run --release -q -p bumblebee-bench --bin trace_tool -- \
+  bandwidth "$smoke/shards1/fig6.bw.jsonl" >/dev/null
+echo "ok: cause-attributed bytes reconcile with device counters"
 
 echo "== smoke: fig6 --metrics writes observability artifacts =="
 cargo run --release -q -p bumblebee-bench --bin fig6 -- \
@@ -189,19 +199,22 @@ else
        "(invariants are clean; treat as noise unless it persists)" >&2
 fi
 
-echo "== bench: disabled-sampling wall within 2% of baseline (warn-only) =="
-# The timed bench repeats always run with sampling disabled (the latency
-# pass is a separate untimed run), so `sampled()` must compile down to a
-# branch that never fires: even a 2% wall drift vs the committed baseline
-# would mean the instrumentation leaks into the uninstrumented hot path.
-# Shared CI machines are too noisy for a hard gate at 2%, so this WARNS.
+echo "== bench: disabled-instrumentation wall within 2% of baseline (warn-only) =="
+# The timed bench repeats always run with latency sampling AND traffic
+# accounting disabled (the attribution pass is a separate untimed run), so
+# `sampled()` must compile down to a branch that never fires and the
+# traffic accumulator must stay a never-taken `Option` check: even a 2%
+# wall drift vs the committed baseline would mean the instrumentation
+# leaks into the uninstrumented hot path. Shared CI machines are too
+# noisy for a hard gate at 2%, so this WARNS.
 if cargo run --release -q -p bumblebee-bench --bin bench_tool -- \
   compare results/bench_baseline.json "$bench" \
   --time-threshold-pct 2 >/dev/null 2>&1; then
-  echo "ok: disabled-sampling wall within 2% of the committed baseline"
+  echo "ok: disabled-instrumentation wall within 2% of the committed baseline"
 else
   echo "WARN: wall time drifted >2% vs the committed baseline with sampling" \
-       "disabled (treat as noise unless it persists on a quiet machine)" >&2
+       "and traffic accounting disabled (treat as noise unless it persists" \
+       "on a quiet machine)" >&2
 fi
 
 echo "== bench: --shards intra-run speedup (warn-only) =="
