@@ -14,6 +14,20 @@ pub fn access(frame: u64) -> u64 {
     frame_addr(frame) //~ hot-callee
 }
 
+/// Per-access seal step of the batched flow; never audited.
+fn seal(frame: u64) -> u64 {
+    frame | 1
+}
+
+/// Batched entry point: annotated, but the per-access helper it loops
+/// over is not, so the chunk body escapes the closure.
+// audit: hot-path
+pub fn access_batch(frames: &[u64], out: &mut Vec<u64>) {
+    for &frame in frames {
+        out.push(seal(frame)); //~ hot-callee
+    }
+}
+
 /// A sampler ring whose method names shadow std collections.
 pub struct Ring {
     head: usize,

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! bench_harness [--quick] [--repeats N] [--jobs N] [--shards N]
-//!               [--out DIR] [--sha SHA] [--name NAME]
+//!               [--batch N] [--out DIR] [--sha SHA] [--name NAME]
 //! ```
 //!
 //! * `--quick` — the CI smoke suite (tiny scale, 1 repeat) instead of the
@@ -20,6 +20,10 @@
 //!   and records the width in the BENCH header so `bench_tool compare`
 //!   between `--shards 1` and `--shards N` turns the intra-run speedup
 //!   into a diffable artifact;
+//! * `--batch N` — access-pipeline chunk width (recorded in the BENCH
+//!   header; outputs are byte-identical at any width, so this is purely a
+//!   throughput knob — compare `--batch 1` against the default to measure
+//!   the batching speedup);
 //! * `--sha SHA` — override the `git rev-parse --short HEAD` stamp;
 //! * `--name NAME` — output file stem (default `BENCH_<sha>`), e.g.
 //!   `--name bench_baseline` for the committed baseline;
@@ -46,6 +50,7 @@ struct Args {
     repeats: Option<usize>,
     jobs: usize,
     shards: Option<usize>,
+    batch: Option<usize>,
     out: PathBuf,
     sha: Option<String>,
     name: Option<String>,
@@ -57,6 +62,7 @@ fn parse_args() -> Args {
         repeats: None,
         jobs: 1,
         shards: None,
+        batch: None,
         out: memsim_sim::results_dir(),
         sha: None,
         name: None,
@@ -91,6 +97,14 @@ fn parse_args() -> Args {
                     },
                 ));
             }
+            "--batch" => {
+                args.batch = Some(value("--batch").parse().ok().filter(|&b| b > 0).unwrap_or_else(
+                    || {
+                        eprintln!("error: --batch needs a positive number");
+                        std::process::exit(exitcode::USAGE);
+                    },
+                ));
+            }
             "--out" => args.out = PathBuf::from(value("--out")),
             "--sha" => args.sha = Some(value("--sha")),
             "--name" => args.name = Some(value("--name")),
@@ -98,7 +112,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "error: unknown argument {other}\n\
                      usage: bench_harness [--quick] [--repeats N] [--jobs N] [--shards N] \
-                     [--out DIR] [--sha SHA] [--name NAME]"
+                     [--batch N] [--out DIR] [--sha SHA] [--name NAME]"
                 );
                 std::process::exit(exitcode::USAGE);
             }
@@ -148,10 +162,13 @@ fn main() {
     }
     let matrix =
         ExperimentMatrix::cross("bench", &suite.designs, &suite.profiles, &suite.cfg);
-    let engine = Engine::new(args.jobs)
+    let mut engine = Engine::new(args.jobs)
         .with_shards(args.shards)
         .with_progress(true)
         .with_spans(true);
+    if let Some(b) = args.batch {
+        engine = engine.with_batch(b);
+    }
     eprintln!(
         "[bench] suite {}: {} cells, {} warm-up run(s), median of {} repeat(s), jobs {}, {}",
         suite.name,
@@ -198,9 +215,12 @@ fn main() {
     // wall-time baseline is unaffected. A failure here only costs the
     // optional fields, never the BENCH report.
     eprintln!("[bench] untimed instrumented pass (sample rate {LAT_SAMPLE_RATE})");
-    let lat_engine = Engine::new(args.jobs).with_shards(args.shards).with_metrics(
+    let mut lat_engine = Engine::new(args.jobs).with_shards(args.shards).with_metrics(
         MetricsConfig { sample_rate: LAT_SAMPLE_RATE, ..MetricsConfig::default() },
     );
+    if let Some(b) = args.batch {
+        lat_engine = lat_engine.with_batch(b);
+    }
     let accesses_per_cell = suite.cfg.warmup + suite.cfg.accesses;
     struct CellHarvest {
         p95: [Option<u64>; 5],
@@ -318,6 +338,7 @@ fn main() {
         repeats: suite.repeats as u64,
         jobs: args.jobs as u64,
         shards: args.shards.map(|s| s as u64),
+        batch: args.batch.map(|b| b as u64),
         scale: suite.cfg.scale,
         accesses: suite.cfg.accesses,
         workloads: suite

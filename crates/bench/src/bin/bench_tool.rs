@@ -6,6 +6,7 @@
 //!                                       [--invariant-tolerance-pct N]
 //!                                       [--tail-threshold-pct N]
 //!                                       [--traffic-threshold-pct N]
+//!                                       [--throughput-threshold-pct N]
 //! ```
 //!
 //! `show` appends per-path p95 latency columns when the BENCH file
@@ -17,7 +18,10 @@
 //! all, a per-path sampled tail latency (p95/p99) growing past the
 //! tail threshold when both files carry it, or a cause-attributed
 //! traffic invariant (`traffic_pa`, `peak_util_pct`) drifting past the
-//! traffic threshold when both files carry it. Parse/usage problems exit
+//! traffic threshold when both files carry it. The suite-aggregate
+//! throughput delta is always reported; it only becomes a gate when
+//! `--throughput-threshold-pct` is given (a drop past N% then fails,
+//! a rise past N% counts as an improvement). Parse/usage problems exit
 //! `2`. A report compared against itself always exits `0` —
 //! `scripts/verify.sh` relies on that as its self-diff gate.
 
@@ -91,6 +95,9 @@ fn main() {
             if let Some(t) = pct_flag(&args, "--traffic-threshold-pct") {
                 th.traffic_pct = t;
             }
+            if let Some(t) = pct_flag(&args, "--throughput-threshold-pct") {
+                th.throughput_pct = Some(t);
+            }
             let (base_report, new_report) = (load(base), load(new));
             let cmp = compare(&base_report, &new_report, th)
                 .unwrap_or_else(|e| fail(&e));
@@ -131,7 +138,8 @@ fn main() {
                 "usage: bench_tool show A.json\n\
                  \x20      bench_tool compare BASE.json NEW.json \
                  [--time-threshold-pct N] [--invariant-tolerance-pct N] \
-                 [--tail-threshold-pct N] [--traffic-threshold-pct N]",
+                 [--tail-threshold-pct N] [--traffic-threshold-pct N] \
+                 [--throughput-threshold-pct N]",
             );
         }
     }

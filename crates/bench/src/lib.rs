@@ -14,6 +14,10 @@
 //! * `--shards N` — set-sharded workers *within* each cell for designs
 //!   that support it (default: `BUMBLEBEE_SHARDS` or the serial
 //!   single-controller path); composes multiplicatively with `--jobs`;
+//! * `--batch N` — access-pipeline chunk width (default: `BUMBLEBEE_BATCH`
+//!   or 4096); a pure performance knob — every output is byte-identical
+//!   at any width, and `--batch 1` replays the one-access-at-a-time
+//!   pipeline exactly;
 //! * `--metrics` — record per-run observability (epoch time-series, event
 //!   trace, device histograms) and write `<figure>.epochs.jsonl`,
 //!   `<figure>.trace.jsonl` and `<figure>.metrics.jsonl` alongside the
@@ -49,6 +53,9 @@ pub struct HarnessOpts {
     pub jobs: Option<usize>,
     /// Explicit `--shards` width, if given (set-sharded workers per cell).
     pub shards: Option<usize>,
+    /// Explicit `--batch` chunk width, if given (access-pipeline SoA
+    /// chunking; outputs are byte-identical at any width).
+    pub batch: Option<usize>,
     /// Whether `--metrics` observability recording is on.
     pub metrics: bool,
     /// `--trace-sample N`: sampled latency attribution at rate one in ~N
@@ -66,7 +73,8 @@ impl HarnessOpts {
     /// The experiment engine these options select: `--jobs` if given,
     /// the environment otherwise, with progress lines enabled and metrics
     /// recording when `--metrics` was passed. An explicit `--shards`
-    /// overrides `BUMBLEBEE_SHARDS`; without either the cells run serial.
+    /// overrides `BUMBLEBEE_SHARDS`; without either the cells run
+    /// unsharded. An explicit `--batch` overrides `BUMBLEBEE_BATCH`.
     pub fn engine(&self) -> Engine {
         let mut engine = match self.jobs {
             Some(j) => Engine::new(j),
@@ -76,6 +84,9 @@ impl HarnessOpts {
         .with_spans(self.spans);
         if self.shards.is_some() {
             engine = engine.with_shards(self.shards);
+        }
+        if let Some(b) = self.batch {
+            engine = engine.with_batch(b);
         }
         if self.metrics {
             engine.with_metrics(MetricsConfig {
@@ -135,6 +146,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
     let mut names: Option<Vec<String>> = None;
     let mut jobs: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut batch: Option<usize> = None;
     let mut metrics = false;
     let mut trace_sample: Option<u64> = None;
     let mut spans = false;
@@ -177,6 +189,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
                         .unwrap_or_else(|| panic!("--shards needs a positive number")),
                 );
             }
+            "--batch" => {
+                batch = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&b| b > 0)
+                        .unwrap_or_else(|| panic!("--batch needs a positive number")),
+                );
+            }
             "--metrics" => metrics = true,
             "--trace-sample" => {
                 trace_sample = Some(
@@ -213,6 +233,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessOpts {
         profiles,
         jobs,
         shards,
+        batch,
         metrics,
         trace_sample,
         spans,
@@ -276,6 +297,7 @@ mod tests {
         assert_eq!(o.profiles.len(), 14);
         assert_eq!(o.jobs, None);
         assert_eq!(o.shards, None);
+        assert_eq!(o.batch, None);
         assert!(!o.metrics);
         assert_eq!(o.trace_sample, None);
         assert!(!o.spans);
@@ -382,5 +404,20 @@ mod tests {
     #[should_panic(expected = "--shards needs a positive number")]
     fn zero_shards_panics() {
         opts(&["--shards", "0"]);
+    }
+
+    #[test]
+    fn batch_flag_reaches_the_engine() {
+        let o = opts(&["--batch", "64", "--jobs", "2"]);
+        assert_eq!(o.batch, Some(64));
+        assert_eq!(o.engine().batch(), 64);
+        let default = opts(&["--jobs", "2"]);
+        assert_eq!(default.engine().batch(), memsim_sim::DEFAULT_BATCH);
+    }
+
+    #[test]
+    #[should_panic(expected = "--batch needs a positive number")]
+    fn zero_batch_panics() {
+        opts(&["--batch", "0"]);
     }
 }

@@ -172,6 +172,11 @@ pub struct BenchReport {
     /// only against other sharded runs — `compare` flags the rest as
     /// missing cases.
     pub shards: Option<u64>,
+    /// Access-pipeline chunk width (`--batch`), or `None` when the run
+    /// predates batching or used the default width. Purely a performance
+    /// knob (outputs are byte-identical at any width), recorded so a
+    /// compare footer can attribute throughput shifts to it.
+    pub batch: Option<u64>,
     /// Capacity divisor of the suite geometry.
     pub scale: u64,
     /// Measured accesses per cell.
@@ -200,6 +205,7 @@ impl BenchReport {
             .u64("repeats", self.repeats)
             .u64("jobs", self.jobs)
             .opt_u64("shards", self.shards)
+            .opt_u64("batch", self.batch)
             .u64("scale", self.scale)
             .u64("accesses", self.accesses)
             .str("workloads", &self.workloads)
@@ -278,6 +284,7 @@ impl BenchReport {
                         repeats: int("repeats"),
                         jobs: int("jobs"),
                         shards: get("shards").and_then(JsonValue::as_u64),
+                        batch: get("batch").and_then(JsonValue::as_u64),
                         scale: int("scale"),
                         accesses: int("accesses"),
                         workloads: text("workloads"),
@@ -470,11 +477,24 @@ pub struct Thresholds {
     /// stream, so the default demands an exact match up to float noise;
     /// only gates when both reports carry the fields.
     pub traffic_pct: f64,
+    /// Maximum tolerated drop of the suite-aggregate throughput
+    /// ([`BenchReport::suite_accesses_per_sec`]), in percent. `None` (the
+    /// default) reports the delta without gating — throughput is the
+    /// inverse of nondeterministic wall time, so it only becomes a gate
+    /// when the caller opts in (`--throughput-threshold-pct`). A rise
+    /// past the same bound is flagged as an improvement.
+    pub throughput_pct: Option<f64>,
 }
 
 impl Default for Thresholds {
     fn default() -> Thresholds {
-        Thresholds { time_pct: 30.0, invariant_pct: 1e-6, tail_pct: 110.0, traffic_pct: 1e-6 }
+        Thresholds {
+            time_pct: 30.0,
+            invariant_pct: 1e-6,
+            tail_pct: 110.0,
+            traffic_pct: 1e-6,
+            throughput_pct: None,
+        }
     }
 }
 
@@ -612,8 +632,10 @@ fn rel_pct(before: f64, after: f64) -> f64 {
 /// cycle-domain invariants (cycles, IPC, hit rate, migrations, over-fetch)
 /// gate on [`Thresholds::invariant_pct`] in either direction, because any
 /// drift there means the simulation *behaves* differently, not just
-/// slower. Throughput (`accesses_per_sec`) is reported but never gates —
-/// it is the inverse of wall time.
+/// slower. Per-case throughput (`accesses_per_sec`) is reported but never
+/// gates — it is the inverse of wall time; the suite-aggregate throughput
+/// additionally gates on [`Thresholds::throughput_pct`] when the caller
+/// sets one.
 ///
 /// # Errors
 ///
@@ -747,6 +769,20 @@ pub fn compare(base: &BenchReport, new: &BenchReport, th: Thresholds) -> Result<
             cmp.added.push(n.key());
         }
     }
+    // Suite-aggregate throughput: always reported, gated only when the
+    // caller set an explicit threshold (wall time is nondeterministic, so
+    // a default gate would flap on loaded machines).
+    let (before, after) = (base.suite_accesses_per_sec(), new.suite_accesses_per_sec());
+    let pct = rel_pct(before, after);
+    cmp.deltas.push(Delta {
+        case: "suite".to_string(),
+        metric: "suite_accesses_per_sec",
+        before,
+        after,
+        pct,
+        regression: th.throughput_pct.is_some_and(|t| pct < -t),
+        improvement: th.throughput_pct.is_some_and(|t| pct > t),
+    });
     // Phase-level self-time deltas (informational): where did the wall
     // time move? Matched by path; phases only one side knows are skipped.
     for bp in &base.phases {
@@ -809,6 +845,7 @@ mod tests {
             repeats: 1,
             jobs: 1,
             shards: None,
+            batch: None,
             scale: 256,
             accesses: 20_000,
             workloads: "mcf,xz".to_string(),
@@ -840,6 +877,55 @@ mod tests {
         let body = sharded.to_lines().join("\n");
         assert!(body.contains("\"shards\":4"));
         assert_eq!(BenchReport::parse(&body).unwrap(), sharded);
+        // And so does an explicit batch width (None for older files).
+        let mut batched = report();
+        batched.batch = Some(4096);
+        let body = batched.to_lines().join("\n");
+        assert!(body.contains("\"batch\":4096"));
+        assert_eq!(BenchReport::parse(&body).unwrap(), batched);
+        assert_eq!(BenchReport::parse(&report().to_lines().join("\n")).unwrap().batch, None);
+    }
+
+    #[test]
+    fn suite_throughput_warns_by_default_and_gates_on_request() {
+        let base = report();
+        let mut slow = base.clone();
+        // Halve every case's throughput (double the wall time).
+        for c in &mut slow.cases {
+            c.wall_ms *= 2.0;
+            c.accesses_per_sec /= 2.0;
+        }
+        // Default thresholds: the aggregate delta is reported, not gated
+        // (the doubled wall times trip their own per-case time gate).
+        let cmp = compare(&base, &slow, Thresholds { time_pct: 1e9, ..Thresholds::default() })
+            .unwrap();
+        assert_eq!(cmp.regressions(), 0, "throughput is warn-only by default");
+        let agg = cmp
+            .deltas
+            .iter()
+            .find(|d| d.metric == "suite_accesses_per_sec")
+            .expect("aggregate throughput always reported");
+        assert!((agg.pct - -50.0).abs() < 1e-6, "{}", agg.pct);
+        // An explicit threshold turns the same drop into a regression …
+        let gated = Thresholds {
+            time_pct: 1e9,
+            throughput_pct: Some(25.0),
+            ..Thresholds::default()
+        };
+        let cmp = compare(&base, &slow, gated).unwrap();
+        assert_eq!(cmp.regressions(), 1);
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.regression && d.metric == "suite_accesses_per_sec"));
+        // … a matching rise is an improvement, and self-compare is clean.
+        let cmp = compare(&slow, &base, gated).unwrap();
+        assert_eq!(cmp.regressions(), 0);
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.improvement && d.metric == "suite_accesses_per_sec"));
+        assert_eq!(compare(&base, &base, gated).unwrap().regressions(), 0);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use crate::set::{RemapSet, ServedFrom, SetCtx};
 use memsim_obs::span::{self, Phase};
 use memsim_obs::{EpochGauges, Telemetry, OCC_BUCKETS};
 use memsim_types::{
-    Access, AccessPlan, Addr, CtrlStats, Geometry, HybridMemoryController, Mem, MetadataModel,
-    OverfetchTracker, PageSlot,
+    Access, AccessBatch, AccessPlan, Addr, CtrlStats, Geometry, HybridMemoryController, Mem,
+    MetadataModel, OverfetchTracker, PageSlot, PlanBuffer,
 };
 
 /// Accesses between two global pressure-flush rounds (rule 5 batching).
@@ -191,6 +191,14 @@ impl BumblebeeController {
         // Rule 5 trigger: the OS is handing out addresses beyond off-chip
         // capacity — the global footprint is high.
         let wrapped = self.geometry.wrap_flat(addr).0;
+        self.pressure_flush_wrapped(wrapped, plan);
+    }
+
+    /// [`maybe_pressure_flush`](Self::maybe_pressure_flush) past the
+    /// `hmf_enabled` check, on an already-wrapped address — the batched
+    /// path hoists both the flag and the wrap out of its per-access loop.
+    // audit: hot-path
+    fn pressure_flush_wrapped(&mut self, wrapped: u64, plan: &mut AccessPlan) {
         if wrapped < self.geometry.dram_bytes() || self.accesses < self.next_flush_ok {
             return;
         }
@@ -277,6 +285,87 @@ impl HybridMemoryController for BumblebeeController {
             let _sample = span::span(Phase::EpochSample);
             let gauges = self.gauges();
             self.telemetry.sample(&self.stats, gauges);
+        }
+    }
+
+    /// The grouped batch fast path. Accesses are processed strictly in
+    /// stream order (reordering would perturb the metadata spill schedule,
+    /// the global pressure-flush cooldown, the shared movement-credit pool
+    /// and mid-stream epoch samples — see DESIGN.md §11); the grouping win
+    /// comes from detecting *consecutive same-page runs*, which the
+    /// run-based workload generator makes long, and hoisting the page→set
+    /// resolution, the set-header borrow and the pressure-flush gate out
+    /// of the per-access loop while the set's PRT/BLE/hot-table metadata
+    /// stays cache-resident.
+    // audit: hot-path
+    fn access_batch(&mut self, batch: &AccessBatch, plans: &mut PlanBuffer) {
+        plans.begin_chunk();
+        let n = batch.len();
+        let flush_enabled = self.cfg.hmf_enabled;
+        let mut i = 0;
+        while i < n {
+            // Resolve the group head's page once; the group extends while
+            // subsequent accesses stay in the same page (same set, same
+            // slot — only the block/line coordinates vary).
+            let head = self.geometry.wrap_flat(Addr(batch.addrs[i]));
+            let page = self.geometry.page_of(head);
+            let set_id = self.geometry.set_of_page(page);
+            let o = match self.geometry.slot_of_page(page) {
+                PageSlot::OffChip(x) => x as u16,
+                PageSlot::Hbm(x) => self.geometry.dram_slots_in_set(set_id) as u16 + x as u16,
+            };
+            let mut j = i;
+            while j < n {
+                let wrapped = if j == i {
+                    head
+                } else {
+                    let w = self.geometry.wrap_flat(Addr(batch.addrs[j]));
+                    if self.geometry.page_of(w) != page {
+                        break;
+                    }
+                    w
+                };
+                // Exactly the per-access sequence of `access`, with the
+                // resolution above hoisted.
+                self.accesses += 1;
+                self.movement_credit =
+                    (self.movement_credit + MOVEMENT_CREDIT_PER_ACCESS).min(MOVEMENT_CREDIT_CAP);
+                let plan = plans.plan_mut();
+                let spills_before = plan.background.len();
+                plan.metadata_cycles += self.metadata.lookup(plan, Addr(batch.addrs[j]));
+                self.metadata_spill_bytes += plan.background[spills_before..]
+                    .iter()
+                    .map(|op| u64::from(op.bytes))
+                    .sum::<u64>();
+                if flush_enabled {
+                    self.pressure_flush_wrapped(wrapped.0, plan);
+                }
+                let block = self.geometry.block_of(wrapped).0;
+                let line = self.geometry.line_of(wrapped) as u32;
+                let set = &mut self.sets[set_id as usize];
+                let mut ctx = SetCtx {
+                    geometry: &self.geometry,
+                    cfg: &self.cfg,
+                    set_id,
+                    plan,
+                    stats: &mut self.stats,
+                    overfetch: self.overfetch.as_mut(),
+                    mode_switch_bytes: &mut self.mode_switch_bytes,
+                    movement_credit: &mut self.movement_credit,
+                    telemetry: self.telemetry.active(),
+                };
+                let _served: ServedFrom = set.access(o, block, line, batch.kinds[j], &mut ctx);
+                #[cfg(feature = "checked")]
+                self.checked_tick(); // audit: allow(hot-callee) -- compiled out unless --features checked; the sweep is read-only and off the per-access path
+                if self.telemetry.tick() {
+                    let _sample = span::span(Phase::EpochSample);
+                    let gauges = self.gauges();
+                    self.telemetry.sample(&self.stats, gauges);
+                }
+                plans.seal();
+                j += 1;
+            }
+            i = j;
         }
     }
 
@@ -482,6 +571,56 @@ mod tests {
             c.stats().clone()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn access_batch_matches_serial_access_exactly() {
+        use memsim_types::{AccessBatch, PlanBuffer};
+        // A stream with long same-page runs, page switches, writes, and
+        // addresses in the HBM region (to trip rule-5 pressure flushes) —
+        // the batched grouping must replay the serial path byte for byte.
+        let g = tiny_geometry();
+        let mut addrs = Vec::new();
+        for r in 0..40u64 {
+            let base = (r % 7) * g.page_bytes() + (r / 7) * 64;
+            for l in 0..((r % 9) + 1) {
+                addrs.push(base + l * 64);
+            }
+            if r % 5 == 0 {
+                addrs.push(g.dram_bytes() + r * 64);
+            }
+        }
+        for cfg in [BumblebeeConfig::default(), BumblebeeConfig::m_only()] {
+            let mut serial = BumblebeeController::new(g, cfg.clone());
+            let mut batched = BumblebeeController::new(g, cfg);
+            let mut plan = AccessPlan::new();
+            let mut batch = AccessBatch::new();
+            let mut plans = PlanBuffer::new();
+            // Drive in chunks of 16 so chunk cuts land mid-run too.
+            for chunk in addrs.chunks(16) {
+                batch.clear();
+                for (k, &a) in chunk.iter().enumerate() {
+                    let kind = if k % 3 == 2 { AccessKind::Write } else { AccessKind::Read };
+                    batch.push(a, kind, k as u32);
+                }
+                batched.access_batch(&batch, &mut plans);
+                assert_eq!(plans.len(), batch.len());
+                for (k, &addr) in chunk.iter().enumerate() {
+                    plan.clear();
+                    serial.access(&batch.get(k), &mut plan);
+                    let v = plans.entry(k);
+                    assert_eq!(v.critical, plan.critical.as_slice(), "addr {addr}");
+                    assert_eq!(v.background, plan.background.as_slice(), "addr {addr}");
+                    assert_eq!(v.metadata_cycles, plan.metadata_cycles);
+                    assert_eq!(v.stall_cycles, plan.stall_cycles);
+                    assert_eq!(v.path, plan.path);
+                }
+            }
+            assert_eq!(batched.stats(), serial.stats());
+            assert_eq!(batched.os_visible_bytes(), serial.os_visible_bytes());
+            assert_eq!(batched.overfetch_ratio(), serial.overfetch_ratio());
+            assert_eq!(batched.metadata_spill_bytes, serial.metadata_spill_bytes);
+        }
     }
 
     #[test]

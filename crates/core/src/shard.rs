@@ -32,7 +32,8 @@ use crate::set::{RemapSet, SetCtx};
 use memsim_obs::span::{self, Phase};
 use memsim_obs::{EpochGauges, Telemetry, OCC_BUCKETS};
 use memsim_types::{
-    Access, AccessPlan, Addr, CtrlStats, Geometry, Mem, MetadataModel, OverfetchTracker, PageSlot,
+    Access, AccessBatch, AccessPlan, Addr, CtrlStats, Geometry, Mem, MetadataModel,
+    OverfetchTracker, PageSlot, PlanBuffer,
 };
 
 /// Shard-local integer accumulators for one epoch boundary.
@@ -180,6 +181,7 @@ impl ControllerShard {
     }
 
     /// Whether this shard owns `set`.
+    // audit: hot-path
     pub fn owns(&self, set: u64) -> bool {
         (self.set_lo..self.set_hi).contains(&set)
     }
@@ -232,6 +234,7 @@ impl ControllerShard {
     }
 
     // Mirrors `BumblebeeController::resolve`.
+    // audit: hot-path
     fn resolve(&self, addr: Addr) -> (u64, u16, u32, u32) {
         let wrapped = self.geometry.wrap_flat(addr);
         let page = self.geometry.page_of(wrapped);
@@ -249,8 +252,10 @@ impl ControllerShard {
     ///
     /// The caller must feed every owned access exactly once, in global
     /// order, and no access of a foreign set (checked).
+    // audit: hot-path
     pub fn access_at(&mut self, gi: u64, req: &Access, plan: &mut AccessPlan) {
         let (set_id, o, block, line) = self.resolve(req.addr);
+        // audit: allow(hot-panic) -- a foreign-set access is a driver bug; fail fast at the boundary
         assert!(self.owns(set_id), "access to set {set_id} outside [{}, {})", self.set_lo, self.set_hi);
         let i = (set_id - self.set_lo) as usize;
         // Events emitted during this access carry the global index, exactly
@@ -278,10 +283,27 @@ impl ControllerShard {
         set.access(o, block, line, req.kind, &mut ctx);
     }
 
+    /// Batched counterpart of [`access_at`](Self::access_at): processes one
+    /// owned chunk, where column `k` of `batch` carries global index
+    /// `gis[k]`, sealing one plan per access into `plans` in stream order.
+    /// Byte-equivalent to calling `access_at` once per access — the shard's
+    /// per-access work is already set-local, so unlike the serial
+    /// controller no grouped fast path is needed here; batching only
+    /// amortizes driver dispatch.
+    // audit: hot-path
+    pub fn access_batch_at(&mut self, gis: &[u64], batch: &AccessBatch, plans: &mut PlanBuffer) {
+        plans.begin_chunk();
+        for (k, &gi) in gis.iter().enumerate().take(batch.len()) {
+            self.access_at(gi, &batch.get(k), plans.plan_mut());
+            plans.seal();
+        }
+    }
+
     // Set-local rule-5 flush: same trigger address test and cooldown span
     // as the serial controller (using the 1-based global index), but the
     // flushed set is the accessed one, so the decision depends only on
     // owned state.
+    // audit: hot-path
     fn maybe_pressure_flush(&mut self, gi: u64, addr: Addr, i: usize, plan: &mut AccessPlan) {
         if !self.cfg.hmf_enabled {
             return;
@@ -418,6 +440,54 @@ mod tests {
         assert_eq!(one.1, two.1);
         assert_eq!(one.2, four.2);
         assert!(one.0.ctrl.total_accesses() > 0);
+    }
+
+    #[test]
+    fn access_batch_at_matches_per_access_dispatch() {
+        let g = tiny_geometry();
+        let cfg = BumblebeeConfig::default();
+        let stream: Vec<(u64, Access)> = (0..300u64)
+            .map(|i| {
+                let addr = Addr(((i * 37 % 640) * 64) << 10);
+                let kind = if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read };
+                (i, Access { addr, kind, insts: 10 })
+            })
+            .filter(|(_, a)| ControllerShard::set_of(&g, a.addr) < 2)
+            .collect();
+        // Per-access reference through one [0, 2) shard.
+        let mut serial = ControllerShard::new(g, cfg.clone(), 0, 2);
+        let mut reference: Vec<AccessPlan> = Vec::new();
+        for (gi, req) in &stream {
+            let mut plan = AccessPlan::new();
+            serial.access_at(*gi, req, &mut plan);
+            reference.push(plan);
+        }
+        // Batched in awkward chunks through an identical shard.
+        let mut batched = ControllerShard::new(g, cfg, 0, 2);
+        let mut plans = memsim_types::PlanBuffer::new();
+        let mut at = 0usize;
+        for chunk in stream.chunks(17) {
+            let mut batch = AccessBatch::new();
+            let gis: Vec<u64> = chunk.iter().map(|&(gi, _)| gi).collect();
+            for (_, a) in chunk {
+                batch.push(a.addr.0, a.kind, a.insts);
+            }
+            batched.access_batch_at(&gis, &batch, &mut plans);
+            assert_eq!(plans.len(), chunk.len());
+            for k in 0..plans.len() {
+                let view = plans.entry(k);
+                let want = &reference[at + k];
+                assert_eq!(view.critical, want.critical.as_slice());
+                assert_eq!(view.background, want.background.as_slice());
+                assert_eq!(view.metadata_cycles, want.metadata_cycles);
+                assert_eq!(view.path, want.path);
+            }
+            at += chunk.len();
+        }
+        assert_eq!(batched.stats(), serial.stats());
+        assert_eq!(batched.epoch_partial(), serial.epoch_partial());
+        assert_eq!(batched.metadata_spill_bytes(), serial.metadata_spill_bytes());
+        assert!(serial.stats().total_accesses() > 0);
     }
 
     #[test]

@@ -177,6 +177,18 @@ impl TrafficAccum {
         self.mlp.record((plan.critical.len() + plan.background.len()) as u64);
     }
 
+    /// [`record_plan`](Self::record_plan) for one sealed entry of a
+    /// batched plan buffer: the same per-access transaction fold plus
+    /// fan-out sample, taken from the entry's op slices instead of an
+    /// owned [`AccessPlan`].
+    // audit: hot-path
+    pub fn record_view(&mut self, critical: &[DeviceOp], background: &[DeviceOp]) {
+        for op in critical.iter().chain(background) {
+            self.record_op(op);
+        }
+        self.mlp.record((critical.len() + background.len()) as u64);
+    }
+
     /// Records a drain plan (end-of-run controller flush): transactions
     /// only, no fan-out sample — drains are not accesses.
     // audit: hot-path

@@ -5,7 +5,9 @@ use memsim_baselines::{
     ablations, AlloyCache, Banshee, Chameleon, Hybrid2, OffChipOnly, UnisonCache,
 };
 use memsim_obs::MetricsRecorder;
-use memsim_types::{Access, AccessPlan, CtrlStats, Geometry, HybridMemoryController};
+use memsim_types::{
+    Access, AccessBatch, AccessPlan, CtrlStats, Geometry, HybridMemoryController, PlanBuffer,
+};
 
 /// Every design of the paper's evaluation (Fig. 7 + Fig. 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -175,6 +177,14 @@ impl AnyController {
 impl HybridMemoryController for AnyController {
     fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
         delegate!(self, c => c.access(req, plan))
+    }
+
+    // One enum dispatch per CHUNK, not per access: the match devirtualizes
+    // the whole batch loop, so the baselines' default (per-access) batch
+    // implementation inlines their concrete `access` bodies.
+    // audit: hot-path
+    fn access_batch(&mut self, batch: &AccessBatch, plans: &mut PlanBuffer) {
+        delegate!(self, c => c.access_batch(batch, plans))
     }
 
     fn name(&self) -> &'static str {

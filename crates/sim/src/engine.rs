@@ -13,7 +13,7 @@
 use crate::jsonl::JsonObj;
 use crate::matrix::{Cell, ExperimentMatrix};
 use crate::report::SimReport;
-use crate::run::{run_design_with, RunObservations};
+use crate::run::{run_design_batched, RunObservations};
 use crate::shard::run_design_sharded;
 use memsim_dram::presets;
 use memsim_obs::{span, BwPoint, LatCollector, MetricsConfig, Pow2Histogram, SpanTree};
@@ -27,11 +27,17 @@ use std::time::Instant;
 /// [`Engine::with_heartbeat_nanos`]).
 const DEFAULT_HEARTBEAT_NANOS: u64 = 5_000_000_000;
 
+/// Default access-pipeline chunk width ([`Engine::with_batch`]): large
+/// enough to amortize per-chunk dispatch to noise, small enough that the
+/// SoA buffers and plan arena stay cache-resident.
+pub const DEFAULT_BATCH: usize = 4096;
+
 /// Parallel executor for experiment matrices; see the module docs.
 #[derive(Debug, Clone)]
 pub struct Engine {
     jobs: usize,
     shards: Option<usize>,
+    batch: usize,
     progress: bool,
     heartbeat_nanos: u64,
     metrics: Option<MetricsConfig>,
@@ -40,11 +46,13 @@ pub struct Engine {
 
 impl Engine {
     /// An engine running `jobs` cells concurrently (clamped to ≥ 1),
-    /// without intra-run sharding, progress output or metrics recording.
+    /// without intra-run sharding, progress output or metrics recording,
+    /// at the default batch width ([`DEFAULT_BATCH`]).
     pub fn new(jobs: usize) -> Engine {
         Engine {
             jobs: jobs.max(1),
             shards: None,
+            batch: DEFAULT_BATCH,
             progress: false,
             heartbeat_nanos: DEFAULT_HEARTBEAT_NANOS,
             metrics: None,
@@ -53,13 +61,14 @@ impl Engine {
     }
 
     /// Widths from the environment: `BUMBLEBEE_JOBS` (cells run
-    /// concurrently; defaults to the machine's available parallelism) and
+    /// concurrently; defaults to the machine's available parallelism),
     /// `BUMBLEBEE_SHARDS` (set-shards within each cell; defaults to none,
-    /// i.e. the serial per-cell pipeline).
+    /// i.e. the unsharded per-cell pipeline), and `BUMBLEBEE_BATCH`
+    /// (access-pipeline chunk width; defaults to [`DEFAULT_BATCH`]).
     ///
     /// # Panics
     ///
-    /// A set-but-unusable value (zero or non-numeric) of either variable
+    /// A set-but-unusable value (zero or non-numeric) of any variable
     /// panics with a message naming it — a silent fallback would run the
     /// wrong experiment shape without anyone noticing.
     pub fn from_env() -> Engine {
@@ -67,7 +76,10 @@ impl Engine {
             .unwrap_or_else(available_parallelism);
         let shards =
             positive_env("BUMBLEBEE_SHARDS", std::env::var("BUMBLEBEE_SHARDS").ok().as_deref());
-        Engine::new(jobs).with_shards(shards)
+        let batch =
+            positive_env("BUMBLEBEE_BATCH", std::env::var("BUMBLEBEE_BATCH").ok().as_deref())
+                .unwrap_or(DEFAULT_BATCH);
+        Engine::new(jobs).with_shards(shards).with_batch(batch)
     }
 
     /// Sets the intra-run shard count: every cell whose design supports
@@ -83,6 +95,22 @@ impl Engine {
     /// The configured intra-run shard count, if sharding is enabled.
     pub fn shards(&self) -> Option<usize> {
         self.shards
+    }
+
+    /// Sets the access-pipeline chunk width (clamped to ≥ 1): every cell
+    /// generates, looks up, and services accesses in chunks of up to
+    /// `batch`. Purely a performance knob — chunks are cut at epoch
+    /// boundaries and the warm-up point, so every output stays
+    /// byte-identical at any width (`1` replays the one-access-at-a-time
+    /// pipeline exactly).
+    pub fn with_batch(mut self, batch: usize) -> Engine {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The configured access-pipeline chunk width.
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
     /// Enables or disables per-cell progress lines on stderr. With
@@ -183,8 +211,15 @@ impl Engine {
                     &cell.profile,
                     self.metrics.as_ref(),
                     n,
+                    self.batch,
                 ),
-                _ => run_design_with(cell.design, &cell.cfg, &cell.profile, self.metrics.as_ref()),
+                _ => run_design_batched(
+                    cell.design,
+                    &cell.cfg,
+                    &cell.profile,
+                    self.metrics.as_ref(),
+                    self.batch,
+                ),
             };
             let nanos = start.elapsed().as_nanos() as u64;
             let tree = if self.spans { Some(span::collect()) } else { None };
@@ -894,6 +929,69 @@ mod tests {
     #[should_panic(expected = "BUMBLEBEE_JOBS=\"\": expected a positive integer")]
     fn positive_env_rejects_empty() {
         positive_env("BUMBLEBEE_JOBS", Some(""));
+    }
+
+    #[test]
+    #[should_panic(expected = "BUMBLEBEE_BATCH=\"0\": expected a positive integer")]
+    fn positive_env_rejects_zero_batch() {
+        positive_env("BUMBLEBEE_BATCH", Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "BUMBLEBEE_BATCH=\"many\": expected a positive integer")]
+    fn positive_env_rejects_non_numeric_batch() {
+        positive_env("BUMBLEBEE_BATCH", Some("many"));
+    }
+
+    #[test]
+    fn engine_batch_defaults_and_clamps() {
+        assert_eq!(Engine::new(1).batch(), DEFAULT_BATCH);
+        assert_eq!(Engine::new(1).with_batch(0).batch(), 1);
+        assert_eq!(Engine::new(1).with_batch(64).batch(), 64);
+    }
+
+    #[test]
+    fn batched_engine_output_is_byte_identical_at_any_batch_width() {
+        let cfg = MetricsConfig {
+            epoch_interval: 1000,
+            event_capacity: 256,
+            sample_rate: 32,
+            ..MetricsConfig::default()
+        };
+        let m = metrics_matrix();
+        // batch=1 replays the one-access-at-a-time pipeline exactly.
+        let serial = Engine::new(2).with_metrics(cfg).with_batch(1).run(&m).unwrap();
+        assert!(!serial.lat_jsonl_lines().is_empty());
+        assert!(!serial.bw_jsonl_lines().is_empty());
+        for batch in [7usize, 64, DEFAULT_BATCH] {
+            let b = Engine::new(2).with_metrics(cfg).with_batch(batch).run(&m).unwrap();
+            assert_eq!(serial.jsonl_lines(), b.jsonl_lines(), "batch={batch}");
+            assert_eq!(serial.epochs_jsonl_lines(), b.epochs_jsonl_lines(), "batch={batch}");
+            assert_eq!(serial.trace_jsonl_lines(), b.trace_jsonl_lines(), "batch={batch}");
+            assert_eq!(serial.lat_jsonl_lines(), b.lat_jsonl_lines(), "batch={batch}");
+            assert_eq!(serial.bw_jsonl_lines(), b.bw_jsonl_lines(), "batch={batch}");
+        }
+        // And batching composes with set-sharding bit-for-bit: at a fixed
+        // shard width, the batch width must not show in any output.
+        let shardable = ExperimentMatrix::cross(
+            "batch-shards",
+            &[Design::Bumblebee],
+            &[SpecProfile::mcf()],
+            &RunConfig::tiny(),
+        );
+        let sharded = |batch| {
+            Engine::new(1)
+                .with_metrics(cfg)
+                .with_batch(batch)
+                .with_shards(Some(2))
+                .run(&shardable)
+                .unwrap()
+        };
+        let base = sharded(1);
+        let combo = sharded(64);
+        assert_eq!(base.jsonl_lines(), combo.jsonl_lines());
+        assert_eq!(base.lat_jsonl_lines(), combo.lat_jsonl_lines());
+        assert_eq!(base.bw_jsonl_lines(), combo.bw_jsonl_lines());
     }
 
     fn metrics_matrix() -> ExperimentMatrix {

@@ -47,14 +47,14 @@ pub mod shard;
 pub mod system;
 
 pub use designs::Design;
-pub use engine::{Engine, EngineTelemetry, ResultSet};
+pub use engine::{Engine, EngineTelemetry, ResultSet, DEFAULT_BATCH};
 pub use jsonl::{parse_flat, results_dir, write_jsonl, JsonObj, JsonValue};
 pub use matrix::{cell_seed, Cell, ExperimentMatrix};
 pub use memsim_obs::{MetricsConfig, SpanTree};
 pub use report::SimReport;
 pub use run::{
-    geomean, geomean_diag, run_design, run_design_with, run_reference, Geomean, RunConfig,
-    RunObservations,
+    geomean, geomean_diag, run_design, run_design_batched, run_design_with, run_reference,
+    Geomean, RunConfig, RunObservations,
 };
 pub use shard::{run_design_sharded, ShardPlan};
 pub use system::{SimParams, System};

@@ -1,15 +1,17 @@
 //! Run configuration and the single-run entry point.
 
-use crate::designs::Design;
+use crate::designs::{AnyController, Design};
 use crate::report::SimReport;
-use crate::system::{SimParams, StepProbe, System};
+use crate::system::{SimParams, StepProbe, System, SystemCounters};
 use memsim_obs::span::{self, Phase};
 use memsim_obs::{
     sampled, AccessRecord, BwPoint, DeviceHistograms, EpochSnapshot, LatRing, MetricsConfig,
     RunRecorder, TimedEvent, TrafficAccum,
 };
 use memsim_trace::{SpecProfile, Workload};
-use memsim_types::{Access, Geometry, GeometryError, HybridMemoryController};
+use memsim_types::{
+    Access, AccessBatch, Geometry, GeometryError, HybridMemoryController, PlanBuffer,
+};
 
 /// Scale, geometry, SRAM budget and access volume of one experiment.
 #[derive(Debug, Clone)]
@@ -224,6 +226,108 @@ pub fn run_design_with(
         bw_points.push(system.bw_point());
         next_boundary += interval;
     }
+    Ok(harvest(system, design, cfg, profile, warm, warm_cycles, lat_ring, sample_rate, bw_points))
+}
+
+/// Like [`run_design_with`], but drives the staged batch pipeline:
+/// the workload generates chunks of up to `batch` accesses straight into
+/// a flat [`AccessBatch`], the controller plans each whole chunk
+/// ([`HybridMemoryController::access_batch`]) and the system services the
+/// sealed plans in stream order ([`System::step_batch`]). Chunks are cut
+/// at epoch boundaries and the warm-up snapshot point, so cycles and
+/// every JSONL stream are byte-identical to the serial path at any
+/// `batch ≥ 1` (enforced by `tests/batch_differential.rs`).
+///
+/// # Errors
+///
+/// See [`run_design`].
+pub fn run_design_batched(
+    design: Design,
+    cfg: &RunConfig,
+    profile: &SpecProfile,
+    metrics: Option<&MetricsConfig>,
+    batch: usize,
+) -> Result<(SimReport, Option<RunObservations>), GeometryError> {
+    let _cell = span::span(Phase::Cell);
+    let mut controller = design.build(cfg.geometry, cfg.sram_budget);
+    if let Some(m) = metrics {
+        controller.install_recorder(Box::new(RunRecorder::new(m)));
+    }
+    let mut system = System::new(controller, &cfg.geometry, cfg.params, design.uses_hbm());
+    if metrics.is_some() {
+        system.enable_traffic_accounting();
+    }
+    let mut workload = cfg.workload(profile);
+    let sample_rate = metrics.map_or(0, |m| m.sample_rate);
+    let mut lat_ring = metrics
+        .filter(|m| m.sample_rate > 0)
+        .map(|m| LatRing::new(m.record_capacity));
+    let interval = metrics.map_or(0, |m| m.epoch_interval);
+    let mut next_boundary = if interval > 0 { interval } else { u64::MAX };
+    let mut bw_points: Vec<BwPoint> = Vec::new();
+
+    let total = cfg.warmup + cfg.accesses;
+    let width = batch.max(1) as u64;
+    let mut soa = AccessBatch::with_capacity(batch.max(1));
+    let mut plans = PlanBuffer::new();
+    let mut warm: Option<(SystemCounters, u64)> = None;
+    let mut seq = 0u64;
+    while seq < total {
+        // Boundary catch-up and the warm snapshot happen only between
+        // chunks: the chunk cut below guarantees neither point ever falls
+        // strictly inside one.
+        while next_boundary <= seq {
+            bw_points.push(system.bw_point());
+            next_boundary += interval;
+        }
+        if warm.is_none() && seq >= cfg.warmup {
+            warm = Some((*system.counters(), system.now()));
+        }
+        let mut end = (seq + width).min(total).min(next_boundary);
+        if seq < cfg.warmup {
+            end = end.min(cfg.warmup);
+        }
+        {
+            let _gen = span::span(Phase::TraceGen);
+            workload.fill_batch(&mut soa, (end - seq) as usize);
+        }
+        system.step_batch(&soa, &mut plans, seq, lat_ring.as_mut(), sample_rate);
+        seq = end;
+    }
+    while next_boundary <= seq {
+        bw_points.push(system.bw_point());
+        next_boundary += interval;
+    }
+    let (warm_counters, warm_cycles) =
+        warm.unwrap_or_else(|| (*system.counters(), system.now()));
+    Ok(harvest(
+        system,
+        design,
+        cfg,
+        profile,
+        warm_counters,
+        warm_cycles,
+        lat_ring,
+        sample_rate,
+        bw_points,
+    ))
+}
+
+// End-of-run harvest shared by the serial and batched drivers: measured
+// deltas against the warm snapshot, controller drain, observability
+// assembly and the report. Factored out so the two paths cannot drift.
+#[allow(clippy::too_many_arguments)]
+fn harvest(
+    mut system: System<AnyController>,
+    design: Design,
+    cfg: &RunConfig,
+    profile: &SpecProfile,
+    warm: SystemCounters,
+    warm_cycles: u64,
+    mut lat_ring: Option<LatRing>,
+    sample_rate: u64,
+    bw_points: Vec<BwPoint>,
+) -> (SimReport, Option<RunObservations>) {
     let instructions = system.counters().instructions - warm.instructions;
     let cycles = system.now() - warm_cycles;
     let mal_cycles = system.counters().mal_cycles - warm.mal_cycles;
@@ -279,7 +383,7 @@ pub fn run_design_with(
         page_faults: controller.page_faults(),
         stats: controller.stats().clone(),
     };
-    Ok((report, observations))
+    (report, observations)
 }
 
 /// Advances the system by one access, recording a latency record when the

@@ -44,7 +44,8 @@ use memsim_obs::{
 };
 use memsim_trace::{ShardStream, SpecProfile};
 use memsim_types::{
-    AccessKind, AccessPlan, CtrlStats, GeometryError, Mem, TrafficCause, TrafficDevice,
+    AccessBatch, AccessKind, AccessPlan, Addr, CtrlStats, GeometryError, Mem, PlanBuffer,
+    TrafficCause, TrafficDevice,
 };
 
 /// A partition of the remapping sets into contiguous, balanced,
@@ -158,7 +159,7 @@ fn bw_partial(acc: &TrafficAccum, domains: &[SetDomain]) -> BwPoint {
 }
 
 // audit: allow(det-thread) -- shard workers are the deterministic-by-merge parallel engine
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn shard_worker(
     cfg: &RunConfig,
     profile: &SpecProfile,
@@ -167,6 +168,7 @@ fn shard_worker(
     hi: u64,
     metrics: Option<&MetricsConfig>,
     profile_spans: bool,
+    batch: usize,
 ) -> WorkerOut {
     if profile_spans {
         span::enable();
@@ -198,90 +200,108 @@ fn shard_worker(
     let mut traffic = metrics.map(|_| TrafficAccum::new());
     let mut bw_points: Vec<BwPoint> = Vec::new();
     let mut stream = ShardStream::new(cfg.workload(profile), geometry, lo, hi, total);
-    loop {
-        let item = {
-            let _gen = span::span(Phase::TraceGen);
-            stream.next()
-        };
-        let Some((gi, access)) = item else { break };
-        // Boundary catch-up: every epoch boundary B ≤ gi lies strictly
-        // between two owned accesses, so the shard's state is already
-        // exactly its contribution at B.
-        while next_boundary <= gi {
+    let mut soa = AccessBatch::with_capacity(batch.max(1));
+    let mut gis: Vec<u64> = Vec::with_capacity(batch.max(1));
+    let mut plans = PlanBuffer::new();
+    while stream.position() < total {
+        let pos = stream.position();
+        // Eager boundary catch-up: shard state only changes on owned
+        // accesses, so pushing a partial when the global cursor crosses
+        // boundary B captures exactly the same state as the serial
+        // worker's lazy push at the next owned access ≥ B.
+        while next_boundary <= pos {
             partials.push(shard.epoch_partial());
             if let Some(acc) = traffic.as_ref() {
                 bw_points.push(bw_partial(acc, &domains));
             }
             next_boundary += interval;
         }
-        if warm.is_none() && gi >= cfg.warmup {
+        if warm.is_none() && pos >= cfg.warmup {
             warm = Some((counters, domains.iter().map(|d| d.now).sum()));
         }
-        plan.clear();
+        // Chunk cut: never consume the stream past the next epoch
+        // boundary or the warm-up snapshot point, so both observations
+        // stay between-chunk events.
+        let mut stop = total.min(next_boundary);
+        if pos < cfg.warmup {
+            stop = stop.min(cfg.warmup);
+        }
+        {
+            let _gen = span::span(Phase::TraceGen);
+            stream.fill_batch(&mut soa, &mut gis, batch.max(1), stop);
+        }
+        if soa.is_empty() {
+            continue;
+        }
         {
             let _lookup = span::span(Phase::CtrlLookup);
-            shard.access_at(gi, &access, &mut plan);
+            shard.access_batch_at(&gis, &soa, &mut plans);
         }
-        if let Some(acc) = traffic.as_mut() {
-            acc.record_plan(&plan);
-        }
-        counters.accesses += 1;
-        counters.instructions += u64::from(access.insts);
-        path_counts[plan.path.index()] += 1;
-        let d = &mut domains[(ShardStream::set_of(&geometry, access.addr) - lo) as usize];
         let service = span::span(Phase::DramService);
-        // Same sampler, same global index, same probe discipline as the
-        // serial path (`step_probed`): the record stream merges
-        // byte-identically at any shard width.
-        let sample_this = lat_ring.is_some() && sampled(gi, sample_rate);
-        let mut t = d.now + u64::from(plan.metadata_cycles);
-        let mut mal = u64::from(plan.metadata_cycles);
-        let mut queue = 0u64;
-        for i in 0..plan.critical.len() {
-            let op = plan.critical[i];
-            let start = t;
-            let q0 = if sample_this && op.cause != TrafficCause::Metadata {
-                d.device(op.mem).histograms().queue_wait.sum()
+        for k in 0..soa.len() {
+            let view = plans.entry(k);
+            let gi = gis[k];
+            if let Some(acc) = traffic.as_mut() {
+                acc.record_view(view.critical, view.background);
+            }
+            counters.accesses += 1;
+            counters.instructions += u64::from(soa.insts[k]);
+            path_counts[view.path.index()] += 1;
+            let d =
+                &mut domains[(ShardStream::set_of(&geometry, Addr(soa.addrs[k])) - lo) as usize];
+            // Same sampler, same global index, same probe discipline as
+            // the serial path (`step_probed`): the record stream merges
+            // byte-identically at any shard and batch width.
+            let sample_this = lat_ring.is_some() && sampled(gi, sample_rate);
+            let mut t = d.now + u64::from(view.metadata_cycles);
+            let mut mal = u64::from(view.metadata_cycles);
+            let mut queue = 0u64;
+            for i in 0..view.critical.len() {
+                let op = view.critical[i];
+                let start = t;
+                let q0 = if sample_this && op.cause != TrafficCause::Metadata {
+                    d.device(op.mem).histograms().queue_wait.sum()
+                } else {
+                    0
+                };
+                t = d.device(op.mem).access(op.addr, op.bytes, op.kind, t);
+                if op.cause == TrafficCause::Metadata {
+                    mal += t - start;
+                } else if sample_this {
+                    queue += d.device(op.mem).histograms().queue_wait.sum() - q0;
+                }
+            }
+            let raw_latency = t - d.now;
+            if sample_this {
+                if let Some(ring) = lat_ring.as_mut() {
+                    ring.push(AccessRecord {
+                        seq: gi,
+                        path: view.path,
+                        lookup: mal,
+                        queue,
+                        service: raw_latency - mal - queue,
+                        stall: view.stall_cycles,
+                        total: raw_latency + view.stall_cycles,
+                    });
+                }
+            }
+            let background_at = d.now;
+            for i in 0..view.background.len() {
+                let op = view.background[i];
+                d.device(op.mem).access(op.addr, op.bytes, op.kind, background_at);
+            }
+            let compute = (f64::from(soa.insts[k]) * cfg.params.cpi_base).ceil() as u64;
+            let exposed = if soa.kinds[k] == AccessKind::Read {
+                (raw_latency as f64 / cfg.params.mlp).ceil() as u64
             } else {
                 0
             };
-            t = d.device(op.mem).access(op.addr, op.bytes, op.kind, t);
-            if op.cause == TrafficCause::Metadata {
-                mal += t - start;
-            } else if sample_this {
-                queue += d.device(op.mem).histograms().queue_wait.sum() - q0;
-            }
-        }
-        let raw_latency = t - d.now;
-        if sample_this {
-            if let Some(ring) = lat_ring.as_mut() {
-                ring.push(AccessRecord {
-                    seq: gi,
-                    path: plan.path,
-                    lookup: mal,
-                    queue,
-                    service: raw_latency - mal - queue,
-                    stall: plan.stall_cycles,
-                    total: raw_latency + plan.stall_cycles,
-                });
-            }
-        }
-        let background_at = d.now;
-        for i in 0..plan.background.len() {
-            let op = plan.background[i];
-            d.device(op.mem).access(op.addr, op.bytes, op.kind, background_at);
+            counters.demand_cycles += exposed;
+            counters.mal_cycles += mal;
+            counters.stall_cycles += view.stall_cycles;
+            d.now += compute + exposed + view.stall_cycles;
         }
         drop(service);
-        let compute = (f64::from(access.insts) * cfg.params.cpi_base).ceil() as u64;
-        let exposed = if access.kind == AccessKind::Read {
-            (raw_latency as f64 / cfg.params.mlp).ceil() as u64
-        } else {
-            0
-        };
-        counters.demand_cycles += exposed;
-        counters.mal_cycles += mal;
-        counters.stall_cycles += plan.stall_cycles;
-        d.now += compute + exposed + plan.stall_cycles;
     }
     // Drain: boundaries past the last owned access, and the warm snapshot
     // when every owned access fell inside warm-up (state is final either
@@ -364,7 +384,9 @@ fn shard_worker(
 
 /// Runs `design` on `profile` as `shards` deterministic sub-runs and
 /// merges, mirroring [`run_design_with`](crate::run::run_design_with)'s
-/// contract. Output is byte-identical for any `shards` value.
+/// contract. Each worker drives its stream in chunks of up to `batch`
+/// accesses, cutting chunks at epoch boundaries and the warm-up point.
+/// Output is byte-identical for any `shards` and any `batch` value.
 ///
 /// # Errors
 ///
@@ -380,6 +402,7 @@ pub fn run_design_sharded(
     profile: &SpecProfile,
     metrics: Option<&MetricsConfig>,
     shards: usize,
+    batch: usize,
 ) -> Result<(SimReport, Option<RunObservations>), GeometryError> {
     assert!(
         design.supports_sharding(),
@@ -404,7 +427,7 @@ pub fn run_design_sharded(
             .map(|&(lo, hi)| {
                 let bee_cfg = &bee_cfg;
                 scope.spawn(move || {
-                    shard_worker(cfg, profile, bee_cfg, lo, hi, metrics, profile_spans)
+                    shard_worker(cfg, profile, bee_cfg, lo, hi, metrics, profile_spans, batch)
                 })
             })
             .collect();
@@ -590,7 +613,8 @@ mod tests {
         };
         let profile = SpecProfile::mcf();
         let run = |shards| {
-            run_design_sharded(Design::Bumblebee, &cfg, &profile, Some(&metrics), shards).unwrap()
+            run_design_sharded(Design::Bumblebee, &cfg, &profile, Some(&metrics), shards, 4096)
+                .unwrap()
         };
         let (r1, o1) = run(1);
         let o1 = o1.unwrap();
@@ -625,8 +649,8 @@ mod tests {
         let profile = SpecProfile::xz();
         let d = Design::Ablation("M-Only");
         assert!(d.supports_sharding());
-        let (a, _) = run_design_sharded(d, &cfg, &profile, None, 1).unwrap();
-        let (b, _) = run_design_sharded(d, &cfg, &profile, None, 3).unwrap();
+        let (a, _) = run_design_sharded(d, &cfg, &profile, None, 1, 4096).unwrap();
+        let (b, _) = run_design_sharded(d, &cfg, &profile, None, 3, 7).unwrap();
         assert_eq!(a.to_jsonl(), b.to_jsonl());
     }
 

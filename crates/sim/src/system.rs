@@ -3,10 +3,10 @@
 
 use memsim_dram::{presets, DramDevice};
 use memsim_obs::span::{self, Phase};
-use memsim_obs::{BwPoint, TrafficAccum};
+use memsim_obs::{sampled, AccessRecord, BwPoint, LatRing, TrafficAccum};
 use memsim_types::{
-    Access, AccessKind, AccessPath, AccessPlan, Geometry, HybridMemoryController, Mem,
-    TrafficCause,
+    Access, AccessBatch, AccessKind, AccessPath, AccessPlan, Geometry, HybridMemoryController,
+    Mem, PlanBuffer, TrafficCause,
 };
 
 /// Cycle-domain decomposition of one access, filled by
@@ -53,7 +53,7 @@ impl Default for SimParams {
 }
 
 /// Per-run traffic/latency aggregates maintained by the [`System`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SystemCounters {
     /// Demand accesses executed.
     pub accesses: u64,
@@ -256,6 +256,99 @@ impl<C: HybridMemoryController> System<C> {
         raw_latency
     }
 
+    /// Runs one chunk of accesses through the staged batch pipeline:
+    /// the controller plans every access of `batch` into `plans`
+    /// (CtrlLookup), then each access is serviced against the devices in
+    /// strict stream order (DramService), with the same clock math,
+    /// counter updates, traffic recording and sampled-probe discipline as
+    /// calling [`step_probed`](Self::step_probed) per access — cycles and
+    /// every observability stream are byte-identical at any chunk width.
+    ///
+    /// `base_seq` is the global index of `batch`'s first access; the
+    /// deterministic sampler records into `ring` at `rate` exactly as the
+    /// serial driver's sampling wrapper does. The caller must cut chunks
+    /// so no epoch boundary or warm-up snapshot point falls strictly
+    /// inside one (the per-chunk plan staging would otherwise reorder
+    /// controller work across the snapshot).
+    ///
+    /// Staging is legal because the controller never reads the clock or
+    /// the devices, and servicing access `i` never mutates controller
+    /// state — see DESIGN.md §11 for the full argument.
+    // audit: hot-path
+    pub fn step_batch(
+        &mut self,
+        batch: &AccessBatch,
+        plans: &mut PlanBuffer,
+        base_seq: u64,
+        mut ring: Option<&mut LatRing>,
+        rate: u64,
+    ) {
+        {
+            let _lookup = span::span(Phase::CtrlLookup);
+            self.controller.access_batch(batch, plans);
+        }
+        let service = span::span(Phase::DramService);
+        for i in 0..batch.len() {
+            let view = plans.entry(i);
+            self.counters.accesses += 1;
+            self.counters.instructions += u64::from(batch.insts[i]);
+            self.path_counts[view.path.index()] += 1;
+            if let Some(acc) = self.traffic.as_deref_mut() {
+                acc.record_view(view.critical, view.background);
+            }
+            let seq = base_seq + i as u64;
+            let probing = ring.is_some() && sampled(seq, rate);
+            let mut t = self.now + u64::from(view.metadata_cycles);
+            let mut mal = u64::from(view.metadata_cycles);
+            let mut queue = 0u64;
+            for k in 0..view.critical.len() {
+                let op = view.critical[k];
+                let start = t;
+                let q0 = if probing && op.cause != TrafficCause::Metadata {
+                    self.device(op.mem).histograms().queue_wait.sum()
+                } else {
+                    0
+                };
+                t = self.device(op.mem).access(op.addr, op.bytes, op.kind, t);
+                if op.cause == TrafficCause::Metadata {
+                    mal += t - start;
+                } else if probing {
+                    queue += self.device(op.mem).histograms().queue_wait.sum() - q0;
+                }
+            }
+            let raw_latency = t - self.now;
+            if probing {
+                if let Some(r) = ring.as_deref_mut() {
+                    r.push(AccessRecord {
+                        seq,
+                        path: view.path,
+                        lookup: mal,
+                        queue,
+                        service: raw_latency - mal - queue,
+                        stall: view.stall_cycles,
+                        total: raw_latency + view.stall_cycles,
+                    });
+                }
+            }
+            let background_at = self.now;
+            for k in 0..view.background.len() {
+                let op = view.background[k];
+                self.device(op.mem).access(op.addr, op.bytes, op.kind, background_at);
+            }
+            let compute = (f64::from(batch.insts[i]) * self.params.cpi_base).ceil() as u64;
+            let exposed = if batch.kinds[i] == AccessKind::Read {
+                (raw_latency as f64 / self.params.mlp).ceil() as u64
+            } else {
+                0
+            };
+            self.counters.demand_cycles += exposed;
+            self.counters.mal_cycles += mal;
+            self.counters.stall_cycles += view.stall_cycles;
+            self.now += compute + exposed + view.stall_cycles;
+        }
+        drop(service);
+    }
+
     // audit: hot-path
     fn device(&mut self, mem: Mem) -> &mut DramDevice {
         match mem {
@@ -403,6 +496,61 @@ mod tests {
             assert_eq!(a.step(Access::read(addr)), b.step_probed(Access::read(addr), Some(&mut p)));
         }
         assert_eq!(a.now(), b.now(), "probing never perturbs the clock");
+    }
+
+    #[test]
+    fn step_batch_matches_per_access_stepping() {
+        let mut serial = system();
+        let mut batched = system();
+        serial.enable_traffic_accounting();
+        batched.enable_traffic_accounting();
+        let accesses: Vec<Access> = (0..500u64)
+            .map(|i| Access {
+                addr: Addr(((i * 37) % 300) * 64),
+                kind: if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read },
+                insts: (i % 40) as u32,
+            })
+            .collect();
+        // Serial reference replicating the driver's sampling wrapper.
+        let rate = 8u64;
+        let mut ring_s = LatRing::new(1024);
+        for (seq, a) in accesses.iter().enumerate() {
+            if sampled(seq as u64, rate) {
+                let mut p = StepProbe::default();
+                serial.step_probed(*a, Some(&mut p));
+                ring_s.push(AccessRecord {
+                    seq: seq as u64,
+                    path: p.path,
+                    lookup: p.lookup,
+                    queue: p.queue,
+                    service: p.service,
+                    stall: p.stall,
+                    total: p.total,
+                });
+            } else {
+                serial.step(*a);
+            }
+        }
+        // Batched in awkward chunk widths (ends mid-stream, width 1 tail).
+        let mut ring_b = LatRing::new(1024);
+        let mut plans = PlanBuffer::new();
+        let mut batch = AccessBatch::new();
+        let mut base = 0usize;
+        for chunk in accesses.chunks(13) {
+            batch.clear();
+            for a in chunk {
+                batch.push(a.addr.0, a.kind, a.insts);
+            }
+            batched.step_batch(&batch, &mut plans, base as u64, Some(&mut ring_b), rate);
+            base += chunk.len();
+        }
+        assert_eq!(serial.now(), batched.now(), "clock domain identical");
+        assert_eq!(serial.counters(), batched.counters());
+        assert_eq!(serial.path_counts(), batched.path_counts());
+        assert_eq!(serial.traffic(), batched.traffic());
+        assert_eq!(ring_s.into_vec(), ring_b.into_vec(), "sampled records identical");
+        assert_eq!(serial.hbm().histograms(), batched.hbm().histograms());
+        assert_eq!(serial.dram().histograms(), batched.dram().histograms());
     }
 
     #[test]

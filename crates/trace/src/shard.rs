@@ -11,7 +11,7 @@
 //! any cross-thread coordination.
 
 use crate::workload::Workload;
-use memsim_types::{Access, Addr, Geometry};
+use memsim_types::{Access, AccessBatch, Addr, Geometry};
 
 /// An iterator over the accesses of one set-shard: every access of the
 /// underlying full stream whose set falls in `[set_lo, set_hi)`, yielded
@@ -24,6 +24,9 @@ pub struct ShardStream {
     set_hi: u64,
     next_index: u64,
     limit: u64,
+    /// Scratch column buffer for [`fill_batch`](ShardStream::fill_batch):
+    /// holds each generated full-stream span before ownership filtering.
+    scratch: AccessBatch,
 }
 
 impl ShardStream {
@@ -36,10 +39,55 @@ impl ShardStream {
         set_hi: u64,
         limit: u64,
     ) -> ShardStream {
-        ShardStream { workload, geometry, set_lo, set_hi, next_index: 0, limit }
+        ShardStream {
+            workload,
+            geometry,
+            set_lo,
+            set_hi,
+            next_index: 0,
+            limit,
+            scratch: AccessBatch::new(),
+        }
+    }
+
+    /// Fills `batch`/`gis` with the next owned accesses of the stream: up
+    /// to `max_owned` of them, consuming the global stream no further than
+    /// position `stop_before` (exclusive) so callers can pin chunk cuts to
+    /// global schedule points (epoch boundaries, the warm-up mark). Column
+    /// `i` of `batch` is the access whose global index is `gis[i]`; the
+    /// consumed prefix is exactly what the [`Iterator`] path would have
+    /// consumed, so the two can be interleaved freely.
+    // audit: hot-path
+    pub fn fill_batch(
+        &mut self,
+        batch: &mut AccessBatch,
+        gis: &mut Vec<u64>,
+        max_owned: usize,
+        stop_before: u64,
+    ) {
+        batch.clear();
+        gis.clear();
+        let stop = stop_before.min(self.limit);
+        while self.next_index < stop && batch.len() < max_owned {
+            // Generate a full-stream span no larger than the remaining
+            // owned capacity: even if every access in it is owned, the
+            // chunk cannot overshoot and lose stream positions.
+            let span = ((stop - self.next_index) as usize).min(max_owned - batch.len());
+            self.workload.fill_batch(&mut self.scratch, span);
+            for i in 0..span {
+                let addr = self.scratch.addrs[i];
+                let set = Self::set_of(&self.geometry, Addr(addr));
+                if (self.set_lo..self.set_hi).contains(&set) {
+                    batch.push(addr, self.scratch.kinds[i], self.scratch.insts[i]);
+                    gis.push(self.next_index + i as u64);
+                }
+            }
+            self.next_index += span as u64;
+        }
     }
 
     /// The remapping set an address routes to (the ownership key).
+    // audit: hot-path
     pub fn set_of(geometry: &Geometry, addr: Addr) -> u64 {
         geometry.set_of_page(geometry.page_of(geometry.wrap_flat(addr)))
     }
@@ -112,6 +160,37 @@ mod tests {
         let g = geometry();
         for (_, a) in shard(0, 2, 2_000) {
             assert!(ShardStream::set_of(&g, a.addr) < 2);
+        }
+    }
+
+    #[test]
+    fn fill_batch_matches_the_iterator_path() {
+        let g = geometry();
+        let sets = g.num_sets();
+        let n = 4_000u64;
+        let reference = shard(0, sets / 2, n);
+        for chunk in [1usize, 7, 64, 4096] {
+            let spec = SpecProfile::mcf().spec(256);
+            let w = Workload::new(spec, g.flat_bytes(), 7);
+            let mut s = ShardStream::new(w, g, 0, sets / 2, n);
+            let mut batch = AccessBatch::new();
+            let mut gis = Vec::new();
+            let mut replay: Vec<(u64, Access)> = Vec::new();
+            // Stop-points mid-stream exercise the stop_before cut: first
+            // drain to a fake boundary, then to the stream end.
+            for stop in [n / 3, n] {
+                loop {
+                    s.fill_batch(&mut batch, &mut gis, chunk, stop);
+                    if batch.is_empty() && s.position() >= stop {
+                        break;
+                    }
+                    for (i, &gi) in gis.iter().enumerate() {
+                        replay.push((gi, batch.get(i)));
+                    }
+                }
+                assert!(s.position() == stop, "consumed exactly to the stop point");
+            }
+            assert_eq!(replay, reference, "chunk width {chunk}");
         }
     }
 

@@ -2,7 +2,7 @@
 
 use crate::rng::SplitMix64;
 use crate::spec::WorkloadSpec;
-use memsim_types::{Access, AccessKind, Addr};
+use memsim_types::{Access, AccessBatch, AccessKind, Addr};
 
 /// Region size used for hot-set bookkeeping (an OS page).
 const REGION_BYTES: u64 = 4096;
@@ -105,6 +105,50 @@ impl Workload {
         Access { addr, kind, insts: gap }
     }
 
+    /// Generates the next `n` accesses of the stream into `batch` in SoA
+    /// layout — the batched equivalent of calling
+    /// [`next_access`](Workload::next_access) `n` times. The RNG draw
+    /// sequence, emitted addresses/kinds/gaps and the
+    /// `accesses_emitted`/`instructions_emitted` counters are identical to
+    /// the one-at-a-time path for any `n`, including chunks that end
+    /// mid-run (the run remainder carries over to the next call). `batch`
+    /// is recycled here; no per-access `Access` value is constructed.
+    // audit: hot-path
+    pub fn fill_batch(&mut self, batch: &mut AccessBatch, n: usize) {
+        batch.clear();
+        let limit = self.limit_bytes;
+        let write_fraction = self.spec.write_fraction;
+        let mean_gap = self.mean_gap;
+        let mut insts = 0u64;
+        let mut left = n;
+        while left > 0 {
+            if self.run_remaining == 0 {
+                self.start_run();
+            }
+            // Emit the sequential lines of the current run without
+            // re-checking run state per access.
+            let take = (self.run_remaining as usize).min(left);
+            for _ in 0..take {
+                let addr = self.cursor % limit;
+                self.cursor += LINE_BYTES;
+                let kind = if self.rng.gen_f64() < write_fraction {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let u: f64 = self.rng.gen_f64().max(1e-12);
+                let gap = (-mean_gap * u.ln()).clamp(1.0, 4_000_000_000.0) as u32;
+                insts += u64::from(gap);
+                batch.push(addr, kind, gap);
+            }
+            self.run_remaining -= take as u32;
+            left -= take;
+        }
+        self.accesses_emitted += n as u64;
+        self.instructions_emitted += insts;
+    }
+
+    // audit: hot-path
     fn start_run(&mut self) {
         let logical = if self.rng.gen_f64() < self.spec.hot_probability {
             // Skewed pick inside the hot set: u^skew concentrates on low ids.
@@ -231,6 +275,32 @@ mod tests {
         let writes = v.iter().filter(|a| a.kind == AccessKind::Write).count() as f64;
         let frac = writes / v.len() as f64;
         assert!((frac - 0.45).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn fill_batch_matches_serial_stream_at_any_chunking() {
+        // Awkward chunk widths force chunks to end mid-run; the batched
+        // stream must still replay the serial RNG sequence exactly,
+        // counters included.
+        for chunk in [1usize, 7, 64, 1000] {
+            let spec = SpecProfile::named("mcf").spec(16);
+            let mut serial = Workload::new(spec.clone(), 1 << 22, 9);
+            let reference: Vec<Access> = (0..3000).map(|_| serial.next_access()).collect();
+            let mut batched = Workload::new(spec, 1 << 22, 9);
+            let mut batch = memsim_types::AccessBatch::new();
+            let mut replay = Vec::new();
+            while replay.len() < 3000 {
+                let n = chunk.min(3000 - replay.len());
+                batched.fill_batch(&mut batch, n);
+                assert_eq!(batch.len(), n);
+                for i in 0..batch.len() {
+                    replay.push(batch.get(i));
+                }
+            }
+            assert_eq!(replay, reference, "chunk width {chunk}");
+            assert_eq!(batched.accesses_emitted(), serial.accesses_emitted());
+            assert_eq!(batched.instructions_emitted(), serial.instructions_emitted());
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The hybrid-memory controller policy trait.
 
+use crate::batch::{AccessBatch, PlanBuffer};
 use crate::plan::{Access, AccessPlan};
 use crate::stats::CtrlStats;
 
@@ -38,6 +39,7 @@ use crate::stats::CtrlStats;
 /// ```
 pub trait HybridMemoryController {
     /// Handles one LLC-miss request, filling `plan` (which arrives cleared).
+    // audit: hot-path
     fn access(&mut self, req: &Access, plan: &mut AccessPlan);
 
     /// Short stable design name (used in reports).
@@ -53,6 +55,23 @@ pub trait HybridMemoryController {
 
     /// Common event counters.
     fn stats(&self) -> &CtrlStats;
+
+    /// Handles one chunk of LLC-miss requests, sealing one plan per
+    /// request into `plans` (the buffer is recycled here; callers need not
+    /// clear it). The sealed entries must be byte-equivalent to calling
+    /// [`access`](HybridMemoryController::access) once per request in
+    /// stream order — the default implementation does exactly that, so
+    /// every controller batches correctly out of the box; designs with a
+    /// grouped fast path override it.
+    // audit: hot-path
+    fn access_batch(&mut self, batch: &AccessBatch, plans: &mut PlanBuffer) {
+        plans.begin_chunk();
+        for i in 0..batch.len() {
+            let req = batch.get(i);
+            self.access(&req, plans.plan_mut());
+            plans.seal();
+        }
+    }
 
     /// Fraction of data brought into HBM and evicted unused, if the design
     /// tracks it (paper §IV-B). Defaults to `None`.
@@ -107,5 +126,41 @@ mod tests {
         plan.clear();
         c.finish(&mut plan);
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn default_access_batch_matches_per_access_dispatch() {
+        use crate::batch::{AccessBatch, PlanBuffer};
+        use crate::plan::AccessKind;
+
+        let mut batch = AccessBatch::new();
+        for i in 0..5u64 {
+            let kind = if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write };
+            batch.push(i * 64, kind, i as u32);
+        }
+        // Batched through the trait object (the method must stay
+        // object-safe) …
+        let mut batched: Box<dyn HybridMemoryController> =
+            Box::new(Dummy { stats: CtrlStats::new() });
+        let mut plans = PlanBuffer::new();
+        batched.access_batch(&batch, &mut plans);
+        // … against the one-at-a-time reference.
+        let mut serial = Dummy { stats: CtrlStats::new() };
+        let mut plan = AccessPlan::new();
+        assert_eq!(plans.len(), batch.len());
+        for i in 0..batch.len() {
+            plan.clear();
+            serial.access(&batch.get(i), &mut plan);
+            let view = plans.entry(i);
+            assert_eq!(view.critical, plan.critical.as_slice());
+            assert_eq!(view.background, plan.background.as_slice());
+            assert_eq!(view.metadata_cycles, plan.metadata_cycles);
+            assert_eq!(view.stall_cycles, plan.stall_cycles);
+            assert_eq!(view.path, plan.path);
+        }
+        assert_eq!(batched.stats().offchip_serves, serial.stats().offchip_serves);
+        // A second chunk recycles the buffer without leaking entries.
+        batched.access_batch(&batch, &mut plans);
+        assert_eq!(plans.len(), batch.len());
     }
 }

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod addr;
+pub mod batch;
 pub mod controller;
 pub mod error;
 pub mod fastdiv;
@@ -48,6 +49,7 @@ pub mod plan;
 pub mod stats;
 
 pub use addr::{Addr, BlockIndex, PageIndex};
+pub use batch::{AccessBatch, PlanBuffer, PlanView};
 pub use controller::HybridMemoryController;
 pub use error::GeometryError;
 pub use fastdiv::QuickDiv;

@@ -89,6 +89,42 @@ for f in fig6.jsonl fig6.epochs.jsonl fig6.trace.jsonl fig6.lat.jsonl fig6.bw.js
 done
 echo "ok: fig6 results/epochs/trace/lat/bw identical at --shards 1, 2 and 8"
 
+echo "== smoke: fig6 batched pipeline must be byte-identical at any chunk width =="
+# The --batch tentpole invariant: batching is a pure performance
+# transform, so one fig6 sweep at chunk widths 1, 64 and 4096 must
+# produce identical results, epoch, trace, latency and bandwidth JSONL.
+# Byte-identity holds *within* a pipeline — the serial (no --shards)
+# matrix compares against serial --batch 1 and the sharded (--shards 2)
+# matrix against sharded --batch 1; the two pipelines are distinct
+# documented time-domain models (DESIGN.md §10).
+for n in 1 64 4096; do
+  cargo run --release -q -p bumblebee-bench --bin fig6 -- \
+    --scale 256 --accesses 20000 --workloads mcf --jobs 2 --metrics \
+    --trace-sample 64 --batch "$n" --out "$smoke/batch$n" >/dev/null
+  cargo run --release -q -p bumblebee-bench --bin fig6 -- \
+    --scale 256 --accesses 20000 --workloads mcf --jobs 2 --metrics \
+    --trace-sample 64 --shards 2 --batch "$n" --out "$smoke/batch${n}s2" >/dev/null
+done
+for f in fig6.jsonl fig6.epochs.jsonl fig6.trace.jsonl fig6.lat.jsonl fig6.bw.jsonl; do
+  if [ ! -s "$smoke/batch1/$f" ] || [ ! -s "$smoke/batch1s2/$f" ]; then
+    echo "FAIL: batched smoke did not produce a non-empty $f" >&2
+    exit 1
+  fi
+  for n in 64 4096; do
+    if ! cmp -s "$smoke/batch1/$f" "$smoke/batch$n/$f"; then
+      echo "FAIL: serial $f differs between --batch 1 and --batch $n" >&2
+      diff "$smoke/batch1/$f" "$smoke/batch$n/$f" | head >&2
+      exit 1
+    fi
+    if ! cmp -s "$smoke/batch1s2/$f" "$smoke/batch${n}s2/$f"; then
+      echo "FAIL: sharded $f differs between --batch 1 and --batch $n" >&2
+      diff "$smoke/batch1s2/$f" "$smoke/batch${n}s2/$f" | head >&2
+      exit 1
+    fi
+  done
+done
+echo "ok: fig6 results/epochs/trace/lat/bw identical at --batch 1, 64 and 4096 (serial and --shards 2)"
+
 echo "== smoke: trace_tool latency — per-path tails reconcile exactly =="
 # Hard gate on the latency-attribution acceptance criterion: the per-path
 # sample counts in fig6.lat.jsonl must reconcile EXACTLY against the
@@ -197,6 +233,33 @@ if cargo run --release -q -p bumblebee-bench --bin bench_tool -- \
 else
   echo "WARN: wall time regressed >30% vs the committed baseline" \
        "(invariants are clean; treat as noise unless it persists)" >&2
+fi
+
+echo "== bench: batched-pipeline throughput >= 1.5x the per-access pipeline (warn-only) =="
+# The tentpole's perf claim as a CI artifact: the same quick suite run
+# with --batch 1 (the one-access-at-a-time pipeline) must be at least
+# 1.5x slower than the default-batch run above — measured back-to-back
+# on this machine, so the ratio is honest even on slow hosts. The
+# cycle-domain invariants between the two BENCH files are a hard gate
+# (batching must not change a single simulated number); the throughput
+# ratio itself WARNS because a loaded machine can squeeze either run.
+cargo run --release -q -p bumblebee-bench --bin bench_harness -- \
+  --quick --batch 1 --out "$smoke/bench" --sha batch1 >/dev/null
+cargo run --release -q -p bumblebee-bench --bin bench_tool -- \
+  compare "$smoke/bench/BENCH_batch1.json" "$bench" \
+  --time-threshold-pct 1000000 >/dev/null
+echo "ok: cycle-domain invariants identical at --batch 1 and the default batch"
+aggregate() {
+  cargo run --release -q -p bumblebee-bench --bin bench_tool -- show "$1" \
+    | grep -oE '[0-9]+ accesses/sec aggregate' | cut -d' ' -f1
+}
+rate1="$(aggregate "$smoke/bench/BENCH_batch1.json")"
+rateN="$(aggregate "$bench")"
+if awk -v a="$rate1" -v b="$rateN" 'BEGIN { exit !(a > 0 && b / a >= 1.5) }'; then
+  echo "ok: ${rateN} accesses/sec batched vs ${rate1} at --batch 1 (>= 1.5x)"
+else
+  echo "WARN: batched suite throughput ${rateN} accesses/sec is < 1.5x the" \
+       "--batch 1 pipeline (${rate1}); expected only on loaded hosts" >&2
 fi
 
 echo "== bench: disabled-instrumentation wall within 2% of baseline (warn-only) =="
