@@ -1,17 +1,35 @@
 //! The audit engine: applies the rule catalog to token streams and walks
 //! the workspace.
 //!
-//! The engine is deliberately two-layered so the fixture tests can drive
-//! it without touching the filesystem layout:
+//! Since PR 10 the engine runs in **two passes**. Pass one lexes and
+//! structures every file into a [`Workspace`] (symbol table inputs: fns
+//! with their impl/trait owners, `// audit:` annotations, unit fields).
+//! Pass two runs the rules:
 //!
-//! * [`check_source`] — audit one file's source text against every rule,
-//!   honoring `// audit:` allows;
-//! * [`check_workspace`] — collect the workspace's non-test sources and
-//!   fold per-file reports into one [`AuditReport`].
+//! * per-file rules (`det-*`, `hot-panic`/`hot-alloc`/`hot-callee`,
+//!   `struct-*`, `merge-commutative`) see one file at a time, exactly as
+//!   the PR 5 engine did;
+//! * workspace rules see the whole corpus: `unit-mismatch` resolves names
+//!   against the global [`units::UnitTable`], `hot-transitive` walks the
+//!   cross-crate [`CallGraph`] from the controller/channel roots, and
+//!   `obs-counter-reconcile` matches crates/obs counters against every
+//!   test region and reconciliation fn in the workspace.
+//!
+//! The layering keeps fixture tests filesystem-free:
+//!
+//! * [`check_source`] — audit one file's source text (a one-file
+//!   workspace: every rule still runs, cross-file resolution simply has
+//!   nothing else to see);
+//! * [`check_ws`] — audit a pre-built [`Workspace`];
+//! * [`check_workspace`] — collect the workspace's non-test sources (plus
+//!   integration-test sources as reconciliation evidence) and audit them.
 
-use crate::items::{self, FileStructure, FnItem};
-use crate::lexer::{lex, TokKind, Token};
-use crate::rules;
+use crate::graph::{CallGraph, FnId, Workspace};
+use crate::items::{FileStructure, FnItem};
+use crate::lexer::{TokKind, Token};
+use crate::rules::{self, CALLEE_SKIP};
+use crate::units;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// One rule violation.
@@ -29,7 +47,7 @@ pub struct Finding {
 
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:<18} {}:{}: {}", self.rule, self.path, self.line, self.msg)
+        write!(f, "{:<22} {}:{}: {}", self.rule, self.path, self.line, self.msg)
     }
 }
 
@@ -45,6 +63,12 @@ pub struct AuditReport {
     pub allows_declared: usize,
     /// Number of `// audit: hot-path` fns audited.
     pub hot_fns: usize,
+    /// Number of `// audit: merge` fns audited for commutativity.
+    pub merge_fns: usize,
+    /// Number of `// audit: unit(...)` annotations (fields + fns).
+    pub unit_annotations: usize,
+    /// Resolved call-graph edges in the workspace pass.
+    pub call_edges: usize,
     /// Files examined.
     pub files: usize,
 }
@@ -53,6 +77,51 @@ impl AuditReport {
     /// True when the audit found nothing.
     pub fn clean(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    /// Renders the report as a JSON document (the `--format json` /
+    /// baseline interchange format; see `results/audit_baseline.json`).
+    ///
+    /// The schema is versioned and append-only: `version`, scalar counters,
+    /// then `findings` and `exceptions` arrays in the same deterministic
+    /// order the text renderer uses.
+    pub fn to_json(&self) -> String {
+        use crate::json::escape;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files\": {},\n", self.files));
+        out.push_str(&format!("  \"hot_fns\": {},\n", self.hot_fns));
+        out.push_str(&format!("  \"merge_fns\": {},\n", self.merge_fns));
+        out.push_str(&format!("  \"unit_annotations\": {},\n", self.unit_annotations));
+        out.push_str(&format!("  \"call_edges\": {},\n", self.call_edges));
+        out.push_str(&format!("  \"allows_declared\": {},\n", self.allows_declared));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"msg\": \"{}\"}}",
+                escape(f.rule),
+                escape(&f.path),
+                f.line,
+                escape(&f.msg)
+            ));
+        }
+        out.push_str(if self.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"exceptions\": [");
+        for (i, (rule, path, line, reason)) in self.exceptions.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}",
+                escape(rule),
+                escape(path),
+                line,
+                escape(reason)
+            ));
+        }
+        out.push_str(if self.exceptions.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -86,39 +155,35 @@ impl FileClass {
     }
 }
 
-/// Common std method names never treated as same-file callees by
-/// `hot-callee` (receivers are usually std types; the false-positive cost
-/// of matching them outweighs the closure coverage).
-const CALLEE_SKIP: &[&str] = &[
-    "new", "len", "is_empty", "push", "pop", "insert", "remove", "get", "get_mut", "clear",
-    "iter", "iter_mut", "next", "clone", "min", "max", "clamp", "map", "and_then", "unwrap_or",
-    "unwrap_or_else", "take", "replace", "swap", "from", "into", "fmt", "eq", "cmp", "hash",
-    "drop", "default", "as_ref", "as_mut", "as_deref_mut", "contains", "count", "sum", "extend",
-];
-
 /// Methods whose call on a hash binding means unordered iteration.
 const ITER_METHODS: &[&str] =
     &["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain", "retain", "into_keys", "into_values"];
 
-/// Audits one file. `rel` is the repo-relative path used in findings and
-/// for [`FileClass`] scoping.
+/// Audits one file as a one-file workspace. `rel` is the repo-relative
+/// path used in findings and for [`FileClass`] scoping. Every rule runs —
+/// workspace rules simply see a corpus of one file.
 pub fn check_source(rel: &str, src: &str) -> (Vec<Finding>, FileStructure) {
-    let class = FileClass::of(rel);
-    let toks = lex(src);
-    let st = items::analyze(&toks);
-    let mut raw: Vec<(usize, Finding)> = Vec::new(); // (token index, finding)
+    let ws = Workspace::from_sources(vec![(rel.to_string(), src.to_string())]);
+    let report = check_ws(&ws, &BTreeSet::new());
+    let st = ws.files.into_iter().next().expect("one-file workspace").st;
+    (report.findings, st)
+}
 
-    det_hashmap(rel, &toks, &st, &mut raw);
-    det_clock(rel, class, &toks, &st, &mut raw);
-    det_entropy(rel, &toks, &st, &mut raw);
-    det_unordered_iter(rel, &toks, &st, &mut raw);
-    det_thread(rel, class, &toks, &st, &mut raw);
-    hot_rules(rel, &toks, &st, &mut raw);
+/// The per-file rules: everything that needs only one file's tokens.
+fn file_rules(rel: &str, toks: &[Token], st: &FileStructure, raw: &mut Vec<(usize, Finding)>) {
+    let class = FileClass::of(rel);
+    det_hashmap(rel, toks, st, raw);
+    det_clock(rel, class, toks, st, raw);
+    det_entropy(rel, toks, st, raw);
+    det_unordered_iter(rel, toks, st, raw);
+    det_thread(rel, class, toks, st, raw);
+    hot_rules(rel, toks, st, raw);
+    merge_commutative(rel, toks, st, raw);
     if class.is_crate_root {
-        struct_attrs(rel, &toks, &mut raw);
+        struct_attrs(rel, toks, raw);
     }
     if class.docs_required {
-        struct_pub_docs(rel, &toks, &st, &mut raw);
+        struct_pub_docs(rel, toks, st, raw);
     }
 
     // Malformed directives and unknown rule ids in allows.
@@ -133,14 +198,52 @@ pub fn check_source(rel: &str, src: &str) -> (Vec<Finding>, FileStructure) {
             ));
         }
     }
+}
 
-    // Apply allows (audit-syntax is not allowable by design).
-    let findings = raw
-        .into_iter()
-        .filter(|(i, f)| f.rule == "audit-syntax" || !st.allowed(f.rule, f.line, *i))
-        .map(|(_, f)| f)
-        .collect();
-    (findings, st)
+/// Audits a pre-built workspace: per-file rules, then the workspace rules
+/// (`unit-mismatch`, `hot-transitive`, `obs-counter-reconcile`).
+/// `aux_idents` is extra reconciliation evidence — idents from sources
+/// outside the audited corpus (integration-test files).
+pub fn check_ws(ws: &Workspace, aux_idents: &BTreeSet<String>) -> AuditReport {
+    let mut report = AuditReport::default();
+    let mut raw: Vec<Vec<(usize, Finding)>> = ws.files.iter().map(|_| Vec::new()).collect();
+
+    let table = units::UnitTable::build(ws.files.iter().map(|f| &f.st));
+    for (fi, file) in ws.files.iter().enumerate() {
+        file_rules(&file.rel, &file.toks, &file.st, &mut raw[fi]);
+        if units::in_scope(&file.rel) {
+            units::scan(&file.rel, &file.toks, &file.st, &table, &mut raw[fi]);
+        }
+    }
+    report.call_edges = hot_transitive(ws, &mut raw);
+    obs_counter_reconcile(ws, aux_idents, &mut raw);
+
+    for (fi, file) in ws.files.iter().enumerate() {
+        let st = &file.st;
+        report.files += 1;
+        report.allows_declared += st.allows.len();
+        report.hot_fns += st.fns.iter().filter(|f| f.hot && !f.in_test).count();
+        report.merge_fns += st.fns.iter().filter(|f| f.merge && !f.in_test).count();
+        report.unit_annotations +=
+            st.unit_fields.len() + st.fns.iter().filter(|f| f.unit.is_some()).count();
+        // An allow counts as an audited exception when declared with a
+        // reason — the exception report is the list of declared, justified
+        // deviations, which is what reviewers audit.
+        for a in &st.allows {
+            if rules::is_known(&a.rule) {
+                report.exceptions.push((a.rule.clone(), file.rel.clone(), a.line, a.reason.clone()));
+            }
+        }
+        // Apply allows (audit-syntax is not allowable by design).
+        report.findings.extend(
+            std::mem::take(&mut raw[fi])
+                .into_iter()
+                .filter(|(i, f)| f.rule == "audit-syntax" || !st.allowed(f.rule, f.line, *i))
+                .map(|(_, f)| f),
+        );
+    }
+    report.findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
 }
 
 fn finding(rule: &'static str, rel: &str, line: u32, msg: String) -> Finding {
@@ -509,7 +612,14 @@ fn hot_callee(
                 // the closure — that is how ring-buffer samplers named like
                 // std collections (`LatRing::push`) keep hot-* coverage.
                 let own_method = matches!(&receiver, Some((_, r)) if r.is_ident("self"));
-                if CALLEE_SKIP.contains(&t.text.as_str()) && !own_method {
+                // Likewise, when a same-file type defines a *method* with
+                // this name, an unknown receiver is far more likely that
+                // type than a std collection — skipping it was the PR 5
+                // false negative that let `ring.push(…)` escape the
+                // closure whenever the method shadowed a std name.
+                let local_method =
+                    st.fns.iter().any(|g| !g.in_test && g.name == t.text && g.owner.is_some());
+                if CALLEE_SKIP.contains(&t.text.as_str()) && !own_method && !local_method {
                     None
                 } else {
                     Some(match receiver {
@@ -519,9 +629,19 @@ fn hot_callee(
                 }
             }
             Some((k, p)) if p.is_punct(':') => {
-                // Only `Self::name(` counts as a same-file path call.
+                // `Self::name(` is a same-file path call; so is a
+                // lowercase-qualified free-fn path (`crate::name(`,
+                // `self::name(`, `module::name(`) — PR 5 dropped those
+                // entirely, so shadow-named free fns reached through a
+                // path (`crate::push(…)`) were never audited.
                 match prev_code(toks, k).and_then(|(k2, _)| prev_code(toks, k2)) {
                     Some((_, r)) if r.is_ident("Self") => Some(format!("Self::{}", t.text)),
+                    Some((_, r))
+                        if r.kind == TokKind::Ident
+                            && r.text.chars().next().is_some_and(|c| c.is_ascii_lowercase()) =>
+                    {
+                        Some(format!("{}::{}", r.text, t.text))
+                    }
                     _ => None,
                 }
             }
@@ -542,6 +662,305 @@ fn hot_callee(
             ));
         }
     }
+}
+
+/// `merge-commutative`: fns annotated `// audit: merge` may only mutate
+/// self state through order-insensitive operations.
+fn merge_commutative(rel: &str, toks: &[Token], st: &FileStructure, out: &mut Vec<(usize, Finding)>) {
+    for f in st.fns.iter().filter(|f| f.merge && !f.in_test) {
+        let Some((start, end)) = f.body else { continue };
+        let mut flag = |i: usize, msg: String| {
+            out.push((i, finding("merge-commutative", rel, toks[i].line, msg)));
+        };
+        let mut i = start;
+        while i <= end.min(toks.len() - 1) {
+            let t = &toks[i];
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    // Shard identity must be invisible to a merge: any
+                    // outcome that depends on *which* shard a partial came
+                    // from breaks the any-width byte-identity contract.
+                    "shard" | "shard_id" | "shard_idx" | "sid" | "worker_id" => flag(
+                        i,
+                        format!("merge fn `{}` references shard identity `{}`", f.name, t.text),
+                    ),
+                    // Hash-ordered containers make the merge's visitation
+                    // order nondeterministic even when each step commutes.
+                    "HashMap" | "HashSet" => flag(
+                        i,
+                        format!("merge fn `{}` touches hash-ordered `{}`", f.name, t.text),
+                    ),
+                    // Explicit order comparison between partials is the
+                    // classic non-commutative merge bug.
+                    "Ordering" => flag(
+                        i,
+                        format!("merge fn `{}` branches on an `Ordering`", f.name),
+                    ),
+                    "cmp" | "partial_cmp"
+                        if i > 0
+                            && toks[i - 1].is_punct('.')
+                            && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+                    {
+                        flag(i, format!("merge fn `{}` compares merge operands with `.{}`", f.name, t.text))
+                    }
+                    _ => {}
+                }
+                i += 1;
+                continue;
+            }
+            // Compound assigns: only the commutative-monoid set is
+            // admissible in a merge (`+=`, `|=`).
+            if let Some((op, w)) = compound_assign(toks, i) {
+                if !matches!(op, "+=" | "|=") {
+                    flag(i, format!("merge fn `{}` uses non-commutative `{op}`", f.name));
+                }
+                i += w;
+                continue;
+            }
+            // A plain `=` overwriting a self field is last-writer-wins —
+            // order-dependent — unless it is a self-referential fold
+            // through max/min/saturating_add (`self.f = self.f.max(…)`).
+            if plain_assign(toks, i) && assign_target_is_self(toks, start, i) {
+                let folds = {
+                    let rhs_ok = next_code(toks, i + 1).is_some_and(|(_, t)| t.is_ident("self"));
+                    let mut fold = false;
+                    let mut j = i + 1;
+                    while j <= end.min(toks.len() - 1) && !toks[j].is_punct(';') {
+                        if matches!(toks[j].text.as_str(), "max" | "min")
+                            || toks[j].text.starts_with("saturating_")
+                        {
+                            fold = true;
+                        }
+                        j += 1;
+                    }
+                    rhs_ok && fold
+                };
+                if !folds {
+                    flag(
+                        i,
+                        format!(
+                            "merge fn `{}` overwrites a self field with `=` (use `+=`, `|=`, or a \
+                             `self.f = self.f.max/min/saturating_*` fold)",
+                            f.name
+                        ),
+                    );
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// At token `i`: `Some((op, width))` when a compound-assign operator
+/// starts here (`+=`, `-=`, `*=`, `/=`, `%=`, `&=`, `|=`, `^=`, `<<=`,
+/// `>>=`).
+fn compound_assign(toks: &[Token], i: usize) -> Option<(&'static str, usize)> {
+    let c = toks[i].text.chars().next()?;
+    if toks[i].kind != TokKind::Punct {
+        return None;
+    }
+    let p = |k: usize, c: char| toks.get(i + k).is_some_and(|t| t.is_punct(c));
+    match c {
+        '+' if p(1, '=') => Some(("+=", 2)),
+        '-' if p(1, '=') => Some(("-=", 2)),
+        '*' if p(1, '=') => Some(("*=", 2)),
+        '/' if p(1, '=') => Some(("/=", 2)),
+        '%' if p(1, '=') => Some(("%=", 2)),
+        '&' if p(1, '=') => Some(("&=", 2)),
+        '|' if p(1, '=') => Some(("|=", 2)),
+        '^' if p(1, '=') => Some(("^=", 2)),
+        '<' if p(1, '<') && p(2, '=') => Some(("<<=", 3)),
+        '>' if p(1, '>') && p(2, '=') => Some((">>=", 3)),
+        _ => None,
+    }
+}
+
+/// At token `i`: a standalone assignment `=` (not `==`, `<=`, `=>`, or
+/// the tail of a compound assign).
+fn plain_assign(toks: &[Token], i: usize) -> bool {
+    if !toks[i].is_punct('=') {
+        return false;
+    }
+    if toks.get(i + 1).is_some_and(|n| n.is_punct('=') || n.is_punct('>')) {
+        return false;
+    }
+    !toks
+        .get(i.wrapping_sub(1))
+        .is_some_and(|p| "+-*/%&|^<>=!".chars().any(|c| p.is_punct(c)))
+}
+
+/// Walks the assignment target ending just before `=` at token `i` back
+/// to its chain head (`self.nodes[k].calls` → `self`); true when the
+/// head is `self` — i.e. the assignment mutates persistent merge state.
+fn assign_target_is_self(toks: &[Token], start: usize, i: usize) -> bool {
+    let Some((mut j, _)) = prev_code(toks, i) else { return false };
+    loop {
+        if j <= start {
+            return toks[j].is_ident("self");
+        }
+        let t = &toks[j];
+        if t.is_punct(']') {
+            // Balance back over the index expression.
+            let mut depth = 0i64;
+            while j > start {
+                if toks[j].is_punct(']') {
+                    depth += 1;
+                } else if toks[j].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            match prev_code(toks, j) {
+                Some((k, _)) => j = k,
+                None => return false,
+            }
+        } else if t.kind == TokKind::Ident {
+            match prev_code(toks, j) {
+                Some((k, p)) if p.is_punct('.') => match prev_code(toks, k) {
+                    Some((k2, _)) => j = k2,
+                    None => return false,
+                },
+                _ => return t.is_ident("self"),
+            }
+        } else {
+            return false;
+        }
+    }
+}
+
+/// `hot-transitive`: BFS the call graph from the controller/channel roots
+/// and flag every reachable fn that is neither annotated hot-path nor
+/// covered by an `allow(hot-transitive)` cold boundary. Returns the
+/// resolved edge count for the report summary.
+fn hot_transitive(ws: &Workspace, raw: &mut [Vec<(usize, Finding)>]) -> usize {
+    let g = CallGraph::build(ws);
+    let roots = g.roots(ws);
+    let allowed = |id: FnId| {
+        let file = &ws.files[id.file];
+        let f = &file.st.fns[id.idx];
+        let tok = f.body.map_or(usize::MAX, |(s, _)| s);
+        file.st.allowed("hot-transitive", f.line, tok)
+    };
+    let qual = |id: FnId| {
+        let f = &ws.files[id.file].st.fns[id.idx];
+        match &f.owner {
+            Some(o) => format!("{o}::{}", f.name),
+            None => f.name.clone(),
+        }
+    };
+    // An allow(hot-transitive) is a declared cold boundary: the fn itself
+    // is excused *and* the walk does not descend into its callees.
+    let reach = g.reachable(&roots, |id| !allowed(id));
+    for (&id, &from) in &reach {
+        if allowed(id) {
+            continue;
+        }
+        let f = &ws.files[id.file].st.fns[id.idx];
+        // Bodiless fns (trait method signatures) have no code to audit —
+        // the impls they fan out to are the auditable surface.
+        if f.hot || f.body.is_none() {
+            continue;
+        }
+        let msg = if id == from {
+            format!("hot root `{}` is not marked `// audit: hot-path`", qual(id))
+        } else {
+            format!(
+                "`{}` is reachable from a hot root via `{}` ({}) but not marked \
+                 `// audit: hot-path`",
+                qual(id),
+                qual(from),
+                ws.files[from.file].rel
+            )
+        };
+        let rel = ws.files[id.file].rel.clone();
+        raw[id.file].push((f.tok, Finding { rule: "hot-transitive", path: rel, line: f.line, msg }));
+    }
+    g.edge_count
+}
+
+/// `obs-counter-reconcile`: every pub integer counter declared in
+/// crates/obs must be named by at least one reconciliation context — a
+/// `#[cfg(test)]` region anywhere, the body of a fn whose name signals an
+/// invariant (`reconcile`/`invariant`/`validate`/`verify`/`check`), or an
+/// integration-test file (`aux_idents`).
+fn obs_counter_reconcile(ws: &Workspace, aux_idents: &BTreeSet<String>, raw: &mut [Vec<(usize, Finding)>]) {
+    let mut evidence: BTreeSet<&str> = aux_idents.iter().map(String::as_str).collect();
+    for file in &ws.files {
+        for &(a, b) in &file.st.test_regions {
+            for t in &file.toks[a..=b.min(file.toks.len() - 1)] {
+                if t.kind == TokKind::Ident {
+                    evidence.insert(&t.text);
+                }
+            }
+        }
+        for f in &file.st.fns {
+            let reconciles = ["reconcile", "invariant", "validate", "verify", "check"]
+                .iter()
+                .any(|k| f.name.contains(k));
+            if !reconciles || f.in_test {
+                continue;
+            }
+            let Some((s, e)) = f.body else { continue };
+            for t in &file.toks[s..=e.min(file.toks.len() - 1)] {
+                if t.kind == TokKind::Ident {
+                    evidence.insert(&t.text);
+                }
+            }
+        }
+    }
+    for (fi, file) in ws.files.iter().enumerate() {
+        if !file.rel.starts_with("crates/obs/") {
+            continue;
+        }
+        for (i, name, line) in pub_int_fields(&file.toks, &file.st) {
+            if !evidence.contains(name.as_str()) {
+                raw[fi].push((
+                    i,
+                    finding(
+                        "obs-counter-reconcile",
+                        &file.rel,
+                        line,
+                        format!(
+                            "pub counter `{name}` appears in no reconciliation invariant or test \
+                             (add it to a reconcile/invariant fn or a test, or allow with a reason)"
+                        ),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Pub integer (or integer-array) fields outside test regions:
+/// `(token index, field name, line)`.
+fn pub_int_fields(toks: &[Token], st: &FileStructure) -> Vec<(usize, String, u32)> {
+    const INT: &[&str] =
+        &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("pub") || st.in_test(i) {
+            continue;
+        }
+        let Some((j, name)) = next_code(toks, i + 1) else { continue };
+        if name.kind != TokKind::Ident {
+            continue; // pub(crate) and friends
+        }
+        let Some((k, colon)) = next_code(toks, j + 1) else { continue };
+        if !colon.is_punct(':') || toks.get(k + 1).is_some_and(|t| t.is_punct(':')) {
+            continue; // not a field, or a `::` path
+        }
+        let Some((m, ty)) = next_code(toks, k + 1) else { continue };
+        let is_int = INT.contains(&ty.text.as_str())
+            || (ty.is_punct('[')
+                && next_code(toks, m + 1).is_some_and(|(_, t)| INT.contains(&t.text.as_str())));
+        if is_int {
+            out.push((i, name.text.clone(), name.line));
+        }
+    }
+    out
 }
 
 /// Looks for `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` in a
@@ -715,36 +1134,63 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Collects the workspace's integration-test sources (`crates/*/tests`,
+/// root `tests/`) — not audited themselves, but their idents count as
+/// reconciliation evidence for `obs-counter-reconcile`.
+pub fn aux_test_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut dirs = vec![root.join("tests")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<_> =
+            std::fs::read_dir(&crates)?.filter_map(Result::ok).map(|e| e.path()).collect();
+        members.sort();
+        dirs.extend(members.into_iter().map(|m| m.join("tests")));
+    }
+    for d in dirs {
+        if d.is_dir() {
+            collect_rs(&d, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
 /// Audits every workspace file under `root` and aggregates the report.
+/// Integration-test files are read as reconciliation evidence only.
 pub fn check_workspace(root: &Path) -> std::io::Result<AuditReport> {
-    check_files(root, &workspace_files(root)?)
+    let mut aux = BTreeSet::new();
+    for path in aux_test_files(root)? {
+        let src = std::fs::read_to_string(&path)?;
+        aux.extend(
+            crate::lexer::lex(&src)
+                .into_iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text),
+        );
+    }
+    let report = check_files_with_aux(root, &workspace_files(root)?, &aux)?;
+    Ok(report)
 }
 
 /// Audits an explicit file list (paths are made repo-relative to `root`
-/// for classification and reporting when possible).
+/// for classification and reporting when possible). The list is audited
+/// as one workspace, so cross-file rules resolve within it.
 pub fn check_files(root: &Path, files: &[PathBuf]) -> std::io::Result<AuditReport> {
-    let mut report = AuditReport::default();
+    check_files_with_aux(root, files, &BTreeSet::new())
+}
+
+fn check_files_with_aux(
+    root: &Path,
+    files: &[PathBuf],
+    aux_idents: &BTreeSet<String>,
+) -> std::io::Result<AuditReport> {
+    let mut sources = Vec::new();
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
-        let src = std::fs::read_to_string(path)?;
-        let (findings, st) = check_source(&rel, &src);
-        report.files += 1;
-        report.allows_declared += st.allows.len();
-        report.hot_fns += st.fns.iter().filter(|f| f.hot && !f.in_test).count();
-        // An allow counts as an audited exception when it suppressed
-        // something: re-run the raw scan cheaply by checking which allows
-        // match any finding line is overkill; instead record every allow
-        // with a reason — the exception report is the list of declared,
-        // justified deviations, which is what reviewers audit.
-        for a in &st.allows {
-            if rules::is_known(&a.rule) {
-                report.exceptions.push((a.rule.clone(), rel.clone(), a.line, a.reason.clone()));
-            }
-        }
-        report.findings.extend(findings);
+        sources.push((rel, std::fs::read_to_string(path)?));
     }
-    report.findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(report)
+    Ok(check_ws(&Workspace::from_sources(sources), aux_idents))
 }
 
 #[cfg(test)]

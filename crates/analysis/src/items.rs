@@ -10,12 +10,21 @@
 //!
 //! ```text
 //! // audit: hot-path
+//! // audit: merge
+//! // audit: unit(cycles|bytes|accesses|ns)
 //! // audit: allow(<rule-id>) -- <reason>
 //! ```
 //!
 //! * `hot-path` marks the next `fn` item (only comments, attributes and
 //!   visibility/qualifier keywords may stand between the comment and the
 //!   `fn`). The fn's body is then checked by the `hot-*` rules.
+//! * `merge` marks the next `fn` item as a shard-merge function: its body
+//!   is checked by the `merge-commutative` rule (only order-independent
+//!   accumulation is allowed — see the rule catalog).
+//! * `unit(<u>)` attaches a measurement unit to the next field or `fn`
+//!   item (or, when trailing a field declaration, to that field). The
+//!   `unit-mismatch` rule flags additive arithmetic and comparisons
+//!   between names carrying different units.
 //! * `allow(<rule-id>) -- <reason>` suppresses findings of one rule. Its
 //!   scope depends on placement: trailing a code line → that line; on its
 //!   own line directly above a `fn` item → the whole fn; on its own line
@@ -31,6 +40,11 @@ use crate::lexer::{TokKind, Token};
 pub enum Directive {
     /// `// audit: hot-path` — the next fn is a controller hot path.
     HotPath,
+    /// `// audit: merge` — the next fn is a shard-merge function.
+    Merge,
+    /// `// audit: unit(u)` — the next field/fn carries measurement unit
+    /// `u` (one of [`UNITS`]).
+    Unit(String),
     /// `// audit: allow(rule) -- reason` — an audited exception.
     Allow {
         /// Rule id being allowed.
@@ -39,6 +53,11 @@ pub enum Directive {
         reason: String,
     },
 }
+
+/// The closed set of measurement units `unit(...)` accepts. `cycles` are
+/// simulated CPU cycles, `ns` wall-clock nanoseconds (telemetry only) —
+/// the two time domains the `unit-mismatch` rule must keep apart.
+pub const UNITS: &[&str] = &["cycles", "bytes", "accesses", "ns"];
 
 /// Where an `allow` directive applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,13 +90,37 @@ pub struct FnItem {
     pub name: String,
     /// 1-indexed line of the `fn` keyword.
     pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub tok: usize,
     /// Token-index range of the body `{ … }`, inclusive; `None` for
     /// bodyless trait-method declarations.
     pub body: Option<(usize, usize)>,
+    /// The type this fn is a method of: the `Self` type of the enclosing
+    /// `impl` block, or the trait name for methods declared inside a
+    /// `trait` block. `None` for free fns.
+    pub owner: Option<String>,
+    /// The trait being implemented when the enclosing block is
+    /// `impl Trait for Type` (or declared, for `trait Trait` blocks).
+    pub trait_name: Option<String>,
     /// Marked `// audit: hot-path`.
     pub hot: bool,
+    /// Marked `// audit: merge`.
+    pub merge: bool,
+    /// Unit of the fn's return value, from `// audit: unit(...)`.
+    pub unit: Option<String>,
     /// Inside a `#[cfg(test)]` region (rules skip it).
     pub in_test: bool,
+}
+
+/// A struct field carrying a `// audit: unit(...)` annotation.
+#[derive(Debug, Clone)]
+pub struct UnitField {
+    /// Field name.
+    pub name: String,
+    /// One of [`UNITS`].
+    pub unit: String,
+    /// 1-indexed line of the field declaration.
+    pub line: u32,
 }
 
 /// A malformed `// audit:` comment (reported as `audit-syntax`).
@@ -102,6 +145,8 @@ pub struct FileStructure {
     pub test_regions: Vec<(usize, usize)>,
     /// Names lexically bound to `HashMap`/`HashSet` values or fields.
     pub hash_bindings: Vec<String>,
+    /// Fields annotated `// audit: unit(...)`.
+    pub unit_fields: Vec<UnitField>,
 }
 
 impl FileStructure {
@@ -132,6 +177,24 @@ pub fn parse_directive(text: &str) -> Option<Result<Directive, String>> {
     let rest = body.strip_prefix("audit:")?.trim();
     if rest == "hot-path" {
         return Some(Ok(Directive::HotPath));
+    }
+    if rest == "merge" {
+        return Some(Ok(Directive::Merge));
+    }
+    if let Some(args) = rest.strip_prefix("unit") {
+        let args = args.trim();
+        let unit = args
+            .strip_prefix('(')
+            .and_then(|a| a.strip_suffix(')'))
+            .map(str::trim)
+            .unwrap_or("");
+        if UNITS.contains(&unit) {
+            return Some(Ok(Directive::Unit(unit.into())));
+        }
+        return Some(Err(format!(
+            "unit: expected `unit(<u>)` with <u> one of {} (got `{args}`)",
+            UNITS.join("|")
+        )));
     }
     if let Some(args) = rest.strip_prefix("allow") {
         let args = args.trim();
@@ -169,10 +232,128 @@ fn is_prelude_ident(s: &str) -> bool {
 pub fn analyze(toks: &[Token]) -> FileStructure {
     let mut st = FileStructure::default();
     collect_test_regions(toks, &mut st);
-    collect_fns(toks, &mut st);
+    let owners = collect_owner_regions(toks);
+    collect_fns(toks, &owners, &mut st);
     collect_directives(toks, &mut st);
     collect_hash_bindings(toks, &mut st);
     st
+}
+
+/// One `impl`/`trait` block: its brace range and the names the methods
+/// inside it belong to.
+#[derive(Debug, Clone)]
+struct OwnerRegion {
+    start: usize,
+    end: usize,
+    owner: String,
+    trait_name: Option<String>,
+}
+
+/// The base ident of a type path: the last depth-0 ident before `stop`
+/// keywords, so `fmt::Display` → `Display`, `Vec<T>` → `Vec`.
+fn type_base_ident(toks: &[Token], mut j: usize, stops: &[&str]) -> (Option<String>, usize) {
+    let mut angle = 0i64;
+    let mut base = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle <= 0 && (t.is_punct('{') || t.is_punct(';')) {
+            break;
+        } else if angle <= 0 && t.kind == TokKind::Ident {
+            if stops.contains(&t.text.as_str()) {
+                break;
+            }
+            if !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "crate" | "super" | "self") {
+                base = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    (base, j)
+}
+
+/// Recovers `impl [Trait for] Type { … }` and `trait Name { … }` regions
+/// so methods can be attributed to their `Self` type (or declaring
+/// trait). Linear scan; impl blocks never nest in this workspace.
+fn collect_owner_regions(toks: &[Token]) -> Vec<OwnerRegion> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("impl") {
+            // Item position only: `impl Trait` in type position (return
+            // types, bounds) follows `->`, `(`, `<`, `&`, `,`, `:` or `=`.
+            let item_pos = match toks[..i].iter().rev().find(|p| !p.is_comment()) {
+                None => true,
+                Some(p) => {
+                    p.is_punct('}') || p.is_punct('{') || p.is_punct(';') || p.is_punct(']')
+                        || p.is_ident("unsafe")
+                }
+            };
+            if !item_pos {
+                i += 1;
+                continue;
+            }
+            // Skip the generic parameter list, if any.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+                let mut angle = 0i64;
+                while j < toks.len() {
+                    if toks[j].is_punct('<') {
+                        angle += 1;
+                    } else if toks[j].is_punct('>') {
+                        angle -= 1;
+                        if angle == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            let (first, after) = type_base_ident(toks, j, &["for", "where"]);
+            let (owner, trait_name, mut b) =
+                if toks.get(after).is_some_and(|t| t.is_ident("for")) {
+                    let (second, after2) = type_base_ident(toks, after + 1, &["where"]);
+                    (second, first, after2)
+                } else {
+                    (first, None, after)
+                };
+            while b < toks.len() && !toks[b].is_punct('{') && !toks[b].is_punct(';') {
+                b += 1; // skip a where clause
+            }
+            if let (Some(owner), true) = (owner, toks.get(b).is_some_and(|t| t.is_punct('{'))) {
+                regions.push(OwnerRegion {
+                    start: b,
+                    end: match_brace(toks, b),
+                    owner,
+                    trait_name,
+                });
+                i = b;
+            }
+        } else if t.is_ident("trait") {
+            if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                let mut b = i + 2;
+                while b < toks.len() && !toks[b].is_punct('{') && !toks[b].is_punct(';') {
+                    b += 1;
+                }
+                if toks.get(b).is_some_and(|t| t.is_punct('{')) {
+                    regions.push(OwnerRegion {
+                        start: b,
+                        end: match_brace(toks, b),
+                        owner: name.text.clone(),
+                        trait_name: Some(name.text.clone()),
+                    });
+                    i = b;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
 }
 
 /// Finds the token index of the matching `}` for the `{` at `open`.
@@ -242,7 +423,7 @@ fn collect_test_regions(toks: &[Token], st: &mut FileStructure) {
     }
 }
 
-fn collect_fns(toks: &[Token], st: &mut FileStructure) {
+fn collect_fns(toks: &[Token], owners: &[OwnerRegion], st: &mut FileStructure) {
     let mut i = 0;
     while i < toks.len() {
         if toks[i].is_ident("fn") {
@@ -260,11 +441,21 @@ fn collect_fns(toks: &[Token], st: &mut FileStructure) {
                     }
                     b += 1;
                 }
+                // Innermost (last-starting) owner region containing the fn.
+                let region = owners
+                    .iter()
+                    .filter(|r| i >= r.start && i <= r.end)
+                    .max_by_key(|r| r.start);
                 st.fns.push(FnItem {
                     name: name_tok.text.clone(),
                     line: toks[i].line,
+                    tok: i,
                     body,
+                    owner: region.map(|r| r.owner.clone()),
+                    trait_name: region.and_then(|r| r.trait_name.clone()),
                     hot: false,
+                    merge: false,
+                    unit: None,
                     in_test: st.in_test(i),
                 });
             }
@@ -298,6 +489,36 @@ fn collect_directives(toks: &[Token], st: &mut FileStructure) {
                     msg: "hot-path must be on its own line directly above a fn item".into(),
                 }),
             },
+            Directive::Merge => match binds_fn {
+                Some(fi) if !trailing => st.fns[fi].merge = true,
+                _ => st.errors.push(SyntaxError {
+                    line: t.line,
+                    msg: "merge must be on its own line directly above a fn item".into(),
+                }),
+            },
+            Directive::Unit(unit) => {
+                if trailing {
+                    // `pub cycles: u64, // audit: unit(cycles)` — bind to
+                    // the field declared on this line.
+                    match field_on_line(toks, t.line) {
+                        Some(name) => st.unit_fields.push(UnitField { name, unit, line: t.line }),
+                        None => st.errors.push(SyntaxError {
+                            line: t.line,
+                            msg: "trailing unit(...) must follow a field declaration".into(),
+                        }),
+                    }
+                } else if let Some(fi) = binds_fn {
+                    st.fns[fi].unit = Some(unit);
+                } else {
+                    match next_field(toks, i) {
+                        Some((name, line)) => st.unit_fields.push(UnitField { name, unit, line }),
+                        None => st.errors.push(SyntaxError {
+                            line: t.line,
+                            msg: "unit(...) must annotate a field or fn item".into(),
+                        }),
+                    }
+                }
+            }
             Directive::Allow { rule, reason } => {
                 let scope = if trailing {
                     AllowScope::Line(t.line)
@@ -373,6 +594,61 @@ fn find_fn_at(toks: &[Token], j: usize, line: u32) -> Option<usize> {
             n += 1;
         }
         let _ = line;
+    }
+    None
+}
+
+/// The field declared on source line `line`: the last `ident :` pattern
+/// (excluding `::` paths) among that line's tokens.
+fn field_on_line(toks: &[Token], line: u32) -> Option<String> {
+    let mut found = None;
+    for (i, t) in toks.iter().enumerate() {
+        if t.line != line || t.kind != TokKind::Ident {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && (i == 0 || !toks[i - 1].is_punct(':'))
+        {
+            found = Some(t.text.clone());
+        }
+    }
+    found
+}
+
+/// The next field declaration after token `i`: skips comments, attributes
+/// and `pub`/`pub(crate)` prefixes, expects `ident :`.
+fn next_field(toks: &[Token], i: usize) -> Option<(String, u32)> {
+    let mut j = i + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_comment() || t.is_ident("pub") || t.is_punct('(') || t.is_punct(')')
+            || t.is_ident("crate") || t.is_ident("super")
+        {
+            j += 1;
+        } else if t.is_punct('#') {
+            let mut depth = 0i64;
+            let mut k = j + 1;
+            while k < toks.len() {
+                if toks[k].is_punct('[') {
+                    depth += 1;
+                } else if toks[k].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        } else if t.kind == TokKind::Ident
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            return Some((t.text.clone(), t.line));
+        } else {
+            return None;
+        }
     }
     None
 }
@@ -494,6 +770,63 @@ fn b() {
         let st = analyze(&lex(src));
         assert!(!st.fns[0].in_test);
         assert!(st.fns[1].in_test, "helper is inside #[cfg(test)]");
+    }
+
+    #[test]
+    fn owners_recovered_for_impl_trait_and_free_fns() {
+        let src = "\
+fn free() {}
+impl Ring { fn push(&mut self) {} }
+impl fmt::Display for Ring { fn fmt(&self) {} }
+trait Tick { fn tick(&self); fn twice(&self) { self.tick(); self.tick(); } }
+impl<T: Copy> Wrap<T> { fn get(&self) {} }
+fn tail() -> impl Iterator<Item = u32> { 0..1 }
+";
+        let st = analyze(&lex(src));
+        let by_name = |n: &str| st.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("free").owner, None);
+        assert_eq!(by_name("push").owner.as_deref(), Some("Ring"));
+        assert_eq!(by_name("push").trait_name, None);
+        assert_eq!(by_name("fmt").owner.as_deref(), Some("Ring"));
+        assert_eq!(by_name("fmt").trait_name.as_deref(), Some("Display"));
+        assert_eq!(by_name("tick").owner.as_deref(), Some("Tick"));
+        assert_eq!(by_name("twice").trait_name.as_deref(), Some("Tick"));
+        assert_eq!(by_name("get").owner.as_deref(), Some("Wrap"));
+        // `-> impl Iterator` is type position, not an impl block.
+        assert_eq!(by_name("tail").owner, None);
+    }
+
+    #[test]
+    fn merge_directive_binds_next_fn() {
+        let src = "// audit: merge\npub fn merge(&mut self, o: &S) {}\nfn other() {}";
+        let st = analyze(&lex(src));
+        assert!(st.fns[0].merge && !st.fns[1].merge);
+        // Trailing placement is malformed, like hot-path.
+        let st = analyze(&lex("fn f() {} // audit: merge"));
+        assert_eq!(st.errors.len(), 1);
+    }
+
+    #[test]
+    fn unit_directive_binds_fields_and_fns() {
+        let src = "\
+struct S {
+    // audit: unit(cycles)
+    pub busy: u64,
+    pub bytes_moved: u64, // audit: unit(bytes)
+}
+// audit: unit(accesses)
+fn total(&self) -> u64 { 0 }
+";
+        let st = analyze(&lex(src));
+        assert_eq!(st.unit_fields.len(), 2);
+        assert_eq!((st.unit_fields[0].name.as_str(), st.unit_fields[0].unit.as_str()), ("busy", "cycles"));
+        assert_eq!((st.unit_fields[1].name.as_str(), st.unit_fields[1].unit.as_str()), ("bytes_moved", "bytes"));
+        assert_eq!(st.fns[0].unit.as_deref(), Some("accesses"));
+        assert!(st.errors.is_empty(), "{:?}", st.errors);
+        // Unknown units and unbound placements are syntax errors.
+        assert!(matches!(parse_directive("// audit: unit(furlongs)"), Some(Err(_))));
+        let st = analyze(&lex("// audit: unit(bytes)\nlet x = 1;"));
+        assert_eq!(st.errors.len(), 1);
     }
 
     #[test]

@@ -177,7 +177,15 @@ impl Lexer<'_> {
         self.i += 1; // opening quote
         while self.i < self.s.len() {
             match self.s[self.i] {
-                b'\\' => self.i += 2,
+                b'\\' => {
+                    // An escaped newline (string line-continuation) still
+                    // ends a source line — skipping it silently would shift
+                    // every later token's line number.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
                 b'\n' => {
                     self.line += 1;
                     self.i += 1;
@@ -251,7 +259,12 @@ impl Lexer<'_> {
         self.i = j;
         while self.i < self.s.len() {
             match self.s[self.i] {
-                b'\\' => self.i += 2,
+                b'\\' => {
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
                 b'\n' => {
                     self.line += 1;
                     self.i += 1;
@@ -350,6 +363,67 @@ mod tests {
         let toks = lex("\"a\\\"b\nc\" x");
         assert_eq!(toks[0].kind, TokKind::Literal);
         assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        // String line-continuations (`\` at end of line) are everywhere in
+        // this workspace's rule explanations; line numbers after them must
+        // stay correct.
+        let toks = lex("let s = \"a\\\nb\";\nfn f() {}");
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+        let toks = lex("let s = b\"a\\\nb\";\nfn g() {}");
+        let g = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(g.line, 3);
+    }
+
+    #[test]
+    fn raw_strings_with_newlines_and_inner_quote_hashes() {
+        // Inner `"#` with too few hashes must not close an `r##` string,
+        // and embedded newlines must advance the line counter.
+        let src = "let s = r##\"line1\n\"# not the end\nline3\"##;\nfn f() {}";
+        let toks = lex(src);
+        let lit = toks.iter().find(|t| t.kind == TokKind::Literal).unwrap();
+        assert!(lit.text.contains("not the end"));
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 4);
+        // Empty raw string and a raw string holding a backslash.
+        let t = kinds("r#\"\"# r\"\\\" after");
+        assert_eq!(t[0], (TokKind::Literal, "r#\"\"#".into()));
+        assert_eq!(t[1], (TokKind::Literal, "r\"\\\"".into()));
+        assert_eq!(t[2], (TokKind::Ident, "after".into()));
+        // A raw identifier is not a raw string.
+        let t = kinds("r#type = 1");
+        assert_eq!(t[2], (TokKind::Ident, "type".into()));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_track_lines() {
+        let src = "/* 1 /* 2 /* 3 */\n2 */ 1 */\nfn f() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+        // Code after the comment is lexed normally.
+        assert!(toks.iter().any(|t| t.is_ident("f")));
+    }
+
+    #[test]
+    fn lifetime_ticks_never_misread_as_char_literals() {
+        // `'_` and `'static` are lifetimes, also at end of input.
+        let t = kinds("&'_ str &'static str 'end");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "'_"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "'static"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "'end"));
+        // Escaped-quote and non-alphabetic char literals stay literals.
+        let t = kinds(r"'\'' '\\' '9' ' '");
+        assert!(t.iter().all(|(k, _)| *k == TokKind::Literal));
+        assert_eq!(t.len(), 4);
+        // A lifetime bound followed by a char literal on one line.
+        let t = kinds("fn f<'a>(c: char) { let x = 'x'; }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "'a"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Literal && s == "'x'"));
     }
 
     #[test]

@@ -30,9 +30,12 @@
 //! ("Static analysis & checked builds").
 
 pub mod check;
+pub mod graph;
 pub mod items;
+pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod units;
 
 pub use check::{check_source, check_workspace, AuditReport, Finding};
 

@@ -10,6 +10,19 @@
 //!   annotated `// audit: hot-path` (the controller access flow);
 //! * `struct-*` — structural conventions every crate must carry.
 
+/// Common std method names never treated as resolvable callees when the
+/// receiver is unknown (`recv.name(…)` / chained calls): the receiver is
+/// usually a std type, and the false-positive cost of matching them
+/// outweighs the closure coverage. Free-fn calls, `self.`-receiver calls
+/// and explicit `Type::name(…)` paths are never skip-listed — they
+/// resolve unambiguously to workspace items.
+pub const CALLEE_SKIP: &[&str] = &[
+    "new", "len", "is_empty", "push", "pop", "insert", "remove", "get", "get_mut", "clear",
+    "iter", "iter_mut", "next", "clone", "min", "max", "clamp", "map", "and_then", "unwrap_or",
+    "unwrap_or_else", "take", "replace", "swap", "from", "into", "fmt", "eq", "cmp", "hash",
+    "drop", "default", "as_ref", "as_mut", "as_deref_mut", "contains", "count", "sum", "extend",
+];
+
 /// One rule in the catalog.
 #[derive(Debug, Clone, Copy)]
 pub struct Rule {
@@ -167,6 +180,98 @@ the callee in its own file).\n\
 \n\
 Fix: annotate the callee `// audit: hot-path`, or justify the edge with\n\
 `// audit: allow(hot-callee) -- <reason>` (e.g. a cold error branch).",
+    },
+    Rule {
+        id: "hot-transitive",
+        summary: "fn reachable from a controller/channel root lacks hot-path",
+        explain: "\
+The workspace pass builds a cross-crate call graph (free calls, `self.`\n\
+and `Self::` methods, `Type::name` paths, and receiver-typed method\n\
+calls resolved against every impl whose type or trait is named in the\n\
+caller's file) and walks it from the audited hot roots: every\n\
+`access`/`access_batch` on a controller — any `impl` whose type name\n\
+contains `Controller` or that implements `HybridMemoryController` — and\n\
+`Channel::schedule`. Unlike `hot-callee`, which keeps the closure honest\n\
+one file at a time, this rule checks the *true* transitive closure: any\n\
+fn reachable from a root that is not annotated `// audit: hot-path` is\n\
+flagged at its definition site, with the edge it was reached through.\n\
+\n\
+The walk is cycle-tolerant (recursive controller helpers terminate) and\n\
+respects declared cold boundaries: a fn carrying\n\
+`// audit: allow(hot-transitive) -- <reason>` is excused and the walk\n\
+does not descend into its callees — use it for genuinely cold exits\n\
+from the access flow (epoch rollover, trace finalization, error paths).\n\
+\n\
+Fix: annotate the fn `// audit: hot-path` (subjecting it to hot-panic /\n\
+hot-alloc / hot-callee), or declare the cold boundary with an allow.",
+    },
+    Rule {
+        id: "merge-commutative",
+        summary: "shard-merge fn uses an order-dependent operation",
+        explain: "\
+Fns annotated `// audit: merge` fold one shard's partial state into\n\
+another (CtrlStats::merge, EpochPartial::absorb, TrafficMatrix::merge,\n\
+merge_shard_records, …). The engine merges shard partials in set order,\n\
+but the byte-identity contract at any `--shards` width additionally\n\
+requires every merge step to be commutative and associative — then the\n\
+fold's result is independent of how work was sharded in the first\n\
+place.\n\
+\n\
+Flagged inside merge fns: non-commutative compound assigns (`-=`, `*=`,\n\
+`/=`, `%=`, `&=`, `^=`, shifts); a plain `=` overwriting a `self` field\n\
+(last-writer-wins) unless it is a self-referential fold through\n\
+`max`/`min`/`saturating_*`; any reference to shard identity\n\
+(`shard_id`, `worker_id`, …); hash-ordered containers\n\
+(HashMap/HashSet); and order comparison between operands (`Ordering`,\n\
+`.cmp()`, `.partial_cmp()`). Sorting *local* accumulators by a\n\
+deterministic key (`sort_by_key(|r| r.seq)`) is fine — it canonicalizes\n\
+order rather than depending on it.\n\
+\n\
+Fix: express the merge as `+=`/`|=` folds and max/min/saturating\n\
+updates, or justify with `// audit: allow(merge-commutative) -- <reason>`.",
+    },
+    Rule {
+        id: "unit-mismatch",
+        summary: "arithmetic mixes annotated cycle/byte/access/ns domains",
+        explain: "\
+The simulator keeps four integer domains in bare u64 fields: `cycles`\n\
+(simulated DRAM time), `bytes` (traffic), `accesses` (event counts) and\n\
+`ns` (wall-clock profiler time). `// audit: unit(<domain>)` annotations\n\
+on fields and fns put their *names* in a workspace-wide unit table;\n\
+this rule then flags `+`, `-`, compound adds and comparisons whose two\n\
+operands resolve to different annotated domains — adding bytes to\n\
+cycles, or comparing span wall-ns against sim cycles — in crates/core,\n\
+crates/dram, crates/obs and crates/sim.\n\
+\n\
+The model is name-keyed and lexical: operands resolve through field\n\
+chains (`self.bw.cycles` → `cycles`), calls (`total_bytes()` →\n\
+`total_bytes`) and indexing; numeric literals and unannotated names\n\
+never flag. A name annotated with *conflicting* units in different\n\
+files is dropped from the table entirely. Multiplication, division and\n\
+shifts are never checked — they legitimately change units\n\
+(bytes/cycle, cycles×width).\n\
+\n\
+Fix: convert explicitly in a named helper so the result carries the\n\
+right annotation, or justify with\n\
+`// audit: allow(unit-mismatch) -- <reason>`.",
+    },
+    Rule {
+        id: "obs-counter-reconcile",
+        summary: "pub counter in crates/obs outside every reconciliation check",
+        explain: "\
+The paper's traffic taxonomy (§III-E) is only trustworthy because the\n\
+cause-attributed counters are *reconciled*: class-byte sums must equal\n\
+device byte totals exactly, latency-component sums must equal total\n\
+latency, epoch partials must sum to the sequential run. This rule makes\n\
+that a closed system: every pub integer field declared in crates/obs\n\
+must be named by at least one reconciliation context — a #[cfg(test)]\n\
+region anywhere in the workspace, an integration-test file, or the body\n\
+of a fn whose name contains reconcile/invariant/validate/verify/check.\n\
+A counter no check ever reads is a counter whose drift nobody notices.\n\
+\n\
+Fix: extend a reconciliation invariant or test to cover the counter, or\n\
+justify with `// audit: allow(obs-counter-reconcile) -- <reason>` on\n\
+the field's line.",
     },
     Rule {
         id: "struct-attrs",

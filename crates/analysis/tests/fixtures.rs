@@ -7,7 +7,10 @@
 //! sweep deliberately skips — so they document each rule without ever
 //! tripping the real audit gate.
 
+use memsim_analysis::check::check_ws;
 use memsim_analysis::check_source;
+use memsim_analysis::graph::Workspace;
+use std::collections::BTreeSet;
 
 /// The repo-relative path a fixture is audited *as*, per rule: hot/struct
 /// rules need specific path classes (crate roots, docs-required crates),
@@ -16,6 +19,7 @@ fn rel_for(rule: &str) -> &'static str {
     match rule {
         "struct-attrs" => "crates/demo/src/lib.rs",
         "struct-pub-docs" => "crates/core/src/fixture.rs",
+        "obs-counter-reconcile" => "crates/obs/src/fixture.rs",
         _ => "crates/sim/src/fixture.rs",
     }
 }
@@ -41,6 +45,10 @@ const RULES: &[&str] = &[
     "hot-panic",
     "hot-alloc",
     "hot-callee",
+    "hot-transitive",
+    "merge-commutative",
+    "unit-mismatch",
+    "obs-counter-reconcile",
     "struct-attrs",
     "struct-pub-docs",
     "audit-syntax",
@@ -76,6 +84,60 @@ fn doctored_fixtures_trip_their_rule_at_the_marked_line() {
             "{rule}.doctored.rs: expected a finding on line {expected}, got {findings:?}"
         );
     }
+}
+
+/// Loads the multi-file call-graph corpus (`clean` or `doctored`) as a
+/// workspace of sim-crate files, returning it with each file's `//~`
+/// marker line (if any) keyed by repo-relative path.
+fn graph_corpus(kind: &str) -> (Workspace, Vec<(String, u32)>) {
+    let names = ["iface.rs", "ctrl.rs", "tuner.rs"];
+    let mut sources = Vec::new();
+    let mut markers = Vec::new();
+    for name in names {
+        let src = fixture(&format!("graph/{kind}/{name}"));
+        let rel = format!("crates/sim/src/{name}");
+        if let Some(line) = marker_line(&src) {
+            markers.push((rel.clone(), line));
+        }
+        sources.push((rel, src));
+    }
+    (Workspace::from_sources(sources), markers)
+}
+
+#[test]
+fn graph_corpus_clean_resolves_cross_file_and_cycles_quietly() {
+    let (ws, markers) = graph_corpus("clean");
+    assert!(markers.is_empty(), "clean corpus must not carry markers");
+    let report = check_ws(&ws, &BTreeSet::new());
+    assert!(report.clean(), "clean graph corpus flagged: {:?}", report.findings);
+    // The corpus resolves cross-file free calls, a trait fan-out, and a
+    // cross-file cycle — the walk must see real edges, not an empty graph.
+    assert!(report.call_edges >= 5, "suspiciously few edges: {}", report.call_edges);
+    assert_eq!(report.hot_fns, 5);
+}
+
+#[test]
+fn graph_corpus_doctored_flags_exactly_the_cross_file_escapes() {
+    let (ws, markers) = graph_corpus("doctored");
+    let report = check_ws(&ws, &BTreeSet::new());
+    assert!(
+        report.findings.iter().all(|f| f.rule == "hot-transitive"),
+        "doctored graph corpus tripped other rules: {:?}",
+        report.findings
+    );
+    let got: BTreeSet<(String, u32)> =
+        report.findings.iter().map(|f| (f.path.clone(), f.line)).collect();
+    let want: BTreeSet<(String, u32)> = markers.into_iter().collect();
+    assert_eq!(want.len(), 2, "corpus should mark one escape per file");
+    assert_eq!(got, want, "findings must match the `//~` markers exactly");
+    // `drift` is pulled onto the hot path only by the tuner file; the
+    // report must name that cross-file route.
+    let drift = report.findings.iter().find(|f| f.msg.contains("`drift`")).expect("drift finding");
+    assert!(
+        drift.msg.contains("crates/sim/src/tuner.rs"),
+        "expected the via-file in: {}",
+        drift.msg
+    );
 }
 
 #[test]

@@ -1,0 +1,35 @@
+//! Graph corpus, controller file: the hot root calls a free fn defined
+//! in another file (`tune`) and fans out through a `dyn Backend`
+//! receiver; the tuner calls back into `spin` below, closing a
+//! cross-file cycle.
+
+/// Relay controller (fixture) — `access` is a hot root.
+pub struct RelayController {
+    backend: Box<dyn Backend>,
+    hits: u64,
+}
+
+impl RelayController {
+    /// Hot entry point.
+    // audit: hot-path
+    pub fn access(&mut self, addr: u64) -> u64 {
+        self.hits += tune(addr);
+        self.hits + self.backend.serve()
+    }
+}
+
+/// Free helper the tuner calls back into — the cycle edge.
+// audit: hot-path
+pub fn spin(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        tune(v - 1)
+    }
+}
+
+/// Drift correction applied by the tuner, reached only cross-file.
+// audit: hot-path
+pub fn drift(addr: u64) -> u64 {
+    addr >> 3
+}

@@ -1,0 +1,33 @@
+//! Graph corpus, doctored controller file: `drift` is reached only from
+//! the tuner file, so the per-file `hot-callee` rule never sees the call
+//! — only the workspace call graph can flag it.
+
+/// Relay controller (fixture) — `access` is a hot root.
+pub struct RelayController {
+    backend: Box<dyn Backend>,
+    hits: u64,
+}
+
+impl RelayController {
+    /// Hot entry point.
+    // audit: hot-path
+    pub fn access(&mut self, addr: u64) -> u64 {
+        self.hits += tune(addr);
+        self.hits + self.backend.serve()
+    }
+}
+
+/// Free helper the tuner calls back into — the cycle edge.
+// audit: hot-path
+pub fn spin(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        tune(v - 1)
+    }
+}
+
+/// Drift correction applied by the tuner; never annotated.
+pub fn drift(addr: u64) -> u64 { //~ hot-transitive
+    addr >> 3
+}

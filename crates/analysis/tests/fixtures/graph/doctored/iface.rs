@@ -1,0 +1,8 @@
+//! Graph corpus: the backend trait, declared away from both the
+//! controller and the impl so neither file defines `serve` locally.
+
+/// A pluggable service backend.
+pub trait Backend {
+    /// Serves one request, returning a cost.
+    fn serve(&mut self) -> u64;
+}

@@ -1,0 +1,23 @@
+//! Clean: the controller entry point is a hot root (it is named `access`
+//! and its impl owner contains `Controller`), it is annotated, and every
+//! fn reachable from it is annotated too.
+
+/// Demo controller (fixture).
+pub struct DemoController {
+    hits: u64,
+}
+
+impl DemoController {
+    /// The per-access entry point — a hot root of the call graph.
+    // audit: hot-path
+    pub fn access(&mut self, addr: u64) -> u64 {
+        self.bump(addr);
+        self.hits
+    }
+
+    /// Reachable from the root, annotated into the closure.
+    // audit: hot-path
+    fn bump(&mut self, addr: u64) {
+        self.hits += addr & 1;
+    }
+}

@@ -1,0 +1,17 @@
+//! Doctored: the controller entry point is a hot root by name and owner,
+//! but nothing marks it `// audit: hot-path`, so the whole access flow
+//! sits outside the audited closure and the workspace pass flags the
+//! root itself.
+
+/// Demo controller (fixture).
+pub struct DemoController {
+    hits: u64,
+}
+
+impl DemoController {
+    /// The per-access entry point — a hot root of the call graph.
+    pub fn access(&mut self, addr: u64) -> u64 { //~ hot-transitive
+        self.hits += addr & 1;
+        self.hits
+    }
+}

@@ -1,0 +1,23 @@
+//! Clean: a shard-merge fold built only from commutative operations —
+//! `+=` sums, `|=` unions, and self-referential `max` folds — so any
+//! absorption order produces the same bytes.
+
+/// Per-shard partial of a relay histogram.
+pub struct Partial {
+    /// Accesses folded in.
+    pub count: u64,
+    /// Saturating high-water mark.
+    pub peak: u64,
+    /// Union of touched ways.
+    pub ways: u64,
+}
+
+impl Partial {
+    /// Folds `other` into `self`; commutative and associative.
+    // audit: merge
+    pub fn absorb(&mut self, other: &Partial) {
+        self.count += other.count;
+        self.peak = self.peak.max(other.peak);
+        self.ways |= other.ways;
+    }
+}

@@ -1,0 +1,21 @@
+//! Doctored: the merge overwrites a self field with last-writer-wins `=`,
+//! so the folded result depends on which shard's partial arrives last —
+//! exactly the order-dependence the any-width byte-identity contract
+//! forbids.
+
+/// Per-shard partial of a relay histogram.
+pub struct Partial {
+    /// Accesses folded in.
+    pub count: u64,
+    /// Timestamp of the last access the shard saw.
+    pub last: u64,
+}
+
+impl Partial {
+    /// Folds `other` into `self`.
+    // audit: merge
+    pub fn absorb(&mut self, other: &Partial) {
+        self.count += other.count;
+        self.last = other.last; //~ merge-commutative
+    }
+}

@@ -1,0 +1,18 @@
+//! Clean: every pub counter the observability struct exposes is tied
+//! down by the reconciliation invariant, so a counter that silently
+//! stops being incremented fails a check instead of shipping zeros.
+
+/// Relay traffic counters (fixture).
+pub struct RelayCounters {
+    /// Frames relayed downstream.
+    pub relayed: u64,
+    /// Frames dropped at admission.
+    pub dropped: u64,
+}
+
+impl RelayCounters {
+    /// Invariant: every admitted frame is either relayed or dropped.
+    pub fn reconcile(&self, admitted: u64) -> bool {
+        self.relayed + self.dropped == admitted
+    }
+}

@@ -1,0 +1,18 @@
+//! Doctored: `dropped` is exported but appears in no reconciliation
+//! invariant and no test — nothing would notice if the increment were
+//! deleted, which is how observability counters rot.
+
+/// Relay traffic counters (fixture).
+pub struct RelayCounters {
+    /// Frames relayed downstream.
+    pub relayed: u64,
+    /// Frames dropped at admission.
+    pub dropped: u64, //~ obs-counter-reconcile
+}
+
+impl RelayCounters {
+    /// Only `relayed` is tied down.
+    pub fn reconcile(&self, admitted: u64) -> bool {
+        self.relayed == admitted
+    }
+}

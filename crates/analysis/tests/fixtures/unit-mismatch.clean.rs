@@ -1,0 +1,26 @@
+//! Clean: arithmetic stays inside one annotated cycle/byte domain, and
+//! the one cross-domain expression is a ratio — division is exempt
+//! because bytes-per-cycle is a legitimate derived quantity.
+
+/// Channel probe counters.
+pub struct Probe {
+    /// Cycles the bus spent busy.
+    pub busy: u64, // audit: unit(cycles)
+    /// Cycles requests spent stalled behind the bus.
+    pub stall: u64, // audit: unit(cycles)
+    /// Payload bytes moved.
+    pub moved: u64, // audit: unit(bytes)
+}
+
+impl Probe {
+    /// Total pressure on the channel, in cycles.
+    pub fn pressure(&self) -> u64 {
+        self.busy + self.stall
+    }
+
+    /// Achieved bandwidth — bytes per busy cycle; ratios may cross
+    /// domains.
+    pub fn rate(&self) -> u64 {
+        self.moved / self.busy.max(1)
+    }
+}

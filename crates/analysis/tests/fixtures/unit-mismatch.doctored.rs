@@ -1,0 +1,18 @@
+//! Doctored: the sum adds a cycle count to a byte count. Both names are
+//! annotated into different domains, so the workspace unit table flags
+//! the `+` as dimensionally meaningless.
+
+/// Channel probe counters.
+pub struct Probe {
+    /// Cycles the bus spent busy.
+    pub busy: u64, // audit: unit(cycles)
+    /// Payload bytes moved.
+    pub moved: u64, // audit: unit(bytes)
+}
+
+impl Probe {
+    /// Nonsense aggregate crossing the cycle/byte domains.
+    pub fn skew(&self) -> u64 {
+        self.busy + self.moved //~ unit-mismatch
+    }
+}

@@ -22,6 +22,7 @@ pub struct BlockBitmap([u64; 4]);
 
 impl BlockBitmap {
     /// An empty bitmap.
+    // audit: hot-path
     pub fn new() -> BlockBitmap {
         BlockBitmap([0; 4])
     }
@@ -31,8 +32,9 @@ impl BlockBitmap {
     /// # Panics
     ///
     /// Panics if `count > 256`.
+    // audit: hot-path
     pub fn full(count: u32) -> BlockBitmap {
-        assert!(count <= MAX_BLOCKS, "bitmap capacity is {MAX_BLOCKS}");
+        assert!(count <= MAX_BLOCKS, "bitmap capacity is {MAX_BLOCKS}"); // audit: allow(hot-panic) -- count comes from geometry blocks_per_page, bounded at construction
         let mut b = BlockBitmap::new();
         for i in 0..count {
             b.set(i);
@@ -99,6 +101,7 @@ impl BlockBitmap {
     /// `trailing_zeros` rather than probing all 256 bit positions, so cost
     /// scales with the population count. The bitmap is `Copy`: the iterator
     /// owns a snapshot and does not borrow `self`.
+    // audit: hot-path
     pub fn iter_set(&self, limit: u32) -> BitIter {
         BitIter::new(self.0, limit.min(MAX_BLOCKS))
     }
@@ -106,6 +109,7 @@ impl BlockBitmap {
     /// Iterator over clear bit indices below `limit`, ascending (same
     /// word-at-a-time walk as [`iter_set`](Self::iter_set), over the
     /// complement).
+    // audit: hot-path
     pub fn iter_clear(&self, limit: u32) -> BitIter {
         BitIter::new(self.0.map(|w| !w), limit.min(MAX_BLOCKS))
     }
@@ -123,6 +127,7 @@ pub struct BitIter {
 }
 
 impl BitIter {
+    // audit: hot-path
     fn new(words: [u64; 4], limit: u32) -> BitIter {
         BitIter { words, cur: words[0], word: 0, limit }
     }

@@ -244,6 +244,7 @@ impl BumblebeeController {
     /// due, validates the whole controller — panicking with a precise
     /// diagnosis on the first violation. Read-only: results are
     /// byte-identical with and without the feature.
+    // audit: allow(hot-transitive) -- compiled out unless --features checked; the invariant sweep is read-only and off the per-access path
     fn checked_tick(&mut self) {
         if !self.checked.due() {
             return;
@@ -390,6 +391,7 @@ impl HybridMemoryController for BumblebeeController {
         &self.stats
     }
 
+    // audit: hot-path
     fn overfetch_ratio(&self) -> Option<f64> {
         self.overfetch.as_ref().map(OverfetchTracker::overfetch_ratio)
     }

@@ -500,6 +500,7 @@ impl HotTable {
     }
 
     /// Iterates the HBM-queue entries, MRU first.
+    // audit: hot-path
     pub fn iter_hbm(&self) -> impl Iterator<Item = &HotEntry> {
         ListIter { table: self, cur: self.hbm.head }
     }

@@ -202,6 +202,7 @@ impl RemapSet {
     }
 
     /// The set's hot table (inspection/testing).
+    // audit: hot-path
     pub fn hot(&self) -> &HotTable {
         &self.hot
     }

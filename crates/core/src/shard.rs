@@ -62,6 +62,7 @@ pub struct EpochPartial {
 
 impl EpochPartial {
     /// Adds `other` into `self` field-wise (commutative and associative).
+    // audit: merge
     pub fn absorb(&mut self, other: &EpochPartial) {
         self.ctrl.merge(&other.ctrl);
         self.chbm += other.chbm;

@@ -21,7 +21,7 @@ struct Bank {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkResult {
     /// Cycle the data transfer completes.
-    pub done_at: u64,
+    pub done_at: u64, // audit: unit(cycles)
     /// Whether the access hit the open row.
     pub row_hit: bool,
     /// Whether an activate (with implicit precharge of the old row) was
@@ -29,7 +29,7 @@ pub struct ChunkResult {
     pub activated: bool,
     /// Cycles the data burst waited for the shared channel bus after the
     /// column access was ready (queueing delay behind earlier bursts).
-    pub bus_wait: u64,
+    pub bus_wait: u64, // audit: unit(cycles)
 }
 
 /// One memory channel.

@@ -6,15 +6,15 @@ use crate::power::PowerParams;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Timing {
     /// Column access strobe latency (read latency after the column command).
-    pub t_cas: u32,
+    pub t_cas: u32, // audit: unit(cycles)
     /// Row-to-column delay (activate → column command).
-    pub t_rcd: u32,
+    pub t_rcd: u32, // audit: unit(cycles)
     /// Row precharge time (close a row).
-    pub t_rp: u32,
+    pub t_rp: u32, // audit: unit(cycles)
     /// Row active time lower bound (activate → precharge). When building
     /// presets this is derived as `t_rcd + t_cas + 8` if not specified, a
     /// common ratio for both DDR4 and HBM2 parts.
-    pub t_ras: u32,
+    pub t_ras: u32, // audit: unit(cycles)
 }
 
 impl Timing {
@@ -31,15 +31,15 @@ pub struct DeviceConfig {
     /// Human-readable name (e.g. `"HBM2"`).
     pub name: &'static str,
     /// Total capacity in bytes.
-    pub capacity_bytes: u64,
+    pub capacity_bytes: u64, // audit: unit(bytes)
     /// Independent channels.
     pub channels: u32,
     /// Banks per channel.
     pub banks_per_channel: u32,
     /// Row-buffer size per bank in bytes.
-    pub row_bytes: u64,
+    pub row_bytes: u64, // audit: unit(bytes)
     /// Channel interleave granularity in bytes (Table I: 512 B for HBM2).
-    pub interleave_bytes: u64,
+    pub interleave_bytes: u64, // audit: unit(bytes)
     /// Data-bus bytes transferred per device clock (both edges counted).
     pub bus_bytes_per_cycle: u32,
     /// Device clock in MHz.
@@ -59,18 +59,20 @@ pub struct DeviceConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CpuTimings {
     /// `tCAS` in CPU cycles.
-    pub t_cas: u64,
+    pub t_cas: u64, // audit: unit(cycles)
     /// `tRCD` in CPU cycles.
-    pub t_rcd: u64,
+    pub t_rcd: u64, // audit: unit(cycles)
     /// `tRP` in CPU cycles.
-    pub t_rp: u64,
+    pub t_rp: u64, // audit: unit(cycles)
     /// `tRAS` in CPU cycles.
-    pub t_ras: u64,
+    pub t_ras: u64, // audit: unit(cycles)
 }
 
 impl DeviceConfig {
     /// Converts device clocks to CPU cycles (rounding up).
     #[inline]
+    // audit: hot-path
+    // audit: unit(cycles)
     pub fn to_cpu_cycles(&self, device_cycles: u64) -> u64 {
         (device_cycles * self.cpu_mhz).div_ceil(self.device_mhz)
     }
@@ -94,6 +96,8 @@ impl DeviceConfig {
 
     /// CPU cycles for the data burst of `bytes` on one channel.
     #[inline]
+    // audit: hot-path
+    // audit: unit(cycles)
     pub fn burst_cpu_cycles(&self, bytes: u32) -> u64 {
         let dev = u64::from(bytes).div_ceil(u64::from(self.bus_bytes_per_cycle));
         self.to_cpu_cycles(dev)

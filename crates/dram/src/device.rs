@@ -9,26 +9,28 @@ use memsim_types::{Addr, OpKind, QuickDiv};
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceCounters {
     /// Bytes read from the device.
-    pub read_bytes: u64,
+    pub read_bytes: u64, // audit: unit(bytes)
     /// Bytes written to the device.
-    pub write_bytes: u64,
+    pub write_bytes: u64, // audit: unit(bytes)
     /// Row activations performed.
-    pub activates: u64,
+    pub activates: u64, // audit: unit(accesses)
     /// Chunk accesses that hit an open row.
-    pub row_hits: u64,
+    pub row_hits: u64, // audit: unit(accesses)
     /// Chunk accesses that required an activate.
-    pub row_misses: u64,
+    pub row_misses: u64, // audit: unit(accesses)
     /// Total accesses (after chunking).
-    pub chunk_accesses: u64,
+    pub chunk_accesses: u64, // audit: unit(accesses)
 }
 
 impl DeviceCounters {
     /// Total bytes moved in either direction.
+    // audit: unit(bytes)
     pub fn total_bytes(&self) -> u64 {
         self.read_bytes + self.write_bytes
     }
 
     /// Adds every counter of `other` into `self` (commutative shard merge).
+    // audit: merge
     pub fn merge(&mut self, other: &DeviceCounters) {
         self.read_bytes += other.read_bytes;
         self.write_bytes += other.write_bytes;

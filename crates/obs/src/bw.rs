@@ -84,12 +84,14 @@ impl TrafficMatrix {
     }
 
     /// Grand total of attributed bytes.
+    // audit: unit(bytes)
     pub fn total_bytes(&self) -> u64 {
         self.bytes.iter().flatten().sum()
     }
 
     /// Adds every counter of `other` into `self` (commutative shard
     /// merge).
+    // audit: merge
     pub fn merge(&mut self, other: &TrafficMatrix) {
         for (dst, src) in self.bytes.iter_mut().flatten().zip(other.bytes.iter().flatten()) {
             *dst += src;
@@ -200,6 +202,7 @@ impl TrafficAccum {
 
     /// Adds every counter of `other` into `self` (commutative shard
     /// merge).
+    // audit: merge
     pub fn merge(&mut self, other: &TrafficAccum) {
         self.matrix.merge(&other.matrix);
         for (dst, src) in self.size.iter_mut().zip(&other.size) {
@@ -221,13 +224,13 @@ impl TrafficAccum {
 pub struct BwPoint {
     /// Cumulative bytes per device class, indexed by
     /// [`TrafficDevice::index`].
-    pub class_bytes: [u64; NUM_DEVICE_CLASSES],
+    pub class_bytes: [u64; NUM_DEVICE_CLASSES], // audit: unit(bytes)
     /// Cumulative simulated cycles (summed per-set clocks when sharded).
-    pub cycles: u64,
+    pub cycles: u64, // audit: unit(cycles)
     /// Cumulative per-channel busy cycles of the HBM stack's data buses.
-    pub hbm_busy: Vec<u64>,
+    pub hbm_busy: Vec<u64>, // audit: unit(cycles)
     /// Cumulative per-channel busy cycles of the off-chip DRAM buses.
-    pub dram_busy: Vec<u64>,
+    pub dram_busy: Vec<u64>, // audit: unit(cycles)
 }
 
 impl BwPoint {
@@ -249,6 +252,7 @@ impl BwPoint {
     ///
     /// Panics if the channel counts disagree — partials of one run always
     /// share the device configuration.
+    // audit: merge
     pub fn absorb(&mut self, other: &BwPoint) {
         assert_eq!(self.hbm_busy.len(), other.hbm_busy.len(), "hbm channel count");
         assert_eq!(self.dram_busy.len(), other.dram_busy.len(), "dram channel count");

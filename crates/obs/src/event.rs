@@ -111,6 +111,7 @@ impl TraceEvent {
     }
 
     /// The remapping set the event concerns.
+    // audit: hot-path
     pub fn set(&self) -> u64 {
         match *self {
             TraceEvent::PrtMiss { set, .. }
@@ -239,6 +240,7 @@ impl EventRing {
 /// emission order) and keeping the tail reproduces the same kept set at
 /// any shard count. Returns `(merged_events, dropped)` where `dropped`
 /// counts everything recorded but not kept.
+// audit: merge
 pub fn merge_shard_events(
     parts: Vec<(Vec<TimedEvent>, u64)>,
     capacity: usize,

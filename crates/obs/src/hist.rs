@@ -51,6 +51,7 @@ impl Pow2Histogram {
     }
 
     /// Adds every count of `other` into `self`.
+    // audit: merge
     pub fn merge(&mut self, other: &Pow2Histogram) {
         for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
             *b += o;

@@ -54,15 +54,15 @@ pub struct AccessRecord {
     pub path: AccessPath,
     /// Metadata lookup cycles: on-chip SRAM cycles plus the device time of
     /// in-memory metadata reads on the critical path.
-    pub lookup: u64,
+    pub lookup: u64, // audit: unit(cycles)
     /// Cycles the critical ops' data bursts waited for a busy channel bus.
-    pub queue: u64,
+    pub queue: u64, // audit: unit(cycles)
     /// Bank/bus service cycles of the critical ops (raw latency minus
     /// lookup and queue wait).
-    pub service: u64,
+    pub service: u64, // audit: unit(cycles)
     /// Non-device stall cycles (e.g. OS page-fault penalties, migration
     /// stalls charged to the request).
-    pub stall: u64,
+    pub stall: u64, // audit: unit(cycles)
     /// End-to-end charged latency: `lookup + queue + service + stall`.
     pub total: u64,
 }
@@ -98,6 +98,7 @@ impl LatRing {
     }
 
     /// Records held.
+    // audit: hot-path
     pub fn len(&self) -> usize {
         self.buf.len()
     }
@@ -125,6 +126,7 @@ impl LatRing {
 /// [`merge_shard_events`](crate::merge_shard_events): each shard keeps its
 /// own newest `capacity`, so the seq-sorted union always contains the
 /// globally newest `capacity`. Returns `(merged, dropped)`.
+// audit: merge
 pub fn merge_shard_records(
     parts: Vec<(Vec<AccessRecord>, u64)>,
     capacity: usize,
@@ -152,13 +154,13 @@ pub struct PathLatency {
     /// Sampled records on this path.
     pub count: u64,
     /// Summed lookup cycles.
-    pub lookup: u64,
+    pub lookup: u64, // audit: unit(cycles)
     /// Summed channel-queue-wait cycles.
-    pub queue: u64,
+    pub queue: u64, // audit: unit(cycles)
     /// Summed bank-service cycles.
-    pub service: u64,
+    pub service: u64, // audit: unit(cycles)
     /// Summed non-device stall cycles.
-    pub stall: u64,
+    pub stall: u64, // audit: unit(cycles)
     /// Power-of-two histogram of total charged latency.
     pub hist: Pow2Histogram,
 }
@@ -173,9 +175,9 @@ pub struct QueueGauge {
     /// Sampled records inside the epoch.
     pub samples: u64,
     /// Summed queue-wait cycles of those records.
-    pub queue_sum: u64,
+    pub queue_sum: u64, // audit: unit(cycles)
     /// Largest single queue wait observed in the epoch.
-    pub queue_max: u64,
+    pub queue_max: u64, // audit: unit(cycles)
 }
 
 /// Aggregates [`AccessRecord`]s into path-tagged latency histograms and

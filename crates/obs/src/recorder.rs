@@ -44,9 +44,11 @@ pub trait MetricsRecorder: std::fmt::Debug + Send {
     }
 
     /// Receives one event, stamped with the controller access counter.
+    // audit: hot-path
     fn record_event(&mut self, _seq: u64, _ev: &TraceEvent) {}
 
     /// Receives one epoch snapshot.
+    // audit: hot-path
     fn record_epoch(&mut self, _snap: &EpochSnapshot) {}
 
     /// Downcasts into the collecting [`RunRecorder`], when this is one.
@@ -105,10 +107,12 @@ impl MetricsRecorder for RunRecorder {
         self.interval
     }
 
+    // audit: hot-path
     fn record_event(&mut self, seq: u64, ev: &TraceEvent) {
         self.ring.push(TimedEvent { seq, event: *ev });
     }
 
+    // audit: hot-path
     fn record_epoch(&mut self, snap: &EpochSnapshot) {
         self.epochs.push(snap.clone());
     }
@@ -156,6 +160,7 @@ impl Telemetry {
 
     /// `Some(self)` when recording, else `None` — lets callers thread an
     /// `Option<&mut Telemetry>` so disabled paths skip event construction.
+    // audit: hot-path
     pub fn active(&mut self) -> Option<&mut Telemetry> {
         if self.rec.is_some() {
             Some(self)
@@ -183,6 +188,7 @@ impl Telemetry {
     /// Counts one access; `true` when an epoch boundary was reached and
     /// the caller should gather gauges and [`sample`](Self::sample).
     #[inline]
+    // audit: hot-path
     pub fn tick(&mut self) -> bool {
         if self.rec.is_none() {
             return false;
@@ -192,6 +198,7 @@ impl Telemetry {
     }
 
     /// Emits one event stamped with the current access count.
+    // audit: hot-path
     pub fn event(&mut self, ev: TraceEvent) {
         if let Some(r) = self.rec.as_deref_mut() {
             r.record_event(self.accesses, &ev);
@@ -201,6 +208,7 @@ impl Telemetry {
     /// Emits an epoch snapshot from the cumulative `stats` and the
     /// caller's instantaneous `gauges`, keeping the boundary state for the
     /// next delta.
+    // audit: hot-path
     pub fn sample(&mut self, stats: &CtrlStats, gauges: EpochGauges) {
         let Some(r) = self.rec.as_deref_mut() else { return };
         let snap = EpochSnapshot::from_delta(self.epoch, self.accesses, stats, &self.last, gauges);

@@ -90,11 +90,11 @@ pub struct SpanNode {
     /// Index of the parent node, `None` for roots.
     pub parent: Option<usize>,
     /// Guard activations merged into this node.
-    pub calls: u64,
+    pub calls: u64, // audit: unit(accesses)
     /// Total wall time inside the span, children included, in nanoseconds.
-    pub total_nanos: u64,
+    pub total_nanos: u64, // audit: unit(ns)
     /// Wall time attributed to direct children, in nanoseconds.
-    pub child_nanos: u64,
+    pub child_nanos: u64, // audit: unit(ns)
 }
 
 impl SpanNode {
@@ -174,6 +174,7 @@ impl SpanTree {
         (0..self.nodes.len()).find(|&i| self.path(i) == path).map(|i| &self.nodes[i])
     }
 
+    // audit: hot-path
     fn find_or_create(&mut self, parent: Option<usize>, phase: Phase) -> usize {
         if let Some(i) =
             self.nodes.iter().position(|n| n.parent == parent && n.phase == phase)
@@ -187,6 +188,7 @@ impl SpanTree {
     /// Merges `other` into `self`, summing calls and times of matching
     /// paths and adding nodes for paths only `other` has. Used to fold the
     /// per-cell trees of a benchmark suite into one suite-level breakdown.
+    // audit: merge
     pub fn merge(&mut self, other: &SpanTree) {
         // Parents precede children in `other`, so the mapping for a node's
         // parent is always resolved before the node itself.
@@ -235,6 +237,7 @@ thread_local! {
 }
 
 /// Whether a profiling session is active on this thread.
+// audit: hot-path
 pub fn profiling() -> bool {
     ENABLED.with(StdCell::get)
 }
@@ -272,6 +275,7 @@ pub fn collect() -> SpanTree {
 /// at zero, and coverage ratios can exceed 1).
 ///
 /// Without an active session, or with `other` empty, this is a no-op.
+// audit: merge
 pub fn absorb(other: &SpanTree) {
     if !profiling() || other.is_empty() {
         return;
@@ -328,6 +332,7 @@ pub struct SpanGuard {
 /// Enters `phase`. When no session is active this is one thread-local flag
 /// check and the returned guard is inert.
 #[inline]
+// audit: hot-path
 pub fn span(phase: Phase) -> SpanGuard {
     if !profiling() {
         return SpanGuard { armed: false };

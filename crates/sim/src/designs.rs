@@ -175,6 +175,7 @@ impl AnyController {
 }
 
 impl HybridMemoryController for AnyController {
+    // audit: hot-path
     fn access(&mut self, req: &Access, plan: &mut AccessPlan) {
         delegate!(self, c => c.access(req, plan))
     }
@@ -203,6 +204,7 @@ impl HybridMemoryController for AnyController {
         delegate!(self, c => c.stats())
     }
 
+    // audit: hot-path
     fn overfetch_ratio(&self) -> Option<f64> {
         delegate!(self, c => c.overfetch_ratio())
     }

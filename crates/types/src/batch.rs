@@ -49,6 +49,7 @@ impl AccessBatch {
 
     /// Number of requests in the chunk.
     #[inline]
+    // audit: hot-path
     pub fn len(&self) -> usize {
         self.addrs.len()
     }
@@ -182,6 +183,7 @@ impl PlanBuffer {
 
     /// Number of sealed per-access plans in the chunk.
     #[inline]
+    // audit: hot-path
     pub fn len(&self) -> usize {
         self.entries.len()
     }

@@ -75,6 +75,7 @@ pub trait HybridMemoryController {
 
     /// Fraction of data brought into HBM and evicted unused, if the design
     /// tracks it (paper §IV-B). Defaults to `None`.
+    // audit: hot-path
     fn overfetch_ratio(&self) -> Option<f64> {
         None
     }

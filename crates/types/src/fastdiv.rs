@@ -45,6 +45,7 @@ impl QuickDiv {
 
     /// `v / divisor`.
     #[inline]
+    // audit: hot-path
     pub fn div(self, v: u64) -> u64 {
         if self.shift == NO_SHIFT {
             v / self.divisor
@@ -55,6 +56,7 @@ impl QuickDiv {
 
     /// `v % divisor`.
     #[inline]
+    // audit: hot-path
     pub fn rem(self, v: u64) -> u64 {
         if self.shift == NO_SHIFT {
             v % self.divisor
@@ -65,6 +67,7 @@ impl QuickDiv {
 
     /// `(v / divisor, v % divisor)`.
     #[inline]
+    // audit: hot-path
     pub fn div_rem(self, v: u64) -> (u64, u64) {
         (self.div(v), self.rem(v))
     }

@@ -14,13 +14,13 @@ use std::hash::{BuildHasherDefault, Hasher};
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CtrlStats {
     /// Demand requests served from HBM (cHBM or mHBM).
-    pub hbm_hits: u64,
+    pub hbm_hits: u64, // audit: unit(accesses)
     /// Demand requests served from off-chip DRAM.
-    pub offchip_serves: u64,
+    pub offchip_serves: u64, // audit: unit(accesses)
     /// Blocks fetched into cHBM.
-    pub block_fills: u64,
+    pub block_fills: u64, // audit: unit(accesses)
     /// Whole pages migrated into mHBM.
-    pub page_migrations: u64,
+    pub page_migrations: u64, // audit: unit(accesses)
     /// Pages (or blocks) evicted from HBM to off-chip DRAM.
     pub evictions: u64,
     /// cHBM→mHBM mode switches.
@@ -46,11 +46,14 @@ impl CtrlStats {
     }
 
     /// Total demand requests observed.
+    // audit: hot-path
+    // audit: unit(accesses)
     pub fn total_accesses(&self) -> u64 {
         self.hbm_hits + self.offchip_serves
     }
 
     /// Adds every counter of `other` into `self` (commutative shard merge).
+    // audit: merge
     pub fn merge(&mut self, other: &CtrlStats) {
         self.hbm_hits += other.hbm_hits;
         self.offchip_serves += other.offchip_serves;
@@ -67,6 +70,7 @@ impl CtrlStats {
     }
 
     /// HBM hit rate over all demand requests (0 when idle).
+    // audit: hot-path
     pub fn hbm_hit_rate(&self) -> f64 {
         let total = self.total_accesses();
         if total == 0 {
@@ -173,6 +177,7 @@ impl OverfetchTracker {
     ///
     /// Re-fetching a resident chunk counts the new bytes but keeps its
     /// used/unused state.
+    // audit: hot-path
     pub fn fetched(&mut self, key: u64, bytes: u32) {
         self.fetched_bytes += u64::from(bytes);
         self.resident
@@ -182,6 +187,7 @@ impl OverfetchTracker {
     }
 
     /// Records a demand touch of chunk `key` (no-op if not resident).
+    // audit: hot-path
     pub fn used(&mut self, key: u64) {
         if let Some((_, used)) = self.resident.get_mut(&key) {
             *used = true;
@@ -190,6 +196,7 @@ impl OverfetchTracker {
 
     /// Records the eviction of chunk `key`; unused chunks add to the wasted
     /// byte count.
+    // audit: hot-path
     pub fn evicted(&mut self, key: u64) {
         if let Some((bytes, used)) = self.resident.remove(&key) {
             if !used {
@@ -218,6 +225,7 @@ impl OverfetchTracker {
     }
 
     /// `wasted / fetched` (0 when nothing was fetched).
+    // audit: hot-path
     pub fn overfetch_ratio(&self) -> f64 {
         if self.fetched_bytes == 0 {
             0.0
